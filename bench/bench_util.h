@@ -1,0 +1,28 @@
+// Shared helpers for the figure-replication drivers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "gpusim/machine.h"
+
+namespace emm::bench {
+
+/// Formats byte/point counts the way the paper labels its x axes
+/// (256k, 1M, 16M, ...).
+inline std::string sizeLabel(i64 n) {
+  if (n % (1 << 20) == 0) return std::to_string(n >> 20) + "M";
+  if (n % (1 << 10) == 0) return std::to_string(n >> 10) + "k";
+  return std::to_string(n);
+}
+
+inline void header(const char* title, const char* paperRef) {
+  std::printf("== %s ==\n", title);
+  std::printf("   reproduces: %s\n", paperRef);
+}
+
+inline void row(const std::string& label, double ms, const char* note = "") {
+  std::printf("  %-10s %12.2f ms  %s\n", label.c_str(), ms, note);
+}
+
+}  // namespace emm::bench

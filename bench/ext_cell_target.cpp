@@ -1,0 +1,62 @@
+// Extension E1: the Cell-like target (the paper's other architecture class).
+//
+// On Cell-style machines global memory cannot be touched during compute
+// (Section 3: "any data that is accessed ... has to be moved into
+// scratchpad memory before access"), so every reference is staged
+// (onlyBeneficial = false) and the 256 KB local store admits far larger
+// tiles than the GPU's 16 KB. This driver maps ME onto both machine
+// profiles and reports how the bigger local store changes the chosen tiles
+// and the resulting time.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "kernels/me_pipeline.h"
+#include "tilesearch/tilesearch.h"
+
+using namespace emm;
+
+namespace {
+
+void runTarget(const char* name, const Machine& machine, i64 memBytes, i64 innerProcs) {
+  ProgramBlock block = buildMeBlock(2048, 1024, 16);
+  auto deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  SmemOptions smem;
+  smem.sampleParams = {2048, 1024, 16};
+  smem.onlyBeneficial = false;  // stage everything (required on Cell)
+  TileSearchOptions opts;
+  opts.paramValues = {2048, 1024, 16};
+  opts.memLimitElems = memBytes / 4;
+  opts.innerProcs = innerProcs;
+  opts.candidates = {{16, 32, 64, 128}, {16, 32, 64, 128}, {16}, {16}};
+  TileSearchResult r = searchTileSizes(block, plan, opts, smem);
+  if (!r.eval.feasible) {
+    std::printf("  %-6s no feasible tile\n", name);
+    return;
+  }
+  MeConfig c;
+  c.ni = 2048;
+  c.nj = 1024;
+  c.w = 16;
+  c.numBlocks = machine.numSMs * 2;
+  c.numThreads = innerProcs;
+  c.subTile = r.subTile;
+  KernelModel km = modelMe(c);
+  SimResult sim = simulateLaunch(machine, km.launch, km.perBlock);
+  std::printf("  %-6s tile (%lld,%lld,%lld,%lld) footprint %6lld elems -> %s\n", name,
+              r.subTile[0], r.subTile[1], r.subTile[2], r.subTile[3], r.eval.footprint,
+              sim.feasible ? (std::to_string(sim.milliseconds) + " ms").c_str()
+                           : sim.infeasibleReason.c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Extension E1: GPU-like vs Cell-like target for ME",
+                "Section 3's Cell discussion; local store 16 KB vs 256 KB");
+  runTarget("gpu", Machine::geforce8800gtx(), 16 * 1024, 32);
+  runTarget("cell", Machine::cellLike(), 256 * 1024, 4);
+  std::printf("\n  reading: the 16x larger local store admits tiles with far better\n"
+              "  halo amortization; the framework adapts through Mup alone\n");
+  return 0;
+}

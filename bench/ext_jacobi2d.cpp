@@ -1,0 +1,78 @@
+// Extension E2: 2-D Jacobi (5-point stencil) under the same mapping scheme
+// as the paper's 1-D experiment — per time band, overlapped 2-D tiles with
+// a halo ring of width Tt staged in the scratchpad, one global barrier per
+// band. Sweeps tile shapes and reports the scratchpad-vs-DRAM-only ratio.
+#include <cstdio>
+#include <tuple>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernels/jacobi2d_mapped.h"
+
+using namespace emm;
+
+int main() {
+  bench::header("Extension E2: 2-D Jacobi tile-shape sweep",
+                "2-D analogue of Figures 5/8");
+  Machine m = Machine::geforce8800gtx();
+
+  std::vector<std::tuple<i64, i64, i64>> tiles = {
+      {4, 16, 16}, {4, 32, 32}, {8, 16, 16}, {8, 32, 32}, {8, 48, 48}, {16, 16, 16}};
+  std::vector<i64> sizes = {256, 512, 1024};
+
+  std::printf("  %-14s", "tile (Tt,Si,Sj)");
+  for (i64 s : sizes) std::printf(" %10lldx%-4lld", s, s);
+  std::printf(" (ms)\n");
+
+  std::vector<double> best(sizes.size(), 1e300);
+  std::vector<int> bestT(sizes.size(), -1);
+  for (size_t t = 0; t < tiles.size(); ++t) {
+    auto [tt, si, sj] = tiles[t];
+    std::printf("  %2lld,%2lld,%-7lld", tt, si, sj);
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      Jacobi2dConfig c;
+      c.n = c.m = sizes[s];
+      c.timeSteps = 256;
+      c.timeTile = tt;
+      c.spaceTileI = si;
+      c.spaceTileJ = sj;
+      c.numBlocks = 128;
+      c.numThreads = 64;
+      KernelModelJacobi2d km = jacobi2dMachineModel(c);
+      SimResult r = simulateLaunch(m, km.launch, km.perBlock);
+      if (!r.feasible) {
+        std::printf(" %15s", "infeasible");
+        continue;
+      }
+      std::printf(" %15.1f", r.milliseconds);
+      if (r.milliseconds < best[s]) {
+        best[s] = r.milliseconds;
+        bestT[s] = static_cast<int>(t);
+      }
+    }
+    std::printf("\n");
+  }
+  for (size_t s = 0; s < sizes.size(); ++s)
+    if (bestT[s] >= 0) {
+      auto [tt, si, sj] = tiles[bestT[s]];
+      std::printf("  best at %4lld^2: (%lld,%lld,%lld)\n", sizes[s], tt, si, sj);
+    }
+
+  // Scratchpad benefit at the largest size.
+  Jacobi2dConfig c;
+  c.n = c.m = 1024;
+  c.timeSteps = 256;
+  c.timeTile = 4;
+  c.spaceTileI = c.spaceTileJ = 32;
+  c.numBlocks = 128;
+  c.numThreads = 64;
+  KernelModelJacobi2d with = jacobi2dMachineModel(c);
+  c.useScratchpad = false;
+  KernelModelJacobi2d without = jacobi2dMachineModel(c);
+  SimResult rw = simulateLaunch(m, with.launch, with.perBlock);
+  SimResult rwo = simulateLaunch(m, without.launch, without.perBlock);
+  if (rw.feasible && rwo.feasible)
+    std::printf("\n  1024^2: %.1f ms with scratchpad vs %.1f ms without (%.1fx)\n",
+                rw.milliseconds, rwo.milliseconds, rwo.milliseconds / rw.milliseconds);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 5: execution time of 1-D Jacobi for various problem sizes — GPU
+// without scratchpad, GPU with scratchpad, CPU.
+//
+// Paper setup: T = 4096 time steps, time tile 32, problem sizes 8k..512k.
+// Expected shape: scratchpad version ~10x faster than DRAM-only and ~15x
+// faster than CPU.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernels/jacobi_mapped.h"
+
+using namespace emm;
+
+int main() {
+  bench::header("Figure 5: 1-D Jacobi execution time vs problem size",
+                "Baskaran et al. PPoPP'08, Fig. 5");
+  Machine m = Machine::geforce8800gtx();
+
+  std::printf("  %-10s %14s %14s %14s %10s %10s\n", "size", "gpu-noSmem", "gpu-smem", "cpu",
+              "smem-spdp", "cpu-spdp");
+  std::vector<i64> sizes = {8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10,
+                            512 << 10};
+  for (i64 n : sizes) {
+    JacobiConfig c;
+    c.n = n;
+    c.timeSteps = 4096;
+    c.timeTile = 32;
+    c.spaceTile = 256;
+    c.numBlocks = 128;
+    c.numThreads = 64;
+
+    KernelModelJacobi with = jacobiMachineModel(c);
+    c.useScratchpad = false;
+    KernelModelJacobi without = jacobiMachineModel(c);
+
+    SimResult rw = simulateLaunch(m, with.launch, with.perBlock);
+    SimResult rwo = simulateLaunch(m, without.launch, without.perBlock);
+    double cpu = simulateCpuMs(m, with.cpuOps, with.cpuMemElems);
+    if (!rw.feasible || !rwo.feasible) {
+      std::printf("  %-10s infeasible: %s%s\n", bench::sizeLabel(n).c_str(),
+                  rw.infeasibleReason.c_str(), rwo.infeasibleReason.c_str());
+      continue;
+    }
+    std::printf("  %-10s %14.1f %14.1f %14.1f %9.1fx %9.1fx\n", bench::sizeLabel(n).c_str(),
+                rwo.milliseconds, rw.milliseconds, cpu, rwo.milliseconds / rw.milliseconds,
+                cpu / rw.milliseconds);
+  }
+  std::printf("\n  paper reports: smem speedup ~10x over DRAM-only, ~15x over CPU\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 8: execution time of 1-D Jacobi for larger problem sizes (which
+// must be tiled to fit the scratchpad) for varying tile sizes.
+//
+// Paper setup: 128 thread blocks, 64 threads, active scratchpad per block
+// limited to 2^11 bytes; legend lists (time,space) tiles (32,64), (32,128),
+// (16,256), (32,256), (64,256). The Section-4.3 search picked space 256 /
+// time 32, which the measurements confirmed.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "kernels/jacobi_mapped.h"
+
+using namespace emm;
+
+int main() {
+  bench::header("Figure 8: 1-D Jacobi time for varying tile sizes (large sizes)",
+                "Baskaran et al. PPoPP'08, Fig. 8");
+  Machine m = Machine::geforce8800gtx();
+
+  // (timeTile, spaceTile) pairs from the paper's legend.
+  std::vector<std::pair<i64, i64>> tiles = {{32, 64}, {32, 128}, {16, 256}, {32, 256},
+                                            {64, 256}};
+  std::vector<i64> sizes = {64 << 10, 128 << 10, 256 << 10, 512 << 10};
+
+  std::printf("  %-14s", "tile (Tt,S)");
+  for (i64 s : sizes) std::printf(" %11s", bench::sizeLabel(s).c_str());
+  std::printf("   (ms per problem size)\n");
+
+  std::vector<double> best(sizes.size(), 1e300);
+  std::vector<int> bestT(sizes.size(), -1);
+  for (size_t t = 0; t < tiles.size(); ++t) {
+    std::printf("  %3lld,%-9lld", tiles[t].first, tiles[t].second);
+    for (size_t s = 0; s < sizes.size(); ++s) {
+      JacobiConfig c;
+      c.n = sizes[s];
+      c.timeSteps = 4096;
+      c.timeTile = tiles[t].first;
+      c.spaceTile = tiles[t].second;
+      c.numBlocks = 128;
+      c.numThreads = 64;
+      KernelModelJacobi km = jacobiMachineModel(c);
+      SimResult r = simulateLaunch(m, km.launch, km.perBlock);
+      if (!r.feasible) {
+        std::printf(" %11s", "infeasible");
+        continue;
+      }
+      std::printf(" %11.1f", r.milliseconds);
+      if (r.milliseconds < best[s]) {
+        best[s] = r.milliseconds;
+        bestT[s] = static_cast<int>(t);
+      }
+    }
+    std::printf("\n");
+  }
+  for (size_t s = 0; s < sizes.size(); ++s)
+    if (bestT[s] >= 0)
+      std::printf("  best at %-6s: tile (%lld,%lld)\n", bench::sizeLabel(sizes[s]).c_str(),
+                  tiles[bestT[s]].first, tiles[bestT[s]].second);
+  std::printf("\n  paper reports: space tile 256 with time tile 32 optimal\n");
+  return 0;
+}

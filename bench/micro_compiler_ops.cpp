@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the compiler substrate: the
+// polyhedral operations dominating compile time (Fourier-Motzkin
+// projection, images, set difference, scanning), dependence analysis and
+// the Section-3 block analysis.
+#include <benchmark/benchmark.h>
+
+#include "codegen/scan.h"
+#include "deps/dependence.h"
+#include "kernels/blocks.h"
+#include "poly/enumerate.h"
+#include "smem/data_manage.h"
+#include "tiling/multilevel.h"
+
+namespace emm {
+namespace {
+
+Polyhedron simplex(int dim, i64 n) {
+  Polyhedron p(dim, 0);
+  for (int d = 0; d < dim; ++d) {
+    IntVec row(p.cols(), 0);
+    row[d] = 1;
+    p.addInequality(row);
+  }
+  IntVec cap(p.cols(), 0);
+  for (int d = 0; d < dim; ++d) cap[d] = -1;
+  cap.back() = n;
+  p.addInequality(cap);
+  return p;
+}
+
+void BM_FourierMotzkin(benchmark::State& state) {
+  int dim = static_cast<int>(state.range(0));
+  Polyhedron p = simplex(dim, 100);
+  for (auto _ : state) {
+    Polyhedron q = p.projectedOnto(1);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_FourierMotzkin)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_Image(benchmark::State& state) {
+  int dim = static_cast<int>(state.range(0));
+  Polyhedron p = simplex(dim, 50);
+  IntMat f(2, dim + 1);
+  for (int d = 0; d < dim; ++d) {
+    f.at(0, d) = 1;
+    f.at(1, d) = d % 2;
+  }
+  for (auto _ : state) {
+    Polyhedron img = p.image(f);
+    benchmark::DoNotOptimize(img);
+  }
+}
+BENCHMARK(BM_Image)->Arg(3)->Arg(5);
+
+void BM_SetDifference(benchmark::State& state) {
+  Polyhedron a(2, 0), b(2, 0);
+  a.addRange(0, 0, 100);
+  a.addRange(1, 0, 100);
+  b.addRange(0, 25, 75);
+  b.addRange(1, 25, 75);
+  for (auto _ : state) {
+    PolySet d = setDifference(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_SetDifference);
+
+void BM_CountPoints(benchmark::State& state) {
+  Polyhedron p = simplex(3, static_cast<i64>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(countPoints(p, {}));
+}
+BENCHMARK(BM_CountPoints)->Arg(16)->Arg(48);
+
+void BM_DependenceAnalysis(benchmark::State& state) {
+  ProgramBlock block = buildJacobiBlock(64, 16);
+  for (auto _ : state) {
+    auto deps = computeDependences(block);
+    benchmark::DoNotOptimize(deps);
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+void BM_SmemAnalysis(benchmark::State& state) {
+  ProgramBlock block = buildMeBlock(64, 64, 8);
+  SmemOptions o;
+  o.sampleParams = {64, 64, 8};
+  for (auto _ : state) {
+    DataPlan plan = analyzeBlock(block, o);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_SmemAnalysis);
+
+void BM_TileAnalysis(benchmark::State& state) {
+  ProgramBlock block = buildMeBlock(64, 64, 8);
+  auto deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  SmemOptions o;
+  o.sampleParams = {64, 64, 8};
+  for (auto _ : state) {
+    TileAnalysis ta = analyzeTile(block, plan, {16, 16, 8, 8}, o);
+    benchmark::DoNotOptimize(ta);
+  }
+}
+BENCHMARK(BM_TileAnalysis);
+
+void BM_ScanUnion(benchmark::State& state) {
+  Polyhedron a(2, 0), b(2, 0);
+  a.addRange(0, 0, 31);
+  a.addRange(1, 0, 15);
+  b.addRange(0, 16, 47);
+  b.addRange(1, 8, 23);
+  for (auto _ : state) {
+    AstPtr root = scanUnion({a, b}, {"i", "j"}, {}, [&](const std::vector<std::string>&) {
+      return AstNode::comment("x");
+    });
+    benchmark::DoNotOptimize(root);
+  }
+}
+BENCHMARK(BM_ScanUnion);
+
+}  // namespace
+}  // namespace emm
+
+BENCHMARK_MAIN();

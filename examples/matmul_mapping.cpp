@@ -1,0 +1,87 @@
+// Matrix-multiplication mapping: a workload beyond the paper's evaluation
+// that exercises the same public API — useful as a template for mapping
+// your own affine kernel.
+//
+// Shows: Algorithm-1 classification (all three references have rank 2 < 3,
+// i.e. order-of-magnitude reuse), tile-size search, multi-level tiling,
+// verified execution, and the Cell-style mode where *every* reference must
+// be staged through the local store (onlyBeneficial = false).
+//
+//   ./examples/matmul_mapping
+#include <cstdio>
+
+#include "ir/emit.h"
+#include "ir/interp.h"
+#include "kernels/blocks.h"
+#include "tilesearch/tilesearch.h"
+
+using namespace emm;
+
+int main() {
+  const i64 n = 48, mdim = 32, k = 40;
+  ProgramBlock block = buildMatmulBlock(n, mdim, k);
+  auto deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  std::printf("matmul space loops:");
+  for (int l : plan.spaceLoops) std::printf(" %d", l);
+  std::printf("\n");
+
+  SmemOptions smem;
+  smem.sampleParams = {n, mdim, k};
+
+  // Tile-size search.
+  TileSearchOptions opts;
+  opts.paramValues = {n, mdim, k};
+  opts.memLimitElems = 1536;
+  opts.innerProcs = 32;
+  opts.candidates = {{4, 8, 16}, {4, 8, 16}, {4, 8, 16, 40}};
+  TileSearchResult search = searchTileSizes(block, plan, opts, smem);
+  if (!search.eval.feasible) {
+    std::printf("no feasible tile\n");
+    return 1;
+  }
+  std::printf("chosen sub-tile (%lld,%lld,%lld), footprint %lld elems\n", search.subTile[0],
+              search.subTile[1], search.subTile[2], search.eval.footprint);
+  for (const auto& term : search.eval.terms)
+    std::printf("  buffer %-6s copies %lld times, %lld elems in / %lld out, hoist level %d\n",
+                term.name.c_str(), term.occurrences, term.volumeIn, term.volumeOut,
+                term.hoistLevel);
+
+  // Build the tiled kernel and verify.
+  TileConfig tc;
+  tc.subTile = search.subTile;
+  tc.blockTile = {search.subTile[0] * 2, search.subTile[1]};
+  tc.threadTile = {2, 2};
+  TiledKernel kernel = buildTiledKernel(block, plan, tc, smem);
+
+  ArrayStore store(block.arrays);
+  store.fillAllPattern(19);
+  std::vector<double> a = store.raw(0), b = store.raw(1), c = store.raw(2);
+  IntVec ext = {n, mdim, k};
+  ext.resize(kernel.analysis.tileBlock->paramNames.size(), 0);
+  MemTrace trace = executeCodeUnit(kernel.unit, ext, store);
+  referenceMatmul(a, b, c, n, mdim, k);
+  double worst = 0;
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < mdim; ++j)
+      worst = std::max(worst, std::abs(store.get(2, {i, j}) - c[i * mdim + j]));
+  std::printf("\ntiled execution: %lld instances, %lld global elems, %lld scratchpad elems; "
+              "max diff %g (%s)\n",
+              trace.stmtInstances, trace.globalReads + trace.globalWrites,
+              trace.localReads + trace.localWrites, worst, worst == 0 ? "OK" : "MISMATCH");
+
+  // Cell-style staging: on architectures where global memory cannot be
+  // touched during compute, disable the benefit filter; the framework then
+  // buffers everything (Section 3: "the framework optimally moves only data
+  // that have sufficient reuse" applies to GPU-like targets only).
+  SmemOptions cellMode = smem;
+  cellMode.onlyBeneficial = false;
+  CodeUnit cellUnit = buildScratchpadUnit(block, cellMode);
+  ArrayStore cellStore(block.arrays);
+  cellStore.fillAllPattern(19);
+  MemTrace cellTrace = executeCodeUnit(cellUnit, {n, mdim, k}, cellStore);
+  std::printf("cell-style whole-block staging: %lld global elems (all compute accesses hit "
+              "the local store)\n",
+              cellTrace.globalReads + cellTrace.globalWrites);
+  return worst == 0 ? 0 : 1;
+}

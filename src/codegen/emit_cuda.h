@@ -1,0 +1,41 @@
+// CUDA backend: renders a mapped CodeUnit as CUDA C kernel source.
+//
+// This is the concrete artifact the paper's toolchain fed to nvcc: a
+// __global__ kernel whose __shared__ arrays are the planned scratchpad
+// buffers, whose outer FORALL (block-parallel) loops are distributed over
+// blockIdx, whose inner FORALL (thread-parallel) loops are strided over
+// threadIdx, and whose Sync nodes become __syncthreads().
+//
+// The emitter needs a concrete parameter binding because CUDA __shared__
+// array extents must be compile-time constants; buffer size expressions are
+// evaluated at that binding (tile sizes are already baked into the unit).
+// Tile-origin parameters are bound by the generated loops, not the binding.
+//
+// The output is source text; this repository's substrate executes the same
+// CodeUnit through the interpreter instead of a GPU, so the backend is
+// validated structurally (declarations, loop mapping, barrier placement)
+// and by construction shares the AST whose semantics the interpreter
+// certifies.
+#pragma once
+
+#include <string>
+
+#include "ir/ast.h"
+
+namespace emm {
+
+struct CudaEmitOptions {
+  /// Binding for the block's leading (non-origin) parameters, used to fold
+  /// buffer extents to constants. Origin parameters must NOT be bound.
+  IntVec paramValues;
+  /// Number of leading parameters the binding covers; the rest are assumed
+  /// loop-bound origins.
+  int numBoundParams = -1;  ///< -1: paramValues.size()
+  std::string kernelName = "emmap_kernel";
+  std::string elementType = "float";
+};
+
+/// Renders the unit as a single CUDA kernel plus a host-side launch stub.
+std::string emitCuda(const CodeUnit& unit, const CudaEmitOptions& options);
+
+}  // namespace emm

@@ -1,0 +1,57 @@
+// Polyhedron scanning: the CLooG substitute.
+//
+// Generates loop nests that visit every integer point of a polyhedron (or a
+// union of polyhedra) exactly once, in lexicographic order of the set
+// variables. Loop bounds at depth k are quasi-affine (max/min of
+// ceil/floor forms) over outer iterators and parameters, obtained by
+// Fourier-Motzkin projection — the same shape CLooG emits.
+//
+// Integrality note: every constraint of the input is enforced as a
+// ceil/floor bound at the deepest variable it mentions, so generated nests
+// never visit points outside the set even when rational projection is
+// inexact; such inexactness only produces (empty) ranges that iterate zero
+// times.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/ast.h"
+#include "poly/polyhedron.h"
+
+namespace emm {
+
+/// Produces the innermost body for one scanned piece. `iterNames` are the
+/// loop iterator names introduced by the scanner, outermost first.
+using BodyMaker = std::function<AstPtr(const std::vector<std::string>& iterNames)>;
+
+/// Scans all integer points of `p`. `iterNames` must have p.dim() entries;
+/// `paramNames` must have p.nparam() entries and is used to render bounds.
+/// Returns an AST Block (possibly empty when `p` is empty).
+AstPtr scanPolyhedron(const Polyhedron& p, const std::vector<std::string>& iterNames,
+                      const std::vector<std::string>& paramNames, const BodyMaker& makeBody);
+
+/// Scans the union of `pieces` visiting each point exactly once even when
+/// pieces overlap (pieces are made disjoint first, earlier pieces keeping
+/// their region). Point order is piece-by-piece, which is valid for
+/// order-independent bodies such as data-movement copies — the use the
+/// paper puts CLooG to in Section 3.1.3.
+AstPtr scanUnion(const PolySet& pieces, const std::vector<std::string>& iterNames,
+                 const std::vector<std::string>& paramNames, const BodyMaker& makeBody);
+
+/// Converts DimBounds (coefficients over [outer vars, params, 1]) to a
+/// named bound expression. `prefixNames` are the outer iterator names the
+/// coefficient vector starts with.
+BoundExpr toBoundExpr(const std::vector<DivExpr>& parts, bool isLower,
+                      const std::vector<std::string>& prefixNames,
+                      const std::vector<std::string>& paramNames);
+
+/// Generates interleaved code for a whole block from the statements'
+/// schedules. Supports the canonical "2d+1" interleaved schedule shape
+/// produced by ProgramBlock::interleavedSchedule (loop rows must be single
+/// original iterators, in nesting order). Statement instances execute in
+/// exactly the order of executeReference.
+AstPtr generateFromSchedules(const ProgramBlock& block, const std::string& iterPrefix = "c");
+
+}  // namespace emm

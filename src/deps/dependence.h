@@ -1,0 +1,63 @@
+// Dependence analysis in the polyhedral model.
+//
+// For every pair of references to the same array where at least one is a
+// write, we build dependence polyhedra over the combined space
+// [src iteration vector, dst iteration vector, params]: both instances in
+// their domains, accessing the same element, with the source scheduled
+// strictly before the destination. Lexicographic precedence is split into
+// one polyhedron per common schedule depth, as is standard.
+//
+// Consumers:
+//  - the transformation framework (permutable bands need non-negative
+//    dependence components; skewing legality),
+//  - the Section 3.1.4 copy-set optimization (live-in / live-out elements),
+//  - tests asserting dependube preservation of generated code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace emm {
+
+enum class DepKind { Flow, Anti, Output };  // RAW, WAR, WAW
+
+struct Dependence {
+  int srcStmt = -1;
+  int dstStmt = -1;
+  int srcAccess = -1;  ///< index into src statement's accesses
+  int dstAccess = -1;
+  DepKind kind = DepKind::Flow;
+  /// dim = srcDim + dstDim; column layout [src iters, dst iters, params, 1].
+  Polyhedron poly;
+  int srcDim = 0;
+  int dstDim = 0;
+
+  std::string str(const ProgramBlock& block) const;
+};
+
+/// Sign summary of an integer quantity over a (possibly unbounded) set.
+enum class SignRange {
+  Zero,         ///< always 0
+  NonNegative,  ///< >= 0, sometimes > 0
+  NonPositive,  ///< <= 0, sometimes < 0
+  Positive,     ///< always >= 1
+  Negative,     ///< always <= -1
+  Mixed,        ///< takes both signs (or unknown)
+};
+
+/// All dependences of the block (self-dependences included).
+std::vector<Dependence> computeDependences(const ProgramBlock& block);
+
+/// Sign of the dependence distance on common loop `loop` (i.e.
+/// dst_iter[loop] - src_iter[loop]) over the whole dependence polyhedron,
+/// universally over parameters. Conservative: returns Mixed when bounds
+/// cannot be established.
+SignRange distanceSign(const Dependence& dep, int loop);
+
+/// Combines per-dependence signs into a per-loop summary across `deps`
+/// restricted to loops common to both statements.
+SignRange combineSigns(SignRange a, SignRange b);
+
+}  // namespace emm

@@ -1,0 +1,147 @@
+// Loop AST for generated code.
+//
+// Code generation (the CLooG substitute, the data-movement generator and the
+// multi-level tiler) produce this AST. It is both printable as C (for
+// inspection and the worked examples) and executable by the interpreter in
+// interp.h, which is how every codegen test validates *semantics* rather
+// than text.
+//
+// Variables are referenced by name. An execution environment binds names to
+// integer values; block parameters are pre-bound, loop iterators are bound
+// by the enclosing For nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace emm {
+
+/// An affine expression over named variables with an optional positive
+/// divisor: (sum coeff*var + const) / den, rounded per use (ceil in lower
+/// bounds, floor in upper bounds, exact elsewhere).
+struct AffExpr {
+  std::vector<std::pair<std::string, i64>> terms;
+  i64 cnst = 0;
+  i64 den = 1;
+
+  static AffExpr constant(i64 c);
+  static AffExpr var(const std::string& name, i64 coeff = 1);
+
+  AffExpr plus(i64 c) const;
+  bool isConstant() const { return terms.empty(); }
+  /// True if the expression mentions `name`.
+  bool mentions(const std::string& name) const;
+
+  /// Exact evaluation; aborts if den does not divide the numerator.
+  i64 evalExact(const std::vector<std::pair<std::string, i64>>& env) const;
+  i64 evalFloor(const std::vector<std::pair<std::string, i64>>& env) const;
+  i64 evalCeil(const std::vector<std::pair<std::string, i64>>& env) const;
+
+  std::string str(bool ceilMode = false) const;
+};
+
+/// max-of (for lower bounds) or min-of (for upper bounds) a list of AffExpr.
+struct BoundExpr {
+  std::vector<AffExpr> parts;
+  bool isMax = true;  ///< true: lower bound (max/ceil); false: upper (min/floor)
+
+  static BoundExpr single(AffExpr e, bool isMax);
+
+  i64 eval(const std::vector<std::pair<std::string, i64>>& env) const;
+  bool mentions(const std::string& name) const;
+  std::string str() const;
+};
+
+/// Execution flavor of a For node. Parallelism markers are semantic
+/// annotations consumed by the machine mapper; the interpreter runs
+/// everything sequentially (the framework guarantees this is equivalent).
+enum class LoopKind { Sequential, BlockParallel, ThreadParallel };
+
+struct AstNode;
+using AstPtr = std::unique_ptr<AstNode>;
+
+/// One node of generated code.
+struct AstNode {
+  enum class Kind {
+    Block,    ///< sequence of children
+    For,      ///< counted loop
+    Guard,    ///< if (all guards >= 0) body
+    Call,     ///< statement instance: args give original iterator values
+    Copy,     ///< dst[dstIndex] = src[srcIndex] (one element)
+    Sync,     ///< barrier among inner-level processes
+    Comment,  ///< emitted verbatim
+  };
+
+  Kind kind = Kind::Block;
+
+  // Block / For / Guard body
+  std::vector<AstPtr> children;
+
+  // For
+  std::string iter;
+  BoundExpr lb{{}, true};
+  BoundExpr ub{{}, false};
+  i64 step = 1;
+  LoopKind loopKind = LoopKind::Sequential;
+
+  // Guard: conjunction of affine expressions required to be >= 0
+  std::vector<AffExpr> guards;
+
+  // Call
+  int stmtId = -1;
+  std::vector<AffExpr> callArgs;
+
+  // Copy
+  int dstArray = -1;
+  int srcArray = -1;
+  std::vector<AffExpr> dstIndex;
+  std::vector<AffExpr> srcIndex;
+
+  // Comment
+  std::string text;
+
+  static AstPtr block();
+  static AstPtr forLoop(std::string iter, BoundExpr lb, BoundExpr ub, i64 step = 1,
+                        LoopKind kind = LoopKind::Sequential);
+  static AstPtr guard(std::vector<AffExpr> guards);
+  static AstPtr call(int stmtId, std::vector<AffExpr> args);
+  static AstPtr copy(int dstArray, std::vector<AffExpr> dstIndex, int srcArray,
+                     std::vector<AffExpr> srcIndex);
+  static AstPtr sync();
+  static AstPtr comment(std::string text);
+
+  AstNode* addChild(AstPtr child);
+};
+
+/// A local (scratchpad) buffer: per-dimension lower/upper bounds as affine
+/// expressions over block parameters. `sizeBounds` are the expressions valid
+/// for allocation (they must not mention block-local parameters such as tile
+/// origins); `offset` is the affine lower bound subtracted from global
+/// indices (it may mention block-local parameters).
+struct LocalBuffer {
+  std::string name;
+  int ndim = 0;
+  std::vector<AffExpr> offset;       ///< one per dim; global index - offset = local index
+  std::vector<BoundExpr> sizeExpr;   ///< one per dim; evaluates to extent
+};
+
+/// A compilable unit: AST plus the statement table it references (possibly
+/// rewritten to target local buffers) and the local buffers themselves.
+/// Array ids < numGlobalArrays refer to the source block's arrays; ids >=
+/// that refer to localBuffers[id - numGlobalArrays].
+struct CodeUnit {
+  std::string name;
+  const ProgramBlock* source = nullptr;
+  std::vector<Statement> statements;  ///< bodies for Call nodes (by stmtId)
+  std::vector<LocalBuffer> localBuffers;
+  AstPtr root;
+
+  int numGlobalArrays() const {
+    return source == nullptr ? 0 : static_cast<int>(source->arrays.size());
+  }
+};
+
+}  // namespace emm

@@ -1,0 +1,152 @@
+#include "ir/emit.h"
+
+#include <sstream>
+
+namespace emm {
+
+namespace {
+
+std::string arrayName(const CodeUnit& unit, int arrayId) {
+  int nglobal = unit.numGlobalArrays();
+  if (arrayId < nglobal) return unit.source->arrays[arrayId].name;
+  int local = arrayId - nglobal;
+  EMM_CHECK(local < static_cast<int>(unit.localBuffers.size()), "array id out of range");
+  return unit.localBuffers[local].name;
+}
+
+std::string indexText(const std::vector<AffExpr>& index) {
+  std::ostringstream os;
+  for (const AffExpr& e : index) os << "[" << e.str() << "]";
+  return os.str();
+}
+
+class Emitter {
+public:
+  explicit Emitter(const CodeUnit& unit) : unit_(unit) {}
+
+  void emit(const AstNode& n, int depth) {
+    switch (n.kind) {
+      case AstNode::Kind::Block:
+        for (const AstPtr& c : n.children) emit(*c, depth);
+        break;
+      case AstNode::Kind::For: {
+        line(depth, forHeader(n));
+        for (const AstPtr& c : n.children) emit(*c, depth + 1);
+        line(depth, "}");
+        break;
+      }
+      case AstNode::Kind::Guard: {
+        std::ostringstream os;
+        os << "if (";
+        for (size_t i = 0; i < n.guards.size(); ++i)
+          os << (i ? " && " : "") << n.guards[i].str() << " >= 0";
+        os << ") {";
+        line(depth, os.str());
+        for (const AstPtr& c : n.children) emit(*c, depth + 1);
+        line(depth, "}");
+        break;
+      }
+      case AstNode::Kind::Call: {
+        line(depth, callText(n));
+        break;
+      }
+      case AstNode::Kind::Copy: {
+        line(depth, arrayName(unit_, n.dstArray) + indexText(n.dstIndex) + " = " +
+                        arrayName(unit_, n.srcArray) + indexText(n.srcIndex) + ";");
+        break;
+      }
+      case AstNode::Kind::Sync:
+        line(depth, "__syncthreads();");
+        break;
+      case AstNode::Kind::Comment:
+        line(depth, "/* " + n.text + " */");
+        break;
+    }
+  }
+
+  std::string take() { return os_.str(); }
+
+private:
+  std::string forHeader(const AstNode& n) const {
+    std::ostringstream os;
+    switch (n.loopKind) {
+      case LoopKind::BlockParallel:
+        os << "FORALL_BLOCKS ";
+        break;
+      case LoopKind::ThreadParallel:
+        os << "FORALL_THREADS ";
+        break;
+      case LoopKind::Sequential:
+        break;
+    }
+    os << "for (" << n.iter << " = " << n.lb.str() << "; " << n.iter << " <= " << n.ub.str()
+       << "; " << n.iter << (n.step == 1 ? "++" : " += " + std::to_string(n.step)) << ") {";
+    return os.str();
+  }
+
+  std::string callText(const AstNode& n) const {
+    EMM_CHECK(n.stmtId >= 0 && n.stmtId < static_cast<int>(unit_.statements.size()),
+              "call references unknown statement");
+    const Statement& st = unit_.statements[n.stmtId];
+    // Substitute call args into each access function to print real indices.
+    std::vector<std::string> accessText;
+    for (const Access& acc : st.accesses) {
+      std::ostringstream at;
+      at << arrayName(unit_, acc.arrayId);
+      for (int r = 0; r < acc.fn.rows(); ++r) {
+        // Row over (iter..., params..., 1); compose with callArgs for iters.
+        AffExpr composed;
+        composed.cnst = acc.fn.at(r, acc.fn.cols() - 1);
+        for (int j = 0; j < st.dim(); ++j) {
+          i64 c = acc.fn.at(r, j);
+          if (c == 0) continue;
+          const AffExpr& arg = n.callArgs[j];
+          EMM_CHECK(arg.den == 1, "divided expression in call argument");
+          for (const auto& [name, coeff] : arg.terms)
+            composed.terms.emplace_back(name, mulChecked(coeff, c));
+          composed.cnst = addChecked(composed.cnst, mulChecked(arg.cnst, c));
+        }
+        for (int j = 0; j < st.domain.nparam(); ++j) {
+          i64 c = acc.fn.at(r, st.dim() + j);
+          if (c != 0) composed.terms.emplace_back(unit_.source->paramNames[j], c);
+        }
+        at << "[" << composed.str() << "]";
+      }
+      accessText.push_back(at.str());
+    }
+    if (st.writeAccess < 0) return "/* " + st.name + " */;";
+    return accessText[st.writeAccess] + " = " + st.rhs->str(accessText) + ";  /* " + st.name +
+           " */";
+  }
+
+  void line(int depth, const std::string& text) {
+    for (int i = 0; i < depth; ++i) os_ << "  ";
+    os_ << text << "\n";
+  }
+
+  const CodeUnit& unit_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string emitC(const CodeUnit& unit, const AstNode& node, int indent) {
+  Emitter e(unit);
+  e.emit(node, indent);
+  return e.take();
+}
+
+std::string emitC(const CodeUnit& unit) {
+  std::ostringstream os;
+  for (const LocalBuffer& b : unit.localBuffers) {
+    os << "/* local buffer */ double " << b.name;
+    for (int d = 0; d < b.ndim; ++d) os << "[" << b.sizeExpr[d].str() << "]";
+    os << ";  /* offset:";
+    for (int d = 0; d < b.ndim; ++d) os << " " << b.offset[d].str();
+    os << " */\n";
+  }
+  if (unit.root != nullptr) os << emitC(unit, *unit.root, 0);
+  return os.str();
+}
+
+}  // namespace emm

@@ -1,0 +1,22 @@
+// C pretty-printer for generated code.
+//
+// Renders a CodeUnit as readable C, matching the presentation style of the
+// paper's Figure 1 / Figure 3 (declarations for local buffers, move-in /
+// move-out loop nests, FORALL markers on parallel loops). Used by the worked
+// examples and by golden tests that pin down the structure of generated
+// code; semantic checks go through the interpreter instead.
+#pragma once
+
+#include <string>
+
+#include "ir/ast.h"
+
+namespace emm {
+
+/// Renders the whole unit: local buffer declarations followed by the code.
+std::string emitC(const CodeUnit& unit);
+
+/// Renders just an AST subtree at the given indent level.
+std::string emitC(const CodeUnit& unit, const AstNode& node, int indent = 0);
+
+}  // namespace emm

@@ -1,0 +1,218 @@
+#include "ir/interp.h"
+
+#include <cmath>
+
+namespace emm {
+
+MemTrace& MemTrace::operator+=(const MemTrace& o) {
+  globalReads += o.globalReads;
+  globalWrites += o.globalWrites;
+  localReads += o.localReads;
+  localWrites += o.localWrites;
+  syncs += o.syncs;
+  stmtInstances += o.stmtInstances;
+  copyElements += o.copyElements;
+  return *this;
+}
+
+namespace {
+
+using Env = std::vector<std::pair<std::string, i64>>;
+
+/// A local scratchpad buffer instantiated at concrete parameter values.
+struct LocalInstance {
+  std::vector<i64> extents;
+  std::vector<double> data;
+
+  size_t flatten(const IntVec& index, const std::string& name) const {
+    EMM_CHECK(index.size() == extents.size(), "local index arity mismatch");
+    size_t flat = 0;
+    for (size_t k = 0; k < extents.size(); ++k) {
+      EMM_CHECK(index[k] >= 0 && index[k] < extents[k],
+                "local buffer '" + name + "' index out of bounds in dim " + std::to_string(k) +
+                    ": " + std::to_string(index[k]) + " not in [0," +
+                    std::to_string(extents[k]) + ")");
+      flat = flat * static_cast<size_t>(extents[k]) + static_cast<size_t>(index[k]);
+    }
+    return flat;
+  }
+};
+
+class Interp {
+public:
+  Interp(const CodeUnit& unit, const IntVec& params, ArrayStore& globals)
+      : unit_(unit), globals_(globals) {
+    EMM_CHECK(unit.source != nullptr, "CodeUnit without source block");
+    EMM_CHECK(static_cast<int>(params.size()) == unit.source->nparam(),
+              "parameter arity mismatch");
+    for (int j = 0; j < unit.source->nparam(); ++j)
+      env_.emplace_back(unit.source->paramNames[j], params[j]);
+    allocateLocals();
+  }
+
+  MemTrace run() {
+    if (unit_.root != nullptr) exec(*unit_.root);
+    return trace_;
+  }
+
+  i64 footprint() const {
+    i64 total = 0;
+    for (const LocalInstance& li : locals_)
+      total = addChecked(total, static_cast<i64>(li.data.size()));
+    return total;
+  }
+
+private:
+  void allocateLocals() {
+    for (const LocalBuffer& b : unit_.localBuffers) {
+      LocalInstance li;
+      for (int d = 0; d < b.ndim; ++d) {
+        i64 extent = b.sizeExpr[d].eval(env_);
+        EMM_CHECK(extent >= 0, "negative local buffer extent for " + b.name);
+        li.extents.push_back(extent);
+      }
+      i64 n = 1;
+      for (i64 e : li.extents) n = mulChecked(n, e);
+      li.data.assign(static_cast<size_t>(n), 0.0);
+      locals_.push_back(std::move(li));
+    }
+  }
+
+  double loadArray(int arrayId, const IntVec& index) {
+    int nglobal = unit_.numGlobalArrays();
+    if (arrayId < nglobal) {
+      ++trace_.globalReads;
+      return globals_.get(arrayId, index);
+    }
+    ++trace_.localReads;
+    LocalInstance& li = locals_[arrayId - nglobal];
+    return li.data[li.flatten(index, unit_.localBuffers[arrayId - nglobal].name)];
+  }
+
+  void storeArray(int arrayId, const IntVec& index, double v) {
+    int nglobal = unit_.numGlobalArrays();
+    if (arrayId < nglobal) {
+      ++trace_.globalWrites;
+      globals_.set(arrayId, index, v);
+      return;
+    }
+    ++trace_.localWrites;
+    LocalInstance& li = locals_[arrayId - nglobal];
+    li.data[li.flatten(index, unit_.localBuffers[arrayId - nglobal].name)] = v;
+  }
+
+  double evalExpr(const Expr& e, const Statement& st, const IntVec& iterAndParams) {
+    switch (e.kind()) {
+      case Expr::Kind::Const:
+        return e.constValue();
+      case Expr::Kind::Load: {
+        const Access& acc = st.accesses[e.accessIndex()];
+        IntVec hom = iterAndParams;
+        hom.push_back(1);
+        return loadArray(acc.arrayId, acc.fn.apply(hom));
+      }
+      case Expr::Kind::Abs:
+        return std::fabs(evalExpr(*e.lhs(), st, iterAndParams));
+      case Expr::Kind::Min:
+        return std::min(evalExpr(*e.lhs(), st, iterAndParams),
+                        evalExpr(*e.rhs(), st, iterAndParams));
+      case Expr::Kind::Max:
+        return std::max(evalExpr(*e.lhs(), st, iterAndParams),
+                        evalExpr(*e.rhs(), st, iterAndParams));
+      case Expr::Kind::Add:
+        return evalExpr(*e.lhs(), st, iterAndParams) + evalExpr(*e.rhs(), st, iterAndParams);
+      case Expr::Kind::Sub:
+        return evalExpr(*e.lhs(), st, iterAndParams) - evalExpr(*e.rhs(), st, iterAndParams);
+      case Expr::Kind::Mul:
+        return evalExpr(*e.lhs(), st, iterAndParams) * evalExpr(*e.rhs(), st, iterAndParams);
+      case Expr::Kind::Div:
+        return evalExpr(*e.lhs(), st, iterAndParams) / evalExpr(*e.rhs(), st, iterAndParams);
+    }
+    EMM_CHECK(false, "unreachable expression kind");
+  }
+
+  void exec(const AstNode& n) {
+    switch (n.kind) {
+      case AstNode::Kind::Block:
+        for (const AstPtr& c : n.children) exec(*c);
+        break;
+      case AstNode::Kind::For: {
+        i64 lo = n.lb.eval(env_);
+        i64 hi = n.ub.eval(env_);
+        env_.emplace_back(n.iter, 0);
+        for (i64 v = lo; v <= hi; v += n.step) {
+          env_.back().second = v;
+          for (const AstPtr& c : n.children) exec(*c);
+        }
+        env_.pop_back();
+        break;
+      }
+      case AstNode::Kind::Guard: {
+        for (const AffExpr& g : n.guards)
+          if (g.evalFloor(env_) < 0) return;
+        for (const AstPtr& c : n.children) exec(*c);
+        break;
+      }
+      case AstNode::Kind::Call: {
+        const Statement& st = unit_.statements[n.stmtId];
+        EMM_CHECK(static_cast<int>(n.callArgs.size()) == st.dim(),
+                  "call arity mismatch for " + st.name);
+        IntVec iterAndParams;
+        iterAndParams.reserve(st.dim() + st.domain.nparam());
+        for (const AffExpr& a : n.callArgs) iterAndParams.push_back(a.evalExact(env_));
+        // Parameters are looked up by name with the innermost binding
+        // winning: tile-origin parameters are rebound by sub-tile loops.
+        for (int j = 0; j < st.domain.nparam(); ++j) {
+          const std::string& pname = unit_.source->paramNames[j];
+          iterAndParams.push_back(AffExpr::var(pname).evalExact(env_));
+        }
+        ++trace_.stmtInstances;
+        if (st.writeAccess < 0) return;
+        double v = evalExpr(*st.rhs, st, iterAndParams);
+        const Access& w = st.accesses[st.writeAccess];
+        IntVec hom = iterAndParams;
+        hom.push_back(1);
+        storeArray(w.arrayId, w.fn.apply(hom), v);
+        break;
+      }
+      case AstNode::Kind::Copy: {
+        IntVec dst, src;
+        for (const AffExpr& e : n.dstIndex) dst.push_back(e.evalExact(env_));
+        for (const AffExpr& e : n.srcIndex) src.push_back(e.evalExact(env_));
+        storeArray(n.dstArray, dst, loadArray(n.srcArray, src));
+        // Copy counts: the load/store above already tallied global/local.
+        ++trace_.copyElements;
+        break;
+      }
+      case AstNode::Kind::Sync:
+        ++trace_.syncs;
+        break;
+      case AstNode::Kind::Comment:
+        break;
+    }
+  }
+
+  const CodeUnit& unit_;
+  ArrayStore& globals_;
+  Env env_;
+  std::vector<LocalInstance> locals_;
+  MemTrace trace_;
+};
+
+}  // namespace
+
+MemTrace executeCodeUnit(const CodeUnit& unit, const IntVec& paramValues, ArrayStore& globals) {
+  Interp interp(unit, paramValues, globals);
+  return interp.run();
+}
+
+i64 scratchpadFootprint(const CodeUnit& unit, const IntVec& paramValues) {
+  // Allocation happens in the constructor; no code is run.
+  // We need a store to construct the interpreter; globals are untouched.
+  EMM_CHECK(unit.source != nullptr, "CodeUnit without source block");
+  ArrayStore dummy(unit.source->arrays);
+  Interp interp(unit, paramValues, dummy);
+  return interp.footprint();
+}
+
+}  // namespace emm

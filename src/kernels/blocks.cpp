@@ -1,0 +1,345 @@
+#include "kernels/blocks.h"
+
+#include <cmath>
+
+namespace emm {
+
+namespace {
+
+/// Constraint row helper over [iters(dim), params(np), 1].
+IntVec row(int dim, int np, std::initializer_list<std::pair<int, i64>> iterCoeffs,
+           std::initializer_list<std::pair<int, i64>> paramCoeffs, i64 cnst) {
+  IntVec r(dim + np + 1, 0);
+  for (auto [i, c] : iterCoeffs) r[i] = c;
+  for (auto [p, c] : paramCoeffs) r[dim + p] = c;
+  r.back() = cnst;
+  return r;
+}
+
+/// Access-function row builder: one row per array dimension.
+IntMat accessFn(int dim, int np, std::initializer_list<IntVec> rows) {
+  IntMat m(0, dim + np + 1);
+  for (const IntVec& r : rows) m.appendRow(r);
+  return m;
+}
+
+}  // namespace
+
+ProgramBlock buildFigure1Block() {
+  // Original code (paper Figure 1):
+  //   for (i = 10..14)
+  //     for (j = 10..14) {
+  //       A[i][j+1] = A[i+j][j+1] * 3;                 // S1
+  //       for (k = 11..20)
+  //         B[i][j+k] = A[i][k] + B[i+j][k];           // S2
+  //     }
+  ProgramBlock block;
+  block.name = "figure1";
+  block.arrays = {{"A", {200, 200}}, {"B", {200, 200}}};
+
+  const int np = 0;
+  // S1: dim 2 (i, j).
+  {
+    Statement s1;
+    s1.name = "S1";
+    s1.domain = Polyhedron(2, np);
+    s1.domain.addRange(0, 10, 14);
+    s1.domain.addRange(1, 10, 14);
+    // Accesses: write A[i][j+1]; read A[i+j][j+1].
+    Access w;
+    w.arrayId = 0;
+    w.isWrite = true;
+    w.fn = accessFn(2, np, {row(2, np, {{0, 1}}, {}, 0), row(2, np, {{1, 1}}, {}, 1)});
+    Access r;
+    r.arrayId = 0;
+    r.isWrite = false;
+    r.fn = accessFn(2, np, {row(2, np, {{0, 1}, {1, 1}}, {}, 0), row(2, np, {{1, 1}}, {}, 1)});
+    s1.accesses = {w, r};
+    s1.writeAccess = 0;
+    s1.rhs = Expr::mul(Expr::load(1), Expr::constant(3));
+    s1.schedule = ProgramBlock::interleavedSchedule(2, np, {0, 0, 0});
+    block.statements.push_back(std::move(s1));
+  }
+  // S2: dim 3 (i, j, k).
+  {
+    Statement s2;
+    s2.name = "S2";
+    s2.domain = Polyhedron(3, np);
+    s2.domain.addRange(0, 10, 14);
+    s2.domain.addRange(1, 10, 14);
+    s2.domain.addRange(2, 11, 20);
+    // Write B[i][j+k]; reads A[i][k], B[i+j][k].
+    Access w;
+    w.arrayId = 1;
+    w.isWrite = true;
+    w.fn = accessFn(3, np, {row(3, np, {{0, 1}}, {}, 0), row(3, np, {{1, 1}, {2, 1}}, {}, 0)});
+    Access ra;
+    ra.arrayId = 0;
+    ra.isWrite = false;
+    ra.fn = accessFn(3, np, {row(3, np, {{0, 1}}, {}, 0), row(3, np, {{2, 1}}, {}, 0)});
+    Access rb;
+    rb.arrayId = 1;
+    rb.isWrite = false;
+    rb.fn = accessFn(3, np, {row(3, np, {{0, 1}, {1, 1}}, {}, 0), row(3, np, {{2, 1}}, {}, 0)});
+    s2.accesses = {w, ra, rb};
+    s2.writeAccess = 0;
+    s2.rhs = Expr::add(Expr::load(1), Expr::load(2));
+    // Positions: same i, j loops as S1; S2 textually after S1 at depth 2.
+    s2.schedule = ProgramBlock::interleavedSchedule(3, np, {0, 0, 1, 0});
+    block.statements.push_back(std::move(s2));
+  }
+  block.validate();
+  return block;
+}
+
+ProgramBlock buildMeBlock(i64 ni, i64 nj, i64 w) {
+  ProgramBlock block;
+  block.name = "mpeg4_me";
+  block.paramNames = {"Ni", "Nj", "W"};
+  block.arrays = {{"cur", {ni + w, nj + w}}, {"ref", {ni + w, nj + w}}, {"out", {ni, nj}}};
+
+  const int np = 3, dim = 4;
+  Statement s;
+  s.name = "Ssad";
+  s.domain = Polyhedron(dim, np);
+  // 0 <= i <= Ni-1; 0 <= j <= Nj-1; 0 <= k,l <= W-1.
+  s.domain.addInequality(row(dim, np, {{0, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{0, -1}}, {{0, 1}}, -1));
+  s.domain.addInequality(row(dim, np, {{1, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{1, -1}}, {{1, 1}}, -1));
+  s.domain.addInequality(row(dim, np, {{2, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{2, -1}}, {{2, 1}}, -1));
+  s.domain.addInequality(row(dim, np, {{3, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{3, -1}}, {{2, 1}}, -1));
+
+  Access wOut;
+  wOut.arrayId = 2;
+  wOut.isWrite = true;
+  wOut.fn = accessFn(dim, np, {row(dim, np, {{0, 1}}, {}, 0), row(dim, np, {{1, 1}}, {}, 0)});
+  Access rOut = wOut;
+  rOut.isWrite = false;
+  Access rCur;
+  rCur.arrayId = 0;
+  rCur.isWrite = false;
+  rCur.fn = accessFn(
+      dim, np, {row(dim, np, {{0, 1}, {2, 1}}, {}, 0), row(dim, np, {{1, 1}, {3, 1}}, {}, 0)});
+  Access rRef = rCur;
+  rRef.arrayId = 1;
+  s.accesses = {wOut, rOut, rCur, rRef};
+  s.writeAccess = 0;
+  s.rhs = Expr::add(Expr::load(1), Expr::abs(Expr::sub(Expr::load(2), Expr::load(3))));
+  s.schedule = ProgramBlock::interleavedSchedule(dim, np, {0, 0, 0, 0, 0});
+  block.statements.push_back(std::move(s));
+  block.validate();
+  return block;
+}
+
+ProgramBlock buildJacobiBlock(i64 n, i64 t) {
+  (void)t;
+  ProgramBlock block;
+  block.name = "jacobi1d";
+  block.paramNames = {"N", "T"};
+  block.arrays = {{"A", {n}}, {"B", {n}}};
+
+  const int np = 2, dim = 2;  // (t, i)
+  auto makeDomain = [&]() {
+    Polyhedron d(dim, np);
+    d.addInequality(row(dim, np, {{0, 1}}, {}, 0));            // t >= 0
+    d.addInequality(row(dim, np, {{0, -1}}, {{1, 1}}, -1));    // t <= T-1
+    d.addInequality(row(dim, np, {{1, 1}}, {}, -1));           // i >= 1
+    d.addInequality(row(dim, np, {{1, -1}}, {{0, 1}}, -2));    // i <= N-2
+    return d;
+  };
+  {
+    Statement s1;
+    s1.name = "Sstencil";
+    s1.domain = makeDomain();
+    Access wB;
+    wB.arrayId = 1;
+    wB.isWrite = true;
+    wB.fn = accessFn(dim, np, {row(dim, np, {{1, 1}}, {}, 0)});
+    Access rm;
+    rm.arrayId = 0;
+    rm.isWrite = false;
+    rm.fn = accessFn(dim, np, {row(dim, np, {{1, 1}}, {}, -1)});
+    Access rc = rm;
+    rc.fn = accessFn(dim, np, {row(dim, np, {{1, 1}}, {}, 0)});
+    Access rp = rm;
+    rp.fn = accessFn(dim, np, {row(dim, np, {{1, 1}}, {}, 1)});
+    s1.accesses = {wB, rm, rc, rp};
+    s1.writeAccess = 0;
+    s1.rhs = Expr::div(Expr::add(Expr::add(Expr::load(1), Expr::load(2)), Expr::load(3)),
+                       Expr::constant(3));
+    s1.schedule = ProgramBlock::interleavedSchedule(dim, np, {0, 0, 0});
+    block.statements.push_back(std::move(s1));
+  }
+  {
+    Statement s2;
+    s2.name = "Scopy";
+    s2.domain = makeDomain();
+    Access wA;
+    wA.arrayId = 0;
+    wA.isWrite = true;
+    wA.fn = accessFn(dim, np, {row(dim, np, {{1, 1}}, {}, 0)});
+    Access rB;
+    rB.arrayId = 1;
+    rB.isWrite = false;
+    rB.fn = accessFn(dim, np, {row(dim, np, {{1, 1}}, {}, 0)});
+    s2.accesses = {wA, rB};
+    s2.writeAccess = 0;
+    s2.rhs = Expr::load(1);
+    // Same t loop; i loop at position 1 after S1's i loop completes.
+    s2.schedule = ProgramBlock::interleavedSchedule(dim, np, {0, 1, 0});
+    block.statements.push_back(std::move(s2));
+  }
+  block.validate();
+  return block;
+}
+
+ProgramBlock buildJacobi2dBlock(i64 n, i64 m, i64 t) {
+  (void)t;
+  ProgramBlock block;
+  block.name = "jacobi2d";
+  block.paramNames = {"N", "M", "T"};
+  block.arrays = {{"A", {n, m}}, {"B", {n, m}}};
+
+  const int np = 3, dim = 3;  // (t, i, j)
+  auto makeDomain = [&]() {
+    Polyhedron d(dim, np);
+    d.addInequality(row(dim, np, {{0, 1}}, {}, 0));          // t >= 0
+    d.addInequality(row(dim, np, {{0, -1}}, {{2, 1}}, -1));  // t <= T-1
+    d.addInequality(row(dim, np, {{1, 1}}, {}, -1));         // i >= 1
+    d.addInequality(row(dim, np, {{1, -1}}, {{0, 1}}, -2));  // i <= N-2
+    d.addInequality(row(dim, np, {{2, 1}}, {}, -1));         // j >= 1
+    d.addInequality(row(dim, np, {{2, -1}}, {{1, 1}}, -2));  // j <= M-2
+    return d;
+  };
+  auto point = [&](i64 di, i64 dj) {
+    return accessFn(dim, np,
+                    {row(dim, np, {{1, 1}}, {}, di), row(dim, np, {{2, 1}}, {}, dj)});
+  };
+  {
+    Statement s1;
+    s1.name = "Sstencil2d";
+    s1.domain = makeDomain();
+    Access wB{1, point(0, 0), true};
+    Access rc{0, point(0, 0), false};
+    Access rn{0, point(-1, 0), false};
+    Access rs{0, point(1, 0), false};
+    Access rw{0, point(0, -1), false};
+    Access re{0, point(0, 1), false};
+    s1.accesses = {wB, rc, rn, rs, rw, re};
+    s1.writeAccess = 0;
+    s1.rhs = Expr::div(
+        Expr::add(Expr::add(Expr::add(Expr::load(1), Expr::load(2)),
+                            Expr::add(Expr::load(3), Expr::load(4))),
+                  Expr::load(5)),
+        Expr::constant(5));
+    s1.schedule = ProgramBlock::interleavedSchedule(dim, np, {0, 0, 0, 0});
+    block.statements.push_back(std::move(s1));
+  }
+  {
+    Statement s2;
+    s2.name = "Scopy2d";
+    s2.domain = makeDomain();
+    Access wA{0, point(0, 0), true};
+    Access rB{1, point(0, 0), false};
+    s2.accesses = {wA, rB};
+    s2.writeAccess = 0;
+    s2.rhs = Expr::load(1);
+    s2.schedule = ProgramBlock::interleavedSchedule(dim, np, {0, 1, 0, 0});
+    block.statements.push_back(std::move(s2));
+  }
+  block.validate();
+  return block;
+}
+
+ProgramBlock buildMatmulBlock(i64 n, i64 m, i64 k) {
+  ProgramBlock block;
+  block.name = "matmul";
+  block.paramNames = {"N", "M", "K"};
+  block.arrays = {{"A", {n, k}}, {"B", {k, m}}, {"C", {n, m}}};
+
+  const int np = 3, dim = 3;  // (i, j, p)
+  Statement s;
+  s.name = "Smm";
+  s.domain = Polyhedron(dim, np);
+  s.domain.addInequality(row(dim, np, {{0, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{0, -1}}, {{0, 1}}, -1));
+  s.domain.addInequality(row(dim, np, {{1, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{1, -1}}, {{1, 1}}, -1));
+  s.domain.addInequality(row(dim, np, {{2, 1}}, {}, 0));
+  s.domain.addInequality(row(dim, np, {{2, -1}}, {{2, 1}}, -1));
+
+  Access wC;
+  wC.arrayId = 2;
+  wC.isWrite = true;
+  wC.fn = accessFn(dim, np, {row(dim, np, {{0, 1}}, {}, 0), row(dim, np, {{1, 1}}, {}, 0)});
+  Access rC = wC;
+  rC.isWrite = false;
+  Access rA;
+  rA.arrayId = 0;
+  rA.isWrite = false;
+  rA.fn = accessFn(dim, np, {row(dim, np, {{0, 1}}, {}, 0), row(dim, np, {{2, 1}}, {}, 0)});
+  Access rB;
+  rB.arrayId = 1;
+  rB.isWrite = false;
+  rB.fn = accessFn(dim, np, {row(dim, np, {{2, 1}}, {}, 0), row(dim, np, {{1, 1}}, {}, 0)});
+  s.accesses = {wC, rC, rA, rB};
+  s.writeAccess = 0;
+  s.rhs = Expr::add(Expr::load(1), Expr::mul(Expr::load(2), Expr::load(3)));
+  s.schedule = ProgramBlock::interleavedSchedule(dim, np, {0, 0, 0, 0});
+  block.statements.push_back(std::move(s));
+  block.validate();
+  return block;
+}
+
+void referenceMe(const std::vector<double>& cur, const std::vector<double>& ref,
+                 std::vector<double>& out, i64 ni, i64 nj, i64 w) {
+  EMM_CHECK(static_cast<i64>(cur.size()) == (ni + w) * (nj + w), "cur size mismatch");
+  EMM_CHECK(static_cast<i64>(out.size()) == ni * nj, "out size mismatch");
+  i64 stride = nj + w;
+  for (i64 i = 0; i < ni; ++i)
+    for (i64 j = 0; j < nj; ++j) {
+      double acc = out[i * nj + j];
+      for (i64 k = 0; k < w; ++k)
+        for (i64 l = 0; l < w; ++l)
+          acc += std::fabs(cur[(i + k) * stride + (j + l)] - ref[(i + k) * stride + (j + l)]);
+      out[i * nj + j] = acc;
+    }
+}
+
+void referenceJacobi(std::vector<double>& a, std::vector<double>& b, i64 n, i64 t) {
+  EMM_CHECK(static_cast<i64>(a.size()) == n && static_cast<i64>(b.size()) == n,
+            "array size mismatch");
+  for (i64 step = 0; step < t; ++step) {
+    for (i64 i = 1; i <= n - 2; ++i) b[i] = (a[i - 1] + a[i] + a[i + 1]) / 3;
+    for (i64 i = 1; i <= n - 2; ++i) a[i] = b[i];
+  }
+}
+
+void referenceJacobi2d(std::vector<double>& a, std::vector<double>& b, i64 n, i64 m, i64 t) {
+  EMM_CHECK(static_cast<i64>(a.size()) == n * m && static_cast<i64>(b.size()) == n * m,
+            "array size mismatch");
+  for (i64 step = 0; step < t; ++step) {
+    for (i64 i = 1; i <= n - 2; ++i)
+      for (i64 j = 1; j <= m - 2; ++j)
+        b[i * m + j] = (a[i * m + j] + a[(i - 1) * m + j] + a[(i + 1) * m + j] +
+                        a[i * m + j - 1] + a[i * m + j + 1]) /
+                       5;
+    for (i64 i = 1; i <= n - 2; ++i)
+      for (i64 j = 1; j <= m - 2; ++j) a[i * m + j] = b[i * m + j];
+  }
+}
+
+void referenceMatmul(const std::vector<double>& a, const std::vector<double>& b,
+                     std::vector<double>& c, i64 n, i64 m, i64 k) {
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < m; ++j) {
+      double acc = c[i * m + j];
+      for (i64 p = 0; p < k; ++p) acc += a[i * k + p] * b[p * m + j];
+      c[i * m + j] = acc;
+    }
+}
+
+}  // namespace emm

@@ -1,0 +1,50 @@
+// Workload program blocks.
+//
+// Builders produce polyhedral ProgramBlocks for the paper's kernels and
+// worked example. Array extents are concrete (so blocks are executable);
+// loop bounds reference symbolic parameters bound at execution time.
+//
+//  - Figure 1 block: the paper's worked example for data allocation and
+//    movement (two 200x200 arrays, interleaved statements, overlapping
+//    non-uniformly generated references).
+//  - MPEG-4 Motion Estimation (Figure 2): FORALL i, j over frame positions;
+//    FOR k, l over the search window; SAD accumulation
+//      out[i][j] += |cur[i+k][j+l] - ref[i+k][j+l]|.
+//  - 1-D Jacobi: time-iterated 3-point stencil with a copy-back statement.
+//  - Matrix multiplication: extra pipeline example (all three references
+//    have order-of-magnitude reuse).
+#pragma once
+
+#include "ir/program.h"
+
+namespace emm {
+
+/// Paper Figure 1. Parameters: none (constant bounds). Arrays A, B.
+ProgramBlock buildFigure1Block();
+
+/// MPEG-4 ME. Parameters {Ni, Nj, W}; arrays cur/ref of extent
+/// (ni+w) x (nj+w) and out of extent ni x nj. Bind {ni, nj, w} at execution.
+ProgramBlock buildMeBlock(i64 ni, i64 nj, i64 w);
+
+/// 1-D Jacobi. Parameters {N, T}; arrays A[n], B[n]. Bind {n, t} at
+/// execution. S1 computes B from A; S2 copies B back to A, per time step.
+ProgramBlock buildJacobiBlock(i64 n, i64 t);
+
+/// 2-D Jacobi (5-point stencil), an extension workload beyond the paper's
+/// evaluation. Parameters {N, M, T}; arrays A[n][m], B[n][m]. Domain
+/// (t, i, j) with interior i in [1, n-2], j in [1, m-2].
+ProgramBlock buildJacobi2dBlock(i64 n, i64 m, i64 t);
+
+/// Matmul C[i][j] += A[i][k] * B[k][j]. Parameters {N, M, K}.
+ProgramBlock buildMatmulBlock(i64 n, i64 m, i64 k);
+
+/// Fast reference implementations (plain loops over raw arrays), used to
+/// validate both the polyhedral reference executor and mapped kernels.
+void referenceMe(const std::vector<double>& cur, const std::vector<double>& ref,
+                 std::vector<double>& out, i64 ni, i64 nj, i64 w);
+void referenceJacobi(std::vector<double>& a, std::vector<double>& b, i64 n, i64 t);
+void referenceJacobi2d(std::vector<double>& a, std::vector<double>& b, i64 n, i64 m, i64 t);
+void referenceMatmul(const std::vector<double>& a, const std::vector<double>& b,
+                     std::vector<double>& c, i64 n, i64 m, i64 k);
+
+}  // namespace emm

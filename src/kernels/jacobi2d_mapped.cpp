@@ -1,0 +1,181 @@
+#include "kernels/jacobi2d_mapped.h"
+
+#include <algorithm>
+
+namespace emm {
+
+namespace {
+
+struct TileGeom {
+  i64 lo, hi;    // interior owned range (inclusive)
+  i64 loH, hiH;  // loaded range with halo (inclusive, clamped to [0, n-1])
+};
+
+TileGeom geom(i64 tileIdx, i64 tileSize, i64 steps, i64 n) {
+  TileGeom t;
+  t.lo = 1 + tileIdx * tileSize;
+  t.hi = std::min(n - 2, t.lo + tileSize - 1);
+  t.loH = std::max<i64>(0, t.lo - steps);
+  t.hiH = std::min<i64>(n - 1, t.hi + steps);
+  return t;
+}
+
+/// Valid compute range of a tile at local step s (1-based). A side resting
+/// on the physical boundary never shrinks (boundary values are constant).
+std::pair<i64, i64> regionAt(const TileGeom& t, i64 s, i64 n) {
+  i64 rl = t.loH == 0 ? 1 : t.loH + s;
+  i64 rh = t.hiH == n - 1 ? n - 2 : t.hiH - s;
+  return {rl, rh};
+}
+
+}  // namespace
+
+Jacobi2dCounters runJacobi2dMapped(const Jacobi2dConfig& c, std::vector<double>& a) {
+  EMM_CHECK(static_cast<i64>(a.size()) == c.n * c.m, "array size mismatch");
+  Jacobi2dCounters ctr;
+
+  if (!c.useScratchpad) {
+    std::vector<double> b(a.size(), 0.0);
+    for (i64 step = 0; step < c.timeSteps; ++step) {
+      for (i64 i = 1; i <= c.n - 2; ++i)
+        for (i64 j = 1; j <= c.m - 2; ++j) {
+          b[i * c.m + j] = (a[i * c.m + j] + a[(i - 1) * c.m + j] + a[(i + 1) * c.m + j] +
+                            a[i * c.m + j - 1] + a[i * c.m + j + 1]) /
+                           5;
+          ctr.globalElems += 6;  // 5 reads + 1 write
+          ctr.computeOps += 6;
+        }
+      for (i64 i = 1; i <= c.n - 2; ++i)
+        for (i64 j = 1; j <= c.m - 2; ++j) {
+          a[i * c.m + j] = b[i * c.m + j];
+          ctr.globalElems += 2;
+        }
+      ++ctr.interBlockSyncs;
+    }
+    return ctr;
+  }
+
+  const i64 tilesI = std::max<i64>(1, ceilDiv(c.n - 2, c.spaceTileI));
+  const i64 tilesJ = std::max<i64>(1, ceilDiv(c.m - 2, c.spaceTileJ));
+  const i64 li = c.spaceTileI + 2 * c.timeTile + 2;
+  const i64 lj = c.spaceTileJ + 2 * c.timeTile + 2;
+  std::vector<double> local(static_cast<size_t>(li * lj));
+  std::vector<double> scratch(local.size());
+  ctr.maxSmemElemsPerBlock = static_cast<i64>(local.size() + scratch.size());
+  std::vector<double> snapshot(a.size());
+
+  for (i64 band = 0; band * c.timeTile < c.timeSteps; ++band) {
+    i64 steps = std::min(c.timeTile, c.timeSteps - band * c.timeTile);
+    snapshot = a;
+    for (i64 ti = 0; ti < tilesI; ++ti) {
+      for (i64 tj = 0; tj < tilesJ; ++tj) {
+        TileGeom gi = geom(ti, c.spaceTileI, steps, c.n);
+        TileGeom gj = geom(tj, c.spaceTileJ, steps, c.m);
+        if (gi.lo > gi.hi || gj.lo > gj.hi) continue;
+        i64 wi = gi.hiH - gi.loH + 1, wj = gj.hiH - gj.loH + 1;
+
+        // Move-in (tile + halo ring).
+        for (i64 i = gi.loH; i <= gi.hiH; ++i)
+          for (i64 j = gj.loH; j <= gj.hiH; ++j)
+            local[static_cast<size_t>((i - gi.loH) * lj + (j - gj.loH))] =
+                snapshot[i * c.m + j];
+        ctr.globalElems += wi * wj;
+        ctr.smemElems += wi * wj;
+        ctr.intraSyncs += 1;
+
+        for (i64 s = 1; s <= steps; ++s) {
+          auto [ril, rih] = regionAt(gi, s, c.n);
+          auto [rjl, rjh] = regionAt(gj, s, c.m);
+          for (i64 i = ril; i <= rih; ++i)
+            for (i64 j = rjl; j <= rjh; ++j) {
+              size_t p = static_cast<size_t>((i - gi.loH) * lj + (j - gj.loH));
+              scratch[p] = (local[p] + local[p - static_cast<size_t>(lj)] +
+                            local[p + static_cast<size_t>(lj)] + local[p - 1] + local[p + 1]) /
+                           5;
+            }
+          for (i64 i = ril; i <= rih; ++i)
+            for (i64 j = rjl; j <= rjh; ++j) {
+              size_t p = static_cast<size_t>((i - gi.loH) * lj + (j - gj.loH));
+              local[p] = scratch[p];
+            }
+          i64 len = std::max<i64>(0, rih - ril + 1) * std::max<i64>(0, rjh - rjl + 1);
+          ctr.smemElems += 8 * len;  // 5 reads + 1 write + copy (1 read + 1 write)
+          ctr.computeOps += 6 * len;
+          ctr.intraSyncs += 1;
+        }
+
+        // Move-out interior.
+        for (i64 i = gi.lo; i <= gi.hi; ++i)
+          for (i64 j = gj.lo; j <= gj.hi; ++j)
+            a[i * c.m + j] = local[static_cast<size_t>((i - gi.loH) * lj + (j - gj.loH))];
+        i64 interior = (gi.hi - gi.lo + 1) * (gj.hi - gj.lo + 1);
+        ctr.globalElems += interior;
+        ctr.smemElems += interior;
+        ctr.intraSyncs += 1;
+      }
+    }
+    ++ctr.interBlockSyncs;
+  }
+  return ctr;
+}
+
+Jacobi2dCounters modelJacobi2d(const Jacobi2dConfig& c) {
+  Jacobi2dCounters ctr;
+  if (!c.useScratchpad) {
+    i64 interior = std::max<i64>(0, c.n - 2) * std::max<i64>(0, c.m - 2);
+    ctr.globalElems = mulChecked(8, mulChecked(interior, c.timeSteps));
+    ctr.computeOps = mulChecked(6, mulChecked(interior, c.timeSteps));
+    ctr.interBlockSyncs = c.timeSteps;
+    return ctr;
+  }
+  const i64 tilesI = std::max<i64>(1, ceilDiv(c.n - 2, c.spaceTileI));
+  const i64 tilesJ = std::max<i64>(1, ceilDiv(c.m - 2, c.spaceTileJ));
+  ctr.maxSmemElemsPerBlock =
+      2 * (c.spaceTileI + 2 * c.timeTile + 2) * (c.spaceTileJ + 2 * c.timeTile + 2);
+  for (i64 band = 0; band * c.timeTile < c.timeSteps; ++band) {
+    i64 steps = std::min(c.timeTile, c.timeSteps - band * c.timeTile);
+    for (i64 ti = 0; ti < tilesI; ++ti) {
+      for (i64 tj = 0; tj < tilesJ; ++tj) {
+        TileGeom gi = geom(ti, c.spaceTileI, steps, c.n);
+        TileGeom gj = geom(tj, c.spaceTileJ, steps, c.m);
+        if (gi.lo > gi.hi || gj.lo > gj.hi) continue;
+        i64 wi = gi.hiH - gi.loH + 1, wj = gj.hiH - gj.loH + 1;
+        i64 interior = (gi.hi - gi.lo + 1) * (gj.hi - gj.lo + 1);
+        ctr.globalElems += wi * wj + interior;
+        ctr.smemElems += wi * wj + interior;
+        ctr.intraSyncs += 2 + steps;
+        for (i64 s = 1; s <= steps; ++s) {
+          auto [ril, rih] = regionAt(gi, s, c.n);
+          auto [rjl, rjh] = regionAt(gj, s, c.m);
+          i64 len = std::max<i64>(0, rih - ril + 1) * std::max<i64>(0, rjh - rjl + 1);
+          ctr.smemElems += 8 * len;
+          ctr.computeOps += 6 * len;
+        }
+      }
+    }
+    ++ctr.interBlockSyncs;
+  }
+  return ctr;
+}
+
+KernelModelJacobi2d jacobi2dMachineModel(const Jacobi2dConfig& c) {
+  Jacobi2dCounters ctr = modelJacobi2d(c);
+  KernelModelJacobi2d m;
+  m.launch.numBlocks = c.numBlocks;
+  m.launch.threadsPerBlock = c.numThreads;
+  m.launch.interBlockSyncs = ctr.interBlockSyncs;
+  m.launch.smemBytesPerBlock = c.useScratchpad ? 4 * ctr.maxSmemElemsPerBlock : 0;
+  BlockWork total;
+  total.globalElems = ctr.globalElems;
+  total.smemElems = ctr.smemElems;
+  total.computeOps = ctr.computeOps;
+  total.intraSyncs = ctr.intraSyncs;
+  m.perBlock = total.scaled(1.0 / static_cast<double>(c.numBlocks));
+  // CPU: vectorized 5-point stencil, ~1.5 op-equivalents per point per step.
+  i64 interior = std::max<i64>(0, c.n - 2) * std::max<i64>(0, c.m - 2);
+  m.cpuOps = mulChecked(interior, c.timeSteps) * 3 / 2;
+  m.cpuMemElems = mulChecked(interior, c.timeSteps) / 4;
+  return m;
+}
+
+}  // namespace emm

@@ -1,0 +1,53 @@
+// Concurrent-start mapped 2-D Jacobi (5-point stencil) — an extension of
+// the paper's 1-D experiment to a 2-D workload, using the same overlapped
+// (pyramidal) tiling scheme: per time band of Tt steps, each block loads
+// its (Si x Sj) tile plus a halo ring of width Tt, performs the band's
+// steps locally on a shrinking region, and writes back the tile interior.
+// One inter-block synchronization separates bands.
+//
+// This exercises the 2-D buffer allocation / halo geometry the Section-3
+// framework produces for 2-D stencils, and feeds the ext_jacobi2d bench.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/machine.h"
+#include "support/checked_int.h"
+
+namespace emm {
+
+struct Jacobi2dConfig {
+  i64 n = 512, m = 512;  ///< grid extents
+  i64 timeSteps = 64;
+  i64 timeTile = 8;           ///< Tt
+  i64 spaceTileI = 32, spaceTileJ = 32;
+  i64 numBlocks = 128;
+  i64 numThreads = 64;
+  bool useScratchpad = true;
+};
+
+struct Jacobi2dCounters {
+  i64 globalElems = 0;
+  i64 smemElems = 0;
+  i64 computeOps = 0;
+  i64 intraSyncs = 0;
+  i64 interBlockSyncs = 0;
+  i64 maxSmemElemsPerBlock = 0;
+};
+
+/// Executes the mapped kernel on `a` (in/out), mutating it exactly as
+/// referenceJacobi2d would; returns access counters.
+Jacobi2dCounters runJacobi2dMapped(const Jacobi2dConfig& config, std::vector<double>& a);
+
+/// Analytic counters (validated against runJacobi2dMapped in tests).
+Jacobi2dCounters modelJacobi2d(const Jacobi2dConfig& config);
+
+struct KernelModelJacobi2d {
+  LaunchConfig launch;
+  BlockWork perBlock;
+  i64 cpuOps = 0;
+  i64 cpuMemElems = 0;
+};
+KernelModelJacobi2d jacobi2dMachineModel(const Jacobi2dConfig& config);
+
+}  // namespace emm

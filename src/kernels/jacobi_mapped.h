@@ -1,0 +1,66 @@
+// Concurrent-start mapped 1-D Jacobi kernel (paper Section 6, Figures 5/7/8).
+//
+// The paper tiles Jacobi with the concurrent-start framework of [27]
+// (Krishnamoorthy et al., PLDI 2007): time is tiled into bands of Tt steps;
+// within a band every thread block processes its space tiles independently
+// using overlapped (trapezoidal) tiles — each block loads its tile plus a
+// halo of Tt elements on each side into the scratchpad, performs Tt steps
+// locally (recomputing the shrinking halo region redundantly), and writes
+// back the tile interior. One inter-block synchronization separates
+// consecutive time bands. This gives concurrent start across all blocks.
+//
+// We implement that mapped kernel directly as an executable C++ routine that
+// also counts memory traffic and synchronizations (the paper likewise
+// obtained this code from a separate framework rather than from the
+// Section-4 tiler). Tests validate it bit-for-bit against the plain Jacobi
+// reference; the counter totals feed the machine simulator.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/machine.h"
+#include "support/checked_int.h"
+
+namespace emm {
+
+struct JacobiConfig {
+  i64 n = 1 << 14;       ///< problem size (elements)
+  i64 timeSteps = 4096;  ///< T
+  i64 timeTile = 32;     ///< Tt (paper: 32)
+  i64 spaceTile = 256;   ///< elements per tile moved to scratchpad (paper: 256)
+  i64 numBlocks = 128;   ///< thread blocks (paper: 128 for large sizes)
+  i64 numThreads = 64;   ///< threads per block (paper: 64)
+  bool useScratchpad = true;
+};
+
+/// Counters accumulated by one execution (totals over all blocks).
+struct JacobiCounters {
+  i64 globalElems = 0;
+  i64 smemElems = 0;
+  i64 computeOps = 0;
+  i64 intraSyncs = 0;      ///< per-block barrier executions (total)
+  i64 interBlockSyncs = 0; ///< global barriers
+  i64 maxSmemElemsPerBlock = 0;
+};
+
+/// Executes the mapped kernel on `a` (in/out) using scratch `b`, mutating
+/// them exactly as `referenceJacobi` would, and returns the counters.
+/// With useScratchpad=false, executes the untiled global-memory variant
+/// (every access charged to global memory; one global barrier per step).
+JacobiCounters runJacobiMapped(const JacobiConfig& config, std::vector<double>& a,
+                               std::vector<double>& b);
+
+/// Analytic counter model (no execution); agrees with runJacobiMapped.
+/// Validated in tests/kernels_test.cpp.
+JacobiCounters modelJacobi(const JacobiConfig& config);
+
+/// Converts counters to a launch + per-block work for the simulator.
+struct KernelModelJacobi {
+  LaunchConfig launch;
+  BlockWork perBlock;
+  i64 cpuOps = 0;
+  i64 cpuMemElems = 0;
+};
+KernelModelJacobi jacobiMachineModel(const JacobiConfig& config);
+
+}  // namespace emm

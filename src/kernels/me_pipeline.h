@@ -1,0 +1,51 @@
+// End-to-end compiler pipeline for the Motion Estimation kernel, plus the
+// analytic performance-counter model used at benchmark problem sizes.
+//
+// The pipeline is the real thing: block construction -> dependence analysis
+// -> parallelism detection -> multi-level tiling with the Section-3
+// scratchpad framework. Tests execute the resulting CodeUnit through the
+// interpreter at small sizes and check both semantics (against the plain
+// reference) and counters (against the analytic model below); benchmarks
+// then evaluate the analytic model at the paper's problem sizes, where
+// interpretation would be impractically slow.
+#pragma once
+
+#include "gpusim/machine.h"
+#include "kernels/blocks.h"
+#include "tiling/multilevel.h"
+
+namespace emm {
+
+/// Launch/tiling configuration for ME, mirroring Section 6's setup.
+struct MeConfig {
+  i64 ni = 64, nj = 64, w = 16;  ///< frame dims and search-window size
+  i64 numBlocks = 32;            ///< thread blocks (paper: 32)
+  i64 numThreads = 256;          ///< threads per block (paper: 256)
+  std::vector<i64> subTile = {32, 16, 16, 16};  ///< (i, j, k, l) sub-tile
+  bool useScratchpad = true;
+  bool hoistCopies = true;
+};
+
+/// The compiled kernel (real pipeline output).
+struct MePipeline {
+  ProgramBlock block;
+  TransformResult transform;
+  TiledKernel kernel;
+  IntVec paramValues;  ///< {ni, nj, w}
+};
+
+/// Runs the full pipeline. Block tiles divide the i-range across
+/// `numBlocks` (the paper divides the problem equally among blocks).
+MePipeline buildMePipeline(const MeConfig& config);
+
+/// Analytic per-block work and launch shape for the same mapping.
+/// Validated against interpreter traces in tests/kernels_test.cpp.
+struct KernelModel {
+  LaunchConfig launch;
+  BlockWork perBlock;
+  i64 cpuOps = 0;     ///< scalar ops for the CPU baseline
+  i64 cpuMemElems = 0;  ///< memory elements for the CPU baseline
+};
+KernelModel modelMe(const MeConfig& config);
+
+}  // namespace emm

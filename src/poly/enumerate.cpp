@@ -1,0 +1,108 @@
+#include "poly/enumerate.h"
+
+#include <set>
+
+namespace emm {
+
+namespace {
+
+/// Recursive lexicographic scan. `proj[k]` is the polyhedron projected onto
+/// the first k+1 variables, so loop bounds at depth k only reference outer
+/// values and parameters.
+void scan(const std::vector<Polyhedron>& proj, const Polyhedron& full, const IntVec& params,
+          IntVec& prefix, const std::function<void(const IntVec&)>& visit, bool& aborted,
+          i64* budget) {
+  int depth = static_cast<int>(prefix.size());
+  int dim = full.dim();
+  if (depth == dim) {
+    IntVec point = prefix;
+    point.insert(point.end(), params.begin(), params.end());
+    if (full.contains(point)) {
+      if (budget != nullptr && --*budget < 0) {
+        aborted = true;
+        return;
+      }
+      visit(prefix);
+    }
+    return;
+  }
+  DimBounds b = proj[depth].loopBounds(depth);
+  IntVec env = prefix;
+  env.insert(env.end(), params.begin(), params.end());
+  i64 lo = b.evalLower(env);
+  i64 hi = b.evalUpper(env);
+  for (i64 v = lo; v <= hi && !aborted; ++v) {
+    prefix.push_back(v);
+    scan(proj, full, params, prefix, visit, aborted, budget);
+    prefix.pop_back();
+  }
+}
+
+void forEachPointImpl(const Polyhedron& p, const IntVec& paramValues,
+                      const std::function<void(const IntVec&)>& visit, i64* budget,
+                      bool& aborted) {
+  EMM_CHECK(static_cast<int>(paramValues.size()) == p.nparam(), "parameter arity mismatch");
+  Polyhedron work = p;
+  if (!work.simplify() || work.isEmpty()) return;
+  // Bind parameters to constants so bounds are finite even when the
+  // parametric form would not expose them.
+  Polyhedron bound(p.dim(), p.nparam());
+  for (int j = 0; j < p.nparam(); ++j) {
+    IntVec row(p.cols(), 0);
+    row[p.dim() + j] = 1;
+    row.back() = narrow(-static_cast<i128>(paramValues[j]));
+    bound.addEquality(row);
+  }
+  work = Polyhedron::intersect(work, bound);
+  if (work.isEmpty()) return;
+
+  std::vector<Polyhedron> proj(p.dim());
+  for (int k = 0; k < p.dim(); ++k) proj[k] = work.projectedOnto(k + 1);
+  IntVec prefix;
+  scan(proj, work, paramValues, prefix, visit, aborted, budget);
+}
+
+}  // namespace
+
+void forEachPoint(const Polyhedron& p, const IntVec& paramValues,
+                  const std::function<void(const IntVec&)>& visit) {
+  bool aborted = false;
+  forEachPointImpl(p, paramValues, visit, nullptr, aborted);
+}
+
+i64 countPoints(const Polyhedron& p, const IntVec& paramValues, i64 cap) {
+  i64 budget = cap;
+  i64 count = 0;
+  bool aborted = false;
+  forEachPointImpl(p, paramValues, [&](const IntVec&) { ++count; }, &budget, aborted);
+  return aborted ? cap : count;
+}
+
+i64 countIntersection(const Polyhedron& a, const Polyhedron& b, const IntVec& paramValues,
+                      i64 cap) {
+  return countPoints(Polyhedron::intersect(a, b), paramValues, cap);
+}
+
+i64 countUnion(const PolySet& sets, const IntVec& paramValues, i64 cap) {
+  i64 total = 0;
+  for (const Polyhedron& piece : makeDisjoint(sets)) {
+    total = addChecked(total, countPoints(piece, paramValues, cap));
+    if (total >= cap) return cap;
+  }
+  return total;
+}
+
+i64 boundingBoxVolume(const Polyhedron& p, const IntVec& paramValues) {
+  if (p.isEmpty()) return 0;
+  i64 vol = 1;
+  for (int d = 0; d < p.dim(); ++d) {
+    DimBounds b = p.paramBounds(d);
+    i64 lo = b.evalLower(paramValues);
+    i64 hi = b.evalUpper(paramValues);
+    if (hi < lo) return 0;
+    vol = mulChecked(vol, hi - lo + 1);
+  }
+  return vol;
+}
+
+}  // namespace emm

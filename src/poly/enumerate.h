@@ -1,0 +1,40 @@
+// Integer-point enumeration and counting over polyhedra.
+//
+// The paper's Algorithm 1 compares intersection volumes against a delta
+// threshold; we measure volumes by exact integer-point counting at concrete
+// parameter bindings (the paper's Polylib-based volume plays the same role).
+// Enumeration is also the backbone of the property-test suite: generated
+// loop nests must visit exactly the enumerated points.
+#pragma once
+
+#include <functional>
+
+#include "poly/polyhedron.h"
+
+namespace emm {
+
+/// Calls `visit` once for every integer point of `p` with the parameters
+/// bound to `paramValues`. Points are produced in lexicographic order.
+/// Aborts (via EMM_CHECK) if the set is unbounded in some dimension.
+void forEachPoint(const Polyhedron& p, const IntVec& paramValues,
+                  const std::function<void(const IntVec&)>& visit);
+
+/// Number of integer points of `p` at the given parameter binding.
+/// `cap` guards against runaway enumeration: counting stops and the
+/// function returns `cap` once that many points have been seen.
+i64 countPoints(const Polyhedron& p, const IntVec& paramValues, i64 cap = INT64_MAX);
+
+/// Number of integer points in the intersection of two sets.
+i64 countIntersection(const Polyhedron& a, const Polyhedron& b, const IntVec& paramValues,
+                      i64 cap = INT64_MAX);
+
+/// Number of distinct integer points in the union of `sets` (each point
+/// counted once even when sets overlap).
+i64 countUnion(const PolySet& sets, const IntVec& paramValues, i64 cap = INT64_MAX);
+
+/// Product of per-dimension extents of the bounding box at the given
+/// parameter binding: the size of the rectangular local buffer Algorithm 2
+/// would allocate for this set. Zero if empty.
+i64 boundingBoxVolume(const Polyhedron& p, const IntVec& paramValues);
+
+}  // namespace emm

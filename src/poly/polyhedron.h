@@ -1,0 +1,166 @@
+// Parametric integer polyhedra with exact arithmetic.
+//
+// This module substitutes for PolyLib and PIP in the paper's toolchain:
+// it provides images of iteration spaces under affine access functions,
+// intersection, emptiness, set difference, and parametric per-dimension
+// bounds (the quantity the paper obtains from PIP).
+//
+// A polyhedron lives in a space of `dim` set variables and `nparam`
+// parameters. Every constraint row has dim + nparam + 1 entries laid out as
+//   [x_0 ... x_{dim-1}  p_0 ... p_{nparam-1}  const]
+// Equalities mean row . v == 0, inequalities mean row . v >= 0.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace emm {
+
+/// An affine form with an integer divisor, used for quasi-affine loop
+/// bounds: value = floor_or_ceil( (coeffs . [outer vars, params, 1]) / den ).
+struct DivExpr {
+  IntVec coeffs;  ///< over [vars..., params..., 1]; length fixed by context
+  i64 den = 1;    ///< positive divisor
+
+  /// Evaluates with `vals` = concatenated variable+parameter values,
+  /// applying floor (for upper bounds) or ceil (for lower bounds).
+  i64 evalFloor(const IntVec& vals) const;
+  i64 evalCeil(const IntVec& vals) const;
+};
+
+/// Bounds of one dimension: lower = max over ceil-forms, upper = min over
+/// floor-forms. This is exactly the shape of CLooG loop bounds.
+struct DimBounds {
+  std::vector<DivExpr> lower;
+  std::vector<DivExpr> upper;
+
+  /// Evaluates max of lower bounds at a concrete point.
+  i64 evalLower(const IntVec& vals) const;
+  /// Evaluates min of upper bounds at a concrete point.
+  i64 evalUpper(const IntVec& vals) const;
+};
+
+/// A conjunction of affine equality/inequality constraints over integer
+/// set variables and parameters.
+class Polyhedron {
+public:
+  Polyhedron() = default;
+  Polyhedron(int dim, int nparam)
+      : dim_(dim), nparam_(nparam), eqs_(0, dim + nparam + 1), ineqs_(0, dim + nparam + 1) {
+    EMM_CHECK(dim >= 0 && nparam >= 0, "negative polyhedron shape");
+  }
+
+  /// The universe polyhedron (no constraints).
+  static Polyhedron universe(int dim, int nparam) { return Polyhedron(dim, nparam); }
+
+  int dim() const { return dim_; }
+  int nparam() const { return nparam_; }
+  int cols() const { return dim_ + nparam_ + 1; }
+
+  const IntMat& equalities() const { return eqs_; }
+  const IntMat& inequalities() const { return ineqs_; }
+  int numConstraints() const { return eqs_.rows() + ineqs_.rows(); }
+
+  /// Adds row . v == 0.
+  void addEquality(const IntVec& row);
+  /// Adds row . v >= 0.
+  void addInequality(const IntVec& row);
+
+  /// Convenience: adds lo <= x_var <= hi for constants lo, hi.
+  void addRange(int var, i64 lo, i64 hi);
+  /// Convenience: x_var >= coeffs . [x,p,1].
+  void addLowerBound(int var, const IntVec& coeffs);
+  /// Convenience: x_var <= coeffs . [x,p,1].
+  void addUpperBound(int var, const IntVec& coeffs);
+
+  /// Gcd-normalizes rows, drops tautologies and duplicates. Returns false if
+  /// a trivially unsatisfiable constraint (e.g. 0 >= 1 or gcd test on an
+  /// equality) was found, in which case the polyhedron is marked empty.
+  bool simplify();
+
+  /// True when the polyhedron is syntactically marked empty or the rational
+  /// relaxation is infeasible (Fourier-Motzkin over all variables and
+  /// parameters). Exact for the integer sets in this codebase's test
+  /// regime; a rational-feasible, integer-empty set would only weaken
+  /// (never break) downstream decisions, since callers use emptiness to
+  /// prune overlap/dependence candidates.
+  bool isEmpty() const;
+
+  /// True if this polyhedron contains the point (vars, params are given as
+  /// one concatenated vector of length dim + nparam).
+  bool contains(const IntVec& point) const;
+
+  /// Projects out (existentially quantifies) variable `var` in [0, dim).
+  Polyhedron eliminated(int var) const;
+
+  /// Projects onto the first `keep` variables (eliminates the rest).
+  Polyhedron projectedOnto(int keep) const;
+
+  /// Inserts `count` fresh unconstrained variables starting at position
+  /// `pos`; existing constraints are re-indexed.
+  Polyhedron withInsertedVars(int pos, int count) const;
+
+  /// Intersection. Both operands must have identical (dim, nparam).
+  static Polyhedron intersect(const Polyhedron& a, const Polyhedron& b);
+
+  /// Image of this polyhedron under the affine map `f`. `f` has one row per
+  /// output dimension and dim + nparam + 1 columns. The result has f.rows()
+  /// set variables and the same parameters:
+  ///   { y | exists x in this : y = f(x, p) }.
+  Polyhedron image(const IntMat& f) const;
+
+  /// Preimage under the affine map `f`: { x | f(x, p) in this }.
+  /// `f` has dim() rows and newDim + nparam + 1 columns.
+  Polyhedron preimage(const IntMat& f, int newDim) const;
+
+  /// Parametric bounds of variable `var` as functions of the *parameters
+  /// only* (all other set variables are projected out first). DivExpr
+  /// coefficient vectors have nparam + 1 entries.
+  DimBounds paramBounds(int var) const;
+
+  /// Bounds of variable `var` as functions of variables 0..var-1 and the
+  /// parameters (variables var+1.. are projected out). DivExpr coefficient
+  /// vectors have var + nparam + 1 entries. This is the loop-bound query
+  /// used by code generation.
+  DimBounds loopBounds(int var) const;
+
+  /// Renames nothing but returns a copy with parameters turned into set
+  /// variables (appended after existing vars), e.g. to test emptiness over
+  /// the combined space explicitly.
+  Polyhedron paramsAsVars() const;
+
+  std::string str() const;
+
+private:
+  bool markedEmpty_ = false;
+  int dim_ = 0;
+  int nparam_ = 0;
+  IntMat eqs_;
+  IntMat ineqs_;
+
+  friend class PolyBuilder;
+};
+
+/// Disjunction of polyhedra (all with identical dim/nparam).
+using PolySet = std::vector<Polyhedron>;
+
+/// A \ B as a union of disjoint polyhedra.
+PolySet setDifference(const Polyhedron& a, const Polyhedron& b);
+
+/// Rewrites a list of (possibly overlapping) polyhedra into an equivalent
+/// list of pairwise-disjoint polyhedra covering the same integer points.
+/// Order bias: earlier inputs keep their full region; later inputs are
+/// trimmed. Empty pieces are dropped.
+PolySet makeDisjoint(const PolySet& pieces);
+
+/// True when the two polyhedra share at least one rational point.
+bool overlaps(const Polyhedron& a, const Polyhedron& b);
+
+/// Partitions indices [0, n) into connected components of the overlap graph
+/// of `sets` (the partitioning step of the paper's Section 3.1).
+std::vector<std::vector<int>> overlapComponents(const PolySet& sets);
+
+}  // namespace emm

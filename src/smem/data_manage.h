@@ -1,0 +1,145 @@
+// Automatic data management in scratchpad memories (paper Section 3).
+//
+// Given a program block (iteration spaces + affine access functions), this
+// module:
+//   1. computes the data space touched by every reference (image of the
+//      iteration polytope under the access function),
+//   2. partitions each array's data spaces into maximal non-overlapping
+//      groups (connected components of the overlap graph) — Section 3.1,
+//   3. runs the reuse-benefit test (Algorithm 1: order-of-magnitude reuse
+//      when rank(F) < dim(iteration space); otherwise pairwise intersection
+//      volume against the delta threshold, default 30%),
+//   4. allocates one local buffer per beneficial group, sized by parametric
+//      per-dimension bounds of the group's convex union (Algorithm 2; our
+//      FM-based bound extraction substitutes for PIP),
+//   5. rewrites access functions to target local buffers (F'(y) - g),
+//   6. generates move-in / move-out code scanning the unions of data spaces
+//      so each element moves exactly once (Section 3.1.3; our disjoint
+//      union scanner substitutes for CLooG),
+//   7. optionally shrinks copy sets using flow-dependence information
+//      (Section 3.1.4, which the paper outlines as future work),
+//   8. reports upper bounds on moved volume for the tile-size cost model.
+//
+// Dimensions of the original array whose accessed extent is a single point
+// are kept as size-1 buffer dimensions rather than dropped; storage cost is
+// identical and access-function rewriting stays uniform (see DESIGN.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ast.h"
+#include "ir/program.h"
+#include "poly/polyhedron.h"
+
+namespace emm {
+
+/// How references of one array are grouped into local buffers.
+///
+/// The paper's Section 3.1 text describes maximal disjoint partitioning
+/// (connected components of the overlap graph), but its Figure 1 allocates a
+/// single buffer per array spanning the convex union of ALL of the array's
+/// data spaces (LA[19][10] covers two disjoint row bands). Both behaviors
+/// are provided; MaximalDisjoint is the default and PerArrayUnion
+/// reproduces the figure exactly (see DESIGN.md).
+enum class PartitionMode { MaximalDisjoint, PerArrayUnion };
+
+/// Options controlling the framework.
+struct SmemOptions {
+  /// Constant-reuse threshold of Algorithm 1 (fraction of total volume that
+  /// pairwise overlaps must exceed). The paper fixes 30%.
+  double delta = 0.30;
+  /// Reference grouping (see PartitionMode).
+  PartitionMode partitionMode = PartitionMode::MaximalDisjoint;
+  /// GPU-style targets can leave low-reuse data in global memory; Cell-style
+  /// targets must copy everything (set to false).
+  bool onlyBeneficial = true;
+  /// Enables the Section 3.1.4 dependence-based live-in reduction.
+  bool optimizeCopySets = false;
+  /// Arrays (by id) whose values are dead after the block: move-out is
+  /// skipped for them when optimizeCopySets is set.
+  std::vector<int> deadAfterBlock;
+  /// Parameters (by name) that vary per block instance (e.g. tile origins).
+  /// Buffer *sizes* must not depend on these; offsets may.
+  std::vector<std::string> blockLocalParams;
+  /// Known constraints on parameters (0 set variables, nparam parameters),
+  /// used when verifying candidate bounds. Empty = no context.
+  std::optional<Polyhedron> paramContext;
+  /// Concrete parameter binding for Algorithm 1's volume measurements.
+  IntVec sampleParams;
+  /// Enumeration cap for volume measurements.
+  i64 volumeCap = 4'000'000;
+};
+
+/// One reference of the analyzed array.
+struct RefSummary {
+  int stmt = -1;
+  int access = -1;
+  bool isWrite = false;
+  int rank = 0;     ///< rank of the access function's iterator part
+  int iterDim = 0;  ///< dimensionality of the statement's iteration space
+  Polyhedron dataSpace;  ///< dim = array ndim
+
+  /// Algorithm 1's order-of-magnitude reuse condition (1): rank < dim.
+  bool hasOrderReuse() const { return rank < iterDim; }
+};
+
+/// A maximal non-overlapping group of data spaces of one array, plus the
+/// local buffer planned for it.
+struct PartitionPlan {
+  int arrayId = -1;
+  std::vector<RefSummary> refs;
+  bool orderReuse = false;        ///< Algorithm 1 line 2-4
+  double constReuseFraction = 0;  ///< measured pairwise-overlap fraction
+  bool beneficial = false;        ///< Algorithm 1 verdict
+
+  // Buffer geometry (filled when a buffer is allocated).
+  bool hasBuffer = false;
+  std::string bufferName;
+  std::vector<AffExpr> offset;      ///< per array dim, over params
+  std::vector<BoundExpr> sizeExpr;  ///< per array dim, over non-block-local params
+
+  PolySet readSpaces() const;
+  PolySet writeSpaces() const;
+  PolySet allSpaces() const;
+};
+
+/// Full analysis result for a block.
+struct DataPlan {
+  const ProgramBlock* block = nullptr;
+  SmemOptions options;
+  std::vector<PartitionPlan> partitions;
+  /// partitionOf[stmt][access] = partition index, or -1 when the reference
+  /// stays in global memory.
+  std::vector<std::vector<int>> partitionOf;
+
+  /// Paper Section 3.1.3: upper bound on elements moved in for partition
+  /// `p`, computed by summing bounding-box sizes of maximal non-overlapping
+  /// subsets of the read (resp. write) spaces, at a concrete binding.
+  i64 moveInVolumeBound(int p, const IntVec& paramValues) const;
+  i64 moveOutVolumeBound(int p, const IntVec& paramValues) const;
+  /// Buffer footprint in elements at a concrete binding (product of size
+  /// expressions), 0 for partitions without buffers.
+  i64 bufferFootprint(int p, const IntVec& paramValues) const;
+};
+
+/// Steps 1-4: analysis and buffer planning. Does not generate code.
+DataPlan analyzeBlock(const ProgramBlock& block, const SmemOptions& options);
+
+/// Steps 5-7 packaged as an executable unit:
+///   move-in loops; the block's original computation (statements rewritten
+///   to hit local buffers); move-out loops.
+/// Statement order inside the computation follows the original schedules.
+CodeUnit buildScratchpadUnit(const ProgramBlock& block, const SmemOptions& options);
+
+/// Same, but returns the plan too (for inspection and the tiling driver).
+CodeUnit buildScratchpadUnit(const ProgramBlock& block, const SmemOptions& options,
+                             DataPlan& planOut);
+
+/// Generates only the move-in (direction=true) or move-out (false) code for
+/// one partition, as Copy loops. Exposed for the tiling driver, which places
+/// these fragments at hoisted positions (Section 4.2).
+AstPtr buildCopyCode(const DataPlan& plan, int partition, bool moveIn);
+
+}  // namespace emm

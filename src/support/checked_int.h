@@ -1,0 +1,68 @@
+// Checked 64-bit integer arithmetic with __int128 intermediates.
+//
+// All polyhedral computations use int64 coefficients. Row combinations in
+// Fourier-Motzkin elimination multiply coefficients, so intermediates are
+// computed in __int128 and narrowed with an explicit range check.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "support/diagnostics.h"
+
+namespace emm {
+
+using i64 = std::int64_t;
+using i128 = __int128;
+
+/// Narrow an __int128 to int64, aborting on overflow.
+inline i64 narrow(i128 v) {
+  EMM_CHECK(v >= static_cast<i128>(INT64_MIN) && v <= static_cast<i128>(INT64_MAX),
+            "int64 overflow in exact arithmetic");
+  return static_cast<i64>(v);
+}
+
+inline i64 addChecked(i64 a, i64 b) { return narrow(static_cast<i128>(a) + b); }
+inline i64 subChecked(i64 a, i64 b) { return narrow(static_cast<i128>(a) - b); }
+inline i64 mulChecked(i64 a, i64 b) { return narrow(static_cast<i128>(a) * b); }
+
+/// a*b + c*d in one checked expression (the FM row-combination primitive).
+inline i64 mulAddChecked(i64 a, i64 b, i64 c, i64 d) {
+  return narrow(static_cast<i128>(a) * b + static_cast<i128>(c) * d);
+}
+
+/// Non-negative gcd; gcd(0,0) == 0.
+inline i64 gcd64(i64 a, i64 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+inline i64 lcm64(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  i64 g = gcd64(a, b);
+  return mulChecked(a / g, b < 0 ? -b : b);
+}
+
+/// Floor division (rounds toward negative infinity).
+inline i64 floorDiv(i64 a, i64 b) {
+  EMM_CHECK(b != 0, "floorDiv by zero");
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division (rounds toward positive infinity).
+inline i64 ceilDiv(i64 a, i64 b) {
+  EMM_CHECK(b != 0, "ceilDiv by zero");
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+}  // namespace emm

@@ -1,0 +1,43 @@
+// Diagnostics: fail-fast checks for internal invariants.
+//
+// The compiler pipeline works with exact integer arithmetic; any violated
+// invariant (overflow, malformed polyhedron, bad index) indicates a bug that
+// would otherwise silently mis-compile. We therefore abort with a message
+// rather than limp on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace emm {
+
+/// Thrown on violated preconditions in library entry points (user-facing
+/// errors, e.g. dimension mismatches in the public API).
+class ApiError : public std::runtime_error {
+public:
+  explicit ApiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void checkFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "emmap internal check failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " -- ", msg.c_str());
+  std::abort();
+}
+
+}  // namespace emm
+
+/// Internal invariant check; active in all build types. `msg` may use
+/// std::string concatenation.
+#define EMM_CHECK(cond, msg)                                     \
+  do {                                                           \
+    if (!(cond)) ::emm::checkFailed(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)
+
+/// Precondition check on a public API entry point: throws ApiError.
+#define EMM_REQUIRE(cond, msg)                      \
+  do {                                              \
+    if (!(cond)) throw ::emm::ApiError((msg));      \
+  } while (0)

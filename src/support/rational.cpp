@@ -1,0 +1,34 @@
+#include "support/rational.h"
+
+#include <ostream>
+
+namespace emm {
+
+void Rat::normalize() {
+  EMM_CHECK(d_ != 0, "rational with zero denominator");
+  if (d_ < 0) {
+    n_ = narrow(-static_cast<i128>(n_));
+    d_ = narrow(-static_cast<i128>(d_));
+  }
+  i64 g = gcd64(n_, d_);
+  if (g > 1) {
+    n_ /= g;
+    d_ /= g;
+  }
+  if (n_ == 0) d_ = 1;
+}
+
+i64 Rat::round() const {
+  // floor(x + 1/2) with ties away from zero for negatives handled explicitly.
+  if (n_ >= 0) return floorDiv(addChecked(mulChecked(2, n_), d_), mulChecked(2, d_));
+  return -(-*this).round();
+}
+
+std::string Rat::str() const {
+  if (d_ == 1) return std::to_string(n_);
+  return std::to_string(n_) + "/" + std::to_string(d_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rat& r) { return os << r.str(); }
+
+}  // namespace emm

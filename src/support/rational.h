@@ -1,0 +1,79 @@
+// Exact rational numbers over int64 with checked arithmetic.
+//
+// Used where polyhedral computations need non-integer values: rational
+// feasibility tests, vertex coordinates, volume ratios, and the real
+// relaxation in the tile-size search.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "support/checked_int.h"
+
+namespace emm {
+
+/// A rational number n/d in lowest terms with d > 0.
+class Rat {
+public:
+  constexpr Rat() = default;
+  Rat(i64 num) : n_(num), d_(1) {}  // NOLINT: implicit from integer is intended
+  Rat(i64 num, i64 den) : n_(num), d_(den) { normalize(); }
+
+  i64 num() const { return n_; }
+  i64 den() const { return d_; }
+
+  bool isZero() const { return n_ == 0; }
+  bool isInteger() const { return d_ == 1; }
+  int sign() const { return n_ > 0 ? 1 : (n_ < 0 ? -1 : 0); }
+
+  Rat operator-() const { return Rat(-n_, d_, Raw{}); }
+
+  friend Rat operator+(const Rat& a, const Rat& b) {
+    return Rat(mulAddChecked(a.n_, b.d_, b.n_, a.d_), mulChecked(a.d_, b.d_));
+  }
+  friend Rat operator-(const Rat& a, const Rat& b) { return a + (-b); }
+  friend Rat operator*(const Rat& a, const Rat& b) {
+    return Rat(mulChecked(a.n_, b.n_), mulChecked(a.d_, b.d_));
+  }
+  friend Rat operator/(const Rat& a, const Rat& b) {
+    EMM_CHECK(b.n_ != 0, "rational division by zero");
+    return Rat(mulChecked(a.n_, b.d_), mulChecked(a.d_, b.n_));
+  }
+
+  Rat& operator+=(const Rat& o) { return *this = *this + o; }
+  Rat& operator-=(const Rat& o) { return *this = *this - o; }
+  Rat& operator*=(const Rat& o) { return *this = *this * o; }
+  Rat& operator/=(const Rat& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rat& a, const Rat& b) { return a.n_ == b.n_ && a.d_ == b.d_; }
+  friend std::strong_ordering operator<=>(const Rat& a, const Rat& b) {
+    i128 lhs = static_cast<i128>(a.n_) * b.d_;
+    i128 rhs = static_cast<i128>(b.n_) * a.d_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  /// Largest integer <= this.
+  i64 floor() const { return floorDiv(n_, d_); }
+  /// Smallest integer >= this.
+  i64 ceil() const { return ceilDiv(n_, d_); }
+  /// Nearest integer (ties away from zero).
+  i64 round() const;
+
+  double toDouble() const { return static_cast<double>(n_) / static_cast<double>(d_); }
+  std::string str() const;
+
+private:
+  struct Raw {};
+  Rat(i64 n, i64 d, Raw) : n_(n), d_(d) {}
+  void normalize();
+
+  i64 n_ = 0;
+  i64 d_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rat& r);
+
+}  // namespace emm

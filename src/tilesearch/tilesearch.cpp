@@ -1,0 +1,266 @@
+#include "tilesearch/tilesearch.h"
+
+#include <algorithm>
+#include <map>
+
+namespace emm {
+
+namespace {
+
+/// Drops the leading `l` iterator coefficient slots (all zero for the
+/// rectangular bounds analyzeTile certifies) so bounds evaluate against the
+/// parameter vector alone.
+DimBounds stripLoopBounds(const DimBounds& b, int l) {
+  DimBounds out;
+  for (const DivExpr& e : b.lower) {
+    DivExpr s;
+    s.den = e.den;
+    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+    out.lower.push_back(std::move(s));
+  }
+  for (const DivExpr& e : b.upper) {
+    DivExpr s;
+    s.den = e.den;
+    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+    out.upper.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Trip count of loop `l` at the given binding when tiled by `t`.
+i64 tripCount(const DimBounds& bounds, int l, const IntVec& params, i64 t) {
+  DimBounds b = stripLoopBounds(bounds, l);
+  i64 lo = b.evalLower(params);
+  i64 hi = b.evalUpper(params);
+  i64 range = std::max<i64>(0, hi - lo + 1);
+  return ceilDiv(range, t);
+}
+
+/// Binding of the extended (origin-including) parameter vector with origins
+/// pinned at their loop lower bounds, for volume/footprint evaluation.
+IntVec extendedBinding(const TileAnalysis& ta, const IntVec& params) {
+  IntVec ext = params;
+  for (int l = 0; l < ta.depth; ++l) {
+    std::vector<DivExpr> lower = ta.loopBounds[l].lower;
+    i64 best = INT64_MIN;
+    for (const DivExpr& e : lower) {
+      // Bounds are parameter-only; strip leading iterator slots.
+      DivExpr s;
+      s.den = e.den;
+      s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+      best = std::max(best, s.evalCeil(params));
+    }
+    ext.push_back(best);
+  }
+  return ext;
+}
+
+}  // namespace
+
+TileEvaluation evaluateTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const std::vector<i64>& subTile,
+                                 const TileSearchOptions& options, const SmemOptions& smemBase) {
+  TileEvaluation ev;
+  int depth = commonLoopDepth(block);
+  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth, "subTile arity mismatch");
+  EMM_REQUIRE(static_cast<int>(options.paramValues.size()) == block.nparam(),
+              "paramValues arity mismatch");
+
+  // Constraint (1): 0 < t_i <= N_i.
+  TileAnalysis ta = analyzeTile(block, plan, subTile, smemBase, options.hoistCopies);
+  for (int l = 0; l < depth; ++l) {
+    i64 range = std::max<i64>(
+        0, ta.loopBounds[l].upper.empty() || ta.loopBounds[l].lower.empty()
+               ? 0
+               : tripCount(ta.loopBounds[l], l, options.paramValues, 1));
+    if (subTile[l] < 1 || subTile[l] > std::max<i64>(range, 1)) {
+      ev.reason = "tile size out of loop range";
+      return ev;
+    }
+  }
+
+  IntVec ext = extendedBinding(ta, options.paramValues);
+
+  // Constraint (2): footprint <= Mup.
+  i64 footprint = 0;
+  for (size_t p = 0; p < ta.plan.partitions.size(); ++p)
+    footprint = addChecked(footprint, ta.plan.bufferFootprint(static_cast<int>(p), ext));
+  ev.footprint = footprint;
+  if (footprint > options.memLimitElems) {
+    ev.reason = "scratchpad footprint exceeds limit";
+    return ev;
+  }
+
+  // Constraint (3): tile volume keeps all inner-level processes busy.
+  i64 tileVolume = 1;
+  for (int l = 0; l < depth; ++l) tileVolume = mulChecked(tileVolume, subTile[l]);
+  if (tileVolume < options.innerProcs) {
+    ev.reason = "tile smaller than inner-level process count";
+    return ev;
+  }
+
+  // Objective: sum over buffers of occurrences * (P*S + V*L/P).
+  double P = static_cast<double>(options.innerProcs);
+  double cost = 0;
+  for (size_t p = 0; p < ta.plan.partitions.size(); ++p) {
+    const PartitionPlan& part = ta.plan.partitions[p];
+    if (!part.hasBuffer) continue;
+    // Occurrences: product of tiling-loop trip counts above the placement
+    // level (the r_k of Section 4.3).
+    i64 occ = 1;
+    for (int l = 0; l < ta.hoistLevel[p]; ++l)
+      occ = mulChecked(occ, tripCount(ta.loopBounds[l], l, options.paramValues, subTile[l]));
+    i64 vin = ta.plan.moveInVolumeBound(static_cast<int>(p), ext);
+    i64 vout = ta.plan.moveOutVolumeBound(static_cast<int>(p), ext);
+    double termIn = vin > 0 ? static_cast<double>(occ) *
+                                  (P * options.syncCost +
+                                   static_cast<double>(vin) * options.transferCost / P)
+                            : 0.0;
+    double termOut = vout > 0 ? static_cast<double>(occ) *
+                                    (P * options.syncCost +
+                                     static_cast<double>(vout) * options.transferCost / P)
+                              : 0.0;
+    cost += termIn + termOut;
+    ev.terms.push_back({part.bufferName, occ, vin, vout, ta.hoistLevel[p]});
+  }
+  ev.feasible = true;
+  ev.cost = cost;
+  return ev;
+}
+
+namespace {
+
+std::vector<std::vector<i64>> defaultCandidates(const ProgramBlock& block,
+                                                const ParallelismPlan& plan,
+                                                const TileSearchOptions& options,
+                                                const SmemOptions& smemBase) {
+  // Geometric ladder clipped to each loop's range.
+  std::vector<i64> probe(commonLoopDepth(block), 1);
+  TileAnalysis ta = analyzeTile(block, plan, probe, smemBase, options.hoistCopies);
+  std::vector<std::vector<i64>> out;
+  for (int l = 0; l < ta.depth; ++l) {
+    i64 range = tripCount(ta.loopBounds[l], l, options.paramValues, 1);
+    std::vector<i64> ladder;
+    for (i64 t = 1; t < range; t *= 2) ladder.push_back(t);
+    ladder.push_back(std::max<i64>(range, 1));
+    out.push_back(std::move(ladder));
+  }
+  return out;
+}
+
+}  // namespace
+
+TileSearchResult exhaustiveTileSearch(const ProgramBlock& block, const ParallelismPlan& plan,
+                                      const TileSearchOptions& options,
+                                      const SmemOptions& smemBase) {
+  auto cands = options.candidates.empty()
+                   ? defaultCandidates(block, plan, options, smemBase)
+                   : options.candidates;
+  int depth = commonLoopDepth(block);
+  EMM_REQUIRE(static_cast<int>(cands.size()) == depth, "candidate arity mismatch");
+
+  TileSearchResult best;
+  best.eval.feasible = false;
+  std::vector<size_t> idx(depth, 0);
+  while (true) {
+    std::vector<i64> tile(depth);
+    for (int l = 0; l < depth; ++l) tile[l] = cands[l][idx[l]];
+    TileEvaluation ev = evaluateTileSizes(block, plan, tile, options, smemBase);
+    ++best.evaluations;
+    if (ev.feasible && (!best.eval.feasible || ev.cost < best.eval.cost)) {
+      best.eval = ev;
+      best.subTile = tile;
+    }
+    int l = depth - 1;
+    while (l >= 0 && ++idx[l] == cands[l].size()) idx[l--] = 0;
+    if (l < 0) break;
+  }
+  return best;
+}
+
+TileSearchResult searchTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const TileSearchOptions& options, const SmemOptions& smemBase) {
+  auto cands = options.candidates.empty()
+                   ? defaultCandidates(block, plan, options, smemBase)
+                   : options.candidates;
+  int depth = commonLoopDepth(block);
+  EMM_REQUIRE(static_cast<int>(cands.size()) == depth, "candidate arity mismatch");
+
+  TileSearchResult result;
+  result.eval.feasible = false;
+
+  // Memoized evaluation over ladder positions.
+  std::map<std::vector<size_t>, TileEvaluation> memo;
+  auto evalPos = [&](const std::vector<size_t>& p) -> const TileEvaluation& {
+    auto it = memo.find(p);
+    if (it != memo.end()) return it->second;
+    std::vector<i64> tile(depth);
+    for (int l = 0; l < depth; ++l) tile[l] = cands[l][p[l]];
+    ++result.evaluations;
+    return memo.emplace(p, evaluateTileSizes(block, plan, tile, options, smemBase))
+        .first->second;
+  };
+
+  // Coordinate descent over ladder positions from one seed. This plays the
+  // role of the paper's relaxed continuous solve + rounding; multi-start
+  // covers the non-convexity introduced by the constraint boundaries.
+  auto descend = [&](std::vector<size_t> pos) {
+    TileEvaluation cur = evalPos(pos);
+    bool improved = true;
+    int guard = 0;
+    while (improved && guard++ < 64) {
+      improved = false;
+      for (int l = 0; l < depth; ++l) {
+        for (int dir : {+1, -1}) {
+          while (true) {
+            if (dir > 0 && pos[l] + 1 >= cands[l].size()) break;
+            if (dir < 0 && pos[l] == 0) break;
+            std::vector<size_t> next = pos;
+            next[l] += dir;
+            const TileEvaluation& ev = evalPos(next);
+            bool better = ev.feasible && (!cur.feasible || ev.cost < cur.cost);
+            if (!better) break;
+            pos = std::move(next);
+            cur = ev;
+            improved = true;
+          }
+        }
+      }
+    }
+    return std::make_pair(pos, cur);
+  };
+
+  // Seeds: midpoint, all-smallest, all-largest, and per-loop extremes.
+  std::vector<std::vector<size_t>> seeds;
+  std::vector<size_t> mid(depth), lo(depth, 0), hi(depth);
+  for (int l = 0; l < depth; ++l) {
+    mid[l] = cands[l].size() / 2;
+    hi[l] = cands[l].size() - 1;
+  }
+  seeds.push_back(mid);
+  seeds.push_back(lo);
+  seeds.push_back(hi);
+  for (int l = 0; l < depth; ++l) {
+    std::vector<size_t> s = mid;
+    s[l] = hi[l];
+    seeds.push_back(s);
+    s[l] = 0;
+    seeds.push_back(s);
+  }
+
+  std::vector<size_t> bestPos;
+  for (const std::vector<size_t>& seed : seeds) {
+    auto [pos, ev] = descend(seed);
+    if (ev.feasible && (!result.eval.feasible || ev.cost < result.eval.cost)) {
+      result.eval = ev;
+      bestPos = pos;
+    }
+  }
+  if (result.eval.feasible) {
+    result.subTile.resize(depth);
+    for (int l = 0; l < depth; ++l) result.subTile[l] = cands[l][bestPos[l]];
+  }
+  return result;
+}
+
+}  // namespace emm

@@ -1,0 +1,79 @@
+// Tile-size search (paper Section 4.3).
+//
+// Finds sub-tile sizes (t_1,...,t_m) minimizing the data-movement cost
+//   C = sum_k N_k * ((P*S) + V_k*L/P)
+// where, per local buffer k, N_k is the number of copy-code executions
+// (trip counts of the tiling loops above its hoisted placement), V_k the
+// per-execution volume bound (Section 3.1.3), P the number of inner-level
+// processes, S the per-process synchronization cost, and L the per-element
+// transfer cost. Constraints:
+//   0 < t_i <= N_i,  sum_k M_k(t) <= Mup,  prod t_i >= P.
+//
+// The evaluator instantiates the Section-3 analysis for each candidate, so
+// footprints, hoist levels and volumes are the real ones the code generator
+// would produce — not closed-form approximations.
+//
+// Two solvers are provided:
+//  - searchTileSizes: geometric seeding + projected coordinate descent with
+//    integral rounding (the role SQP-plus-rounding plays in the paper),
+//  - exhaustiveTileSearch: grid oracle used by tests and the ablation bench
+//    to certify the fast solver's answer.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tiling/multilevel.h"
+
+namespace emm {
+
+struct TileSearchOptions {
+  i64 memLimitElems = 4096;  ///< Mup, in elements
+  i64 innerProcs = 32;       ///< P (>= Plow, the warp size on the GPU)
+  double syncCost = 32;      ///< S, cycles per process per occurrence
+  double transferCost = 4;   ///< L, cycles per element
+  /// Concrete binding of the block's parameters (problem sizes).
+  IntVec paramValues;
+  /// Candidate tile sizes per loop for seeding/exhaustive search. When empty
+  /// a geometric ladder {1,2,4,...} clipped to the loop range is used.
+  std::vector<std::vector<i64>> candidates;
+  bool hoistCopies = true;
+};
+
+struct TileEvaluation {
+  bool feasible = false;
+  std::string reason;
+  double cost = 0;
+  i64 footprint = 0;
+  /// Per-buffer terms for diagnostics: (occurrences, volume in, volume out).
+  struct BufferTerm {
+    std::string name;
+    i64 occurrences = 0;
+    i64 volumeIn = 0;
+    i64 volumeOut = 0;
+    int hoistLevel = 0;
+  };
+  std::vector<BufferTerm> terms;
+};
+
+struct TileSearchResult {
+  std::vector<i64> subTile;
+  TileEvaluation eval;
+  int evaluations = 0;
+};
+
+/// Evaluates the Section-4.3 objective for one concrete tile-size vector.
+TileEvaluation evaluateTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const std::vector<i64>& subTile,
+                                 const TileSearchOptions& options, const SmemOptions& smemBase);
+
+/// Fast solver: geometric seeding + projected coordinate descent.
+TileSearchResult searchTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const TileSearchOptions& options, const SmemOptions& smemBase);
+
+/// Oracle: evaluates the full candidate grid.
+TileSearchResult exhaustiveTileSearch(const ProgramBlock& block, const ParallelismPlan& plan,
+                                      const TileSearchOptions& options,
+                                      const SmemOptions& smemBase);
+
+}  // namespace emm

@@ -1,0 +1,423 @@
+#include "tiling/multilevel.h"
+
+#include <algorithm>
+
+#include "codegen/scan.h"
+
+namespace emm {
+
+namespace {
+
+/// Widens a constraint/access row over [iters, oldParams, 1] to
+/// [iters, oldParams, addParams(0), 1].
+IntVec widenRowParams(const IntVec& row, int dim, int oldNp, int addNp) {
+  IntVec wide(dim + oldNp + addNp + 1, 0);
+  for (int j = 0; j < dim + oldNp; ++j) wide[j] = row[j];
+  wide.back() = row.back();
+  return wide;
+}
+
+IntMat widenMatParams(const IntMat& m, int dim, int oldNp, int addNp) {
+  IntMat out(m.rows(), dim + oldNp + addNp + 1);
+  for (int r = 0; r < m.rows(); ++r) out.setRow(r, widenRowParams(m.row(r), dim, oldNp, addNp));
+  return out;
+}
+
+/// Per-loop parameter-only bounds shared by all statements. Aborts when the
+/// block is not rectangular (see header).
+std::vector<DimBounds> rectangularBounds(const ProgramBlock& block, int depth) {
+  std::vector<DimBounds> out(depth);
+  for (int l = 0; l < depth; ++l) {
+    bool first = true;
+    for (const Statement& st : block.statements) {
+      Polyhedron proj = st.domain;
+      proj.simplify();
+      proj = proj.projectedOnto(l + 1);
+      DimBounds b = proj.loopBounds(l);
+      for (const DivExpr& e : b.lower)
+        for (int j = 0; j < l; ++j)
+          EMM_REQUIRE(e.coeffs[j] == 0, "tiler requires parameter-only loop bounds");
+      for (const DivExpr& e : b.upper)
+        for (int j = 0; j < l; ++j)
+          EMM_REQUIRE(e.coeffs[j] == 0, "tiler requires parameter-only loop bounds");
+      if (first) {
+        out[l] = b;
+        first = false;
+      } else {
+        EMM_REQUIRE(b.lower.size() == out[l].lower.size() && b.upper.size() == out[l].upper.size(),
+                    "tiler requires identical loop bounds across statements");
+      }
+    }
+  }
+  return out;
+}
+
+/// Strips the leading `l` iterator coefficient slots (all zero for
+/// rectangular bounds) so the DivExpr is over [params, 1] only.
+DivExpr stripIters(const DivExpr& e, int l) {
+  DivExpr out;
+  out.den = e.den;
+  out.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+  return out;
+}
+
+BoundExpr boundOverParams(const std::vector<DivExpr>& parts, bool isLower, int loop,
+                          const std::vector<std::string>& paramNames) {
+  std::vector<DivExpr> stripped;
+  for (const DivExpr& e : parts) stripped.push_back(stripIters(e, loop));
+  return toBoundExpr(stripped, isLower, {}, paramNames);
+}
+
+}  // namespace
+
+TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
+                         const std::vector<i64>& subTile, const SmemOptions& smemBase,
+                         bool hoist, bool useScratchpad) {
+  (void)plan;
+  block.validate();
+  int depth = commonLoopDepth(block);
+  for (const Statement& st : block.statements)
+    EMM_REQUIRE(st.dim() == depth, "tiler requires all statements at common depth");
+  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth, "subTile arity mismatch");
+  for (i64 t : subTile) EMM_REQUIRE(t >= 1, "tile sizes must be >= 1");
+
+  TileAnalysis ta;
+  ta.depth = depth;
+  ta.subTile = subTile;
+  ta.loopBounds = rectangularBounds(block, depth);
+
+  // ---- Extended block: tile origins become parameters. ----
+  ta.tileBlock = std::make_unique<ProgramBlock>(block);
+  ProgramBlock& ext = *ta.tileBlock;
+  ext.name = block.name + "_tile";
+  int oldNp = block.nparam();
+  for (int l = 0; l < depth; ++l) {
+    ta.originParams.push_back("o" + std::to_string(l));
+    ext.paramNames.push_back(ta.originParams.back());
+  }
+  int addNp = depth;
+  for (Statement& st : ext.statements) {
+    Polyhedron dom(st.dim(), oldNp + addNp);
+    IntMat eqs = widenMatParams(st.domain.equalities(), st.dim(), oldNp, addNp);
+    IntMat ineqs = widenMatParams(st.domain.inequalities(), st.dim(), oldNp, addNp);
+    for (int r = 0; r < eqs.rows(); ++r) dom.addEquality(eqs.row(r));
+    for (int r = 0; r < ineqs.rows(); ++r) dom.addInequality(ineqs.row(r));
+    for (int l = 0; l < depth; ++l) {
+      IntVec lo(dom.cols(), 0), hi(dom.cols(), 0);
+      lo[l] = 1;
+      lo[st.dim() + oldNp + l] = -1;  // i_l - o_l >= 0
+      dom.addInequality(lo);
+      hi[l] = -1;
+      hi[st.dim() + oldNp + l] = 1;
+      hi.back() = subTile[l] - 1;  // o_l + t_l - 1 - i_l >= 0
+      dom.addInequality(hi);
+    }
+    dom.simplify();
+    st.domain = std::move(dom);
+    for (Access& acc : st.accesses) acc.fn = widenMatParams(acc.fn, st.dim(), oldNp, addNp);
+    st.schedule = widenMatParams(st.schedule, st.dim(), oldNp, addNp);
+  }
+
+  // ---- Scratchpad plan over the sub-tile. ----
+  SmemOptions opts = smemBase;
+  opts.blockLocalParams = ta.originParams;
+  {
+    // Context: loop lb <= o_l <= loop ub.
+    Polyhedron ctx(0, oldNp + addNp);
+    for (int l = 0; l < depth; ++l) {
+      for (const DivExpr& e : ta.loopBounds[l].lower) {
+        DivExpr s = stripIters(e, l);
+        IntVec row(ctx.cols(), 0);
+        row[oldNp + l] = s.den;  // den*o_l - expr >= 0
+        for (int j = 0; j < oldNp; ++j) row[j] = narrow(-static_cast<i128>(s.coeffs[j]));
+        row.back() = narrow(-static_cast<i128>(s.coeffs.back()));
+        ctx.addInequality(row);
+      }
+      for (const DivExpr& e : ta.loopBounds[l].upper) {
+        DivExpr s = stripIters(e, l);
+        IntVec row(ctx.cols(), 0);
+        row[oldNp + l] = -s.den;  // expr - den*o_l >= 0
+        for (int j = 0; j < oldNp; ++j) row[j] = s.coeffs[j];
+        row.back() = s.coeffs.back();
+        ctx.addInequality(row);
+      }
+    }
+    opts.paramContext = ctx;
+  }
+  if (!opts.sampleParams.empty()) {
+    EMM_REQUIRE(static_cast<int>(opts.sampleParams.size()) == oldNp,
+                "sampleParams must bind the original parameters");
+    // Sample tile origins at the loop lower bounds (which are functions of
+    // the original parameters only).
+    IntVec base(opts.sampleParams.begin(), opts.sampleParams.begin() + oldNp);
+    for (int l = 0; l < depth; ++l) {
+      std::vector<DivExpr> stripped;
+      for (const DivExpr& e : ta.loopBounds[l].lower) stripped.push_back(stripIters(e, l));
+      i64 best = stripped[0].evalCeil(base);
+      for (size_t q = 1; q < stripped.size(); ++q)
+        best = std::max(best, stripped[q].evalCeil(base));
+      opts.sampleParams.push_back(best);
+    }
+  }
+
+  if (useScratchpad) ta.plan = analyzeBlock(ext, opts);
+  ta.plan.block = &ext;
+
+  // ---- Hoist levels (Section 4.2). ----
+  ta.hoistLevel.assign(ta.plan.partitions.size(), depth);
+  for (size_t p = 0; p < ta.plan.partitions.size(); ++p) {
+    if (!ta.plan.partitions[p].hasBuffer) continue;
+    if (!hoist) continue;  // ablation: keep copies innermost
+    const PartitionPlan& part = ta.plan.partitions[p];
+    std::vector<bool> uses(depth, false);
+    // A constraint that has no set-variable coefficient is a pure parameter
+    // residue of the projection (e.g. o2 + 1 >= 0 combined out of the tile
+    // box); it does not make the data space depend on that origin.
+    auto rowUsesData = [](const IntVec& row, int dim) {
+      for (int j = 0; j < dim; ++j)
+        if (row[j] != 0) return true;
+      return false;
+    };
+    for (int l = 0; l < depth; ++l) {
+      const std::string& oname = ta.originParams[l];
+      for (const AffExpr& off : part.offset)
+        if (off.mentions(oname)) uses[l] = true;
+      for (const RefSummary& r : part.refs) {
+        int dim = r.dataSpace.dim();
+        int col = dim + oldNp + l;
+        for (int rr = 0; rr < r.dataSpace.equalities().rows(); ++rr) {
+          IntVec row = r.dataSpace.equalities().row(rr);
+          if (row[col] != 0 && rowUsesData(row, dim)) uses[l] = true;
+        }
+        for (int rr = 0; rr < r.dataSpace.inequalities().rows(); ++rr) {
+          IntVec row = r.dataSpace.inequalities().row(rr);
+          if (row[col] != 0 && rowUsesData(row, dim)) uses[l] = true;
+        }
+      }
+    }
+    int levelNeeded = 0;
+    for (int l = 0; l < depth; ++l)
+      if (uses[l]) levelNeeded = l + 1;
+    ta.hoistLevel[p] = levelNeeded;
+  }
+  return ta;
+}
+
+i64 TiledKernel::numBlockTiles(const IntVec& paramValues) const {
+  std::vector<std::pair<std::string, i64>> env;
+  const ProgramBlock& b = *analysis.tileBlock;
+  for (size_t j = 0; j < paramValues.size(); ++j) env.emplace_back(b.paramNames[j], paramValues[j]);
+  i64 tiles = 1;
+  for (size_t s = 0; s < spaceLoopRange.size(); ++s) {
+    i64 lo = spaceLoopRange[s].first.eval(env);
+    i64 hi = spaceLoopRange[s].second.eval(env);
+    i64 range = std::max<i64>(0, hi - lo + 1);
+    tiles = mulChecked(tiles, ceilDiv(range, blockTileSizes[s]));
+  }
+  return tiles;
+}
+
+i64 TiledKernel::footprintPerBlock(const IntVec& paramValues) const {
+  if (analysis.plan.block == nullptr) return 0;
+  IntVec extended = paramValues;
+  extended.resize(analysis.tileBlock->paramNames.size(), 0);
+  i64 total = 0;
+  for (size_t p = 0; p < analysis.plan.partitions.size(); ++p)
+    total = addChecked(total, analysis.plan.bufferFootprint(static_cast<int>(p), extended));
+  return total;
+}
+
+TiledKernel buildTiledKernel(const ProgramBlock& block, const ParallelismPlan& plan,
+                             const TileConfig& config, const SmemOptions& smemBase) {
+  EMM_REQUIRE(config.blockTile.size() == plan.spaceLoops.size(), "blockTile arity mismatch");
+  EMM_REQUIRE(config.threadTile.size() == plan.spaceLoops.size(), "threadTile arity mismatch");
+  for (i64 t : config.blockTile) EMM_REQUIRE(t >= 1, "tile sizes must be >= 1");
+  for (i64 t : config.threadTile) EMM_REQUIRE(t >= 1, "tile sizes must be >= 1");
+  // Sub-tiles must nest exactly inside block tiles on space loops; otherwise
+  // a boundary sub-tile would straddle two outer-level units and statement
+  // instances would execute in both (catastrophic for accumulations).
+  for (size_t s = 0; s < plan.spaceLoops.size(); ++s)
+    EMM_REQUIRE(config.blockTile[s] % config.subTile[plan.spaceLoops[s]] == 0,
+                "blockTile must be a multiple of subTile on space loops");
+
+  TiledKernel result;
+  result.analysis = analyzeTile(block, plan, config.subTile, smemBase, config.hoistCopies,
+                                config.useScratchpad);
+  TileAnalysis& ta = result.analysis;
+  ProgramBlock& ext = *ta.tileBlock;
+  int depth = ta.depth;
+  int oldNp = block.nparam();
+  result.spaceLoops = plan.spaceLoops;
+  result.blockTileSizes = config.blockTile;
+
+  CodeUnit unit;
+  unit.name = block.name + "_tiled";
+  unit.source = &ext;
+
+  // ---- Buffer table & rewritten statements. ----
+  for (const PartitionPlan& part : ta.plan.partitions) {
+    if (!part.hasBuffer) continue;
+    LocalBuffer buf;
+    buf.name = part.bufferName;
+    buf.ndim = ext.arrays[part.arrayId].ndim();
+    buf.offset = part.offset;
+    buf.sizeExpr = part.sizeExpr;
+    unit.localBuffers.push_back(std::move(buf));
+  }
+  if (config.useScratchpad) {
+    int numGlobals = static_cast<int>(ext.arrays.size());
+    for (size_t s = 0; s < ext.statements.size(); ++s) {
+      Statement st = ext.statements[s];
+      for (size_t a = 0; a < st.accesses.size(); ++a) {
+        int pi = ta.plan.partitionOf[s][a];
+        if (pi < 0) continue;
+        const PartitionPlan& part = ta.plan.partitions[pi];
+        Access& acc = st.accesses[a];
+        for (int r = 0; r < acc.fn.rows(); ++r) {
+          const AffExpr& off = part.offset[r];
+          for (const auto& [name, coeff] : off.terms) {
+            auto it = std::find(ext.paramNames.begin(), ext.paramNames.end(), name);
+            EMM_CHECK(it != ext.paramNames.end(), "offset mentions unknown parameter");
+            int pj = static_cast<int>(it - ext.paramNames.begin());
+            acc.fn.at(r, st.dim() + pj) = subChecked(acc.fn.at(r, st.dim() + pj), coeff);
+          }
+          acc.fn.at(r, acc.fn.cols() - 1) =
+              subChecked(acc.fn.at(r, acc.fn.cols() - 1), off.cnst);
+        }
+        int bufferId = 0;
+        for (int q = 0; q < pi; ++q)
+          if (ta.plan.partitions[q].hasBuffer) ++bufferId;
+        acc.arrayId = numGlobals + bufferId;
+      }
+      unit.statements.push_back(std::move(st));
+    }
+  } else {
+    unit.statements = ext.statements;
+  }
+
+  // ---- AST construction. ----
+  const std::vector<std::string>& pn = block.paramNames;
+  auto loopLb = [&](int l) { return boundOverParams(ta.loopBounds[l].lower, true, l, pn); };
+  auto loopUb = [&](int l) { return boundOverParams(ta.loopBounds[l].upper, false, l, pn); };
+  (void)oldNp;
+
+  auto isSpace = [&](int l) {
+    return std::find(plan.spaceLoops.begin(), plan.spaceLoops.end(), l) != plan.spaceLoops.end();
+  };
+  auto spaceIndex = [&](int l) {
+    auto it = std::find(plan.spaceLoops.begin(), plan.spaceLoops.end(), l);
+    return static_cast<int>(it - plan.spaceLoops.begin());
+  };
+
+  unit.root = AstNode::block();
+  AstNode* cursor = unit.root.get();
+
+  // Block-tile loops (outer level; FORALL across thread blocks).
+  for (int l : plan.spaceLoops) {
+    int s = spaceIndex(l);
+    AstPtr loop = AstNode::forLoop("b" + std::to_string(l), loopLb(l), loopUb(l),
+                                   config.blockTile[s], LoopKind::BlockParallel);
+    cursor = cursor->addChild(std::move(loop));
+  }
+
+  // Copy fragments, placed at their hoist levels.
+  struct CopyFragment {
+    int partition;
+    bool moveIn;
+    AstPtr code;
+    int level;
+  };
+  std::vector<CopyFragment> fragments;
+  for (size_t p = 0; p < ta.plan.partitions.size(); ++p) {
+    if (!ta.plan.partitions[p].hasBuffer) continue;
+    for (bool moveIn : {true, false}) {
+      CopyFragment f;
+      f.partition = static_cast<int>(p);
+      f.moveIn = moveIn;
+      f.code = buildCopyCode(ta.plan, static_cast<int>(p), moveIn);
+      if (f.code->children.empty()) continue;  // e.g. read-only buffers move nothing out
+      f.level = ta.hoistLevel[p];
+      fragments.push_back(std::move(f));
+    }
+  }
+
+  // Sub-tile loops: iterators ARE the origin parameters, so the plan's copy
+  // code and rewritten access functions bind through the environment.
+  std::vector<AstNode*> levelNodes;
+  levelNodes.push_back(cursor);
+  for (int l = 0; l < depth; ++l) {
+    for (CopyFragment& f : fragments)
+      if (f.moveIn && f.level == l) {
+        levelNodes.back()->addChild(
+            AstNode::comment("move-in " + ta.plan.partitions[f.partition].bufferName));
+        levelNodes.back()->addChild(std::move(f.code));
+        levelNodes.back()->addChild(AstNode::sync());
+      }
+    BoundExpr lb, ub;
+    if (isSpace(l)) {
+      std::string bIter = "b" + std::to_string(l);
+      lb = BoundExpr::single(AffExpr::var(bIter), true);
+      ub = loopUb(l);
+      ub.parts.push_back(AffExpr::var(bIter).plus(config.blockTile[spaceIndex(l)] - 1));
+    } else {
+      lb = loopLb(l);
+      ub = loopUb(l);
+    }
+    AstPtr loop = AstNode::forLoop(ta.originParams[l], lb, ub, config.subTile[l]);
+    levelNodes.push_back(levelNodes.back()->addChild(std::move(loop)));
+  }
+  for (CopyFragment& f : fragments)
+    if (f.moveIn && f.level == depth) {
+      levelNodes.back()->addChild(
+          AstNode::comment("move-in " + ta.plan.partitions[f.partition].bufferName));
+      levelNodes.back()->addChild(std::move(f.code));
+      levelNodes.back()->addChild(AstNode::sync());
+    }
+
+  // Thread-tile loops over space loops, then point loops, then calls.
+  AstNode* inner = levelNodes.back();
+  for (int l : plan.spaceLoops) {
+    int s = spaceIndex(l);
+    BoundExpr lb = BoundExpr::single(AffExpr::var(ta.originParams[l]), true);
+    BoundExpr ub = loopUb(l);
+    ub.parts.push_back(AffExpr::var(ta.originParams[l]).plus(config.subTile[l] - 1));
+    inner = inner->addChild(AstNode::forLoop("t" + std::to_string(l), lb, ub,
+                                             config.threadTile[s], LoopKind::ThreadParallel));
+  }
+  for (int l = 0; l < depth; ++l) {
+    BoundExpr lb, ub;
+    if (isSpace(l)) {
+      std::string tIter = "t" + std::to_string(l);
+      lb = BoundExpr::single(AffExpr::var(tIter), true);
+      ub = loopUb(l);
+      ub.parts.push_back(AffExpr::var(tIter).plus(config.threadTile[spaceIndex(l)] - 1));
+      ub.parts.push_back(AffExpr::var(ta.originParams[l]).plus(config.subTile[l] - 1));
+    } else {
+      lb = BoundExpr::single(AffExpr::var(ta.originParams[l]), true);
+      ub = loopUb(l);
+      ub.parts.push_back(AffExpr::var(ta.originParams[l]).plus(config.subTile[l] - 1));
+    }
+    inner = inner->addChild(AstNode::forLoop("p" + std::to_string(l), lb, ub));
+  }
+  for (size_t s = 0; s < unit.statements.size(); ++s) {
+    std::vector<AffExpr> args;
+    for (int l = 0; l < depth; ++l) args.push_back(AffExpr::var("p" + std::to_string(l)));
+    inner->addChild(AstNode::call(static_cast<int>(s), std::move(args)));
+  }
+
+  // Move-out fragments at their levels (after the deeper loops).
+  for (CopyFragment& f : fragments)
+    if (!f.moveIn) {
+      AstNode* host = levelNodes[f.level];
+      host->addChild(AstNode::sync());
+      host->addChild(
+          AstNode::comment("move-out " + ta.plan.partitions[f.partition].bufferName));
+      host->addChild(std::move(f.code));
+    }
+
+  for (int l : plan.spaceLoops) result.spaceLoopRange.emplace_back(loopLb(l), loopUb(l));
+  result.unit = std::move(unit);
+  return result;
+}
+
+}  // namespace emm

@@ -1,0 +1,89 @@
+// Multi-level tiling for two-level parallel architectures (paper Section 4).
+//
+// Produces the structure of the paper's Figure 3 from the structure of
+// Figure 2:
+//   FORALL block-tile loops  (space loops distributed over outer-level units)
+//     FOR   sub-tile loops   (extra sequential level that bounds scratchpad
+//                             footprint; all tiled loops)
+//       <move-in code>                         -- placed per Section 4.2
+//       FORALL thread-tile loops (space loops over inner-level units)
+//         FOR point loops
+//           statement instances (rewritten to hit scratchpad buffers)
+//       <move-out code>
+//
+// The scratchpad framework of Section 3 is applied to the sub-tile viewed
+// as a program block whose parameters are the original parameters plus the
+// tile-origin iterators; buffer sizes are then tile-size expressions and the
+// move-in/move-out code is parameterized by the origins, exactly as in the
+// paper. Hoisting (Section 4.2) moves copy code above sub-tile loops that
+// are redundant for a buffer (no data space depends on their origin).
+//
+// Scope: statements must share all `commonLoopDepth` loops and loop bounds
+// must be parameter-only (rectangular bands) — the shape of Figure 2. The
+// Jacobi pipeline uses the concurrent-start mapping in src/kernels instead
+// (the paper likewise defers to [27] for that kernel).
+#pragma once
+
+#include <memory>
+
+#include "smem/data_manage.h"
+#include "transform/transform.h"
+
+namespace emm {
+
+/// Tile-level analysis shared by code generation and the tile-size search:
+/// the sub-tile program block (origins as parameters), its scratchpad plan,
+/// and the hoisted placement level of every buffer's copy code.
+struct TileAnalysis {
+  std::unique_ptr<ProgramBlock> tileBlock;
+  DataPlan plan;                          ///< empty partitions when scratchpad off
+  std::vector<std::string> originParams;  ///< one per common loop
+  std::vector<DimBounds> loopBounds;      ///< parameter-only bounds per loop
+  std::vector<i64> subTile;
+  int depth = 0;
+  /// Per partition index: sub-tile nesting level (0..depth) the copy code is
+  /// placed at; `depth` = innermost. Only meaningful for buffered partitions.
+  std::vector<int> hoistLevel;
+};
+
+/// Runs the Section-3 analysis on the sub-tile block induced by `subTile`
+/// sizes and computes copy-code placement levels (Section 4.2; pass
+/// hoist=false for the ablation that pins copies innermost).
+TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
+                         const std::vector<i64>& subTile, const SmemOptions& smemBase,
+                         bool hoist = true, bool useScratchpad = true);
+
+/// Concrete tile sizes. Ordering follows loop index order of the block.
+struct TileConfig {
+  /// Per common loop: sub-tile (memory-level) size; must be >= 1.
+  std::vector<i64> subTile;
+  /// Per space loop (in plan.spaceLoops order): block-tile size.
+  std::vector<i64> blockTile;
+  /// Per space loop: thread-tile size.
+  std::vector<i64> threadTile;
+  /// Section 4.2 hoisting of copy code out of redundant loops.
+  bool hoistCopies = true;
+  /// When false, no scratchpad framework is applied: all accesses stay in
+  /// global memory (the paper's "GPU w/o scratchpad" baseline).
+  bool useScratchpad = true;
+};
+
+/// A fully mapped kernel: executable CodeUnit plus the analysis artifacts.
+struct TiledKernel {
+  TileAnalysis analysis;  ///< owns the tile block; unit.source points at it
+  CodeUnit unit;
+  std::vector<int> spaceLoops;
+  std::vector<i64> blockTileSizes;  ///< per space loop
+  std::vector<std::pair<BoundExpr, BoundExpr>> spaceLoopRange;  ///< lb/ub per space loop
+
+  /// Number of outer-level tiles (= thread blocks launched) at a binding.
+  i64 numBlockTiles(const IntVec& paramValues) const;
+  /// Scratchpad elements needed per block instance.
+  i64 footprintPerBlock(const IntVec& paramValues) const;
+};
+
+/// Builds the multi-level tiled kernel (Figure 3).
+TiledKernel buildTiledKernel(const ProgramBlock& block, const ParallelismPlan& plan,
+                             const TileConfig& config, const SmemOptions& smemBase);
+
+}  // namespace emm

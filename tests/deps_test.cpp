@@ -1,0 +1,164 @@
+// Tests for dependence analysis: dependence polyhedra and distance signs.
+#include <gtest/gtest.h>
+
+#include "deps/dependence.h"
+#include "kernels/blocks.h"
+#include "transform/transform.h"
+
+namespace emm {
+namespace {
+
+int countKind(const std::vector<Dependence>& deps, DepKind k) {
+  int n = 0;
+  for (const Dependence& d : deps)
+    if (d.kind == k) ++n;
+  return n;
+}
+
+TEST(Deps, IndependentLoopHasNoDeps) {
+  // B[i] = A[i]: reads and writes never conflict.
+  ProgramBlock block;
+  block.name = "indep";
+  block.arrays = {{"A", {16}}, {"B", {16}}};
+  Statement s;
+  s.name = "S";
+  s.domain = Polyhedron(1, 0);
+  s.domain.addRange(0, 0, 15);
+  Access w{1, IntMat{{1, 0}}, true};
+  Access r{0, IntMat{{1, 0}}, false};
+  s.accesses = {w, r};
+  s.writeAccess = 0;
+  s.rhs = Expr::load(1);
+  s.schedule = ProgramBlock::interleavedSchedule(1, 0, {0, 0});
+  block.statements.push_back(std::move(s));
+  EXPECT_TRUE(computeDependences(block).empty());
+}
+
+TEST(Deps, RecurrenceFlowDep) {
+  // A[i] = A[i-1]: flow dep with distance exactly 1.
+  ProgramBlock block;
+  block.name = "rec";
+  block.arrays = {{"A", {32}}};
+  Statement s;
+  s.name = "S";
+  s.domain = Polyhedron(1, 0);
+  s.domain.addRange(0, 1, 31);
+  Access w{0, IntMat{{1, 0}}, true};
+  Access r{0, IntMat{{1, -1}}, false};
+  s.accesses = {w, r};
+  s.writeAccess = 0;
+  s.rhs = Expr::load(1);
+  s.schedule = ProgramBlock::interleavedSchedule(1, 0, {0, 0});
+  block.statements.push_back(std::move(s));
+
+  auto deps = computeDependences(block);
+  ASSERT_FALSE(deps.empty());
+  EXPECT_GE(countKind(deps, DepKind::Flow), 1);
+  for (const Dependence& d : deps)
+    if (d.kind == DepKind::Flow) EXPECT_EQ(distanceSign(d, 0), SignRange::Positive);
+}
+
+TEST(Deps, AntiDependence) {
+  // A[i] = A[i+1]: anti dep (read before overwrite), distance +1.
+  ProgramBlock block;
+  block.name = "anti";
+  block.arrays = {{"A", {32}}};
+  Statement s;
+  s.name = "S";
+  s.domain = Polyhedron(1, 0);
+  s.domain.addRange(0, 0, 30);
+  Access w{0, IntMat{{1, 0}}, true};
+  Access r{0, IntMat{{1, 1}}, false};
+  s.accesses = {w, r};
+  s.writeAccess = 0;
+  s.rhs = Expr::load(1);
+  s.schedule = ProgramBlock::interleavedSchedule(1, 0, {0, 0});
+  block.statements.push_back(std::move(s));
+
+  auto deps = computeDependences(block);
+  EXPECT_GE(countKind(deps, DepKind::Anti), 1);
+}
+
+TEST(Deps, JacobiSigns) {
+  // Jacobi (t, i): flow deps from S1 (writes B) to S2 (reads B) at distance
+  // (0, 0); deps from S2 (writes A) to S1's next-step reads at t-distance 1
+  // with i-distance in {-1, 0, 1}.
+  ProgramBlock block = buildJacobiBlock(32, 8);
+  auto deps = computeDependences(block);
+  ASSERT_FALSE(deps.empty());
+
+  auto sums = summarizeLoops(block, deps, 2);
+  EXPECT_EQ(sums[0].sign, SignRange::NonNegative);  // t never decreases
+  EXPECT_EQ(sums[1].sign, SignRange::Mixed);        // i goes both ways
+}
+
+TEST(Deps, MeAccumulationSigns) {
+  ProgramBlock block = buildMeBlock(8, 8, 4);
+  auto deps = computeDependences(block);
+  ASSERT_FALSE(deps.empty());
+  auto sums = summarizeLoops(block, deps, 4);
+  // i, j carry no dependence (each (i,j) SAD cell independent).
+  EXPECT_EQ(sums[0].sign, SignRange::Zero);
+  EXPECT_EQ(sums[1].sign, SignRange::Zero);
+  // k carries the accumulation.
+  EXPECT_TRUE(sums[2].sign == SignRange::NonNegative || sums[2].sign == SignRange::Positive);
+}
+
+TEST(Deps, MatmulSigns) {
+  ProgramBlock block = buildMatmulBlock(6, 6, 6);
+  auto deps = computeDependences(block);
+  auto sums = summarizeLoops(block, deps, 3);
+  EXPECT_EQ(sums[0].sign, SignRange::Zero);
+  EXPECT_EQ(sums[1].sign, SignRange::Zero);
+  EXPECT_TRUE(sums[2].sign == SignRange::NonNegative || sums[2].sign == SignRange::Positive);
+}
+
+TEST(Deps, FlowDepPolyhedronHasExpectedPoints) {
+  // A[i] = A[i-1], i in [1, 5]: flow dep instances are (src=i-1? no:
+  // src iter s writes A[s], dst iter d reads A[d-1]; same element when
+  // s == d-1; with s < d this is exactly d = s+1, s in [1,4] (s>=1 as a
+  // write instance) plus s=0? i starts at 1 so s in [1,4]: 4 pairs.
+  ProgramBlock block;
+  block.name = "chain";
+  block.arrays = {{"A", {8}}};
+  Statement s;
+  s.name = "S";
+  s.domain = Polyhedron(1, 0);
+  s.domain.addRange(0, 1, 5);
+  Access w{0, IntMat{{1, 0}}, true};
+  Access r{0, IntMat{{1, -1}}, false};
+  s.accesses = {w, r};
+  s.writeAccess = 0;
+  s.rhs = Expr::load(1);
+  s.schedule = ProgramBlock::interleavedSchedule(1, 0, {0, 0});
+  block.statements.push_back(std::move(s));
+
+  auto deps = computeDependences(block);
+  i64 flowPairs = 0;
+  for (const Dependence& d : deps)
+    if (d.kind == DepKind::Flow) {
+      // Count integer points of the dependence polyhedron.
+      Polyhedron p = d.poly;
+      i64 n = 0;
+      // 2-D space (s, d), no params.
+      for (i64 a = 0; a <= 6; ++a)
+        for (i64 b = 0; b <= 6; ++b)
+          if (p.contains({a, b})) ++n;
+      flowPairs += n;
+    }
+  EXPECT_EQ(flowPairs, 4);
+}
+
+TEST(Deps, CombineSignsTable) {
+  using S = SignRange;
+  EXPECT_EQ(combineSigns(S::Zero, S::Zero), S::Zero);
+  EXPECT_EQ(combineSigns(S::Zero, S::Positive), S::NonNegative);
+  EXPECT_EQ(combineSigns(S::Positive, S::Positive), S::Positive);
+  EXPECT_EQ(combineSigns(S::Negative, S::Zero), S::NonPositive);
+  EXPECT_EQ(combineSigns(S::Positive, S::Negative), S::Mixed);
+  EXPECT_EQ(combineSigns(S::Mixed, S::Zero), S::Mixed);
+  EXPECT_EQ(combineSigns(S::NonNegative, S::Positive), S::NonNegative);
+}
+
+}  // namespace
+}  // namespace emm

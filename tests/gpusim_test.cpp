@@ -1,0 +1,199 @@
+// Tests for the simulated two-level machine: occupancy, feasibility rules,
+// cost monotonicity, and the qualitative behaviors the figures rely on.
+#include <gtest/gtest.h>
+
+#include "gpusim/machine.h"
+
+namespace emm {
+namespace {
+
+Machine gtx() { return Machine::geforce8800gtx(); }
+
+BlockWork computeOnly(i64 ops) {
+  BlockWork w;
+  w.computeOps = ops;
+  return w;
+}
+
+TEST(Machine, OccupancyLimitedByScratchpad) {
+  Machine m = gtx();
+  LaunchConfig l;
+  l.numBlocks = 256;
+  l.threadsPerBlock = 64;
+  l.smemBytesPerBlock = 8 * 1024;  // 2 blocks per SM
+  SimResult r = simulateLaunch(m, l, computeOnly(1000));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.concurrentBlocks, 2 * m.numSMs);
+  // Blocks serialize per SM: 256 blocks over 16 SMs = 16 rounds.
+  EXPECT_EQ(r.waves, 256 / m.numSMs);
+  // Tighter residency (4x footprint) costs time through lost latency
+  // hiding, not through throughput.
+  LaunchConfig tight = l;
+  tight.smemBytesPerBlock = 16 * 1024;
+  BlockWork w;
+  w.globalElems = 100000;
+  SimResult loose = simulateLaunch(m, l, w);
+  SimResult one = simulateLaunch(m, tight, w);
+  ASSERT_TRUE(one.feasible);
+  EXPECT_GE(one.milliseconds, loose.milliseconds);
+}
+
+TEST(Machine, FootprintOverCapacityInfeasible) {
+  Machine m = gtx();
+  LaunchConfig l;
+  l.numBlocks = 16;
+  l.threadsPerBlock = 64;
+  l.smemBytesPerBlock = 17 * 1024;  // > 16 KB
+  SimResult r = simulateLaunch(m, l, computeOnly(1000));
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Machine, GlobalBarrierResidencyRule) {
+  // With spin-style barriers (syncRequiresResidency), more blocks than can
+  // be resident is infeasible (paper Section 4.1: all synchronizing
+  // processes must be active). Relaunch-style barriers (default) tolerate
+  // oversubscription.
+  Machine m = gtx();
+  LaunchConfig l;
+  l.numBlocks = 1024;
+  l.threadsPerBlock = 64;
+  l.smemBytesPerBlock = 8 * 1024;  // 32 resident max
+  l.interBlockSyncs = 10;
+  l.syncRequiresResidency = true;
+  SimResult r = simulateLaunch(m, l, computeOnly(1000));
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.infeasibleReason.find("resident"), std::string::npos);
+  l.syncRequiresResidency = false;
+  EXPECT_TRUE(simulateLaunch(m, l, computeOnly(1000)).feasible);
+  // Without barriers the same launch runs in waves regardless.
+  l.interBlockSyncs = 0;
+  l.syncRequiresResidency = true;
+  EXPECT_TRUE(simulateLaunch(m, l, computeOnly(1000)).feasible);
+}
+
+TEST(Machine, GlobalTrafficSlowerThanScratchpad) {
+  Machine m = gtx();
+  LaunchConfig l;
+  l.numBlocks = 32;
+  l.threadsPerBlock = 256;
+  l.smemBytesPerBlock = 4096;
+  BlockWork global;
+  global.globalElems = 1'000'000;
+  BlockWork local;
+  local.smemElems = 1'000'000;
+  double tg = simulateLaunch(m, l, global).milliseconds;
+  double ts = simulateLaunch(m, l, local).milliseconds;
+  EXPECT_GT(tg, 4 * ts);  // scratchpad is much cheaper per element
+}
+
+TEST(Machine, TimeScalesWithWork) {
+  Machine m = gtx();
+  LaunchConfig l;
+  l.numBlocks = 32;
+  l.threadsPerBlock = 128;
+  double t1 = simulateLaunch(m, l, computeOnly(1'000'000)).milliseconds;
+  double t2 = simulateLaunch(m, l, computeOnly(2'000'000)).milliseconds;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.01);
+}
+
+TEST(Machine, MoreBlocksAmortizeUntilWavesSaturate) {
+  // Fixed total work split across B blocks: time falls until the device is
+  // full, then flattens.
+  Machine m = gtx();
+  const i64 totalOps = 128'000'000;
+  auto timeFor = [&](i64 blocks) {
+    LaunchConfig l;
+    l.numBlocks = blocks;
+    l.threadsPerBlock = 64;
+    return simulateLaunch(m, l, computeOnly(totalOps / blocks)).milliseconds;
+  };
+  EXPECT_GT(timeFor(1), timeFor(4));
+  EXPECT_GT(timeFor(4), timeFor(16));
+  // Beyond full occupancy, time stops improving much.
+  EXPECT_NEAR(timeFor(128), timeFor(256), timeFor(128) * 0.5);
+}
+
+TEST(Machine, InterBlockSyncCostGrowsWithBlocks) {
+  Machine m = gtx();
+  auto timeFor = [&](i64 blocks) {
+    LaunchConfig l;
+    l.numBlocks = blocks;
+    l.threadsPerBlock = 64;
+    l.smemBytesPerBlock = 64;  // tiny: residency never binds
+    l.interBlockSyncs = 128;
+    return simulateLaunch(m, l, computeOnly(1000)).milliseconds;
+  };
+  EXPECT_LT(timeFor(16), timeFor(128));
+  EXPECT_LT(timeFor(128), timeFor(250));
+}
+
+TEST(Machine, JacobiStyleUShape) {
+  // Fixed total work + per-band barriers: sweeping block count produces the
+  // Figure-7 U-shape (falling, then rising once sync dominates).
+  Machine m = gtx();
+  const i64 totalOps = 160'000'000;
+  const i64 totalSmem = 480'000'000;
+  auto timeFor = [&](i64 blocks) {
+    LaunchConfig l;
+    l.numBlocks = blocks;
+    l.threadsPerBlock = 64;
+    l.smemBytesPerBlock = 256;
+    l.interBlockSyncs = 128;
+    BlockWork w;
+    w.computeOps = totalOps / blocks;
+    w.smemElems = totalSmem / blocks;
+    w.intraSyncs = 128;
+    SimResult r = simulateLaunch(m, l, w);
+    EXPECT_TRUE(r.feasible);
+    return r.milliseconds;
+  };
+  double t16 = timeFor(16), t64 = timeFor(64), t240 = timeFor(240);
+  EXPECT_GT(t16, t64);   // falling edge: parallelism wins
+  EXPECT_LT(t64, t240);  // rising edge: sync cost dominates
+}
+
+TEST(Machine, CpuBaseline) {
+  Machine m = gtx();
+  double t = simulateCpuMs(m, 1'000'000, 500'000);
+  EXPECT_GT(t, 0);
+  // Twice the work, twice the time.
+  EXPECT_NEAR(simulateCpuMs(m, 2'000'000, 1'000'000) / t, 2.0, 1e-9);
+}
+
+TEST(Machine, BlockWorkArithmetic) {
+  BlockWork a;
+  a.globalElems = 10;
+  a.smemElems = 20;
+  a.computeOps = 30;
+  a.intraSyncs = 4;
+  BlockWork b = a;
+  b += a;
+  EXPECT_EQ(b.globalElems, 20);
+  EXPECT_EQ(b.intraSyncs, 8);
+  BlockWork h = a.scaled(0.5);
+  EXPECT_EQ(h.globalElems, 5);
+  EXPECT_EQ(h.computeOps, 15);
+}
+
+class OccupancySweep : public ::testing::TestWithParam<i64> {};
+
+TEST_P(OccupancySweep, ConcurrentBlocksMatchFormula) {
+  // Paper Section 5: concurrent blocks cannot exceed smem capacity / block
+  // footprint (and the hardware block cap).
+  i64 smemPerBlock = GetParam();
+  Machine m = gtx();
+  LaunchConfig l;
+  l.numBlocks = 4096;
+  l.threadsPerBlock = 32;
+  l.smemBytesPerBlock = smemPerBlock;
+  SimResult r = simulateLaunch(m, l, computeOnly(10));
+  ASSERT_TRUE(r.feasible);
+  i64 perSM = std::min<i64>(m.maxBlocksPerSM, m.smemBytesPerSM / smemPerBlock);
+  EXPECT_EQ(r.concurrentBlocks, perSM * m.numSMs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, OccupancySweep,
+                         ::testing::Values(2048, 4096, 5000, 8192, 16384));
+
+}  // namespace
+}  // namespace emm

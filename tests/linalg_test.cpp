@@ -1,0 +1,164 @@
+// Tests for exact integer linear algebra.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace emm {
+namespace {
+
+TEST(IntMat, ConstructionAndAccess) {
+  IntMat m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.at(1, 2), 6);
+  m.at(0, 0) = 9;
+  EXPECT_EQ(m.at(0, 0), 9);
+}
+
+TEST(IntMat, Identity) {
+  IntMat id = IntMat::identity(3);
+  EXPECT_EQ(id.at(0, 0), 1);
+  EXPECT_EQ(id.at(0, 1), 0);
+  EXPECT_EQ(id * id, id);
+}
+
+TEST(IntMat, Product) {
+  IntMat a{{1, 2}, {3, 4}};
+  IntMat b{{5, 6}, {7, 8}};
+  IntMat c = a * b;
+  EXPECT_EQ(c, (IntMat{{19, 22}, {43, 50}}));
+}
+
+TEST(IntMat, ApplyVector) {
+  IntMat a{{1, 0, 2}, {0, 3, -1}};
+  IntVec v{4, 5, 6};
+  EXPECT_EQ(a.apply(v), (IntVec{16, 9}));
+}
+
+TEST(IntMat, RowOps) {
+  IntMat m{{1, 2}, {3, 4}};
+  m.appendRow({5, 6});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.row(2), (IntVec{5, 6}));
+  m.removeRow(0);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.row(0), (IntVec{3, 4}));
+}
+
+TEST(IntMat, Transpose) {
+  IntMat m{{1, 2, 3}, {4, 5, 6}};
+  IntMat t = m.transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.at(2, 1), 6);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(IntMat, RankFullAndDeficient) {
+  EXPECT_EQ((IntMat{{1, 0}, {0, 1}}).rank(), 2);
+  EXPECT_EQ((IntMat{{1, 2}, {2, 4}}).rank(), 1);
+  EXPECT_EQ((IntMat{{0, 0}, {0, 0}}).rank(), 0);
+  // The Algorithm-1 shape: access out[i][j] in a 4-deep nest has rank 2 < 4.
+  IntMat meOut{{1, 0, 0, 0}, {0, 1, 0, 0}};
+  EXPECT_EQ(meOut.rank(), 2);
+  // cur[i+k][j+l]: rank 2 as well (rows span 2 dims).
+  IntMat meCur{{1, 0, 1, 0}, {0, 1, 0, 1}};
+  EXPECT_EQ(meCur.rank(), 2);
+}
+
+TEST(IntMat, RankRectangular) {
+  IntMat wide{{1, 2, 3, 4}};
+  EXPECT_EQ(wide.rank(), 1);
+  IntMat tall{{1}, {2}, {3}};
+  EXPECT_EQ(tall.rank(), 1);
+  IntMat mixed{{1, 0, 1}, {0, 1, 1}, {1, 1, 2}};
+  EXPECT_EQ(mixed.rank(), 2);  // row3 = row1 + row2
+}
+
+TEST(Vectors, NormalizeByGcd) {
+  IntVec v{4, -6, 8};
+  normalizeByGcd(v);
+  EXPECT_EQ(v, (IntVec{2, -3, 4}));
+  IntVec zero{0, 0};
+  normalizeByGcd(zero);
+  EXPECT_EQ(zero, (IntVec{0, 0}));
+}
+
+TEST(Vectors, Dot) {
+  EXPECT_EQ(dot({1, 2, 3}, {4, 5, 6}), 32);
+  EXPECT_EQ(dot({}, {}), 0);
+}
+
+TEST(Solve, ConsistentSystem) {
+  IntMat a{{2, 0}, {0, 3}};
+  std::vector<Rat> x;
+  ASSERT_TRUE(solveRational(a, {4, 9}, x));
+  EXPECT_EQ(x[0], Rat(2));
+  EXPECT_EQ(x[1], Rat(3));
+}
+
+TEST(Solve, InconsistentSystem) {
+  IntMat a{{1, 1}, {1, 1}};
+  std::vector<Rat> x;
+  EXPECT_FALSE(solveRational(a, {1, 2}, x));
+}
+
+TEST(Solve, Underdetermined) {
+  IntMat a{{1, 1}};
+  std::vector<Rat> x;
+  ASSERT_TRUE(solveRational(a, {5}, x));
+  EXPECT_EQ(x[0] + x[1], Rat(5));
+}
+
+TEST(Nullspace, RankDeficient) {
+  IntMat a{{1, 2}, {2, 4}};
+  auto basis = nullspace(a);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(dot(a.row(0), basis[0]), 0);
+}
+
+TEST(Nullspace, FullRank) {
+  EXPECT_TRUE(nullspace(IntMat{{1, 0}, {0, 1}}).empty());
+}
+
+TEST(Nullspace, WideMatrix) {
+  IntMat a{{1, 1, 1}};
+  auto basis = nullspace(a);
+  ASSERT_EQ(basis.size(), 2u);
+  for (const IntVec& v : basis) EXPECT_EQ(dot(a.row(0), v), 0);
+}
+
+TEST(Hnf, DiagonalizesSimpleCases) {
+  IntMat a{{2, 4}, {0, 3}};
+  IntMat h = hermiteNormalForm(a);
+  // Pivots positive; above-left entries reduced.
+  EXPECT_GT(h.at(0, 0), 0);
+  EXPECT_GT(h.at(1, 1), 0);
+}
+
+TEST(Hnf, PreservesColumnLattice) {
+  // HNF of a unimodular matrix of determinant 1 is the identity.
+  IntMat u{{1, 1}, {0, 1}};
+  EXPECT_EQ(hermiteNormalForm(u), IntMat::identity(2));
+}
+
+class RankProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankProperty, OuterProductHasRankOne) {
+  int n = GetParam();
+  IntMat m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m.at(i, j) = mulChecked(i + 1, 2 * j + 1);
+  EXPECT_EQ(m.rank(), 1);
+}
+
+TEST_P(RankProperty, IdentityPlusNilpotentIsFullRank) {
+  int n = GetParam();
+  IntMat m = IntMat::identity(n);
+  for (int i = 0; i + 1 < n; ++i) m.at(i, i + 1) = 7;
+  EXPECT_EQ(m.rank(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankProperty, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace emm

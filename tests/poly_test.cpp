@@ -1,0 +1,296 @@
+// Tests for the polyhedral library: Fourier-Motzkin projection, images,
+// intersection/difference, emptiness, parametric bounds, enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "poly/enumerate.h"
+#include "poly/polyhedron.h"
+
+namespace emm {
+namespace {
+
+/// 1-D box lo <= x <= hi with no parameters.
+Polyhedron box1(i64 lo, i64 hi) {
+  Polyhedron p(1, 0);
+  p.addRange(0, lo, hi);
+  return p;
+}
+
+/// 2-D box with no parameters.
+Polyhedron box2(i64 lo0, i64 hi0, i64 lo1, i64 hi1) {
+  Polyhedron p(2, 0);
+  p.addRange(0, lo0, hi0);
+  p.addRange(1, lo1, hi1);
+  return p;
+}
+
+TEST(Polyhedron, ContainsPoint) {
+  Polyhedron p = box2(0, 4, 2, 6);
+  EXPECT_TRUE(p.contains({0, 2}));
+  EXPECT_TRUE(p.contains({4, 6}));
+  EXPECT_FALSE(p.contains({5, 2}));
+  EXPECT_FALSE(p.contains({0, 1}));
+}
+
+TEST(Polyhedron, SimplifyDetectsContradiction) {
+  Polyhedron p = box1(5, 3);  // empty
+  EXPECT_TRUE(p.isEmpty());
+}
+
+TEST(Polyhedron, SimplifyGcdEquality) {
+  // 2x == 5 has no integer solution.
+  Polyhedron p(1, 0);
+  p.addEquality({2, -5});
+  EXPECT_TRUE(p.isEmpty());
+  // 2x == 6 does.
+  Polyhedron q(1, 0);
+  q.addEquality({2, -6});
+  EXPECT_FALSE(q.isEmpty());
+  EXPECT_TRUE(q.contains({3}));
+}
+
+TEST(Polyhedron, EliminateVariable) {
+  // { (x, y) : 0<=x<=3, x<=y<=x+2 } projected onto x is [0,3].
+  Polyhedron p(2, 0);
+  p.addRange(0, 0, 3);
+  IntVec lo{-1, 1, 0};  // y - x >= 0
+  p.addInequality(lo);
+  IntVec hi{1, -1, 2};  // x + 2 - y >= 0
+  p.addInequality(hi);
+  Polyhedron proj = p.eliminated(1);
+  EXPECT_EQ(proj.dim(), 1);
+  EXPECT_TRUE(proj.contains({0}));
+  EXPECT_TRUE(proj.contains({3}));
+  EXPECT_FALSE(proj.contains({4}));
+}
+
+TEST(Polyhedron, EliminateViaEquality) {
+  // { (x, y) : y == 2x + 1, 0 <= x <= 4 } projected onto y: odd y in [1,9].
+  Polyhedron p(2, 0);
+  p.addEquality({2, -1, 1});  // 2x - y + 1 == 0
+  p.addRange(0, 0, 4);
+  Polyhedron proj = p.eliminated(0);
+  EXPECT_EQ(proj.dim(), 1);
+  // Rational projection gives [1,9]; integrality of odd y shows up in
+  // bounds rounding during scanning, so count the actual points.
+  EXPECT_EQ(countPoints(proj, {}), 9);  // projection is the rational shadow
+}
+
+TEST(Polyhedron, ImageShift) {
+  // x in [0,9]; y = x + 5 -> y in [5,14].
+  Polyhedron p = box1(0, 9);
+  IntMat f{{1, 5}};
+  Polyhedron img = p.image(f);
+  EXPECT_EQ(img.dim(), 1);
+  EXPECT_EQ(countPoints(img, {}), 10);
+  EXPECT_TRUE(img.contains({5}));
+  EXPECT_TRUE(img.contains({14}));
+  EXPECT_FALSE(img.contains({4}));
+}
+
+TEST(Polyhedron, ImageProjection2DTo1D) {
+  // (i,j) in [0,3]x[0,5]; y = i -> [0,3].
+  Polyhedron p = box2(0, 3, 0, 5);
+  IntMat f{{1, 0, 0}};
+  Polyhedron img = p.image(f);
+  EXPECT_EQ(countPoints(img, {}), 4);
+}
+
+TEST(Polyhedron, ImageSkewed) {
+  // (i,j) in [0,2]x[0,2]; y = i + j -> [0,4] (all integers reachable).
+  Polyhedron p = box2(0, 2, 0, 2);
+  IntMat f{{1, 1, 0}};
+  EXPECT_EQ(countPoints(p.image(f), {}), 5);
+}
+
+TEST(Polyhedron, ImageWithParams) {
+  // x in [0, N-1]; y = x + N -> [N, 2N-1]; with N=4: 4..7.
+  Polyhedron p(1, 1);
+  IntVec lo{1, 0, 0};
+  p.addInequality(lo);  // x >= 0
+  IntVec hi{-1, 1, -1};
+  p.addInequality(hi);  // N - 1 - x >= 0
+  IntMat f{{1, 1, 0}};  // y = x + N
+  Polyhedron img = p.image(f);
+  EXPECT_EQ(countPoints(img, {4}), 4);
+  EXPECT_TRUE(img.contains({4, 4}));
+  EXPECT_TRUE(img.contains({7, 4}));
+  EXPECT_FALSE(img.contains({8, 4}));
+}
+
+TEST(Polyhedron, Preimage) {
+  // Target: y in [10, 19]; map y = 2z -> z in [5, 9] (integral halves).
+  Polyhedron target = box1(10, 19);
+  IntMat f{{2, 0}};  // y = 2z, over [z, 1]
+  Polyhedron pre = target.preimage(f, 1);
+  EXPECT_EQ(countPoints(pre, {}), 5);
+  EXPECT_TRUE(pre.contains({5}));
+  EXPECT_TRUE(pre.contains({9}));
+  EXPECT_FALSE(pre.contains({10}));
+}
+
+TEST(Polyhedron, IntersectAndOverlap) {
+  Polyhedron a = box1(0, 10);
+  Polyhedron b = box1(8, 20);
+  EXPECT_TRUE(overlaps(a, b));
+  EXPECT_EQ(countPoints(Polyhedron::intersect(a, b), {}), 3);
+  Polyhedron c = box1(11, 20);
+  EXPECT_FALSE(overlaps(a, c));
+}
+
+TEST(Polyhedron, EmptinessWithParams) {
+  // { x : 0 <= x <= N-1, x >= N } is empty for all N.
+  Polyhedron p(1, 1);
+  p.addInequality({1, 0, 0});    // x >= 0
+  p.addInequality({-1, 1, -1});  // x <= N-1
+  p.addInequality({1, -1, 0});   // x >= N
+  EXPECT_TRUE(p.isEmpty());
+}
+
+TEST(Polyhedron, ParamBounds) {
+  // x in [N+1, 3N+4]; bounds as functions of N.
+  Polyhedron p(1, 1);
+  p.addInequality({1, -1, -1});   // x - N - 1 >= 0
+  p.addInequality({-1, 3, 4});    // 3N + 4 - x >= 0
+  DimBounds b = p.paramBounds(0);
+  EXPECT_EQ(b.evalLower({10}), 11);
+  EXPECT_EQ(b.evalUpper({10}), 34);
+}
+
+TEST(Polyhedron, LoopBoundsTriangular) {
+  // { (i,j) : 0<=i<=9, 0<=j<=i }: bounds of j depend on i.
+  Polyhedron p(2, 0);
+  p.addRange(0, 0, 9);
+  p.addInequality({0, 1, 0});   // j >= 0
+  p.addInequality({1, -1, 0});  // i - j >= 0
+  DimBounds b = p.loopBounds(1);
+  EXPECT_EQ(b.evalLower({5}), 0);
+  EXPECT_EQ(b.evalUpper({5}), 5);
+  EXPECT_EQ(countPoints(p, {}), 55);
+}
+
+TEST(SetOps, DifferenceSplitsCorrectly) {
+  Polyhedron a = box1(0, 9);
+  Polyhedron b = box1(3, 5);
+  PolySet diff = setDifference(a, b);
+  i64 total = 0;
+  for (const Polyhedron& piece : diff) total += countPoints(piece, {});
+  EXPECT_EQ(total, 7);
+  // Pieces are disjoint from b.
+  for (const Polyhedron& piece : diff) EXPECT_FALSE(overlaps(piece, b));
+}
+
+TEST(SetOps, DifferenceEmptyResult) {
+  EXPECT_TRUE(setDifference(box1(3, 5), box1(0, 9)).empty());
+}
+
+TEST(SetOps, MakeDisjointPreservesUnion) {
+  PolySet pieces{box1(0, 10), box1(5, 15), box1(12, 20)};
+  PolySet disjoint = makeDisjoint(pieces);
+  i64 total = 0;
+  for (const Polyhedron& piece : disjoint) total += countPoints(piece, {});
+  EXPECT_EQ(total, 21);  // 0..20
+  for (size_t i = 0; i < disjoint.size(); ++i)
+    for (size_t j = i + 1; j < disjoint.size(); ++j)
+      EXPECT_FALSE(overlaps(disjoint[i], disjoint[j]));
+}
+
+TEST(SetOps, OverlapComponents) {
+  PolySet sets{box1(0, 5), box1(4, 9), box1(20, 25), box1(24, 30), box1(100, 101)};
+  auto comps = overlapComponents(sets);
+  ASSERT_EQ(comps.size(), 3u);
+  std::multiset<size_t> sizes;
+  for (const auto& c : comps) sizes.insert(c.size());
+  EXPECT_EQ(sizes, (std::multiset<size_t>{1, 2, 2}));
+}
+
+TEST(Enumerate, VisitsLexicographically) {
+  Polyhedron p = box2(0, 1, 0, 1);
+  std::vector<IntVec> pts;
+  forEachPoint(p, {}, [&](const IntVec& v) { pts.push_back(v); });
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_EQ(pts[0], (IntVec{0, 0}));
+  EXPECT_EQ(pts[3], (IntVec{1, 1}));
+  EXPECT_TRUE(std::is_sorted(pts.begin(), pts.end()));
+}
+
+TEST(Enumerate, CountWithCap) {
+  Polyhedron p = box1(0, 999);
+  EXPECT_EQ(countPoints(p, {}, 10), 10);
+  EXPECT_EQ(countPoints(p, {}), 1000);
+}
+
+TEST(Enumerate, CountUnionDeduplicates) {
+  PolySet sets{box1(0, 9), box1(5, 14)};
+  EXPECT_EQ(countUnion(sets, {}), 15);
+}
+
+TEST(Enumerate, BoundingBoxVolume) {
+  Polyhedron p = box2(2, 5, 10, 12);
+  EXPECT_EQ(boundingBoxVolume(p, {}), 12);  // 4 * 3
+  EXPECT_EQ(boundingBoxVolume(box1(5, 3), {}), 0);
+}
+
+TEST(Enumerate, DiagonalSliceIntegrality) {
+  // { (i,j) : 2j == i, 0 <= i <= 10 } has 6 points.
+  Polyhedron p(2, 0);
+  p.addEquality({1, -2, 0});
+  p.addRange(0, 0, 10);
+  EXPECT_EQ(countPoints(p, {}), 6);
+}
+
+// ---- Property suite: images and projections against brute force. ----
+
+struct ImageCase {
+  i64 lo0, hi0, lo1, hi1;  // domain box
+  i64 a, b, c, d;          // map rows: y0 = a*i + b*j, y1 = c*i + d*j
+};
+
+class ImageProperty : public ::testing::TestWithParam<ImageCase> {};
+
+TEST_P(ImageProperty, ImageMatchesBruteForce) {
+  const ImageCase& t = GetParam();
+  Polyhedron dom = box2(t.lo0, t.hi0, t.lo1, t.hi1);
+  IntMat f{{t.a, t.b, 0}, {t.c, t.d, 0}};
+  Polyhedron img = dom.image(f);
+
+  std::set<IntVec> expected;
+  for (i64 i = t.lo0; i <= t.hi0; ++i)
+    for (i64 j = t.lo1; j <= t.hi1; ++j)
+      expected.insert({t.a * i + t.b * j, t.c * i + t.d * j});
+
+  std::set<IntVec> actual;
+  forEachPoint(img, {}, [&](const IntVec& v) { actual.insert(v); });
+  // The image polyhedron is the rational shadow: it may strictly contain
+  // the integer image only when the map is non-surjective on the lattice;
+  // for these unimodular-ish cases equality must hold.
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Maps, ImageProperty,
+    ::testing::Values(ImageCase{0, 4, 0, 4, 1, 0, 0, 1},    // identity
+                      ImageCase{0, 4, 0, 4, 1, 1, 0, 1},    // shear
+                      ImageCase{-2, 2, -2, 2, 1, 1, 1, 0},  // swapizer
+                      ImageCase{0, 3, 0, 5, 1, 0, 1, 1},    // skew other way
+                      ImageCase{2, 6, 1, 3, 1, -1, 0, 1}));
+
+class ProjectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionProperty, ProjectionOfSimplexCountsMatchBruteForce) {
+  int n = GetParam();
+  // { (i, j) : 0 <= i, 0 <= j, i + j <= n } projected to i = [0, n].
+  Polyhedron p(2, 0);
+  p.addInequality({1, 0, 0});
+  p.addInequality({0, 1, 0});
+  p.addInequality({-1, -1, n});
+  EXPECT_EQ(countPoints(p, {}), (static_cast<i64>(n) + 1) * (n + 2) / 2);
+  Polyhedron proj = p.eliminated(1);
+  EXPECT_EQ(countPoints(proj, {}), n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProjectionProperty, ::testing::Values(0, 1, 2, 5, 13));
+
+}  // namespace
+}  // namespace emm

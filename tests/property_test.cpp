@@ -1,0 +1,238 @@
+// Property-based suites over generated affine blocks and polyhedral
+// algebra. Inputs are generated deterministically from seeds; every
+// property is a law that must hold for all inputs:
+//
+//  P1  set algebra: |A| = |A\B| + |A∩B|; pieces of A\B are disjoint from B
+//  P2  image/preimage adjunction on boxes
+//  P3  scratchpad framework preserves semantics on randomized 2-array blocks
+//  P4  move-in traffic equals the exact union volume of read spaces
+//  P5  tiled execution preserves semantics for random tile shapes (matmul)
+//  P6  simulator monotonicity: more work never takes less time
+#include <gtest/gtest.h>
+
+#include "gpusim/machine.h"
+#include "ir/interp.h"
+#include "kernels/blocks.h"
+#include "poly/enumerate.h"
+#include "smem/data_manage.h"
+#include "tiling/multilevel.h"
+
+namespace emm {
+namespace {
+
+/// Deterministic value stream for test-case generation.
+struct Gen {
+  std::uint64_t state;
+  explicit Gen(unsigned seed) : state(seed * 2654435761u + 1) {}
+  i64 next(i64 lo, i64 hi) {  // inclusive
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lo + static_cast<i64>((state >> 33) % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+Polyhedron randomBox(Gen& g, int dim, i64 maxCoord) {
+  Polyhedron p(dim, 0);
+  for (int d = 0; d < dim; ++d) {
+    i64 lo = g.next(0, maxCoord - 1);
+    i64 hi = g.next(lo, maxCoord - 1);
+    p.addRange(d, lo, hi);
+  }
+  return p;
+}
+
+class SetAlgebraProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SetAlgebraProperty, DifferencePartitionsTheSet) {
+  Gen g(GetParam());
+  int dim = static_cast<int>(g.next(1, 3));
+  Polyhedron a = randomBox(g, dim, 12);
+  Polyhedron b = randomBox(g, dim, 12);
+
+  i64 total = countPoints(a, {});
+  i64 inter = countIntersection(a, b, {});
+  PolySet diff = setDifference(a, b);
+  i64 diffCount = 0;
+  for (const Polyhedron& piece : diff) {
+    diffCount += countPoints(piece, {});
+    EXPECT_FALSE(overlaps(piece, b));
+  }
+  EXPECT_EQ(total, diffCount + inter);
+  // Pieces are pairwise disjoint.
+  for (size_t i = 0; i < diff.size(); ++i)
+    for (size_t j = i + 1; j < diff.size(); ++j) EXPECT_FALSE(overlaps(diff[i], diff[j]));
+}
+
+TEST_P(SetAlgebraProperty, UnionCountIsInclusionExclusion) {
+  Gen g(GetParam() + 1000);
+  Polyhedron a = randomBox(g, 2, 10);
+  Polyhedron b = randomBox(g, 2, 10);
+  i64 u = countUnion({a, b}, {});
+  EXPECT_EQ(u, countPoints(a, {}) + countPoints(b, {}) - countIntersection(a, b, {}));
+}
+
+TEST_P(SetAlgebraProperty, ImagePreimageAdjunction) {
+  // For y = x + c on a box: preimage(image(B)) == B.
+  Gen g(GetParam() + 2000);
+  Polyhedron box = randomBox(g, 1, 20);
+  i64 c = g.next(-5, 5);
+  IntMat f{{1, c}};
+  Polyhedron img = box.image(f);
+  Polyhedron back = img.preimage(f, 1);
+  EXPECT_EQ(countPoints(box, {}), countPoints(img, {}));
+  EXPECT_EQ(countPoints(back, {}), countPoints(box, {}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetAlgebraProperty, ::testing::Range(1u, 13u));
+
+// ---- Randomized affine blocks through the scratchpad framework. ----
+
+/// Builds a two-array block: B[i] = f(A[i+s1], A[i+s2], B-read?) with random
+/// shifts and extent; exercises partitioning, benefit analysis, rewriting
+/// and copy generation.
+ProgramBlock randomBlock(Gen& g) {
+  i64 range = g.next(4, 24);
+  i64 s1 = g.next(0, 12);
+  i64 s2 = g.next(0, 12);
+  ProgramBlock block;
+  block.name = "rand";
+  block.arrays = {{"A", {64}}, {"B", {64}}};
+  Statement s;
+  s.name = "S";
+  s.domain = Polyhedron(1, 0);
+  s.domain.addRange(0, 0, range - 1);
+  Access w{1, IntMat{{1, 0}}, true};
+  Access r1{0, IntMat{{1, s1}}, false};
+  Access r2{0, IntMat{{1, s2}}, false};
+  s.accesses = {w, r1, r2};
+  s.writeAccess = 0;
+  s.rhs = Expr::add(Expr::load(1), Expr::mul(Expr::load(2), Expr::constant(2)));
+  s.schedule = ProgramBlock::interleavedSchedule(1, 0, {0, 0});
+  block.statements.push_back(std::move(s));
+  // Sometimes add a second statement reading what the first wrote.
+  if (g.next(0, 1) == 1) {
+    Statement s2s;
+    s2s.name = "T";
+    s2s.domain = Polyhedron(1, 0);
+    s2s.domain.addRange(0, 0, range - 1);
+    Access w2{0, IntMat{{1, 30}}, true};
+    Access r{1, IntMat{{1, 0}}, false};
+    s2s.accesses = {w2, r};
+    s2s.writeAccess = 0;
+    s2s.rhs = Expr::sub(Expr::load(1), Expr::constant(1));
+    s2s.schedule = ProgramBlock::interleavedSchedule(1, 0, {1, 0});
+    block.statements.push_back(std::move(s2s));
+  }
+  block.validate();
+  return block;
+}
+
+class RandomBlockProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomBlockProperty, ScratchpadPreservesSemantics) {
+  Gen g(GetParam());
+  ProgramBlock block = randomBlock(g);
+  for (bool onlyBeneficial : {false, true}) {
+    for (bool optimize : {false, true}) {
+      SmemOptions o;
+      o.onlyBeneficial = onlyBeneficial;
+      o.optimizeCopySets = optimize;
+      CodeUnit unit = buildScratchpadUnit(block, o);
+      ArrayStore got(block.arrays), want(block.arrays);
+      got.fillAllPattern(GetParam());
+      want.fillAllPattern(GetParam());
+      executeCodeUnit(unit, {}, got);
+      executeReference(block, {}, want);
+      ASSERT_EQ(ArrayStore::maxAbsDiff(got, want), 0.0)
+          << "onlyBeneficial=" << onlyBeneficial << " optimize=" << optimize;
+    }
+  }
+}
+
+TEST_P(RandomBlockProperty, MoveInTrafficEqualsUnionVolume) {
+  Gen g(GetParam() + 500);
+  ProgramBlock block = randomBlock(g);
+  SmemOptions o;
+  o.onlyBeneficial = false;
+  DataPlan plan;
+  CodeUnit unit = buildScratchpadUnit(block, o, plan);
+  ArrayStore store(block.arrays);
+  MemTrace t = executeCodeUnit(unit, {}, store);
+  i64 expected = 0;
+  for (const PartitionPlan& p : plan.partitions)
+    if (p.hasBuffer) expected += countUnion(p.readSpaces(), {});
+  EXPECT_EQ(t.globalReads, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBlockProperty, ::testing::Range(1u, 17u));
+
+// ---- Random tile shapes on matmul. ----
+
+class RandomTileProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomTileProperty, TiledMatmulAlwaysCorrect) {
+  Gen g(GetParam());
+  i64 n = g.next(3, 10), m = g.next(3, 10), k = g.next(3, 10);
+  ProgramBlock block = buildMatmulBlock(n, m, k);
+  auto deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  TileConfig tc;
+  tc.subTile = {g.next(1, n), g.next(1, m), g.next(1, k)};
+  tc.blockTile = {tc.subTile[0] * g.next(1, 2), tc.subTile[1] * g.next(1, 2)};
+  tc.threadTile = {g.next(1, 4), g.next(1, 4)};
+  SmemOptions smem;
+  smem.sampleParams = {n, m, k};
+
+  TiledKernel kernel = buildTiledKernel(block, plan, tc, smem);
+  ArrayStore store(block.arrays);
+  store.fillAllPattern(GetParam());
+  std::vector<double> a = store.raw(0), b = store.raw(1), c = store.raw(2);
+  IntVec ext = {n, m, k};
+  ext.resize(kernel.analysis.tileBlock->paramNames.size(), 0);
+  executeCodeUnit(kernel.unit, ext, store);
+  referenceMatmul(a, b, c, n, m, k);
+  for (i64 i = 0; i < n; ++i)
+    for (i64 j = 0; j < m; ++j)
+      ASSERT_NEAR(store.get(2, {i, j}), c[i * m + j], 1e-9)
+          << "n,m,k=" << n << "," << m << "," << k << " tile=" << tc.subTile[0] << ","
+          << tc.subTile[1] << "," << tc.subTile[2];
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTileProperty, ::testing::Range(1u, 21u));
+
+// ---- Simulator monotonicity laws. ----
+
+class SimMonotonicity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimMonotonicity, MoreWorkNeverFaster) {
+  Gen g(GetParam());
+  Machine m = Machine::geforce8800gtx();
+  LaunchConfig l;
+  l.numBlocks = g.next(1, 256);
+  l.threadsPerBlock = g.next(1, 8) * 32;
+  l.smemBytesPerBlock = g.next(0, 16) * 1024;
+  BlockWork w;
+  w.computeOps = g.next(0, 1'000'000);
+  w.smemElems = g.next(0, 1'000'000);
+  w.globalElems = g.next(0, 1'000'000);
+  w.intraSyncs = g.next(0, 1000);
+  SimResult base = simulateLaunch(m, l, w);
+  if (!base.feasible) return;
+
+  BlockWork more = w;
+  more.computeOps += g.next(1, 100000);
+  more.globalElems += g.next(1, 100000);
+  SimResult heavier = simulateLaunch(m, l, more);
+  ASSERT_TRUE(heavier.feasible);
+  EXPECT_GE(heavier.milliseconds, base.milliseconds);
+
+  LaunchConfig moreSync = l;
+  moreSync.interBlockSyncs = g.next(1, 100);
+  SimResult synced = simulateLaunch(m, moreSync, w);
+  ASSERT_TRUE(synced.feasible);
+  EXPECT_GE(synced.milliseconds, base.milliseconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimMonotonicity, ::testing::Range(1u, 25u));
+
+}  // namespace
+}  // namespace emm

@@ -1,0 +1,104 @@
+// Tests for checked arithmetic and rationals.
+#include <gtest/gtest.h>
+
+#include "support/checked_int.h"
+#include "support/rational.h"
+
+namespace emm {
+namespace {
+
+TEST(CheckedInt, BasicOps) {
+  EXPECT_EQ(addChecked(2, 3), 5);
+  EXPECT_EQ(subChecked(2, 3), -1);
+  EXPECT_EQ(mulChecked(-4, 5), -20);
+  EXPECT_EQ(mulAddChecked(2, 3, 4, 5), 26);
+}
+
+TEST(CheckedInt, NarrowAtLimits) {
+  EXPECT_EQ(narrow(static_cast<i128>(INT64_MAX)), INT64_MAX);
+  EXPECT_EQ(narrow(static_cast<i128>(INT64_MIN)), INT64_MIN);
+  EXPECT_DEATH(narrow(static_cast<i128>(INT64_MAX) + 1), "overflow");
+  EXPECT_DEATH(mulChecked(INT64_MAX, 2), "overflow");
+}
+
+TEST(CheckedInt, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 6), 0);
+}
+
+TEST(CheckedInt, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+TEST(Rational, NormalizationAndSign) {
+  Rat r(6, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 2);
+  EXPECT_EQ(Rat(0, 5), Rat(0));
+  EXPECT_EQ(Rat(0, 5).den(), 1);
+  EXPECT_EQ(Rat(-2, -4), Rat(1, 2));
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rat(1, 2) + Rat(1, 3), Rat(5, 6));
+  EXPECT_EQ(Rat(1, 2) - Rat(1, 3), Rat(1, 6));
+  EXPECT_EQ(Rat(2, 3) * Rat(3, 4), Rat(1, 2));
+  EXPECT_EQ(Rat(2, 3) / Rat(4, 3), Rat(1, 2));
+  EXPECT_EQ(-Rat(1, 2), Rat(-1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rat(1, 3), Rat(1, 2));
+  EXPECT_GT(Rat(-1, 3), Rat(-1, 2));
+  EXPECT_EQ(Rat(2, 4), Rat(1, 2));
+  EXPECT_LE(Rat(1, 2), Rat(1, 2));
+}
+
+TEST(Rational, FloorCeilRound) {
+  EXPECT_EQ(Rat(7, 2).floor(), 3);
+  EXPECT_EQ(Rat(7, 2).ceil(), 4);
+  EXPECT_EQ(Rat(-7, 2).floor(), -4);
+  EXPECT_EQ(Rat(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rat(7, 2).round(), 4);
+  EXPECT_EQ(Rat(5, 2).round(), 3);  // ties away from zero
+  EXPECT_EQ(Rat(-5, 2).round(), -3);
+  EXPECT_EQ(Rat(1, 3).round(), 0);
+  EXPECT_EQ(Rat(2, 3).round(), 1);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rat(3).str(), "3");
+  EXPECT_EQ(Rat(1, 2).str(), "1/2");
+  EXPECT_EQ(Rat(-1, 2).str(), "-1/2");
+}
+
+class RationalFieldAxioms : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalFieldAxioms, AddMulConsistency) {
+  auto [an, bd] = GetParam();
+  Rat a(an, 7), b(bd, 5), c(3, 11);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  if (!b.isZero()) EXPECT_EQ(a / b * b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RationalFieldAxioms,
+                         ::testing::Combine(::testing::Values(-9, -1, 0, 2, 14),
+                                            ::testing::Values(-10, -3, 1, 6, 25)));
+
+}  // namespace
+}  // namespace emm

@@ -1,0 +1,151 @@
+// Tests for the Section-4.3 tile-size search: objective evaluation,
+// constraint handling, solver vs exhaustive oracle agreement.
+#include <gtest/gtest.h>
+
+#include "kernels/blocks.h"
+#include "tilesearch/tilesearch.h"
+
+namespace emm {
+namespace {
+
+struct MeSetup {
+  ProgramBlock block;
+  ParallelismPlan plan;
+  SmemOptions smem;
+  TileSearchOptions opts;
+
+  explicit MeSetup(i64 ni = 64, i64 nj = 64, i64 w = 8) {
+    block = buildMeBlock(ni, nj, w);
+    auto deps = computeDependences(block);
+    plan = findParallelism(block, deps);
+    smem.sampleParams = {ni, nj, w};
+    opts.paramValues = {ni, nj, w};
+    opts.memLimitElems = 2048;
+    opts.innerProcs = 32;
+    opts.syncCost = 32;
+    opts.transferCost = 4;
+  }
+};
+
+TEST(TileEval, FeasibleAndInfeasible) {
+  MeSetup s;
+  TileEvaluation ok = evaluateTileSizes(s.block, s.plan, {16, 16, 8, 8}, s.opts, s.smem);
+  EXPECT_TRUE(ok.feasible) << ok.reason;
+  EXPECT_GT(ok.cost, 0);
+  EXPECT_LE(ok.footprint, s.opts.memLimitElems);
+
+  // Footprint violation: huge tiles.
+  TileEvaluation big = evaluateTileSizes(s.block, s.plan, {64, 64, 8, 8}, s.opts, s.smem);
+  EXPECT_FALSE(big.feasible);
+  EXPECT_NE(big.reason.find("footprint"), std::string::npos);
+
+  // Inner-process violation: tile volume < P.
+  TileEvaluation tiny = evaluateTileSizes(s.block, s.plan, {1, 1, 2, 2}, s.opts, s.smem);
+  EXPECT_FALSE(tiny.feasible);
+  EXPECT_NE(tiny.reason.find("process"), std::string::npos);
+
+  // Range violation.
+  TileEvaluation over = evaluateTileSizes(s.block, s.plan, {128, 16, 8, 8}, s.opts, s.smem);
+  EXPECT_FALSE(over.feasible);
+}
+
+TEST(TileEval, HoistingLowersCost) {
+  MeSetup s;
+  TileSearchOptions noHoist = s.opts;
+  noHoist.hoistCopies = false;
+  TileEvaluation with = evaluateTileSizes(s.block, s.plan, {16, 16, 4, 4}, s.opts, s.smem);
+  TileEvaluation without = evaluateTileSizes(s.block, s.plan, {16, 16, 4, 4}, noHoist, s.smem);
+  ASSERT_TRUE(with.feasible);
+  ASSERT_TRUE(without.feasible);
+  // out's copies run once per (i,j) tile vs once per (i,j,k,l) tile.
+  EXPECT_LT(with.cost, without.cost);
+}
+
+TEST(TileEval, LargerTilesFewerOccurrences) {
+  MeSetup s;
+  TileEvaluation small = evaluateTileSizes(s.block, s.plan, {8, 8, 8, 8}, s.opts, s.smem);
+  TileEvaluation large = evaluateTileSizes(s.block, s.plan, {16, 16, 8, 8}, s.opts, s.smem);
+  ASSERT_TRUE(small.feasible && large.feasible);
+  i64 occSmall = 0, occLarge = 0;
+  for (const auto& t : small.terms) occSmall += t.occurrences;
+  for (const auto& t : large.terms) occLarge += t.occurrences;
+  EXPECT_GT(occSmall, occLarge);
+}
+
+TEST(TileSearch, SolverMatchesOracleOnMe) {
+  MeSetup s(32, 32, 8);
+  s.opts.candidates = {{4, 8, 16, 32}, {4, 8, 16, 32}, {4, 8}, {4, 8}};
+  TileSearchResult fast = searchTileSizes(s.block, s.plan, s.opts, s.smem);
+  TileSearchResult oracle = exhaustiveTileSearch(s.block, s.plan, s.opts, s.smem);
+  ASSERT_TRUE(fast.eval.feasible);
+  ASSERT_TRUE(oracle.eval.feasible);
+  EXPECT_DOUBLE_EQ(fast.eval.cost, oracle.eval.cost)
+      << "fast " << fast.subTile[0] << "," << fast.subTile[1] << "," << fast.subTile[2] << ","
+      << fast.subTile[3];
+  EXPECT_LT(fast.evaluations, oracle.evaluations);
+}
+
+TEST(TileSearch, RespectsMemoryLimit) {
+  MeSetup s(64, 64, 8);
+  s.opts.memLimitElems = 512;  // tight
+  TileSearchResult r = searchTileSizes(s.block, s.plan, s.opts, s.smem);
+  ASSERT_TRUE(r.eval.feasible) << r.eval.reason;
+  EXPECT_LE(r.eval.footprint, 512);
+}
+
+TEST(TileSearch, TightMemoryForcesSmallerTiles) {
+  MeSetup loose(64, 64, 8);
+  MeSetup tight(64, 64, 8);
+  tight.opts.memLimitElems = 512;
+  loose.opts.memLimitElems = 8192;
+  TileSearchResult rl = searchTileSizes(loose.block, loose.plan, loose.opts, loose.smem);
+  TileSearchResult rt = searchTileSizes(tight.block, tight.plan, tight.opts, tight.smem);
+  ASSERT_TRUE(rl.eval.feasible && rt.eval.feasible);
+  EXPECT_LE(rt.eval.footprint, 512);
+  // Looser memory never yields higher cost.
+  EXPECT_LE(rl.eval.cost, rt.eval.cost);
+}
+
+TEST(TileSearch, MatmulOracleAgreement) {
+  ProgramBlock block = buildMatmulBlock(32, 32, 32);
+  auto deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  SmemOptions smem;
+  smem.sampleParams = {32, 32, 32};
+  TileSearchOptions opts;
+  opts.paramValues = {32, 32, 32};
+  opts.memLimitElems = 1024;
+  opts.innerProcs = 16;
+  opts.candidates = {{4, 8, 16}, {4, 8, 16}, {4, 8, 16}};
+  TileSearchResult fast = searchTileSizes(block, plan, opts, smem);
+  TileSearchResult oracle = exhaustiveTileSearch(block, plan, opts, smem);
+  ASSERT_TRUE(oracle.eval.feasible);
+  ASSERT_TRUE(fast.eval.feasible);
+  EXPECT_DOUBLE_EQ(fast.eval.cost, oracle.eval.cost);
+}
+
+class SyncCostSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyncCostSweep, HigherSyncCostPushesTowardLargerTiles) {
+  // As S grows, the P*S term dominates and fewer, larger copies win; the
+  // optimal cost must be monotone in S and the chosen occurrence count
+  // non-increasing.
+  MeSetup cheap(32, 32, 8);
+  MeSetup dear(32, 32, 8);
+  cheap.opts.syncCost = 1;
+  dear.opts.syncCost = GetParam();
+  cheap.opts.candidates = dear.opts.candidates = {{4, 8, 16, 32}, {4, 8, 16, 32}, {8}, {8}};
+  TileSearchResult rc = exhaustiveTileSearch(cheap.block, cheap.plan, cheap.opts, cheap.smem);
+  TileSearchResult rd = exhaustiveTileSearch(dear.block, dear.plan, dear.opts, dear.smem);
+  ASSERT_TRUE(rc.eval.feasible && rd.eval.feasible);
+  i64 occCheap = 0, occDear = 0;
+  for (const auto& t : rc.eval.terms) occCheap += t.occurrences;
+  for (const auto& t : rd.eval.terms) occDear += t.occurrences;
+  EXPECT_LE(occDear, occCheap);
+  EXPECT_LE(rc.eval.cost, rd.eval.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Costs, SyncCostSweep, ::testing::Values(8.0, 64.0, 512.0));
+
+}  // namespace
+}  // namespace emm
