@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "driver/compiler.h"
 #include "ir/interp.h"
-#include "smem/data_manage.h"
 
 using namespace emm;
 
@@ -52,22 +52,23 @@ int main() {
     std::printf("  %-8lld", shift);
     bool printedReuse = false;
     for (double d : deltas) {
-      ProgramBlock block = shiftedWindow(shift, range);
-      SmemOptions o;
-      o.delta = d;
-      o.onlyBeneficial = true;
-      DataPlan plan;
-      CodeUnit unit = buildScratchpadUnit(block, o, plan);
+      // Scratchpad-only pipeline with the benefit filter active and the
+      // threshold under test.
+      CompileResult r = Compiler(shiftedWindow(shift, range))
+                            .scratchpadOnly()
+                            .delta(d)
+                            .skipPass("codegen")
+                            .compile();
       double reuse = 0;
-      for (const PartitionPlan& p : plan.partitions)
+      for (const PartitionPlan& p : r.dataPlan()->partitions)
         if (p.arrayId == 0) reuse = p.constReuseFraction;
       if (!printedReuse) {
         std::printf(" %-10.3f", reuse);
         printedReuse = true;
       }
-      ArrayStore store(block.arrays);
+      ArrayStore store(r.block().arrays);
       store.fillAllPattern(3);
-      MemTrace t = executeCodeUnit(unit, {}, store);
+      MemTrace t = executeCodeUnit(*r.unit(), {}, store);
       std::printf("  %10lld      ", t.globalReads);
     }
     std::printf("\n");

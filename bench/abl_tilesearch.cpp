@@ -2,30 +2,44 @@
 //
 // Validates that the multi-start coordinate-descent solver (the SQP+rounding
 // stand-in) finds the oracle optimum with far fewer evaluations, on both the
-// ME and matmul cost surfaces.
+// ME and matmul cost surfaces. Both solvers run through emm::Compiler; only
+// TileSearchMode differs.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "driver/compiler.h"
 #include "kernels/blocks.h"
-#include "tilesearch/tilesearch.h"
 
 using namespace emm;
 
 namespace {
 
-void compare(const char* name, const ProgramBlock& block, const TileSearchOptions& opts,
-             const SmemOptions& smem) {
-  auto deps = computeDependences(block);
-  ParallelismPlan plan = findParallelism(block, deps);
-  TileSearchResult fast = searchTileSizes(block, plan, opts, smem);
-  TileSearchResult oracle = exhaustiveTileSearch(block, plan, opts, smem);
+CompileResult searchOnly(const ProgramBlock& block, const IntVec& params,
+                         std::vector<std::vector<i64>> candidates, bool exhaustive) {
+  return Compiler(block)
+      .parameters(params)
+      .memoryLimitBytes(4096 * 4)
+      .innerProcs(32)
+      .tileCandidates(std::move(candidates))
+      .exhaustiveSearch(exhaustive)
+      .skipPass("tiling")
+      .skipPass("smem")
+      .skipPass("codegen")
+      .compile();
+}
+
+void compare(const char* name, const ProgramBlock& block, const IntVec& params,
+             const std::vector<std::vector<i64>>& candidates) {
+  CompileResult fast = searchOnly(block, params, candidates, false);
+  CompileResult oracle = searchOnly(block, params, candidates, true);
   std::printf("  %-8s solver: cost %-10.4g evals %-5d  oracle: cost %-10.4g evals %-5d %s\n",
-              name, fast.eval.cost, fast.evaluations, oracle.eval.cost, oracle.evaluations,
-              fast.eval.cost == oracle.eval.cost ? "MATCH" : "MISMATCH");
-  if (fast.eval.feasible) {
+              name, fast.search.eval.cost, fast.search.evaluations, oracle.search.eval.cost,
+              oracle.search.evaluations,
+              fast.search.eval.cost == oracle.search.eval.cost ? "MATCH" : "MISMATCH");
+  if (fast.search.eval.feasible) {
     std::printf("    chosen tile:");
-    for (i64 t : fast.subTile) std::printf(" %lld", t);
-    std::printf("  footprint %lld elems\n", fast.eval.footprint);
+    for (i64 t : fast.search.subTile) std::printf(" %lld", t);
+    std::printf("  footprint %lld elems\n", fast.search.eval.footprint);
   }
 }
 
@@ -33,27 +47,9 @@ void compare(const char* name, const ProgramBlock& block, const TileSearchOption
 
 int main() {
   bench::header("Ablation A3: tile-size search vs exhaustive oracle", "Section 4.3 solver");
-  {
-    ProgramBlock block = buildMeBlock(512, 256, 16);
-    SmemOptions smem;
-    smem.sampleParams = {512, 256, 16};
-    TileSearchOptions opts;
-    opts.paramValues = {512, 256, 16};
-    opts.memLimitElems = 4096;
-    opts.innerProcs = 32;
-    opts.candidates = {{4, 8, 16, 32, 64}, {4, 8, 16, 32}, {4, 8, 16}, {4, 8, 16}};
-    compare("ME", block, opts, smem);
-  }
-  {
-    ProgramBlock block = buildMatmulBlock(256, 256, 256);
-    SmemOptions smem;
-    smem.sampleParams = {256, 256, 256};
-    TileSearchOptions opts;
-    opts.paramValues = {256, 256, 256};
-    opts.memLimitElems = 4096;
-    opts.innerProcs = 32;
-    opts.candidates = {{4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}};
-    compare("matmul", block, opts, smem);
-  }
+  compare("ME", buildMeBlock(512, 256, 16), {512, 256, 16},
+          {{4, 8, 16, 32, 64}, {4, 8, 16, 32}, {4, 8, 16}, {4, 8, 16}});
+  compare("matmul", buildMatmulBlock(256, 256, 256), {256, 256, 256},
+          {{4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}});
   return 0;
 }

@@ -10,27 +10,26 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "driver/compiler.h"
 #include "kernels/me_pipeline.h"
-#include "tilesearch/tilesearch.h"
 
 using namespace emm;
 
 namespace {
 
 void runTarget(const char* name, const Machine& machine, i64 memBytes, i64 innerProcs) {
-  ProgramBlock block = buildMeBlock(2048, 1024, 16);
-  auto deps = computeDependences(block);
-  ParallelismPlan plan = findParallelism(block, deps);
-  SmemOptions smem;
-  smem.sampleParams = {2048, 1024, 16};
-  smem.onlyBeneficial = false;  // stage everything (required on Cell)
-  TileSearchOptions opts;
-  opts.paramValues = {2048, 1024, 16};
-  opts.memLimitElems = memBytes / 4;
-  opts.innerProcs = innerProcs;
-  opts.candidates = {{16, 32, 64, 128}, {16, 32, 64, 128}, {16}, {16}};
-  TileSearchResult r = searchTileSizes(block, plan, opts, smem);
-  if (!r.eval.feasible) {
+  CompileResult cr = Compiler(buildMeBlock(2048, 1024, 16))
+                         .parameters({2048, 1024, 16})
+                         .stageEverything(true)  // stage everything (required on Cell)
+                         .memoryLimitBytes(memBytes)
+                         .innerProcs(innerProcs)
+                         .tileCandidates({{16, 32, 64, 128}, {16, 32, 64, 128}, {16}, {16}})
+                         .skipPass("tiling")
+                         .skipPass("smem")
+                         .skipPass("codegen")
+                         .compile();
+  const TileSearchResult& r = cr.search;
+  if (!cr.ok || !r.eval.feasible) {
     std::printf("  %-6s no feasible tile\n", name);
     return;
   }

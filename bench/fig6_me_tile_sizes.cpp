@@ -9,8 +9,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "driver/compiler.h"
 #include "kernels/me_pipeline.h"
-#include "tilesearch/tilesearch.h"
 
 using namespace emm;
 
@@ -60,26 +60,26 @@ int main() {
                   bench::sizeLabel(sizes[s]).c_str(), tiles[bestTile[s]][0],
                   tiles[bestTile[s]][1], tiles[bestTile[s]][2], tiles[bestTile[s]][3]);
 
-  // The real tile-size search over the same candidate grid (Section 4.3).
+  // The real tile-size search over the same candidate grid (Section 4.3),
+  // through the unified driver (codegen stages skipped: only the search
+  // outcome is needed here).
   {
-    ProgramBlock block = buildMeBlock(8192, 1024, 16);
-    auto deps = computeDependences(block);
-    ParallelismPlan plan = findParallelism(block, deps);
-    SmemOptions smem;
-    smem.sampleParams = {8192, 1024, 16};
-    TileSearchOptions opts;
-    opts.paramValues = {8192, 1024, 16};
-    opts.memLimitElems = 16 * 1024 / 4;  // 16 KB of 4-byte elements
-    opts.innerProcs = 32;                // warp size = Plow (Section 5)
-    opts.syncCost = Machine::geforce8800gtx().syncBaseCycles;
-    opts.transferCost = 4;
-    opts.candidates = {{8, 16, 32, 64}, {8, 16, 32}, {16}, {16}};
-    TileSearchResult r = searchTileSizes(block, plan, opts, smem);
-    if (r.eval.feasible)
+    Compiler compiler(buildMeBlock(8192, 1024, 16));
+    compiler.parameters({8192, 1024, 16})
+        .memoryLimitBytes(16 * 1024)  // 16 KB of 4-byte elements
+        .innerProcs(32)               // warp size = Plow (Section 5)
+        .tileCandidates({{8, 16, 32, 64}, {8, 16, 32}, {16}, {16}})
+        .skipPass("tiling")
+        .skipPass("smem")
+        .skipPass("codegen");
+    compiler.opts().syncCost = Machine::geforce8800gtx().syncBaseCycles;
+    compiler.opts().transferCost = 4;
+    CompileResult r = compiler.compile();
+    if (r.ok && r.search.eval.feasible)
       std::printf("\n  tile-size search (Sec 4.3) picks (%lld,%lld,%lld,%lld), footprint %lld "
                   "elems, %d evaluations\n",
-                  r.subTile[0], r.subTile[1], r.subTile[2], r.subTile[3], r.eval.footprint,
-                  r.evaluations);
+                  r.search.subTile[0], r.search.subTile[1], r.search.subTile[2],
+                  r.search.subTile[3], r.search.eval.footprint, r.search.evaluations);
   }
   std::printf("  paper reports: (32,16,16,16) chosen by the search performs best\n");
   return 0;

@@ -6,6 +6,7 @@
 
 #include "codegen/scan.h"
 #include "deps/dependence.h"
+#include "driver/compiler.h"
 #include "kernels/blocks.h"
 #include "poly/enumerate.h"
 #include "smem/data_manage.h"
@@ -119,6 +120,22 @@ void BM_ScanUnion(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScanUnion);
+
+void BM_DriverFullPipeline(benchmark::State& state) {
+  // End-to-end emm::Compiler cost (deps through CUDA codegen) with explicit
+  // tile sizes — the per-request latency a compile service would pay.
+  ProgramBlock block = buildMeBlock(64, 64, 8);
+  for (auto _ : state) {
+    CompileResult r = Compiler(block)
+                          .parameters({64, 64, 8})
+                          .tileSizes({16, 16, 8, 8})
+                          .skipPass("tilesearch")
+                          .backend("cuda")
+                          .compile();
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DriverFullPipeline);
 
 }  // namespace
 }  // namespace emm

@@ -1,41 +1,43 @@
-// Jacobi pipeline: the stencil path of the paper — transformation framework
-// (shift + skew to make the band permutable), scratchpad analysis of the
-// block, the concurrent-start mapped kernel of Section 6, and the
-// block-count study of Figure 7 in miniature.
+// Jacobi pipeline: the stencil path of the paper, driven through
+// emm::Compiler — the transformation framework (shift + skew to make the
+// band permutable) and the block-level scratchpad analysis the driver falls
+// back to when the band is pipeline-parallel, then the concurrent-start
+// mapped kernel of Section 6 and the block-count study of Figure 7 in
+// miniature.
 //
 //   ./examples/jacobi_pipeline
 #include <cstdio>
+#include <string>
 
-#include "ir/interp.h"
+#include "driver/compiler.h"
 #include "kernels/blocks.h"
 #include "kernels/jacobi_mapped.h"
-#include "smem/data_manage.h"
-#include "transform/transform.h"
 
 using namespace emm;
 
 int main() {
   const i64 n = 4096, t = 256;
 
-  // 1. Transformation framework: the (t, i) band is not permutable as
-  //    written; makeTilable shifts the copy statement and skews i by t.
-  ProgramBlock block = buildJacobiBlock(n, t);
-  TransformResult tr = makeTilable(block);
+  // 1. One driver invocation: the (t, i) band is not permutable as written;
+  //    the transform pass shifts the copy statement and skews i by t, then
+  //    reports pipeline parallelism and falls back to the Section-3
+  //    analysis of the block (both arrays show rank 1 < dim 2 reuse).
+  CompileResult r = Compiler(buildJacobiBlock(n, t)).parameters({n, t}).compile();
+  if (!r.ok) {
+    std::fprintf(stderr, "%s", renderDiagnostics(r.diagnostics).c_str());
+    return 1;
+  }
   std::printf("applied transformations:");
-  for (const auto& [target, srcFactor] : tr.appliedSkews)
+  for (const auto& [target, srcFactor] : r.appliedSkews)
     std::printf(" loop %d skewed by loop %d (factor %lld)", target, srcFactor.first,
                 srcFactor.second);
-  std::printf("\nband size %zu, inter-block sync: %s\n", tr.plan.band.size(),
-              tr.plan.needsInterBlockSync ? "yes" : "no");
+  std::printf("\nband size %zu, inter-block sync: %s\n", r.plan.band.size(),
+              r.plan.needsInterBlockSync ? "yes" : "no");
 
-  // 2. Scratchpad analysis of the (untiled) block: both arrays exhibit
-  //    order-of-magnitude reuse (rank 1 < dim 2).
-  SmemOptions smem;
-  smem.sampleParams = {n, t};
-  DataPlan plan = analyzeBlock(tr.block, smem);
-  for (const PartitionPlan& p : plan.partitions)
+  // 2. Block-level scratchpad verdicts from the fallback analysis.
+  for (const PartitionPlan& p : r.dataPlan()->partitions)
     std::printf("array %s: rank-based reuse %s -> %s\n",
-                tr.block.arrays[p.arrayId].name.c_str(), p.orderReuse ? "yes" : "no",
+                r.block().arrays[p.arrayId].name.c_str(), p.orderReuse ? "yes" : "no",
                 p.beneficial ? "buffered" : "left in global memory");
 
   // 3. Concurrent-start mapped kernel (the [27]-style code the paper used):
@@ -70,9 +72,9 @@ int main() {
     c.numBlocks = blocks;
     c.numThreads = 64;
     KernelModelJacobi km = jacobiMachineModel(c);
-    SimResult r = simulateLaunch(m, km.launch, km.perBlock);
-    std::printf("%6lld  %s\n", blocks, r.feasible ? std::to_string(r.milliseconds).c_str()
-                                                  : r.infeasibleReason.c_str());
+    SimResult r2 = simulateLaunch(m, km.launch, km.perBlock);
+    std::printf("%6lld  %s\n", blocks, r2.feasible ? std::to_string(r2.milliseconds).c_str()
+                                                   : r2.infeasibleReason.c_str());
   }
   return worst < 1e-9 ? 0 : 1;
 }

@@ -1,60 +1,57 @@
 // Matrix-multiplication mapping: a workload beyond the paper's evaluation
-// that exercises the same public API — useful as a template for mapping
-// your own affine kernel.
+// that exercises the unified emm::Compiler API — useful as a template for
+// mapping your own affine kernel.
 //
-// Shows: Algorithm-1 classification (all three references have rank 2 < 3,
-// i.e. order-of-magnitude reuse), tile-size search, multi-level tiling,
-// verified execution, and the Cell-style mode where *every* reference must
-// be staged through the local store (onlyBeneficial = false).
+// Shows: builder configuration, Algorithm-1 classification (all three
+// references have rank 2 < 3, i.e. order-of-magnitude reuse), tile-size
+// search, multi-level tiling, verified execution, and the Cell-style mode
+// where *every* reference must be staged through the local store.
 //
-//   ./examples/matmul_mapping
+//   ./examples/matmul_mapping [--size=N,M,K]
 #include <cstdio>
 
-#include "ir/emit.h"
+#include "driver/compiler.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
-#include "tilesearch/tilesearch.h"
+#include "support/cli.h"
 
 using namespace emm;
 
-int main() {
-  const i64 n = 48, mdim = 32, k = 40;
-  ProgramBlock block = buildMatmulBlock(n, mdim, k);
-  auto deps = computeDependences(block);
-  ParallelismPlan plan = findParallelism(block, deps);
-  std::printf("matmul space loops:");
-  for (int l : plan.spaceLoops) std::printf(" %d", l);
-  std::printf("\n");
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  std::vector<i64> sizes = args.intList("size");
+  if (!args.validate("usage: matmul_mapping [--size=N,M,K]\n")) return 2;
+  const i64 n = sizes.size() > 0 ? sizes[0] : 48;
+  const i64 mdim = sizes.size() > 1 ? sizes[1] : 32;
+  const i64 k = sizes.size() > 2 ? sizes[2] : 40;
 
-  SmemOptions smem;
-  smem.sampleParams = {n, mdim, k};
-
-  // Tile-size search.
-  TileSearchOptions opts;
-  opts.paramValues = {n, mdim, k};
-  opts.memLimitElems = 1536;
-  opts.innerProcs = 32;
-  opts.candidates = {{4, 8, 16}, {4, 8, 16}, {4, 8, 16, 40}};
-  TileSearchResult search = searchTileSizes(block, plan, opts, smem);
-  if (!search.eval.feasible) {
-    std::printf("no feasible tile\n");
+  // Full pipeline: deps -> transform -> tilesearch -> tiling -> smem.
+  Compiler compiler(buildMatmulBlock(n, mdim, k));
+  compiler.parameters({n, mdim, k})
+      .memoryLimitBytes(1536 * 4)
+      .innerProcs(32)
+      .tileCandidates({{4, 8, 16}, {4, 8, 16}, {4, 8, 16, 40}})
+      .threadTileSizes({2, 2})  // block tiles default to 2x the sub-tile
+      .skipPass("codegen");
+  CompileResult r = compiler.compile();
+  if (!r.ok) {
+    std::fprintf(stderr, "%s", renderDiagnostics(r.diagnostics).c_str());
     return 1;
   }
-  std::printf("chosen sub-tile (%lld,%lld,%lld), footprint %lld elems\n", search.subTile[0],
-              search.subTile[1], search.subTile[2], search.eval.footprint);
-  for (const auto& term : search.eval.terms)
+
+  std::printf("matmul space loops:");
+  for (int l : r.plan.spaceLoops) std::printf(" %d", l);
+  std::printf("\n");
+  std::printf("chosen sub-tile (%lld,%lld,%lld), footprint %lld elems\n", r.search.subTile[0],
+              r.search.subTile[1], r.search.subTile[2], r.search.eval.footprint);
+  for (const auto& term : r.search.eval.terms)
     std::printf("  buffer %-6s copies %lld times, %lld elems in / %lld out, hoist level %d\n",
                 term.name.c_str(), term.occurrences, term.volumeIn, term.volumeOut,
                 term.hoistLevel);
 
-  // Build the tiled kernel and verify.
-  TileConfig tc;
-  tc.subTile = search.subTile;
-  tc.blockTile = {search.subTile[0] * 2, search.subTile[1]};
-  tc.threadTile = {2, 2};
-  TiledKernel kernel = buildTiledKernel(block, plan, tc, smem);
-
-  ArrayStore store(block.arrays);
+  // Execute the tiled kernel and verify against the plain reference.
+  const TiledKernel& kernel = *r.kernel;
+  ArrayStore store(r.block().arrays);
   store.fillAllPattern(19);
   std::vector<double> a = store.raw(0), b = store.raw(1), c = store.raw(2);
   IntVec ext = {n, mdim, k};
@@ -71,15 +68,21 @@ int main() {
               trace.localReads + trace.localWrites, worst, worst == 0 ? "OK" : "MISMATCH");
 
   // Cell-style staging: on architectures where global memory cannot be
-  // touched during compute, disable the benefit filter; the framework then
-  // buffers everything (Section 3: "the framework optimally moves only data
+  // touched during compute, stage everything; the framework then buffers
+  // every reference (Section 3: "the framework optimally moves only data
   // that have sufficient reuse" applies to GPU-like targets only).
-  SmemOptions cellMode = smem;
-  cellMode.onlyBeneficial = false;
-  CodeUnit cellUnit = buildScratchpadUnit(block, cellMode);
-  ArrayStore cellStore(block.arrays);
+  CompileResult cell = Compiler(buildMatmulBlock(n, mdim, k))
+                           .parameters({n, mdim, k})
+                           .scratchpadOnly()
+                           .stageEverything(true)
+                           .compile();
+  if (!cell.ok) {
+    std::fprintf(stderr, "%s", renderDiagnostics(cell.diagnostics).c_str());
+    return 1;
+  }
+  ArrayStore cellStore(cell.block().arrays);
   cellStore.fillAllPattern(19);
-  MemTrace cellTrace = executeCodeUnit(cellUnit, {n, mdim, k}, cellStore);
+  MemTrace cellTrace = executeCodeUnit(*cell.unit(), {n, mdim, k}, cellStore);
   std::printf("cell-style whole-block staging: %lld global elems (all compute accesses hit "
               "the local store)\n",
               cellTrace.globalReads + cellTrace.globalWrites);

@@ -3,65 +3,75 @@
 //
 // Steps shown:
 //   1. polyhedral block construction (Figure-2 loop nest),
-//   2. dependence analysis + parallelism detection (space loops i, j),
-//   3. tile-size search under the scratchpad limit (Section 4.3),
-//   4. multi-level tiling with automatic scratchpad management (Figure 3),
-//   5. execution + verification against the plain reference,
-//   6. simulated time on the 8800 GTX-like machine.
+//   2. one emm::Compiler invocation covering dependence analysis,
+//      parallelism detection (space loops i, j), tile-size search under the
+//      scratchpad limit (Section 4.3), and per-pass timings,
+//   3. the mapped ME kernel (multi-level tiling + scratchpad management,
+//      Figure 3) built over the same driver,
+//   4. execution + verification against the plain reference,
+//   5. simulated time on the 8800 GTX-like machine.
 //
-//   ./examples/me_pipeline
+//   ./examples/me_pipeline [--size=NI,NJ,W]
 #include <cstdio>
 
-#include "ir/emit.h"
+#include "driver/compiler.h"
 #include "ir/interp.h"
 #include "kernels/me_pipeline.h"
-#include "tilesearch/tilesearch.h"
+#include "support/cli.h"
 
 using namespace emm;
 
-int main() {
-  const i64 ni = 64, nj = 32, w = 8;
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  std::vector<i64> sizes = args.intList("size");
+  if (!args.validate("usage: me_pipeline [--size=NI,NJ,W]\n")) return 2;
+  const i64 ni = sizes.size() > 0 ? sizes[0] : 64;
+  const i64 nj = sizes.size() > 1 ? sizes[1] : 32;
+  const i64 w = sizes.size() > 2 ? sizes[2] : 8;
 
-  // 1-2. Block + parallelism.
-  ProgramBlock block = buildMeBlock(ni, nj, w);
-  TransformResult tr = makeTilable(block);
-  std::printf("space loops:");
-  for (int l : tr.plan.spaceLoops) std::printf(" %d", l);
-  std::printf("  (inter-block sync needed: %s)\n", tr.plan.needsInterBlockSync ? "yes" : "no");
-
-  // 3. Tile-size search for the sequential (memory-level) tiles.
-  SmemOptions smem;
-  smem.sampleParams = {ni, nj, w};
-  TileSearchOptions opts;
-  opts.paramValues = {ni, nj, w};
-  opts.memLimitElems = 2048;
-  opts.innerProcs = 32;
-  opts.candidates = {{8, 16, 32}, {8, 16, 32}, {4, 8}, {4, 8}};
-  TileSearchResult search = searchTileSizes(tr.block, tr.plan, opts, smem);
-  if (!search.eval.feasible) {
-    std::printf("tile search found no feasible tile\n");
+  // 1-2. Block + the full pipeline through the driver.
+  CompileResult r = Compiler(buildMeBlock(ni, nj, w))
+                        .parameters({ni, nj, w})
+                        .memoryLimitBytes(2048 * 4)
+                        .innerProcs(32)
+                        .tileCandidates({{8, 16, 32}, {8, 16, 32}, {4, 8}, {4, 8}})
+                        .skipPass("tiling")  // the mapped kernel below does the tiling
+                        .skipPass("smem")
+                        .skipPass("codegen")
+                        .compile();
+  if (!r.ok) {
+    std::fprintf(stderr, "%s", renderDiagnostics(r.diagnostics).c_str());
     return 1;
   }
+  std::printf("space loops:");
+  for (int l : r.plan.spaceLoops) std::printf(" %d", l);
+  std::printf("  (inter-block sync needed: %s)\n", r.plan.needsInterBlockSync ? "yes" : "no");
   std::printf("tile search: (%lld,%lld,%lld,%lld), cost %.0f, footprint %lld elems, "
               "%d evaluations\n",
-              search.subTile[0], search.subTile[1], search.subTile[2], search.subTile[3],
-              search.eval.cost, search.eval.footprint, search.evaluations);
+              r.search.subTile[0], r.search.subTile[1], r.search.subTile[2],
+              r.search.subTile[3], r.search.eval.cost, r.search.eval.footprint,
+              r.search.evaluations);
+  std::printf("pipeline timing:");
+  for (const PassTiming& t : r.timings)
+    if (t.ran) std::printf(" %s %.2fms", t.pass.c_str(), t.millis);
+  std::printf("\n");
 
-  // 4. Multi-level tiling + scratchpad codegen.
+  // 3. The mapped ME kernel (block-tile layout per Section 6) over the same
+  //    driver, with the searched sub-tile.
   MeConfig config;
   config.ni = ni;
   config.nj = nj;
   config.w = w;
   config.numBlocks = 8;
   config.numThreads = 64;
-  config.subTile = search.subTile;
+  config.subTile = r.search.subTile;
   MePipeline pipeline = buildMePipeline(config);
   std::printf("\nbuffers per block (%lld scratchpad elements):\n",
               pipeline.kernel.footprintPerBlock(pipeline.paramValues));
   for (const LocalBuffer& b : pipeline.kernel.unit.localBuffers)
     std::printf("  %s (%d-d)\n", b.name.c_str(), b.ndim);
 
-  // 5. Execute + verify.
+  // 4. Execute + verify.
   ArrayStore store(pipeline.block.arrays);
   store.fillAllPattern(11);
   std::vector<double> cur = store.raw(0), ref = store.raw(1), out = store.raw(2);
@@ -78,7 +88,7 @@ int main() {
               trace.stmtInstances, trace.globalReads + trace.globalWrites, worst,
               worst == 0 ? "OK" : "MISMATCH");
 
-  // 6. Simulated performance at paper scale.
+  // 5. Simulated performance at paper scale.
   MeConfig paperScale;
   paperScale.ni = 8192;
   paperScale.nj = 1024;

@@ -1,49 +1,52 @@
-// Quickstart: the paper's Figure-1 worked example, end to end.
+// Quickstart: the paper's Figure-1 worked example, end to end, through the
+// unified emm::Compiler API.
 //
-// Builds the two-statement affine block from Figure 1, runs the Section-3
-// scratchpad data-management framework on it, prints the generated code
-// (buffer declarations, move-in loops, rewritten computation, move-out
-// loops), and proves semantic equivalence by executing both the original
-// block and the generated code on real arrays.
+// Compiles the two-statement affine block from Figure 1 with the Section-3
+// scratchpad data-management pipeline (scratchpadOnly mode), prints the
+// structured analysis and the generated code, and proves semantic
+// equivalence by executing both the original block and the generated code
+// on real arrays.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
-#include "ir/emit.h"
+#include "driver/compiler.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
-#include "smem/data_manage.h"
 
 using namespace emm;
 
 int main() {
-  ProgramBlock block = buildFigure1Block();
-
-  SmemOptions options;
-  options.onlyBeneficial = false;  // Cell-style: everything goes through the scratchpad
-  options.partitionMode = PartitionMode::PerArrayUnion;  // one buffer per array, as in Fig. 1
-
-  DataPlan plan;
-  CodeUnit unit = buildScratchpadUnit(block, options, plan);
+  CompileResult r = Compiler(buildFigure1Block())
+                        .scratchpadOnly()             // Section-3 flow only (no tiling)
+                        .stageEverything(true)        // Cell-style: everything via scratchpad
+                        .partition(PartitionMode::PerArrayUnion)  // one buffer per array
+                        .backend("c")
+                        .compile();
+  if (!r.ok) {
+    std::fprintf(stderr, "%s", renderDiagnostics(r.diagnostics).c_str());
+    return 1;
+  }
 
   std::printf("---- analysis ----\n");
+  const DataPlan& plan = *r.dataPlan();
   for (size_t p = 0; p < plan.partitions.size(); ++p) {
     const PartitionPlan& part = plan.partitions[p];
     std::printf("array %s -> buffer %s, %zu references, move-in bound %lld elems, "
                 "move-out bound %lld elems\n",
-                block.arrays[part.arrayId].name.c_str(), part.bufferName.c_str(),
+                r.block().arrays[part.arrayId].name.c_str(), part.bufferName.c_str(),
                 part.refs.size(), plan.moveInVolumeBound(static_cast<int>(p), {}),
                 plan.moveOutVolumeBound(static_cast<int>(p), {}));
   }
 
-  std::printf("\n---- generated code ----\n%s", emitC(unit).c_str());
+  std::printf("\n---- generated code ----\n%s", r.artifact.c_str());
 
   // Execute both versions and compare every array element.
-  ArrayStore viaScratchpad(block.arrays), reference(block.arrays);
+  ArrayStore viaScratchpad(r.block().arrays), reference(r.block().arrays);
   viaScratchpad.fillAllPattern(7);
   reference.fillAllPattern(7);
-  MemTrace trace = executeCodeUnit(unit, {}, viaScratchpad);
-  executeReference(block, {}, reference);
+  MemTrace trace = executeCodeUnit(*r.unit(), {}, viaScratchpad);
+  executeReference(r.block(), {}, reference);
 
   std::printf("\n---- execution ----\n");
   std::printf("global reads %lld, global writes %lld, scratchpad accesses %lld\n",

@@ -1,0 +1,63 @@
+#include "driver/backend.h"
+
+#include "codegen/emit_cuda.h"
+#include "ir/emit.h"
+#include "support/diagnostics.h"
+
+namespace emm {
+
+namespace {
+
+/// Plain C rendering (ir/emit.h): the inspection/verification target every
+/// example prints and the interpreter-backed tests read.
+class CBackend : public Backend {
+public:
+  CBackend() : Backend("c") {}
+  std::string emit(const CodeUnit& unit, const CompileOptions&) const override {
+    return emitC(unit);
+  }
+};
+
+/// CUDA source rendering (codegen/emit_cuda.h): the artifact the paper's
+/// toolchain fed to nvcc.
+class CudaBackend : public Backend {
+public:
+  CudaBackend() : Backend("cuda") {}
+  std::string emit(const CodeUnit& unit, const CompileOptions& options) const override {
+    return emitCuda(unit, options.cudaEmitOptions());
+  }
+};
+
+}  // namespace
+
+void BackendRegistry::add(std::unique_ptr<Backend> backend) {
+  EMM_REQUIRE(backend != nullptr, "null backend");
+  EMM_REQUIRE(lookup(backend->name()) == nullptr,
+              "backend '" + backend->name() + "' already registered");
+  backends_.push_back(std::move(backend));
+}
+
+const Backend* BackendRegistry::lookup(const std::string& name) const {
+  for (const auto& b : backends_)
+    if (b->name() == name) return b.get();
+  return nullptr;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->name());
+  return out;
+}
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry* reg = [] {
+    auto* r = new BackendRegistry;
+    r->add(std::make_unique<CBackend>());
+    r->add(std::make_unique<CudaBackend>());
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace emm

@@ -1,0 +1,49 @@
+// Backend abstraction: renders a compiled CodeUnit as target source.
+//
+// The paper evaluates two architecture classes — GPU-like (CUDA) and
+// Cell-like (explicit local stores). Code generation is therefore a
+// pluggable Backend looked up by name in a registry, rather than direct
+// calls to emitC/emitCuda: the driver's codegen pass resolves
+// CompileOptions::backendName at compile time, and new targets (a Cell
+// backend is sketched in bench/ext_cell_target.cpp) register without
+// touching the pipeline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/options.h"
+#include "ir/ast.h"
+
+namespace emm {
+
+class Backend {
+public:
+  explicit Backend(std::string name) : name_(std::move(name)) {}
+  virtual ~Backend() = default;
+  const std::string& name() const { return name_; }
+  /// Renders the unit as target source text.
+  virtual std::string emit(const CodeUnit& unit, const CompileOptions& options) const = 0;
+
+private:
+  std::string name_;
+};
+
+/// Name -> Backend lookup. global() is pre-seeded with the "c" and "cuda"
+/// backends; additional targets register at startup or from user code.
+class BackendRegistry {
+public:
+  /// Registers a backend under its name. Throws ApiError on duplicates.
+  void add(std::unique_ptr<Backend> backend);
+  /// Returns the backend, or nullptr when the name is unknown.
+  const Backend* lookup(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  static BackendRegistry& global();
+
+private:
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+}  // namespace emm

@@ -1,0 +1,186 @@
+#include "driver/compiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/diagnostics.h"
+
+namespace emm {
+
+std::string CompileResult::firstError() const {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::Error) return d.message;
+  return "";
+}
+
+const PassTiming* CompileResult::timing(const std::string& pass) const {
+  for (const PassTiming& t : timings)
+    if (t.pass == pass) return &t;
+  return nullptr;
+}
+
+Compiler& Compiler::source(ProgramBlock block) {
+  block.validate();
+  source_ = std::move(block);
+  return *this;
+}
+
+Compiler& Compiler::options(CompileOptions o) {
+  options_ = std::move(o);
+  return *this;
+}
+
+Compiler& Compiler::parameters(IntVec values) {
+  options_.paramValues = std::move(values);
+  return *this;
+}
+
+Compiler& Compiler::tileSizes(std::vector<i64> subTile) {
+  options_.subTile = std::move(subTile);
+  return *this;
+}
+
+Compiler& Compiler::blockTileSizes(std::vector<i64> blockTile) {
+  options_.blockTile = std::move(blockTile);
+  return *this;
+}
+
+Compiler& Compiler::threadTileSizes(std::vector<i64> threadTile) {
+  options_.threadTile = std::move(threadTile);
+  return *this;
+}
+
+Compiler& Compiler::tileCandidates(std::vector<std::vector<i64>> candidates) {
+  options_.tileCandidates = std::move(candidates);
+  return *this;
+}
+
+Compiler& Compiler::memoryLimitBytes(i64 bytes) {
+  options_.memLimitBytes = bytes;
+  return *this;
+}
+
+Compiler& Compiler::innerProcs(i64 procs) {
+  options_.innerProcs = procs;
+  return *this;
+}
+
+Compiler& Compiler::hoistCopies(bool on) {
+  options_.hoistCopies = on;
+  return *this;
+}
+
+Compiler& Compiler::useScratchpad(bool on) {
+  options_.useScratchpad = on;
+  return *this;
+}
+
+Compiler& Compiler::stageEverything(bool on) {
+  options_.stageEverything = on;
+  return *this;
+}
+
+Compiler& Compiler::partition(PartitionMode mode) {
+  options_.partitionMode = mode;
+  return *this;
+}
+
+Compiler& Compiler::delta(double d) {
+  options_.delta = d;
+  return *this;
+}
+
+Compiler& Compiler::scratchpadOnly(bool on) {
+  options_.mode = on ? PipelineMode::ScratchpadOnly : PipelineMode::Auto;
+  return *this;
+}
+
+Compiler& Compiler::exhaustiveSearch(bool on) {
+  options_.searchMode = on ? TileSearchMode::Exhaustive : TileSearchMode::CoordinateDescent;
+  return *this;
+}
+
+Compiler& Compiler::backend(std::string name) {
+  options_.backendName = std::move(name);
+  return *this;
+}
+
+Compiler& Compiler::kernelName(std::string name) {
+  options_.kernelName = std::move(name);
+  return *this;
+}
+
+Compiler& Compiler::skipPass(const std::string& name) {
+  EMM_REQUIRE(PassRegistry::standard().contains(name), "unknown pass '" + name + "'");
+  if (std::find(skipped_.begin(), skipped_.end(), name) == skipped_.end())
+    skipped_.push_back(name);
+  return *this;
+}
+
+Compiler& Compiler::replacePass(const std::string& name, std::shared_ptr<Pass> pass) {
+  EMM_REQUIRE(PassRegistry::standard().contains(name), "unknown pass '" + name + "'");
+  EMM_REQUIRE(pass != nullptr, "null replacement for pass '" + name + "'");
+  replacements_[name] = std::move(pass);
+  return *this;
+}
+
+std::vector<std::string> Compiler::passNames() const {
+  return PassRegistry::standard().order();
+}
+
+CompileResult Compiler::compile(ProgramBlock block) {
+  source(std::move(block));
+  return compile();
+}
+
+CompileResult Compiler::compile() {
+  EMM_REQUIRE(source_.has_value(), "Compiler::compile() called without a source block");
+  const PassRegistry& registry = PassRegistry::standard();
+
+  CompileState state;
+  state.options = options_;
+  state.input = std::make_unique<ProgramBlock>(*source_);  // keep Compiler reusable
+  std::vector<PassTiming> timings;
+
+  for (const std::string& passName : registry.order()) {
+    PassTiming timing;
+    timing.pass = passName;
+    if (std::find(skipped_.begin(), skipped_.end(), passName) != skipped_.end()) {
+      timing.skipped = true;
+      state.note(passName, "skipped by request");
+      // Record the entry and continue with the next pass.
+      // (Timing stays 0; ran stays false.)
+      timings.push_back(timing);
+      continue;
+    }
+    auto it = replacements_.find(passName);
+    PassPtr ownedPass;
+    Pass* pass = nullptr;
+    if (it != replacements_.end()) {
+      pass = it->second.get();
+    } else {
+      ownedPass = registry.create(passName);
+      pass = ownedPass.get();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      pass->run(state);
+    } catch (const ApiError& e) {
+      state.error(passName, e.what());
+    }
+    const auto end = std::chrono::steady_clock::now();
+    timing.ran = true;
+    timing.millis = std::chrono::duration<double, std::milli>(end - start).count();
+    timings.push_back(timing);
+    if (state.failed) break;
+  }
+
+  CompileResult result;
+  result.ok = !state.failed;
+  result.diagnostics = std::move(state.diagnostics);
+  result.timings = std::move(timings);
+  static_cast<PipelineProducts&>(result) = std::move(static_cast<PipelineProducts&>(state));
+  return result;
+}
+
+}  // namespace emm

@@ -1,0 +1,111 @@
+// emm::Compiler — the unified driver for the paper's compilation flow.
+//
+// One stable entry point replaces the hand-wired stage calls that the tool,
+// examples and benches used to duplicate:
+//
+//   CompileResult r = Compiler(buildMeBlock(ni, nj, w))
+//                         .parameters({ni, nj, w})
+//                         .memoryLimitBytes(16 * 1024)
+//                         .backend("cuda")
+//                         .compile();
+//   if (!r.ok) { fputs(renderDiagnostics(r.diagnostics).c_str(), stderr); ... }
+//   fputs(r.artifact.c_str(), stdout);
+//
+// The pipeline is the standard PassRegistry order (deps -> transform ->
+// tilesearch -> tiling -> smem -> codegen); individual passes can be
+// skipped or replaced for experiments and tests. Results are structured:
+// the CodeUnit, the parallelism plan, the tile-search outcome, per-pass
+// timings, and Diagnostic records instead of ad-hoc strings.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/backend.h"
+#include "driver/pass.h"
+
+namespace emm {
+
+/// Wall-clock record of one pipeline stage.
+struct PassTiming {
+  std::string pass;
+  double millis = 0;
+  bool ran = false;      ///< run() was invoked
+  bool skipped = false;  ///< user-skipped via Compiler::skipPass
+};
+
+/// Everything a compilation produced: the pipeline products (block, plan,
+/// search outcome, kernel/unit, artifact — see PipelineProducts) plus the
+/// verdict, ordered diagnostics, and per-pass timings. Move-only: program
+/// blocks live behind unique_ptr so internal back-pointers
+/// (CodeUnit::source, DataPlan::block) stay valid when the result moves.
+struct CompileResult : PipelineProducts {
+  bool ok = false;  ///< pipeline completed without error diagnostics
+  std::vector<Diagnostic> diagnostics;
+  std::vector<PassTiming> timings;  ///< one entry per pipeline pass, in order
+
+  /// First error message, or "" when ok.
+  std::string firstError() const;
+  /// Timing entry for a pass, or nullptr.
+  const PassTiming* timing(const std::string& pass) const;
+};
+
+/// Builder-style façade over the pass pipeline. Reusable: compile() may be
+/// called repeatedly (e.g. with different options between calls).
+class Compiler {
+public:
+  Compiler() = default;
+  explicit Compiler(ProgramBlock block) { source(std::move(block)); }
+
+  // ---- configuration ----
+  Compiler& source(ProgramBlock block);
+  Compiler& options(CompileOptions o);
+  /// Direct access to the full option set (for knobs without sugar).
+  CompileOptions& opts() { return options_; }
+  const CompileOptions& opts() const { return options_; }
+
+  Compiler& parameters(IntVec values);
+  Compiler& tileSizes(std::vector<i64> subTile);
+  Compiler& blockTileSizes(std::vector<i64> blockTile);
+  Compiler& threadTileSizes(std::vector<i64> threadTile);
+  Compiler& tileCandidates(std::vector<std::vector<i64>> candidates);
+  Compiler& memoryLimitBytes(i64 bytes);
+  Compiler& innerProcs(i64 procs);
+  Compiler& hoistCopies(bool on);
+  Compiler& useScratchpad(bool on);
+  Compiler& stageEverything(bool on);
+  Compiler& partition(PartitionMode mode);
+  Compiler& delta(double d);
+  Compiler& scratchpadOnly(bool on = true);
+  Compiler& exhaustiveSearch(bool on = true);
+  Compiler& backend(std::string name);
+  Compiler& kernelName(std::string name);
+
+  // ---- pass control ----
+  /// Skips a standard pass. Throws ApiError for names not in the registry.
+  Compiler& skipPass(const std::string& name);
+  /// Replaces a standard pass with a custom implementation (shared so the
+  /// Compiler stays reusable). Throws ApiError for unknown names.
+  Compiler& replacePass(const std::string& name, std::shared_ptr<Pass> pass);
+  /// Effective pipeline order (skipped passes still listed; they are marked
+  /// in CompileResult::timings instead).
+  std::vector<std::string> passNames() const;
+
+  // ---- execution ----
+  /// Compiles the configured source block. Throws ApiError when no source
+  /// was set; all pipeline failures are reported via CompileResult instead.
+  CompileResult compile();
+  /// One-shot convenience: sets the source, then compiles.
+  CompileResult compile(ProgramBlock block);
+
+private:
+  CompileOptions options_;
+  std::optional<ProgramBlock> source_;
+  std::vector<std::string> skipped_;
+  std::map<std::string, std::shared_ptr<Pass>> replacements_;
+};
+
+}  // namespace emm

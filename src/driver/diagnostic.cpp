@@ -1,0 +1,33 @@
+#include "driver/diagnostic.h"
+
+namespace emm {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::str() const {
+  return std::string(severityName(severity)) + " [" + stage + "]: " + message;
+}
+
+bool hasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags)
+    if (d.severity == Severity::Error) return true;
+  return false;
+}
+
+std::string renderDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace emm

@@ -1,0 +1,36 @@
+#include "driver/options.h"
+
+namespace emm {
+
+SmemOptions CompileOptions::smemOptions() const {
+  SmemOptions s;
+  s.delta = delta;
+  s.partitionMode = partitionMode;
+  s.onlyBeneficial = !stageEverything;
+  s.optimizeCopySets = optimizeCopySets;
+  s.sampleParams = paramValues;
+  return s;
+}
+
+TileSearchOptions CompileOptions::tileSearchOptions() const {
+  TileSearchOptions t;
+  t.memLimitElems = memLimitBytes / elementBytes;
+  t.innerProcs = innerProcs;
+  t.syncCost = syncCost;
+  t.transferCost = transferCost;
+  t.paramValues = paramValues;
+  t.candidates = tileCandidates;
+  t.hoistCopies = hoistCopies;
+  return t;
+}
+
+CudaEmitOptions CompileOptions::cudaEmitOptions() const {
+  CudaEmitOptions c;
+  c.paramValues = paramValues;
+  c.numBoundParams = numBoundParams;
+  c.kernelName = kernelName;
+  c.elementType = elementType;
+  return c;
+}
+
+}  // namespace emm

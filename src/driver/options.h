@@ -1,0 +1,87 @@
+// CompileOptions: every knob of the pipeline in one struct.
+//
+// Consolidates the per-stage option structs (SmemOptions, TileSearchOptions,
+// CudaEmitOptions) plus the tiling configuration that tools/examples used to
+// assemble by hand. The per-stage structs remain the stage-local interfaces;
+// the conversion methods below derive them, so a caller sets each fact
+// (problem sizes, memory limit, ...) exactly once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/emit_cuda.h"
+#include "smem/data_manage.h"
+#include "tilesearch/tilesearch.h"
+
+namespace emm {
+
+/// Pipeline shape selection.
+enum class PipelineMode {
+  /// Full flow: deps -> transform -> tilesearch -> tiling -> smem -> codegen.
+  /// Falls back to block-level scratchpad analysis when the band needs
+  /// inter-block synchronization (the paper's Jacobi case).
+  Auto,
+  /// Section-3 only: scratchpad planning + data-movement codegen on the
+  /// block as written, no transformation or tiling (the Figure-1 flow).
+  ScratchpadOnly,
+};
+
+/// Tile-size search solver selection (Section 4.3).
+enum class TileSearchMode {
+  CoordinateDescent,  ///< geometric seeding + projected descent (default)
+  Exhaustive,         ///< full candidate-grid oracle (ablation/tests)
+};
+
+struct CompileOptions {
+  // ---- problem binding ----
+  /// Concrete values of the block's parameters (problem sizes). Used for
+  /// Algorithm-1 volume sampling, tile-size search, and CUDA extent folding.
+  IntVec paramValues;
+
+  // ---- pipeline shape ----
+  PipelineMode mode = PipelineMode::Auto;
+
+  // ---- scratchpad framework (Section 3) ----
+  double delta = 0.30;  ///< Algorithm-1 constant-reuse threshold
+  PartitionMode partitionMode = PartitionMode::MaximalDisjoint;
+  /// Cell-style targets must stage every reference through the local store;
+  /// GPU-style targets may leave low-reuse data in global memory (false).
+  bool stageEverything = false;
+  bool optimizeCopySets = false;  ///< Section 3.1.4 live-in reduction
+
+  // ---- tiling (Section 4) ----
+  /// Sub-tile sizes per common loop. Empty: run the tile-size search.
+  std::vector<i64> subTile;
+  /// Block-tile sizes per space loop. Empty: 2x the space loop's sub-tile.
+  std::vector<i64> blockTile;
+  /// Thread-tile sizes per space loop. Empty: all 1.
+  std::vector<i64> threadTile;
+  bool hoistCopies = true;   ///< Section 4.2 copy placement
+  bool useScratchpad = true; ///< false: the paper's "GPU w/o smem" baseline
+
+  // ---- tile-size search (Section 4.3) ----
+  TileSearchMode searchMode = TileSearchMode::CoordinateDescent;
+  i64 memLimitBytes = 16 * 1024;  ///< scratchpad capacity (Mup)
+  i64 elementBytes = 4;           ///< bytes per element (paper: float)
+  i64 innerProcs = 32;            ///< P, inner-level processes
+  double syncCost = 32;           ///< S, cycles per process per barrier
+  double transferCost = 4;        ///< L, cycles per element
+  /// Candidate tile sizes per loop; empty = geometric ladder.
+  std::vector<std::vector<i64>> tileCandidates;
+
+  // ---- codegen ----
+  std::string backendName = "c";  ///< registered Backend to render with
+  std::string kernelName = "emmap_kernel";
+  std::string elementType = "float";
+  /// Leading parameters bound at emission (CUDA extent folding);
+  /// -1: all of paramValues (tile origins are never part of paramValues).
+  int numBoundParams = -1;
+
+  // ---- derived per-stage views ----
+  SmemOptions smemOptions() const;
+  TileSearchOptions tileSearchOptions() const;
+  CudaEmitOptions cudaEmitOptions() const;
+};
+
+}  // namespace emm

@@ -1,0 +1,251 @@
+#include "driver/pass.h"
+
+#include <utility>
+
+#include "driver/backend.h"
+#include "support/diagnostics.h"
+
+namespace emm {
+
+void CompileState::note(const std::string& stage, const std::string& message) {
+  diagnostics.push_back({Severity::Note, stage, message});
+}
+
+void CompileState::warn(const std::string& stage, const std::string& message) {
+  diagnostics.push_back({Severity::Warning, stage, message});
+}
+
+void CompileState::error(const std::string& stage, const std::string& message) {
+  diagnostics.push_back({Severity::Error, stage, message});
+  failed = true;
+}
+
+void PassRegistry::add(const std::string& name, Factory factory) {
+  EMM_REQUIRE(!contains(name), "pass '" + name + "' already registered");
+  EMM_REQUIRE(factory != nullptr, "null factory for pass '" + name + "'");
+  order_.push_back(name);
+  factories_.push_back(std::move(factory));
+}
+
+bool PassRegistry::contains(const std::string& name) const {
+  for (const std::string& n : order_)
+    if (n == name) return true;
+  return false;
+}
+
+PassPtr PassRegistry::create(const std::string& name) const {
+  for (size_t i = 0; i < order_.size(); ++i)
+    if (order_[i] == name) return factories_[i]();
+  throw ApiError("unknown pass '" + name + "'");
+}
+
+namespace {
+
+std::string joinInts(const std::vector<i64>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) out += (i ? "," : "") + std::to_string(v[i]);
+  return out;
+}
+
+// ---- deps: dependence polyhedra over all reference pairs. ----
+class DepsPass : public Pass {
+public:
+  DepsPass() : Pass("deps") {}
+  void run(CompileState& s) override {
+    s.deps = computeDependences(s.currentBlock());
+    s.haveDeps = true;
+    s.note(name(), std::to_string(s.deps.size()) + " dependences");
+  }
+};
+
+// ---- transform: enabling shifts/skews + space/time classification. ----
+class TransformPass : public Pass {
+public:
+  TransformPass() : Pass("transform") {}
+  void run(CompileState& s) override {
+    if (s.options.mode == PipelineMode::ScratchpadOnly) {
+      s.note(name(), "scratchpad-only pipeline: transformation skipped");
+      return;
+    }
+    TransformResult tr = makeTilable(*s.input);
+    s.transformed = std::make_unique<ProgramBlock>(std::move(tr.block));
+    s.plan = std::move(tr.plan);
+    s.havePlan = true;
+    s.appliedSkews = std::move(tr.appliedSkews);
+    for (const auto& [target, srcFactor] : s.appliedSkews)
+      s.note(name(), "skewed loop " + std::to_string(target) + " by loop " +
+                         std::to_string(srcFactor.first) + " (factor " +
+                         std::to_string(srcFactor.second) + ")");
+    std::string spaces;
+    for (int l : s.plan.spaceLoops) spaces += (spaces.empty() ? "" : ",") + std::to_string(l);
+    s.note(name(), "band size " + std::to_string(s.plan.band.size()) + ", space loops [" +
+                       spaces + "]");
+    if (s.plan.needsInterBlockSync)
+      s.warn(name(),
+             "band needs inter-block synchronization (pipeline parallelism); "
+             "the Figure-3 tiler does not apply — falling back to block-level "
+             "scratchpad analysis");
+  }
+};
+
+// ---- tilesearch: Section 4.3 sub-tile selection (or evaluation). ----
+class TileSearchPass : public Pass {
+public:
+  TileSearchPass() : Pass("tilesearch") {}
+  void run(CompileState& s) override {
+    if (s.options.mode == PipelineMode::ScratchpadOnly || !s.havePlan ||
+        s.plan.needsInterBlockSync) {
+      s.note(name(), "not applicable on this pipeline path");
+      return;
+    }
+    const ProgramBlock& block = s.currentBlock();
+    TileSearchOptions topts = s.options.tileSearchOptions();
+    SmemOptions smem = s.options.smemOptions();
+    if (!s.options.subTile.empty()) {
+      // Explicit tile sizes: evaluate the Section-4.3 objective for them so
+      // the result still carries cost/footprint/per-buffer terms.
+      s.search.subTile = s.options.subTile;
+      s.search.eval = evaluateTileSizes(block, s.plan, s.options.subTile, topts, smem);
+      s.search.evaluations = 1;
+      if (!s.search.eval.feasible)
+        s.warn(name(), "given tile (" + joinInts(s.options.subTile) +
+                           ") violates the model constraints: " + s.search.eval.reason);
+      else
+        s.note(name(), "evaluated given tile (" + joinInts(s.options.subTile) + "), cost " +
+                           std::to_string(s.search.eval.cost) + ", footprint " +
+                           std::to_string(s.search.eval.footprint) + " elems");
+      return;
+    }
+    s.search = s.options.searchMode == TileSearchMode::Exhaustive
+                   ? exhaustiveTileSearch(block, s.plan, topts, smem)
+                   : searchTileSizes(block, s.plan, topts, smem);
+    if (!s.search.eval.feasible) {
+      s.error(name(), "no feasible tile: " + s.search.eval.reason);
+      return;
+    }
+    s.note(name(), "chose tile (" + joinInts(s.search.subTile) + "), cost " +
+                       std::to_string(s.search.eval.cost) + ", footprint " +
+                       std::to_string(s.search.eval.footprint) + " elems, " +
+                       std::to_string(s.search.evaluations) + " evaluations");
+  }
+};
+
+// ---- tiling: the Figure-3 multi-level tiled kernel. ----
+class TilingPass : public Pass {
+public:
+  TilingPass() : Pass("tiling") {}
+  void run(CompileState& s) override {
+    if (s.options.mode == PipelineMode::ScratchpadOnly || !s.havePlan ||
+        s.plan.needsInterBlockSync) {
+      s.note(name(), "not applicable on this pipeline path");
+      return;
+    }
+    // Prefer the search outcome; fall back to explicitly given sizes when
+    // the tilesearch pass was skipped.
+    TileConfig tc;
+    tc.subTile = s.search.subTile.empty() ? s.options.subTile : s.search.subTile;
+    if (tc.subTile.empty()) {
+      s.error(name(), "no sub-tile sizes: tile search skipped and none given");
+      return;
+    }
+    tc.hoistCopies = s.options.hoistCopies;
+    tc.useScratchpad = s.options.useScratchpad;
+    const size_t nspace = s.plan.spaceLoops.size();
+    if (!s.options.blockTile.empty()) {
+      EMM_REQUIRE(s.options.blockTile.size() == nspace,
+                  "blockTile must have one entry per space loop");
+      tc.blockTile = s.options.blockTile;
+    } else {
+      for (int loop : s.plan.spaceLoops) tc.blockTile.push_back(tc.subTile[loop] * 2);
+    }
+    if (!s.options.threadTile.empty()) {
+      EMM_REQUIRE(s.options.threadTile.size() == nspace,
+                  "threadTile must have one entry per space loop");
+      tc.threadTile = s.options.threadTile;
+    } else {
+      tc.threadTile.assign(nspace, 1);
+    }
+    s.kernel = buildTiledKernel(s.currentBlock(), s.plan, tc, s.options.smemOptions());
+    s.note(name(), "tiled kernel with " + std::to_string(s.kernel->unit.localBuffers.size()) +
+                       " local buffers, block tile (" + joinInts(tc.blockTile) + ")");
+  }
+};
+
+// ---- smem: Section-3 planning summary / block-level fallback. ----
+class SmemPass : public Pass {
+public:
+  SmemPass() : Pass("smem") {}
+  void run(CompileState& s) override {
+    if (s.kernel) {
+      // The tiled path ran the Section-3 framework per sub-tile inside the
+      // tiler; just summarize its verdicts.
+      int buffered = 0;
+      for (const PartitionPlan& p : s.kernel->analysis.plan.partitions)
+        if (p.hasBuffer) ++buffered;
+      s.note(name(), std::to_string(buffered) + "/" +
+                         std::to_string(s.kernel->analysis.plan.partitions.size()) +
+                         " partitions buffered in scratchpad");
+      return;
+    }
+    SmemOptions smem = s.options.smemOptions();
+    if (s.options.mode == PipelineMode::ScratchpadOnly) {
+      DataPlan plan;
+      CodeUnit unit = buildScratchpadUnit(s.currentBlock(), smem, plan);
+      s.scratchpadUnit = std::move(unit);
+      s.blockPlan = std::move(plan);
+    } else {
+      // Pipeline-parallel fallback (or tiling skipped): analysis only; the
+      // concurrent-start mapped kernels in src/kernels execute these bands.
+      s.blockPlan = analyzeBlock(s.currentBlock(), smem);
+    }
+    int buffered = 0;
+    for (const PartitionPlan& p : s.blockPlan->partitions)
+      if (p.hasBuffer) ++buffered;
+    s.note(name(), std::to_string(buffered) + "/" +
+                       std::to_string(s.blockPlan->partitions.size()) +
+                       " partitions buffered in scratchpad");
+  }
+};
+
+// ---- codegen: render through the registered backend. ----
+class CodegenPass : public Pass {
+public:
+  CodegenPass() : Pass("codegen") {}
+  void run(CompileState& s) override {
+    const Backend* backend = BackendRegistry::global().lookup(s.options.backendName);
+    if (backend == nullptr) {
+      std::string known;
+      for (const std::string& n : BackendRegistry::global().names())
+        known += (known.empty() ? "" : ", ") + n;
+      s.error(name(),
+              "unknown backend '" + s.options.backendName + "' (registered: " + known + ")");
+      return;
+    }
+    const CodeUnit* unit = s.unit();
+    if (unit == nullptr) {
+      s.warn(name(), "no code unit on this pipeline path; nothing to emit");
+      return;
+    }
+    s.artifact = backend->emit(*unit, s.options);
+    s.note(name(), "emitted " + std::to_string(s.artifact.size()) + " bytes of " +
+                       backend->name() + " source");
+  }
+};
+
+}  // namespace
+
+const PassRegistry& PassRegistry::standard() {
+  static const PassRegistry* reg = [] {
+    auto* r = new PassRegistry;
+    r->add("deps", [] { return PassPtr(new DepsPass); });
+    r->add("transform", [] { return PassPtr(new TransformPass); });
+    r->add("tilesearch", [] { return PassPtr(new TileSearchPass); });
+    r->add("tiling", [] { return PassPtr(new TilingPass); });
+    r->add("smem", [] { return PassPtr(new SmemPass); });
+    r->add("codegen", [] { return PassPtr(new CodegenPass); });
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace emm

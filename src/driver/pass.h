@@ -1,0 +1,127 @@
+// Pass interface and registry for the compiler pipeline.
+//
+// Each stage of the paper's flow (dependence analysis, transformation,
+// tile-size search, multi-level tiling, scratchpad planning, code
+// generation) is wrapped as a named Pass over a shared CompileState. The
+// PassRegistry holds the standard pipeline order; emm::Compiler instantiates
+// it and lets callers skip or replace individual passes, which is how tests
+// pin stages and how ablations switch variants without re-wiring the flow.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/diagnostic.h"
+#include "driver/options.h"
+#include "tiling/multilevel.h"
+
+namespace emm {
+
+/// Everything the pipeline produces. The working CompileState and the final
+/// CompileResult both embed this struct; Compiler::compile() moves it
+/// wholesale, so a field added here flows to results automatically. Program
+/// blocks live behind unique_ptr so CodeUnit/DataPlan back-pointers into
+/// them survive those moves.
+struct PipelineProducts {
+  /// The block as given to the Compiler.
+  std::unique_ptr<ProgramBlock> input;
+  /// After the transform pass: possibly shifted/skewed. block() returns
+  /// this when present, else the input.
+  std::unique_ptr<ProgramBlock> transformed;
+
+  std::vector<Dependence> deps;
+  bool haveDeps = false;
+
+  ParallelismPlan plan;
+  bool havePlan = false;
+  std::vector<std::pair<int, std::pair<int, i64>>> appliedSkews;
+
+  /// Tile-size search outcome; when options.subTile was given explicitly the
+  /// search pass still fills eval/terms by evaluating it (for diagnostics).
+  TileSearchResult search;
+
+  /// Full tiled kernel (Figure-3 structure); absent on the scratchpad-only
+  /// and pipeline-parallel fallback paths.
+  std::optional<TiledKernel> kernel;
+  /// Block-level scratchpad unit (Figure-1 flow); alternative to `kernel`.
+  std::optional<CodeUnit> scratchpadUnit;
+  /// Section-3 analysis of the (untiled) block, filled on paths where
+  /// `kernel` is absent; the tiled path exposes kernel->analysis.plan.
+  std::optional<DataPlan> blockPlan;
+
+  /// Rendered target source (codegen pass output).
+  std::string artifact;
+
+  /// The block the pipeline has ended on so far.
+  const ProgramBlock& block() const { return transformed ? *transformed : *input; }
+  /// The executable unit produced, or nullptr.
+  const CodeUnit* unit() const {
+    if (kernel) return &kernel->unit;
+    if (scratchpadUnit) return &*scratchpadUnit;
+    return nullptr;
+  }
+  /// The scratchpad plan in effect, or nullptr.
+  const DataPlan* dataPlan() const {
+    if (kernel) return &kernel->analysis.plan;
+    if (blockPlan) return &*blockPlan;
+    return nullptr;
+  }
+};
+
+/// Mutable state threaded through the pipeline: the accumulated products
+/// plus the option set and the diagnostics channel.
+struct CompileState : PipelineProducts {
+  CompileOptions options;
+
+  std::vector<Diagnostic> diagnostics;
+  bool failed = false;  ///< an error diagnostic was recorded
+
+  const ProgramBlock& currentBlock() const { return block(); }
+
+  void note(const std::string& stage, const std::string& message);
+  void warn(const std::string& stage, const std::string& message);
+  void error(const std::string& stage, const std::string& message);  ///< sets failed
+};
+
+/// One pipeline stage. Implementations read and extend CompileState; they
+/// report through state.note/warn/error. Throwing ApiError from run() aborts
+/// the pipeline with an error diagnostic attributed to this pass.
+class Pass {
+public:
+  explicit Pass(std::string name) : name_(std::move(name)) {}
+  virtual ~Pass() = default;
+  const std::string& name() const { return name_; }
+  virtual void run(CompileState& state) = 0;
+
+private:
+  std::string name_;
+};
+
+using PassPtr = std::unique_ptr<Pass>;
+
+/// Ordered, named pass factories. The standard() registry holds the paper's
+/// flow; custom registries can be assembled for experiments.
+class PassRegistry {
+public:
+  using Factory = std::function<PassPtr()>;
+
+  /// Appends a pass to the pipeline order. Throws ApiError on duplicates.
+  void add(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Instantiates one pass. Throws ApiError for unknown names.
+  PassPtr create(const std::string& name) const;
+  const std::vector<std::string>& order() const { return order_; }
+
+  /// The standard pipeline: deps, transform, tilesearch, tiling, smem,
+  /// codegen.
+  static const PassRegistry& standard();
+
+private:
+  std::vector<std::string> order_;
+  std::vector<Factory> factories_;
+};
+
+}  // namespace emm

@@ -342,4 +342,36 @@ void referenceMatmul(const std::vector<double>& a, const std::vector<double>& b,
     }
 }
 
+ProgramBlock buildKernelByName(const std::string& name, const std::vector<i64>& sizes,
+                               IntVec& params) {
+  auto size = [&](size_t i, i64 fallback) { return sizes.size() > i ? sizes[i] : fallback; };
+  if (name == "me") {
+    params = {size(0, 256), size(1, 128), size(2, 16)};
+    return buildMeBlock(params[0], params[1], params[2]);
+  }
+  if (name == "jacobi") {
+    params = {size(0, 4096), size(1, 64)};
+    return buildJacobiBlock(params[0], params[1]);
+  }
+  if (name == "jacobi2d") {
+    params = {size(0, 128), size(1, 128), size(2, 16)};
+    return buildJacobi2dBlock(params[0], params[1], params[2]);
+  }
+  if (name == "matmul") {
+    params = {size(0, 128), size(1, 128), size(2, 128)};
+    return buildMatmulBlock(params[0], params[1], params[2]);
+  }
+  if (name == "figure1") {
+    params = {};
+    return buildFigure1Block();
+  }
+  throw ApiError("unknown kernel '" + name + "'");
+}
+
+const std::vector<std::string>& builtinKernelNames() {
+  static const std::vector<std::string> names = {"me", "jacobi", "jacobi2d", "matmul",
+                                                 "figure1"};
+  return names;
+}
+
 }  // namespace emm

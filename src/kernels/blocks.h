@@ -38,6 +38,16 @@ ProgramBlock buildJacobi2dBlock(i64 n, i64 m, i64 t);
 /// Matmul C[i][j] += A[i][k] * B[k][j]. Parameters {N, M, K}.
 ProgramBlock buildMatmulBlock(i64 n, i64 m, i64 k);
 
+/// Builds a built-in block by name ("me", "jacobi", "jacobi2d", "matmul",
+/// "figure1"), applying per-kernel default sizes for entries `sizes` does
+/// not provide, and returning the parameter binding through `params`.
+/// Throws ApiError for unknown names. Used by emmapc and the examples.
+ProgramBlock buildKernelByName(const std::string& name, const std::vector<i64>& sizes,
+                               IntVec& params);
+
+/// Names accepted by buildKernelByName.
+const std::vector<std::string>& builtinKernelNames();
+
 /// Fast reference implementations (plain loops over raw arrays), used to
 /// validate both the polyhedral reference executor and mapped kernels.
 void referenceMe(const std::vector<double>& cur, const std::vector<double>& ref,

@@ -1,33 +1,40 @@
 #include "kernels/me_pipeline.h"
 
+#include "driver/compiler.h"
+
 namespace emm {
 
 MePipeline buildMePipeline(const MeConfig& config) {
   MePipeline p;
   p.block = buildMeBlock(config.ni, config.nj, config.w);
   p.paramValues = {config.ni, config.nj, config.w};
-  p.transform = makeTilable(p.block);
 
   // Space loops are (i, j); divide the i range equally across blocks (the
   // paper distributes tiles equally, boundary tiles excepted). Block tiles
   // are rounded up to sub-tile multiples so sub-tiles nest exactly.
-  EMM_REQUIRE(p.transform.plan.spaceLoops.size() == 2, "ME should expose two space loops");
   i64 blockTileI = std::max<i64>(1, ceilDiv(config.ni, config.numBlocks));
   blockTileI = mulChecked(ceilDiv(blockTileI, config.subTile[0]), config.subTile[0]);
   i64 blockTileJ = mulChecked(ceilDiv(config.nj, config.subTile[1]), config.subTile[1]);
 
-  TileConfig tc;
-  tc.subTile = config.subTile;
-  tc.blockTile = {blockTileI, blockTileJ};  // one block row per block; full j extent
   // Threads cover the (i, j) sub-tile: distribute j across threads, i in
   // chunks of 1 (a thread-tile of 1 x 1 point per thread pass).
-  tc.threadTile = {1, 1};
-  tc.useScratchpad = config.useScratchpad;
-  tc.hoistCopies = config.hoistCopies;
-
-  SmemOptions smem;
-  smem.sampleParams = p.paramValues;
-  p.kernel = buildTiledKernel(p.transform.block, p.transform.plan, tc, smem);
+  CompileResult r = Compiler(p.block)
+                        .parameters(p.paramValues)
+                        .tileSizes(config.subTile)
+                        .blockTileSizes({blockTileI, blockTileJ})
+                        .threadTileSizes({1, 1})
+                        .useScratchpad(config.useScratchpad)
+                        .hoistCopies(config.hoistCopies)
+                        .skipPass("tilesearch")  // sizes are given; no need to re-evaluate
+                        .skipPass("codegen")     // callers render through a Backend themselves
+                        .compile();
+  EMM_REQUIRE(r.ok, "ME pipeline failed: " + r.firstError());
+  EMM_REQUIRE(r.plan.spaceLoops.size() == 2, "ME should expose two space loops");
+  EMM_REQUIRE(r.kernel.has_value(), "ME pipeline produced no tiled kernel");
+  p.transform.block = std::move(*r.transformed);
+  p.transform.plan = std::move(r.plan);
+  p.transform.appliedSkews = std::move(r.appliedSkews);
+  p.kernel = std::move(*r.kernel);
   return p;
 }
 

@@ -12,7 +12,7 @@
 
 namespace emm {
 
-using i64 = std::int64_t;
+using i64 = long long;  // 64-bit everywhere we build; matches the %lld printf style
 using i128 = __int128;
 
 /// Narrow an __int128 to int64, aborting on overflow.

@@ -1,0 +1,86 @@
+#include "support/cli.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace emm::cli {
+
+std::vector<i64> parseIntList(const std::string& text) {
+  std::vector<i64> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      size_t used = 0;
+      out.push_back(std::stoll(item, &used));
+      EMM_REQUIRE(used == item.size(), "trailing characters in integer '" + item + "'");
+    } catch (const std::logic_error&) {
+      throw ApiError("malformed integer list entry '" + item + "'");
+    }
+  }
+  return out;
+}
+
+Args::Args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) entries_.push_back({argv[i], false});
+}
+
+bool Args::consume(const std::string& name, bool wantValue, std::string& valueOut) {
+  const std::string prefix = "--" + name + "=";
+  const std::string bare = "--" + name;
+  for (Entry& e : entries_) {
+    if (wantValue && e.text.rfind(prefix, 0) == 0) {
+      e.used = true;
+      valueOut = e.text.substr(prefix.size());
+      return true;
+    }
+    if (!wantValue && e.text == bare) {
+      e.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Args::str(const std::string& name, const std::string& fallback) {
+  std::string v;
+  return consume(name, true, v) ? v : fallback;
+}
+
+i64 Args::integer(const std::string& name, i64 fallback) {
+  std::string v;
+  if (!consume(name, true, v)) return fallback;
+  std::vector<i64> parsed = parseIntList(v);
+  EMM_REQUIRE(parsed.size() == 1, "--" + name + " expects a single integer");
+  return parsed[0];
+}
+
+std::vector<i64> Args::intList(const std::string& name) {
+  std::string v;
+  if (!consume(name, true, v)) return {};
+  return parseIntList(v);
+}
+
+bool Args::flag(const std::string& name) {
+  std::string v;
+  return consume(name, false, v);
+}
+
+std::vector<std::string> Args::unrecognized() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_)
+    if (!e.used) out.push_back(e.text);
+  return out;
+}
+
+bool Args::validate(const char* usage) const {
+  std::vector<std::string> extra = unrecognized();
+  if (extra.empty()) return true;
+  for (const std::string& a : extra) std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+  if (usage != nullptr) std::fputs(usage, stderr);
+  return false;
+}
+
+}  // namespace emm::cli

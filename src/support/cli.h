@@ -1,0 +1,47 @@
+// Small --key=value argument helper shared by emmapc and the examples.
+//
+// Replaces the per-tool hand-rolled parsers: construct Args from argv, pull
+// typed values with defaults, then call unrecognized() to reject typos. All
+// flags use the --name=value (or bare --name) form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/checked_int.h"
+
+namespace emm::cli {
+
+/// Parses "1,2,3" into {1,2,3}. Throws ApiError on malformed input.
+std::vector<i64> parseIntList(const std::string& text);
+
+class Args {
+public:
+  Args(int argc, char** argv);
+
+  /// --name=value as a string, or `fallback` when absent.
+  std::string str(const std::string& name, const std::string& fallback = "");
+  /// --name=value as an integer, or `fallback` when absent.
+  i64 integer(const std::string& name, i64 fallback);
+  /// --name=v1,v2,... as a list; empty when absent.
+  std::vector<i64> intList(const std::string& name);
+  /// True when bare --name is present.
+  bool flag(const std::string& name);
+
+  /// Arguments no accessor consumed (typos, unknown flags).
+  std::vector<std::string> unrecognized() const;
+  /// Prints unrecognized arguments to stderr; returns false if any exist.
+  bool validate(const char* usage) const;
+
+private:
+  struct Entry {
+    std::string text;
+    bool used = false;
+  };
+  /// Finds "--name=..." (or exact "--name" when value=false), marks it used,
+  /// and returns the value part; nullopt when absent.
+  bool consume(const std::string& name, bool wantValue, std::string& valueOut);
+  std::vector<Entry> entries_;
+};
+
+}  // namespace emm::cli

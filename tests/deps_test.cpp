@@ -55,7 +55,7 @@ TEST(Deps, RecurrenceFlowDep) {
   ASSERT_FALSE(deps.empty());
   EXPECT_GE(countKind(deps, DepKind::Flow), 1);
   for (const Dependence& d : deps)
-    if (d.kind == DepKind::Flow) EXPECT_EQ(distanceSign(d, 0), SignRange::Positive);
+    if (d.kind == DepKind::Flow) { EXPECT_EQ(distanceSign(d, 0), SignRange::Positive); }
 }
 
 TEST(Deps, AntiDependence) {

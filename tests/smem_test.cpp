@@ -237,7 +237,7 @@ TEST(Algorithm1, ConstantReuseBelowDelta) {
   o.delta = 0.10;
   plan = analyzeBlock(block, o);
   for (const PartitionPlan& p : plan.partitions)
-    if (p.arrayId == 0) EXPECT_TRUE(p.beneficial);
+    if (p.arrayId == 0) { EXPECT_TRUE(p.beneficial); }
 }
 
 // ---- Partitioning. ----

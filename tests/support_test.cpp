@@ -1,7 +1,8 @@
-// Tests for checked arithmetic and rationals.
+// Tests for checked arithmetic, rationals, and the cli argument helper.
 #include <gtest/gtest.h>
 
 #include "support/checked_int.h"
+#include "support/cli.h"
 #include "support/rational.h"
 
 namespace emm {
@@ -93,12 +94,45 @@ TEST_P(RationalFieldAxioms, AddMulConsistency) {
   EXPECT_EQ(a + b, b + a);
   EXPECT_EQ((a + b) + c, a + (b + c));
   EXPECT_EQ(a * (b + c), a * b + a * c);
-  if (!b.isZero()) EXPECT_EQ(a / b * b, a);
+  if (!b.isZero()) { EXPECT_EQ(a / b * b, a); }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RationalFieldAxioms,
                          ::testing::Combine(::testing::Values(-9, -1, 0, 2, 14),
                                             ::testing::Values(-10, -3, 1, 6, 25)));
+
+// ---- emm::cli argument helper. ----
+
+TEST(CliArgs, TypedAccessorsAndDefaults) {
+  const char* argv[] = {"tool", "--kernel=me", "--size=8,16,4", "--mem=1024", "--no-hoist"};
+  cli::Args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.str("kernel", "jacobi"), "me");
+  EXPECT_EQ(args.str("emit", "plan"), "plan");  // absent -> fallback
+  EXPECT_EQ(args.intList("size"), (std::vector<i64>{8, 16, 4}));
+  EXPECT_TRUE(args.intList("tile").empty());
+  EXPECT_EQ(args.integer("mem", 4096), 1024);
+  EXPECT_TRUE(args.flag("no-hoist"));
+  EXPECT_FALSE(args.flag("verbose"));
+  EXPECT_TRUE(args.unrecognized().empty());
+}
+
+TEST(CliArgs, ReportsUnconsumedArguments) {
+  const char* argv[] = {"tool", "--kernel=me", "--typo=1"};
+  cli::Args args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.str("kernel", ""), "me");
+  std::vector<std::string> extra = args.unrecognized();
+  ASSERT_EQ(extra.size(), 1u);
+  EXPECT_EQ(extra[0], "--typo=1");
+}
+
+TEST(CliArgs, MalformedIntegersThrow) {
+  EXPECT_THROW(cli::parseIntList("3,x"), ApiError);
+  EXPECT_THROW(cli::parseIntList("12cats"), ApiError);
+  EXPECT_EQ(cli::parseIntList("4,-2"), (std::vector<i64>{4, -2}));
+  const char* argv[] = {"tool", "--mem=1,2"};
+  cli::Args args(2, const_cast<char**>(argv));
+  EXPECT_THROW(args.integer("mem", 0), ApiError);
+}
 
 }  // namespace
 }  // namespace emm

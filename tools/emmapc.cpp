@@ -1,8 +1,8 @@
 // emmapc — command-line driver for the emmap toolchain.
 //
-// Runs the full pipeline (parallelism detection, tile-size search,
-// multi-level tiling, scratchpad planning) on one of the built-in kernels
-// and prints the requested artifact.
+// A thin shell over emm::Compiler: builds one of the built-in kernels,
+// compiles it through the unified pipeline, and prints the requested
+// artifact.
 //
 // Usage:
 //   emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1
@@ -12,218 +12,154 @@
 //          [--emit=c|cuda|plan|stats]  artifact to print (default plan)
 //          [--no-hoist]                disable Section-4.2 hoisting
 //          [--machine=gpu|cell]        simulated target (default gpu)
+//          [--verbose]                 print all pipeline diagnostics
 #include <cstdio>
-#include <cstring>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "codegen/emit_cuda.h"
-#include "ir/emit.h"
+#include "driver/compiler.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
-#include "tilesearch/tilesearch.h"
+#include "support/cli.h"
 
 using namespace emm;
 
 namespace {
 
-struct Args {
-  std::string kernel = "me";
-  std::vector<i64> size;
-  std::vector<i64> tile;
-  i64 memBytes = 16 * 1024;
-  std::string emit = "plan";
-  bool hoist = true;
-  std::string machine = "gpu";
-};
+constexpr const char* kUsage =
+    "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1 [--size=N,M,..]\n"
+    "              [--tile=t0,t1,..] [--mem=BYTES] [--emit=c|cuda|plan|stats]\n"
+    "              [--no-hoist] [--machine=gpu|cell] [--verbose]\n";
 
-std::vector<i64> parseList(const std::string& s) {
-  std::vector<i64> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ',')) out.push_back(std::stoll(item));
-  return out;
+void printPartitions(const ProgramBlock& block, const DataPlan& plan) {
+  for (const PartitionPlan& part : plan.partitions)
+    std::printf("array %-6s : %s  [%s]\n", block.arrays[part.arrayId].name.c_str(),
+                part.hasBuffer ? part.bufferName.c_str() : "(global)",
+                part.orderReuse ? "order-of-magnitude reuse" : "constant reuse");
 }
 
-bool parseArgs(int argc, char** argv, Args& args) {
-  for (int i = 1; i < argc; ++i) {
-    std::string a = argv[i];
-    auto value = [&](const char* prefix) -> std::string {
-      return a.substr(std::strlen(prefix));
-    };
-    if (a.rfind("--kernel=", 0) == 0)
-      args.kernel = value("--kernel=");
-    else if (a.rfind("--size=", 0) == 0)
-      args.size = parseList(value("--size="));
-    else if (a.rfind("--tile=", 0) == 0)
-      args.tile = parseList(value("--tile="));
-    else if (a.rfind("--mem=", 0) == 0)
-      args.memBytes = std::stoll(value("--mem="));
-    else if (a.rfind("--emit=", 0) == 0)
-      args.emit = value("--emit=");
-    else if (a == "--no-hoist")
-      args.hoist = false;
-    else if (a.rfind("--machine=", 0) == 0)
-      args.machine = value("--machine=");
-    else {
-      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
-      return false;
+void printTiledPlan(const CompileResult& r, const IntVec& params) {
+  const TiledKernel& kernel = *r.kernel;
+  const ProgramBlock& block = *r.input;
+  for (size_t p = 0; p < kernel.analysis.plan.partitions.size(); ++p) {
+    const PartitionPlan& part = kernel.analysis.plan.partitions[p];
+    std::printf("array %-6s : %s", block.arrays[part.arrayId].name.c_str(),
+                part.hasBuffer ? part.bufferName.c_str() : "(global)");
+    if (part.hasBuffer) {
+      std::printf("  offset (");
+      for (size_t d = 0; d < part.offset.size(); ++d)
+        std::printf("%s%s", d ? ", " : "", part.offset[d].str().c_str());
+      std::printf(")  size (");
+      std::vector<std::pair<std::string, i64>> env;
+      IntVec ext = params;
+      ext.resize(kernel.analysis.tileBlock->paramNames.size(), 0);
+      for (size_t j = 0; j < kernel.analysis.tileBlock->paramNames.size(); ++j)
+        env.emplace_back(kernel.analysis.tileBlock->paramNames[j], ext[j]);
+      for (size_t d = 0; d < part.sizeExpr.size(); ++d)
+        std::printf("%s%lld", d ? " x " : "", part.sizeExpr[d].eval(env));
+      std::printf(")  hoist level %d", kernel.analysis.hoistLevel[p]);
     }
+    std::printf("  [%s]\n", part.orderReuse          ? "order-of-magnitude reuse"
+                            : part.beneficial        ? "constant reuse"
+                                                     : "no beneficial reuse");
   }
-  return true;
 }
 
-ProgramBlock makeKernel(const Args& args, IntVec& params) {
-  if (args.kernel == "me") {
-    i64 ni = args.size.size() > 0 ? args.size[0] : 256;
-    i64 nj = args.size.size() > 1 ? args.size[1] : 128;
-    i64 w = args.size.size() > 2 ? args.size[2] : 16;
-    params = {ni, nj, w};
-    return buildMeBlock(ni, nj, w);
-  }
-  if (args.kernel == "jacobi") {
-    i64 n = args.size.size() > 0 ? args.size[0] : 4096;
-    i64 t = args.size.size() > 1 ? args.size[1] : 64;
-    params = {n, t};
-    return buildJacobiBlock(n, t);
-  }
-  if (args.kernel == "jacobi2d") {
-    i64 n = args.size.size() > 0 ? args.size[0] : 128;
-    i64 m = args.size.size() > 1 ? args.size[1] : 128;
-    i64 t = args.size.size() > 2 ? args.size[2] : 16;
-    params = {n, m, t};
-    return buildJacobi2dBlock(n, m, t);
-  }
-  if (args.kernel == "matmul") {
-    i64 n = args.size.size() > 0 ? args.size[0] : 128;
-    i64 m = args.size.size() > 1 ? args.size[1] : 128;
-    i64 k = args.size.size() > 2 ? args.size[2] : 128;
-    params = {n, m, k};
-    return buildMatmulBlock(n, m, k);
-  }
-  if (args.kernel == "figure1") {
-    params = {};
-    return buildFigure1Block();
-  }
-  throw ApiError("unknown kernel '" + args.kernel + "'");
+void printStats(const CompileResult& r, const IntVec& params) {
+  ArrayStore store(r.input->arrays);
+  store.fillAllPattern(1);
+  IntVec ext = params;
+  ext.resize(r.kernel->analysis.tileBlock->paramNames.size(), 0);
+  MemTrace t = executeCodeUnit(*r.unit(), ext, store);
+  std::printf("statement instances : %lld\n", t.stmtInstances);
+  std::printf("global reads/writes : %lld / %lld\n", t.globalReads, t.globalWrites);
+  std::printf("local reads/writes  : %lld / %lld\n", t.localReads, t.localWrites);
+  std::printf("copies / syncs      : %lld / %lld\n", t.copyElements, t.syncs);
+  std::printf("footprint per block : %lld elems\n", r.kernel->footprintPerBlock(params));
+  std::printf("pipeline timing     :");
+  for (const PassTiming& pt : r.timings)
+    if (pt.ran) std::printf(" %s %.2fms", pt.pass.c_str(), pt.millis);
+  std::printf("\n");
 }
 
-int run(const Args& args) {
+int run(cli::Args& args) {
+  const std::string kernelArg = args.str("kernel", "me");
+  const std::string emit = args.str("emit", "plan");
+  const std::string machine = args.str("machine", "gpu");
+  const bool hoist = !args.flag("no-hoist");
+  const bool verbose = args.flag("verbose");
+  if (emit != "c" && emit != "cuda" && emit != "plan" && emit != "stats") {
+    std::fprintf(stderr, "unknown --emit mode '%s'\n%s", emit.c_str(), kUsage);
+    return 2;
+  }
+  const std::vector<i64> tile = args.intList("tile");
   IntVec params;
-  ProgramBlock block = makeKernel(args, params);
-  SmemOptions smem;
-  smem.sampleParams = params;
-  smem.onlyBeneficial = args.machine != "cell";  // Cell must stage everything
+  ProgramBlock block = buildKernelByName(kernelArg, args.intList("size"), params);
 
-  // Figure-1-style blocks (no parallel mapping): block-level scratchpad only.
-  if (args.kernel == "figure1") {
-    smem.onlyBeneficial = false;
-    smem.partitionMode = PartitionMode::PerArrayUnion;
-    CodeUnit unit = buildScratchpadUnit(block, smem);
-    if (args.emit == "cuda") {
-      CudaEmitOptions co;
-      co.kernelName = args.kernel;
-      std::fputs(emitCuda(unit, co).c_str(), stdout);
-    } else {
-      std::fputs(emitC(unit).c_str(), stdout);
-    }
-    return 0;
+  Compiler compiler(std::move(block));
+  compiler.parameters(params)
+      .memoryLimitBytes(args.integer("mem", 16 * 1024))
+      .innerProcs(machine == "cell" ? 4 : 32)
+      .stageEverything(machine == "cell")  // Cell must stage everything
+      .hoistCopies(hoist)
+      .tileSizes(tile)
+      .backend(emit == "cuda" ? "cuda" : "c")
+      .kernelName(kernelArg == "figure1" ? kernelArg : kernelArg + "_kernel");
+  if (kernelArg == "figure1") {
+    // Figure-1-style block (no parallel mapping): block-level scratchpad only.
+    compiler.scratchpadOnly().stageEverything(true).partition(PartitionMode::PerArrayUnion);
+  }
+  if (emit == "plan" || emit == "stats") compiler.skipPass("codegen");
+  if (!args.validate(kUsage)) return 2;
+
+  CompileResult r = compiler.compile();
+  // Warnings and errors always reach the user (e.g. an explicit --tile that
+  // violates --mem); notes only under --verbose.
+  for (const Diagnostic& d : r.diagnostics)
+    if (verbose || d.severity != Severity::Note)
+      std::fprintf(stderr, "%s\n", d.str().c_str());
+  if (!r.ok) return 1;
+
+  if (r.havePlan) {
+    std::printf("// kernel %s, space loops:", kernelArg.c_str());
+    for (int l : r.plan.spaceLoops) std::printf(" %d", l);
+    std::printf(", inter-block sync: %s\n", r.plan.needsInterBlockSync ? "yes" : "no");
   }
 
-  TransformResult tr = makeTilable(block);
-  std::printf("// kernel %s, space loops:", args.kernel.c_str());
-  for (int l : tr.plan.spaceLoops) std::printf(" %d", l);
-  std::printf(", inter-block sync: %s\n", tr.plan.needsInterBlockSync ? "yes" : "no");
-
-  if (tr.plan.needsInterBlockSync) {
-    // Stencil-style kernels: after skewing, band loops are no longer
-    // rectangular, so (as in the paper, which used the concurrent-start
-    // framework of [27] for Jacobi) the generic Figure-3 tiler does not
-    // apply. Report the Section-3 analysis of the block instead.
+  if (r.havePlan && r.plan.needsInterBlockSync) {
+    // Stencil-style kernels: the band is pipeline-parallel, so (as in the
+    // paper, which used the concurrent-start framework of [27] for Jacobi)
+    // the generic Figure-3 tiler does not apply. Report the Section-3
+    // analysis the driver fell back to.
     std::printf("// pipeline-parallel band: use the concurrent-start mapped kernels in\n"
                 "// src/kernels (jacobi_mapped, jacobi2d_mapped); showing the Section-3\n"
                 "// scratchpad analysis of the block:\n");
-    SmemOptions so = smem;
-    so.onlyBeneficial = false;
-    DataPlan plan = analyzeBlock(block, so);
-    for (const PartitionPlan& part : plan.partitions)
-      std::printf("array %-6s : %s  [%s]\n", block.arrays[part.arrayId].name.c_str(),
-                  part.hasBuffer ? part.bufferName.c_str() : "(global)",
-                  part.orderReuse ? "order-of-magnitude reuse" : "constant reuse");
+    printPartitions(r.block(), *r.blockPlan);
     return 0;
   }
 
-  TileSearchOptions topts;
-  topts.paramValues = params;
-  topts.memLimitElems = args.memBytes / 4;
-  topts.innerProcs = args.machine == "cell" ? 4 : 32;
-  topts.hoistCopies = args.hoist;
-  std::vector<i64> tile = args.tile;
-  if (tile.empty()) {
-    TileSearchResult sr = searchTileSizes(tr.block, tr.plan, topts, smem);
-    if (!sr.eval.feasible) {
-      std::fprintf(stderr, "tile search found no feasible tile: %s\n", sr.eval.reason.c_str());
+  if (r.kernel && tile.empty()) {
+    std::printf("// searched tile:");
+    for (i64 t : r.search.subTile) std::printf(" %lld", t);
+    std::printf("  (cost %.4g, footprint %lld elems, %d evaluations)\n", r.search.eval.cost,
+                r.search.eval.footprint, r.search.evaluations);
+  }
+
+  if (emit == "c" || emit == "cuda") {
+    std::fputs(r.artifact.c_str(), stdout);
+  } else if (emit == "stats") {
+    if (!r.kernel) {
+      std::fprintf(stderr, "--emit=stats needs the tiled pipeline path\n");
       return 1;
     }
-    tile = sr.subTile;
-    std::printf("// searched tile:");
-    for (i64 t : tile) std::printf(" %lld", t);
-    std::printf("  (cost %.4g, footprint %lld elems, %d evaluations)\n", sr.eval.cost,
-                sr.eval.footprint, sr.evaluations);
-  }
-
-  TileConfig tc;
-  tc.subTile = tile;
-  for (size_t s = 0; s < tr.plan.spaceLoops.size(); ++s) {
-    tc.blockTile.push_back(tile[tr.plan.spaceLoops[s]] * 2);
-    tc.threadTile.push_back(1);
-  }
-  tc.hoistCopies = args.hoist;
-  TiledKernel kernel = buildTiledKernel(tr.block, tr.plan, tc, smem);
-
-  if (args.emit == "c") {
-    std::fputs(emitC(kernel.unit).c_str(), stdout);
-  } else if (args.emit == "cuda") {
-    CudaEmitOptions co;
-    co.paramValues = params;
-    co.numBoundParams = static_cast<int>(params.size());
-    co.kernelName = args.kernel + "_kernel";
-    std::fputs(emitCuda(kernel.unit, co).c_str(), stdout);
-  } else if (args.emit == "stats") {
-    ArrayStore store(block.arrays);
-    store.fillAllPattern(1);
-    IntVec ext = params;
-    ext.resize(kernel.analysis.tileBlock->paramNames.size(), 0);
-    MemTrace t = executeCodeUnit(kernel.unit, ext, store);
-    std::printf("statement instances : %lld\n", t.stmtInstances);
-    std::printf("global reads/writes : %lld / %lld\n", t.globalReads, t.globalWrites);
-    std::printf("local reads/writes  : %lld / %lld\n", t.localReads, t.localWrites);
-    std::printf("copies / syncs      : %lld / %lld\n", t.copyElements, t.syncs);
-    std::printf("footprint per block : %lld elems\n", kernel.footprintPerBlock(params));
-  } else {  // plan
-    for (size_t p = 0; p < kernel.analysis.plan.partitions.size(); ++p) {
-      const PartitionPlan& part = kernel.analysis.plan.partitions[p];
-      std::printf("array %-6s : %s", block.arrays[part.arrayId].name.c_str(),
-                  part.hasBuffer ? part.bufferName.c_str() : "(global)");
-      if (part.hasBuffer) {
-        std::printf("  offset (");
-        for (size_t d = 0; d < part.offset.size(); ++d)
-          std::printf("%s%s", d ? ", " : "", part.offset[d].str().c_str());
-        std::printf(")  size (");
-        std::vector<std::pair<std::string, i64>> env;
-        IntVec ext = params;
-        ext.resize(kernel.analysis.tileBlock->paramNames.size(), 0);
-        for (size_t j = 0; j < kernel.analysis.tileBlock->paramNames.size(); ++j)
-          env.emplace_back(kernel.analysis.tileBlock->paramNames[j], ext[j]);
-        for (size_t d = 0; d < part.sizeExpr.size(); ++d)
-          std::printf("%s%lld", d ? " x " : "", part.sizeExpr[d].eval(env));
-        std::printf(")  hoist level %d", kernel.analysis.hoistLevel[p]);
-      }
-      std::printf("  [%s]\n", part.orderReuse          ? "order-of-magnitude reuse"
-                              : part.beneficial        ? "constant reuse"
-                                                       : "no beneficial reuse");
-    }
+    printStats(r, params);
+  } else if (emit == "plan") {
+    if (r.kernel)
+      printTiledPlan(r, params);
+    else if (r.dataPlan() != nullptr)
+      printPartitions(r.block(), *r.dataPlan());
+  } else {
+    std::fprintf(stderr, "unknown --emit mode '%s'\n%s", emit.c_str(), kUsage);
+    return 2;
   }
   return 0;
 }
@@ -231,8 +167,7 @@ int run(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  if (!parseArgs(argc, argv, args)) return 2;
+  cli::Args args(argc, argv);
   try {
     return run(args);
   } catch (const ApiError& e) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Dry-run clang-format over the C++ sources; fails on any formatting diff.
+# Skips (successfully) when clang-format is not installed, so local builds
+# on minimal containers are not blocked.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not found; skipping"
+  exit 0
+fi
+
+FILES=$(find src tools examples bench tests \
+  \( -name '*.cpp' -o -name '*.h' \) -type f)
+
+# --dry-run --Werror: non-zero exit on any file that would be reformatted.
+clang-format --style=file --dry-run --Werror $FILES
+echo "format_check: OK"
