@@ -1,0 +1,40 @@
+// Cell backend: renders a mapped CodeUnit as SPE-style C with DMA staging.
+//
+// The paper's second architecture class (Section 3's Cell discussion) has
+// explicitly managed 256 KB local stores: compute cannot touch global
+// memory at all, so every reference is staged through a local-store buffer
+// and data movement is explicit DMA (mfc_get/mfc_put). This emitter renders
+// the planned unit in that style: local buffers become local-store arrays
+// with extents folded at the parameter binding, Copy nodes become
+// element-granularity dma_get/dma_put transfers against effective
+// addresses, Sync nodes become DMA-tag fences, and block-parallel loops are
+// strided across SPEs.
+//
+// Like the CUDA backend, the output is source text for inspection and
+// structural tests; semantics of the underlying CodeUnit are certified by
+// the interpreter. The driver forces CompileOptions::stageEverything when
+// this backend is selected, so no reference bypasses the local store.
+#pragma once
+
+#include <string>
+
+#include "ir/ast.h"
+
+namespace emm {
+
+struct CellEmitOptions {
+  /// Binding for the block's leading (non-origin) parameters, used to fold
+  /// local-store buffer extents to constants. Origin parameters must NOT be
+  /// bound.
+  IntVec paramValues;
+  /// Number of leading parameters the binding covers; -1 = all of
+  /// paramValues.
+  int numBoundParams = -1;
+  std::string kernelName = "emmap_kernel";
+  std::string elementType = "float";
+};
+
+/// Renders the unit as an SPE kernel plus a PPU-side launch stub.
+std::string emitCell(const CodeUnit& unit, const CellEmitOptions& options);
+
+}  // namespace emm

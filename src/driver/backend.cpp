@@ -1,5 +1,6 @@
 #include "driver/backend.h"
 
+#include "codegen/emit_cell.h"
 #include "codegen/emit_cuda.h"
 #include "ir/emit.h"
 #include "support/diagnostics.h"
@@ -25,6 +26,16 @@ public:
   CudaBackend() : Backend("cuda") {}
   std::string emit(const CodeUnit& unit, const CompileOptions& options) const override {
     return emitCuda(unit, options.cudaEmitOptions());
+  }
+};
+
+/// Cell-like target (codegen/emit_cell.h): DMA-style staged copies against
+/// the SPE local store. Selecting it forces stageEverything in the driver.
+class CellBackend : public Backend {
+public:
+  CellBackend() : Backend("cell") {}
+  std::string emit(const CodeUnit& unit, const CompileOptions& options) const override {
+    return emitCell(unit, options.cellEmitOptions());
   }
 };
 
@@ -55,6 +66,7 @@ BackendRegistry& BackendRegistry::global() {
     auto* r = new BackendRegistry;
     r->add(std::make_unique<CBackend>());
     r->add(std::make_unique<CudaBackend>());
+    r->add(std::make_unique<CellBackend>());
     return r;
   }();
   return *reg;

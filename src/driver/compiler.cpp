@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "driver/plan_cache.h"
 #include "support/diagnostics.h"
+#include "support/fingerprint.h"
+#include "support/thread_pool.h"
 
 namespace emm {
 
@@ -17,6 +20,16 @@ const PassTiming* CompileResult::timing(const std::string& pass) const {
   for (const PassTiming& t : timings)
     if (t.pass == pass) return &t;
   return nullptr;
+}
+
+CompileResult CompileResult::clone() const {
+  CompileResult out;
+  static_cast<PipelineProducts&>(out) = PipelineProducts::clone();
+  out.ok = ok;
+  out.cacheHit = cacheHit;
+  out.diagnostics = diagnostics;
+  out.timings = timings;
+  return out;
 }
 
 Compiler& Compiler::source(ProgramBlock block) {
@@ -110,6 +123,18 @@ Compiler& Compiler::kernelName(std::string name) {
   return *this;
 }
 
+Compiler& Compiler::cache(PlanCache* cache) {
+  cache_ = cache;
+  return *this;
+}
+
+Compiler& Compiler::jobs(int n) {
+  EMM_REQUIRE(n >= 0, "jobs() takes a non-negative worker count");
+  if (n != jobs_) pool_.reset();  // recreated lazily at the new size
+  jobs_ = n;
+  return *this;
+}
+
 Compiler& Compiler::skipPass(const std::string& name) {
   EMM_REQUIRE(PassRegistry::standard().contains(name), "unknown pass '" + name + "'");
   if (std::find(skipped_.begin(), skipped_.end(), name) == skipped_.end())
@@ -133,13 +158,55 @@ CompileResult Compiler::compile(ProgramBlock block) {
   return compile();
 }
 
+CompileOptions Compiler::effectiveOptions() const {
+  CompileOptions o = options_;
+  // Cell-style targets cannot touch global memory during compute (Section 3):
+  // selecting the cell backend forces every reference through the local
+  // store, exactly as setting stageEverything by hand would.
+  if (o.backendName == "cell") o.stageEverything = true;
+  return o;
+}
+
+namespace {
+
+PlanKey planKeyFor(const ProgramBlock& block, const CompileOptions& options,
+                   std::vector<std::string> skipped) {
+  std::sort(skipped.begin(), skipped.end());
+  Hasher h;
+  h.mix(skipped);
+  PlanKey key;
+  key.block = hashProgramBlock(block);
+  key.options = hashCompileOptions(options);
+  key.passes = h.digest();
+  return key;
+}
+
+}  // namespace
+
 CompileResult Compiler::compile() {
   EMM_REQUIRE(source_.has_value(), "Compiler::compile() called without a source block");
+  // Replaced passes run arbitrary code that a fingerprint cannot witness;
+  // those pipelines always run and are never stored.
+  std::optional<PlanKey> key;
+  if (cache_ != nullptr && replacements_.empty()) {
+    key = planKeyFor(*source_, effectiveOptions(), skipped_);
+    if (std::optional<CompileResult> hit = cache_->lookup(*key)) return std::move(*hit);
+  }
+  CompileResult result = runPipeline();
+  if (key.has_value() && result.ok) cache_->insert(*key, result);
+  return result;
+}
+
+CompileResult Compiler::runPipeline() {
   const PassRegistry& registry = PassRegistry::standard();
 
   CompileState state;
-  state.options = options_;
-  state.input = std::make_unique<ProgramBlock>(*source_);  // keep Compiler reusable
+  state.options = effectiveOptions();
+  // Keep Compiler reusable by copying the source — except for one-shot
+  // async snapshots, which own their source exclusively and may donate it.
+  state.input = consumeSource_ ? std::make_unique<ProgramBlock>(std::move(*source_))
+                               : std::make_unique<ProgramBlock>(*source_);
+  if (consumeSource_) source_.reset();
   std::vector<PassTiming> timings;
 
   for (const std::string& passName : registry.order()) {
@@ -181,6 +248,54 @@ CompileResult Compiler::compile() {
   result.timings = std::move(timings);
   static_cast<PipelineProducts&>(result) = std::move(static_cast<PipelineProducts&>(state));
   return result;
+}
+
+void Compiler::ensurePool() {
+  if (pool_ == nullptr)
+    pool_ = std::make_shared<ThreadPool>(jobs_ > 0 ? jobs_ : ThreadPool::defaultConcurrency());
+}
+
+std::future<CompileResult> Compiler::compileAsync() {
+  EMM_REQUIRE(source_.has_value(), "Compiler::compileAsync() called without a source block");
+  ensurePool();
+  // The task compiles a snapshot of the current configuration, so later
+  // builder mutations don't race. The snapshot must not share the pool:
+  // a worker releasing the last pool reference would join itself. Since the
+  // snapshot is single-use, its pipeline run may consume the source block
+  // in place instead of copying it again.
+  auto snapshot = std::make_shared<Compiler>(*this);
+  snapshot->pool_.reset();
+  snapshot->consumeSource_ = true;
+  auto promise = std::make_shared<std::promise<CompileResult>>();
+  std::future<CompileResult> future = promise->get_future();
+  pool_->submit([snapshot, promise] {
+    try {
+      promise->set_value(snapshot->compile());
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+std::future<CompileResult> Compiler::compileAsync(ProgramBlock block) {
+  source(std::move(block));
+  return compileAsync();
+}
+
+std::vector<CompileResult> Compiler::compileBatch(std::vector<ProgramBlock> blocks) {
+  ensurePool();
+  std::vector<std::future<CompileResult>> futures;
+  futures.reserve(blocks.size());
+  for (ProgramBlock& block : blocks) {
+    source(std::move(block));
+    futures.push_back(compileAsync());
+  }
+  source_.reset();  // the batch consumed the blocks; leave the builder clean
+  std::vector<CompileResult> results;
+  results.reserve(futures.size());
+  for (std::future<CompileResult>& f : futures) results.push_back(f.get());
+  return results;
 }
 
 }  // namespace emm

@@ -18,6 +18,7 @@
 // timings, and Diagnostic records instead of ad-hoc strings.
 #pragma once
 
+#include <future>
 #include <map>
 #include <memory>
 #include <optional>
@@ -28,6 +29,9 @@
 #include "driver/pass.h"
 
 namespace emm {
+
+class PlanCache;
+class ThreadPool;
 
 /// Wall-clock record of one pipeline stage.
 struct PassTiming {
@@ -44,6 +48,10 @@ struct PassTiming {
 /// (CodeUnit::source, DataPlan::block) stay valid when the result moves.
 struct CompileResult : PipelineProducts {
   bool ok = false;  ///< pipeline completed without error diagnostics
+  /// True when this result came from the PlanCache instead of a pipeline
+  /// run. The products are a deep copy of the cached plan; `timings`
+  /// describe the run that originally produced it.
+  bool cacheHit = false;
   std::vector<Diagnostic> diagnostics;
   std::vector<PassTiming> timings;  ///< one entry per pipeline pass, in order
 
@@ -51,6 +59,9 @@ struct CompileResult : PipelineProducts {
   std::string firstError() const;
   /// Timing entry for a pass, or nullptr.
   const PassTiming* timing(const std::string& pass) const;
+
+  /// Deep copy (results are otherwise move-only); used by the plan cache.
+  CompileResult clone() const;
 };
 
 /// Builder-style façade over the pass pipeline. Reusable: compile() may be
@@ -84,6 +95,18 @@ public:
   Compiler& backend(std::string name);
   Compiler& kernelName(std::string name);
 
+  // ---- service configuration ----
+  /// Attaches a plan cache (nullptr detaches). compile() then returns
+  /// cached results for (block fingerprint, options hash, skipped passes)
+  /// it has seen succeed before, with CompileResult::cacheHit set.
+  /// Pipelines with replaced passes bypass the cache. PlanCache::global()
+  /// is the process-wide instance.
+  Compiler& cache(PlanCache* cache);
+  const PlanCache* planCache() const { return cache_; }
+  /// Worker count for compileAsync/compileBatch (0 = hardware default).
+  /// The pool is created lazily on the first async/batch call.
+  Compiler& jobs(int n);
+
   // ---- pass control ----
   /// Skips a standard pass. Throws ApiError for names not in the registry.
   Compiler& skipPass(const std::string& name);
@@ -101,11 +124,37 @@ public:
   /// One-shot convenience: sets the source, then compiles.
   CompileResult compile(ProgramBlock block);
 
+  /// Compiles the current configuration on the thread pool and returns a
+  /// future. The configuration is snapshotted at the call, so the builder
+  /// may be reconfigured (or destroyed — the snapshot owns everything it
+  /// needs except the attached cache, which must outlive the future)
+  /// immediately afterwards. Replacement passes shared with an async
+  /// compile must be thread-safe.
+  std::future<CompileResult> compileAsync();
+  /// One-shot convenience: sets the source, then compiles asynchronously.
+  std::future<CompileResult> compileAsync(ProgramBlock block);
+
+  /// Compiles every block with the current options over the thread pool and
+  /// returns results in input order. With a cache attached, duplicate
+  /// blocks hit once a prior compile finished (concurrent duplicates may
+  /// each run the pipeline; all end up with identical results).
+  std::vector<CompileResult> compileBatch(std::vector<ProgramBlock> blocks);
+
 private:
+  CompileOptions effectiveOptions() const;
+  CompileResult runPipeline();
+  void ensurePool();
+
   CompileOptions options_;
   std::optional<ProgramBlock> source_;
   std::vector<std::string> skipped_;
   std::map<std::string, std::shared_ptr<Pass>> replacements_;
+  PlanCache* cache_ = nullptr;
+  int jobs_ = 0;
+  std::shared_ptr<ThreadPool> pool_;
+  /// Set on single-use async snapshots: runPipeline() may move the source
+  /// block into the pipeline instead of copying it.
+  bool consumeSource_ = false;
 };
 
 }  // namespace emm

@@ -33,4 +33,13 @@ CudaEmitOptions CompileOptions::cudaEmitOptions() const {
   return c;
 }
 
+CellEmitOptions CompileOptions::cellEmitOptions() const {
+  CellEmitOptions c;
+  c.paramValues = paramValues;
+  c.numBoundParams = numBoundParams;
+  c.kernelName = kernelName;
+  c.elementType = elementType;
+  return c;
+}
+
 }  // namespace emm

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/emit_cell.h"
 #include "codegen/emit_cuda.h"
 #include "smem/data_manage.h"
 #include "tilesearch/tilesearch.h"
@@ -82,6 +83,7 @@ struct CompileOptions {
   SmemOptions smemOptions() const;
   TileSearchOptions tileSearchOptions() const;
   CudaEmitOptions cudaEmitOptions() const;
+  CellEmitOptions cellEmitOptions() const;
 };
 
 }  // namespace emm

@@ -4,8 +4,71 @@
 
 #include "driver/backend.h"
 #include "support/diagnostics.h"
+#include "tilesearch/tile_evaluator.h"
 
 namespace emm {
+
+namespace {
+
+/// Deep copy of a CodeUnit with its source pointer rebound.
+CodeUnit cloneUnit(const CodeUnit& u, const ProgramBlock* source) {
+  CodeUnit out;
+  out.name = u.name;
+  out.source = source;
+  out.statements = u.statements;
+  out.localBuffers = u.localBuffers;
+  out.root = u.root ? u.root->clone() : nullptr;
+  return out;
+}
+
+}  // namespace
+
+// NOTE: field-by-field copy of PipelineProducts, TiledKernel, TileAnalysis
+// and (via cloneUnit) CodeUnit. A field added to any of those structs must
+// be added here too, or warm plan-cache hits will silently drop it — see
+// the warning on the struct in pass.h.
+PipelineProducts PipelineProducts::clone() const {
+  PipelineProducts out;
+  if (input) out.input = std::make_unique<ProgramBlock>(*input);
+  if (transformed) out.transformed = std::make_unique<ProgramBlock>(*transformed);
+  // Rebinds a pointer into this object's blocks to the copy's blocks.
+  auto remapBlock = [&](const ProgramBlock* p) -> const ProgramBlock* {
+    if (p == input.get()) return out.input.get();
+    if (p == transformed.get()) return out.transformed.get();
+    return nullptr;
+  };
+  out.deps = deps;
+  out.haveDeps = haveDeps;
+  out.plan = plan;
+  out.havePlan = havePlan;
+  out.appliedSkews = appliedSkews;
+  out.search = search;
+  if (kernel) {
+    TiledKernel k;
+    k.analysis.depth = kernel->analysis.depth;
+    k.analysis.subTile = kernel->analysis.subTile;
+    k.analysis.originParams = kernel->analysis.originParams;
+    k.analysis.loopBounds = kernel->analysis.loopBounds;
+    k.analysis.hoistLevel = kernel->analysis.hoistLevel;
+    if (kernel->analysis.tileBlock)
+      k.analysis.tileBlock = std::make_unique<ProgramBlock>(*kernel->analysis.tileBlock);
+    k.analysis.plan = kernel->analysis.plan;
+    k.analysis.plan.block = k.analysis.tileBlock.get();
+    k.unit = cloneUnit(kernel->unit, k.analysis.tileBlock.get());
+    k.spaceLoops = kernel->spaceLoops;
+    k.blockTileSizes = kernel->blockTileSizes;
+    k.spaceLoopRange = kernel->spaceLoopRange;
+    out.kernel.emplace(std::move(k));
+  }
+  if (scratchpadUnit)
+    out.scratchpadUnit.emplace(cloneUnit(*scratchpadUnit, remapBlock(scratchpadUnit->source)));
+  if (blockPlan) {
+    out.blockPlan = blockPlan;
+    out.blockPlan->block = remapBlock(blockPlan->block);
+  }
+  out.artifact = artifact;
+  return out;
+}
 
 void CompileState::note(const std::string& stage, const std::string& message) {
   diagnostics.push_back({Severity::Note, stage, message});
@@ -103,9 +166,14 @@ public:
     SmemOptions smem = s.options.smemOptions();
     if (!s.options.subTile.empty()) {
       // Explicit tile sizes: evaluate the Section-4.3 objective for them so
-      // the result still carries cost/footprint/per-buffer terms.
+      // the result still carries cost/footprint/per-buffer terms. Candidate
+      // ladders are irrelevant on this path (and historically ignored), so
+      // drop them: an unrelated candidate arity mismatch must not fail an
+      // explicitly tiled compile.
+      topts.candidates.clear();
+      TileEvaluator evaluator(block, s.plan, topts, smem);
       s.search.subTile = s.options.subTile;
-      s.search.eval = evaluateTileSizes(block, s.plan, s.options.subTile, topts, smem);
+      s.search.eval = evaluator.evaluate(s.options.subTile);
       s.search.evaluations = 1;
       if (!s.search.eval.feasible)
         s.warn(name(), "given tile (" + joinInts(s.options.subTile) +
@@ -116,9 +184,12 @@ public:
                            std::to_string(s.search.eval.footprint) + " elems");
       return;
     }
+    // One evaluator per compile: all probes (descent sweeps, seeds, the
+    // exhaustive oracle) share its candidate memo and loop bounds.
+    TileEvaluator evaluator(block, s.plan, topts, smem);
     s.search = s.options.searchMode == TileSearchMode::Exhaustive
-                   ? exhaustiveTileSearch(block, s.plan, topts, smem)
-                   : searchTileSizes(block, s.plan, topts, smem);
+                   ? exhaustiveTileSearch(evaluator)
+                   : searchTileSizes(evaluator);
     if (!s.search.eval.feasible) {
       s.error(name(), "no feasible tile: " + s.search.eval.reason);
       return;
@@ -126,7 +197,9 @@ public:
     s.note(name(), "chose tile (" + joinInts(s.search.subTile) + "), cost " +
                        std::to_string(s.search.eval.cost) + ", footprint " +
                        std::to_string(s.search.eval.footprint) + " elems, " +
-                       std::to_string(s.search.evaluations) + " evaluations");
+                       std::to_string(s.search.evaluations) + " evaluations (" +
+                       std::to_string(evaluator.analysesRun()) + " analyzed, " +
+                       std::to_string(s.search.memoHits) + " memo hits)");
   }
 };
 

@@ -22,9 +22,12 @@ namespace emm {
 
 /// Everything the pipeline produces. The working CompileState and the final
 /// CompileResult both embed this struct; Compiler::compile() moves it
-/// wholesale, so a field added here flows to results automatically. Program
-/// blocks live behind unique_ptr so CodeUnit/DataPlan back-pointers into
-/// them survive those moves.
+/// wholesale, so a field added here flows to results automatically — but
+/// clone() below copies field by field (the unique_ptr-held blocks make the
+/// struct non-copyable), so ADDING A FIELD REQUIRES EXTENDING clone() in
+/// pass.cpp or warm plan-cache hits will silently default-initialize it.
+/// Program blocks live behind unique_ptr so CodeUnit/DataPlan back-pointers
+/// into them survive those moves.
 struct PipelineProducts {
   /// The block as given to the Compiler.
   std::unique_ptr<ProgramBlock> input;
@@ -69,6 +72,11 @@ struct PipelineProducts {
     if (blockPlan) return &*blockPlan;
     return nullptr;
   }
+
+  /// Deep copy with internal back-pointers (CodeUnit::source, DataPlan::block)
+  /// rebound to the copied blocks. This is how the plan cache stores one
+  /// snapshot per key and hands out independently owned results.
+  PipelineProducts clone() const;
 };
 
 /// Mutable state threaded through the pipeline: the accumulated products

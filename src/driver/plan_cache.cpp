@@ -1,0 +1,73 @@
+#include "driver/plan_cache.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace emm {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::optional<CompileResult> PlanCache::lookup(const PlanKey& key) {
+  std::shared_ptr<const CompileResult> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    entry = it->second;
+  }
+  // Clone outside the lock: deep copies are cheap next to a compile but not
+  // free, and pool workers hit the cache concurrently.
+  CompileResult out = entry->clone();
+  out.cacheHit = true;
+  return out;
+}
+
+void PlanCache::insert(const PlanKey& key, const CompileResult& result) {
+  auto snapshot = std::make_shared<const CompileResult>(result.clone());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, snapshot);
+  if (!inserted) {
+    it->second = std::move(snapshot);
+    return;  // refresh in place; insertion order unchanged
+  }
+  insertionOrder_.push_back(key);
+  if (entries_.size() > capacity_) {
+    entries_.erase(insertionOrder_.front());
+    insertionOrder_.pop_front();
+    ++evictions_;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = static_cast<i64>(entries_.size());
+  s.evictions = evictions_;
+  return s;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  insertionOrder_.clear();
+  hits_ = misses_ = evictions_ = 0;
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache* cache = new PlanCache;
+  return *cache;
+}
+
+}  // namespace emm

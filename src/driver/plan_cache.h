@@ -1,0 +1,81 @@
+// PlanCache: memoized compilation results for the service layer.
+//
+// The benches and any service built on emm::Compiler re-compile identical
+// blocks constantly (the same ME/matmul shapes with the same options). A
+// PlanCache keys a finished CompileResult on the structural fingerprint of
+// the source block plus the canonical hash of the option set (plus the
+// skipped-pass set), and hands out deep, independently owned copies, so a
+// warm compile costs one clone instead of the full pipeline.
+//
+// What is cached: the complete, re-emittable plan products — the rendered
+// artifact, the tiled kernel / scratchpad unit IR, the data plan, the
+// tile-search outcome, the diagnostics, and the per-pass timings of the
+// producing run (a hit's timings describe how the plan was originally
+// built; CompileResult::cacheHit tells the two apart). Only `ok` results
+// are inserted. Pipelines with replaced passes are never cached (arbitrary
+// code cannot be fingerprinted); Compiler::compile() skips the cache for
+// them.
+//
+// Thread-safe: batch compilation shares one cache across pool workers.
+// Capacity-bounded with insertion-order eviction.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "driver/compiler.h"
+#include "support/fingerprint.h"
+
+namespace emm {
+
+/// Cache key: (block fingerprint, options fingerprint, skipped-pass set).
+struct PlanKey {
+  u64 block = 0;
+  u64 options = 0;
+  u64 passes = 0;
+
+  auto operator<=>(const PlanKey&) const = default;
+};
+
+class PlanCache {
+public:
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;
+    i64 entries = 0;
+    i64 evictions = 0;
+  };
+
+  /// `capacity` = max entries before insertion-order eviction (>= 1).
+  explicit PlanCache(size_t capacity = 1024);
+
+  /// Returns an independently owned copy of the cached result with
+  /// cacheHit set, or nullopt (counting a miss).
+  std::optional<CompileResult> lookup(const PlanKey& key);
+
+  /// Stores a snapshot of `result` under `key`, overwriting any previous
+  /// entry and evicting the oldest entry when over capacity.
+  void insert(const PlanKey& key, const CompileResult& result);
+
+  Stats stats() const;
+  size_t size() const;
+  void clear();  ///< drops entries and resets counters
+
+  /// Process-wide cache shared by every Compiler that enables caching
+  /// without supplying its own.
+  static PlanCache& global();
+
+private:
+  mutable std::mutex mutex_;
+  size_t capacity_;
+  std::map<PlanKey, std::shared_ptr<const CompileResult>> entries_;
+  std::list<PlanKey> insertionOrder_;
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+  i64 evictions_ = 0;
+};
+
+}  // namespace emm

@@ -114,6 +114,10 @@ struct AstNode {
   static AstPtr comment(std::string text);
 
   AstNode* addChild(AstPtr child);
+
+  /// Deep copy of the subtree (used by the plan cache to hand out
+  /// independently owned results).
+  AstPtr clone() const;
 };
 
 /// A local (scratchpad) buffer: per-dimension lower/upper bounds as affine

@@ -141,30 +141,57 @@ void planBufferGeometry(PartitionPlan& plan, const ProgramBlock& block,
 
   for (int d = 0; d < ndim; ++d) {
     // Gather candidate lower bounds from every space's parametric bounds,
-    // plus the constant-0 fallback (array indices are non-negative).
-    std::vector<AffExpr> lowerCandidates{AffExpr::constant(0)};
-    std::vector<AffExpr> upperCandidates{
-        AffExpr::constant(block.arrays[plan.arrayId].extents[d] - 1)};
-    for (const RefSummary& r : plan.refs) {
-      Polyhedron ctx = withContext(r.dataSpace, options.paramContext);
+    // plus the constant-0 fallback (array indices are non-negative). Each
+    // candidate records which refs derived it: a projection-derived bound is
+    // valid for its own space by Fourier-Motzkin soundness, so it only needs
+    // verification against the *other* refs of the partition (fallbacks, with
+    // no deriving ref, are verified against all). Duplicate expressions are
+    // merged so a bound shared by several refs is verified at most once per
+    // non-deriving ref — the hot path of the tile-size search.
+    struct Candidate {
+      AffExpr expr;
+      std::vector<size_t> sources;  ///< indices into plan.refs that derived it
+    };
+    auto addCandidate = [](std::vector<Candidate>& list, const AffExpr& e,
+                           std::optional<size_t> source) {
+      for (Candidate& c : list) {
+        if (c.expr.str() != e.str()) continue;
+        if (source.has_value()) c.sources.push_back(*source);
+        return;
+      }
+      Candidate c;
+      c.expr = e;
+      if (source.has_value()) c.sources.push_back(*source);
+      list.push_back(std::move(c));
+    };
+    std::vector<Candidate> lowerCandidates, upperCandidates;
+    addCandidate(lowerCandidates, AffExpr::constant(0), std::nullopt);
+    addCandidate(upperCandidates, AffExpr::constant(block.arrays[plan.arrayId].extents[d] - 1),
+                 std::nullopt);
+    for (size_t ri = 0; ri < plan.refs.size(); ++ri) {
+      Polyhedron ctx = withContext(plan.refs[ri].dataSpace, options.paramContext);
       DimBounds b = ctx.paramBounds(d);
       for (const DivExpr& e : b.lower)
-        if (auto a = toAffine(e, paramNames)) lowerCandidates.push_back(*a);
+        if (auto a = toAffine(e, paramNames)) addCandidate(lowerCandidates, *a, ri);
       for (const DivExpr& e : b.upper)
-        if (auto a = toAffine(e, paramNames)) upperCandidates.push_back(*a);
+        if (auto a = toAffine(e, paramNames)) addCandidate(upperCandidates, *a, ri);
     }
 
     // Keep candidates valid for *every* space in the partition.
-    auto validForAll = [&](const AffExpr& e, bool lower) {
-      return std::all_of(plan.refs.begin(), plan.refs.end(), [&](const RefSummary& r) {
-        return boundIsValid(r.dataSpace, options.paramContext, d, e, paramNames, lower);
-      });
+    auto validForAll = [&](const Candidate& c, bool lower) {
+      for (size_t ri = 0; ri < plan.refs.size(); ++ri) {
+        if (std::find(c.sources.begin(), c.sources.end(), ri) != c.sources.end()) continue;
+        if (!boundIsValid(plan.refs[ri].dataSpace, options.paramContext, d, c.expr, paramNames,
+                          lower))
+          return false;
+      }
+      return true;
     };
     std::vector<AffExpr> validLower, validUpper;
-    for (const AffExpr& e : lowerCandidates)
-      if (validForAll(e, true)) validLower.push_back(e);
-    for (const AffExpr& e : upperCandidates)
-      if (validForAll(e, false)) validUpper.push_back(e);
+    for (const Candidate& c : lowerCandidates)
+      if (validForAll(c, true)) validLower.push_back(c.expr);
+    for (const Candidate& c : upperCandidates)
+      if (validForAll(c, false)) validUpper.push_back(c.expr);
     EMM_REQUIRE(!validLower.empty() && !validUpper.empty(),
                 "no valid parametric bounds for buffer dimension");
 

@@ -1,0 +1,158 @@
+#include "support/fingerprint.h"
+
+#include <cstring>
+
+#include "driver/options.h"
+#include "ir/program.h"
+
+namespace emm {
+
+namespace {
+
+constexpr u64 kFnvPrime = 1099511628211ull;
+
+}  // namespace
+
+void Hasher::bytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state_ ^= p[i];
+    state_ *= kFnvPrime;
+  }
+}
+
+void Hasher::mix(i64 v) {
+  unsigned char buf[8];
+  u64 u = static_cast<u64>(v);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(u >> (8 * i));
+  bytes(buf, 8);
+}
+
+void Hasher::mix(u64 v) { mix(static_cast<i64>(v)); }
+
+void Hasher::mix(double v) {
+  u64 bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  mix(bits);
+}
+
+void Hasher::mix(const std::string& s) {
+  mix(static_cast<i64>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+void Hasher::mix(const std::vector<i64>& v) {
+  mix(static_cast<i64>(v.size()));
+  for (i64 x : v) mix(x);
+}
+
+void Hasher::mix(const std::vector<std::vector<i64>>& v) {
+  mix(static_cast<i64>(v.size()));
+  for (const std::vector<i64>& inner : v) mix(inner);
+}
+
+void Hasher::mix(const std::vector<std::string>& v) {
+  mix(static_cast<i64>(v.size()));
+  for (const std::string& s : v) mix(s);
+}
+
+u64 hashCombine(u64 a, u64 b) {
+  Hasher h;
+  h.mix(a);
+  h.mix(b);
+  return h.digest();
+}
+
+namespace {
+
+void mixMatrix(Hasher& h, const IntMat& m) {
+  h.mix(m.rows());
+  h.mix(m.cols());
+  for (int r = 0; r < m.rows(); ++r)
+    for (int c = 0; c < m.cols(); ++c) h.mix(m.at(r, c));
+}
+
+void mixPolyhedron(Hasher& h, const Polyhedron& p) {
+  h.mix(p.dim());
+  h.mix(p.nparam());
+  mixMatrix(h, p.equalities());
+  mixMatrix(h, p.inequalities());
+}
+
+void mixExpr(Hasher& h, const ExprPtr& e) {
+  if (e == nullptr) {
+    h.mix(i64{-1});
+    return;
+  }
+  h.mix(static_cast<i64>(e->kind()));
+  switch (e->kind()) {
+    case Expr::Kind::Const:
+      h.mix(e->constValue());
+      break;
+    case Expr::Kind::Load:
+      h.mix(e->accessIndex());
+      break;
+    default:
+      mixExpr(h, e->lhs());
+      mixExpr(h, e->rhs());
+      break;
+  }
+}
+
+}  // namespace
+
+u64 hashProgramBlock(const ProgramBlock& block) {
+  Hasher h;
+  h.mix(block.name);
+  h.mix(block.paramNames);
+  h.mix(static_cast<i64>(block.arrays.size()));
+  for (const ArrayDecl& a : block.arrays) {
+    h.mix(a.name);
+    h.mix(a.extents);
+  }
+  h.mix(static_cast<i64>(block.statements.size()));
+  for (const Statement& st : block.statements) {
+    h.mix(st.name);
+    mixPolyhedron(h, st.domain);
+    h.mix(static_cast<i64>(st.accesses.size()));
+    for (const Access& acc : st.accesses) {
+      h.mix(acc.arrayId);
+      h.mix(acc.isWrite);
+      mixMatrix(h, acc.fn);
+    }
+    h.mix(st.writeAccess);
+    mixExpr(h, st.rhs);
+    mixMatrix(h, st.schedule);
+  }
+  return h.digest();
+}
+
+u64 hashCompileOptions(const CompileOptions& o) {
+  Hasher h;
+  h.mix(o.paramValues);
+  h.mix(static_cast<i64>(o.mode));
+  h.mix(o.delta);
+  h.mix(static_cast<i64>(o.partitionMode));
+  h.mix(o.stageEverything);
+  h.mix(o.optimizeCopySets);
+  h.mix(o.subTile);
+  h.mix(o.blockTile);
+  h.mix(o.threadTile);
+  h.mix(o.hoistCopies);
+  h.mix(o.useScratchpad);
+  h.mix(static_cast<i64>(o.searchMode));
+  h.mix(o.memLimitBytes);
+  h.mix(o.elementBytes);
+  h.mix(o.innerProcs);
+  h.mix(o.syncCost);
+  h.mix(o.transferCost);
+  h.mix(o.tileCandidates);
+  h.mix(o.backendName);
+  h.mix(o.kernelName);
+  h.mix(o.elementType);
+  h.mix(o.numBoundParams);
+  return h.digest();
+}
+
+}  // namespace emm

@@ -1,0 +1,163 @@
+#include "tilesearch/tile_evaluator.h"
+
+#include <algorithm>
+
+namespace emm {
+
+namespace {
+
+/// Drops the leading `l` iterator coefficient slots (all zero for the
+/// rectangular bounds the tiler certifies) so bounds evaluate against the
+/// parameter vector alone.
+DimBounds stripLoopBounds(const DimBounds& b, int l) {
+  DimBounds out;
+  for (const DivExpr& e : b.lower) {
+    DivExpr s;
+    s.den = e.den;
+    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+    out.lower.push_back(std::move(s));
+  }
+  for (const DivExpr& e : b.upper) {
+    DivExpr s;
+    s.den = e.den;
+    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+    out.upper.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Trip count of loop `l` at the given binding when tiled by `t`.
+i64 tripCount(const DimBounds& bounds, int l, const IntVec& params, i64 t) {
+  DimBounds b = stripLoopBounds(bounds, l);
+  i64 lo = b.evalLower(params);
+  i64 hi = b.evalUpper(params);
+  i64 range = std::max<i64>(0, hi - lo + 1);
+  return ceilDiv(range, t);
+}
+
+/// Binding of the extended (origin-including) parameter vector with origins
+/// pinned at their loop lower bounds, for volume/footprint evaluation.
+IntVec extendedBinding(const TileAnalysis& ta, const IntVec& params) {
+  IntVec ext = params;
+  for (int l = 0; l < ta.depth; ++l) {
+    std::vector<DivExpr> lower = ta.loopBounds[l].lower;
+    i64 best = INT64_MIN;
+    for (const DivExpr& e : lower) {
+      // Bounds are parameter-only; strip leading iterator slots.
+      DivExpr s;
+      s.den = e.den;
+      s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+      best = std::max(best, s.evalCeil(params));
+    }
+    ext.push_back(best);
+  }
+  return ext;
+}
+
+}  // namespace
+
+TileEvaluator::TileEvaluator(const ProgramBlock& block, const ParallelismPlan& plan,
+                             const TileSearchOptions& options, const SmemOptions& smemBase)
+    : block_(block), plan_(plan), options_(options), smemBase_(smemBase) {
+  depth_ = commonLoopDepth(block);
+  EMM_REQUIRE(static_cast<int>(options_.paramValues.size()) == block.nparam(),
+              "paramValues arity mismatch");
+  loopBounds_ = rectangularLoopBounds(block, depth_);
+  loopRange_.resize(depth_);
+  for (int l = 0; l < depth_; ++l)
+    loopRange_[l] = loopBounds_[l].lower.empty() || loopBounds_[l].upper.empty()
+                        ? 0
+                        : tripCount(loopBounds_[l], l, options_.paramValues, 1);
+  if (options_.candidates.empty()) {
+    // Geometric ladder clipped to each loop's range.
+    for (int l = 0; l < depth_; ++l) {
+      std::vector<i64> ladder;
+      for (i64 t = 1; t < loopRange_[l]; t *= 2) ladder.push_back(t);
+      ladder.push_back(std::max<i64>(loopRange_[l], 1));
+      candidates_.push_back(std::move(ladder));
+    }
+  } else {
+    EMM_REQUIRE(static_cast<int>(options_.candidates.size()) == depth_,
+                "candidate arity mismatch");
+    candidates_ = options_.candidates;
+  }
+}
+
+const TileEvaluation& TileEvaluator::evaluate(const std::vector<i64>& subTile) {
+  auto it = memo_.find(subTile);
+  if (it != memo_.end()) {
+    ++memoHits_;
+    return it->second;
+  }
+  ++evaluations_;
+  return memo_.emplace(subTile, evaluateUncached(subTile)).first->second;
+}
+
+TileEvaluation TileEvaluator::evaluateUncached(const std::vector<i64>& subTile) {
+  TileEvaluation ev;
+  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth_, "subTile arity mismatch");
+
+  // Constraints that need no per-candidate analysis come first, so the
+  // search discards infeasible candidates without paying for Section 3.
+  // Constraint (1): 0 < t_i <= N_i (shared, tile-size-independent bounds).
+  for (int l = 0; l < depth_; ++l) {
+    if (subTile[l] < 1 || subTile[l] > std::max<i64>(loopRange_[l], 1)) {
+      ev.reason = "tile size out of loop range";
+      return ev;
+    }
+  }
+
+  // Constraint (3): tile volume keeps all inner-level processes busy.
+  i64 tileVolume = 1;
+  for (int l = 0; l < depth_; ++l) tileVolume = mulChecked(tileVolume, subTile[l]);
+  if (tileVolume < options_.innerProcs) {
+    ev.reason = "tile smaller than inner-level process count";
+    return ev;
+  }
+
+  // The candidate survives the cheap constraints: run the Section-3
+  // analysis (the dominant cost, memoized by the caller).
+  ++analysesRun_;
+  TileAnalysis ta = analyzeTile(block_, plan_, subTile, smemBase_, options_.hoistCopies);
+  IntVec ext = extendedBinding(ta, options_.paramValues);
+
+  // Constraint (2): footprint <= Mup.
+  i64 footprint = 0;
+  for (size_t p = 0; p < ta.plan.partitions.size(); ++p)
+    footprint = addChecked(footprint, ta.plan.bufferFootprint(static_cast<int>(p), ext));
+  ev.footprint = footprint;
+  if (footprint > options_.memLimitElems) {
+    ev.reason = "scratchpad footprint exceeds limit";
+    return ev;
+  }
+
+  // Objective: sum over buffers of occurrences * (P*S + V*L/P).
+  double P = static_cast<double>(options_.innerProcs);
+  double cost = 0;
+  for (size_t p = 0; p < ta.plan.partitions.size(); ++p) {
+    const PartitionPlan& part = ta.plan.partitions[p];
+    if (!part.hasBuffer) continue;
+    // Occurrences: product of tiling-loop trip counts above the placement
+    // level (the r_k of Section 4.3).
+    i64 occ = 1;
+    for (int l = 0; l < ta.hoistLevel[p]; ++l)
+      occ = mulChecked(occ, tripCount(ta.loopBounds[l], l, options_.paramValues, subTile[l]));
+    i64 vin = ta.plan.moveInVolumeBound(static_cast<int>(p), ext);
+    i64 vout = ta.plan.moveOutVolumeBound(static_cast<int>(p), ext);
+    double termIn = vin > 0 ? static_cast<double>(occ) *
+                                  (P * options_.syncCost +
+                                   static_cast<double>(vin) * options_.transferCost / P)
+                            : 0.0;
+    double termOut = vout > 0 ? static_cast<double>(occ) *
+                                    (P * options_.syncCost +
+                                     static_cast<double>(vout) * options_.transferCost / P)
+                              : 0.0;
+    cost += termIn + termOut;
+    ev.terms.push_back({part.bufferName, occ, vin, vout, ta.hoistLevel[p]});
+  }
+  ev.feasible = true;
+  ev.cost = cost;
+  return ev;
+}
+
+}  // namespace emm

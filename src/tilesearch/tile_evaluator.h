@@ -1,0 +1,82 @@
+// Memoized candidate evaluation for the Section-4.3 tile-size search.
+//
+// Every candidate evaluation used to instantiate the full Section-3
+// analysis (analyzeTile -> analyzeBlock: data-space images, overlap
+// partitioning, volume sampling) from scratch — the dominant cost of the
+// whole pipeline (~90% of an ME compile). A TileEvaluator fixes the
+// (block, plan, options) context once and then:
+//
+//  - computes the rectangular loop bounds a single time and shares them
+//    across all candidates (they do not depend on the tile sizes), so the
+//    range and minimum-volume constraints are checked BEFORE any analysis
+//    runs and infeasible candidates cost ~nothing,
+//  - memoizes full evaluations by candidate vector, so a tile probed by
+//    several descent sweeps, several seeds, or several solvers (the
+//    coordinate-descent solver and the exhaustive oracle used to certify
+//    it) is analyzed exactly once.
+//
+// Both searchTileSizes and exhaustiveTileSearch route through a shared
+// TileEvaluator; the driver's tilesearch pass holds one per compile.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "tilesearch/tilesearch.h"
+
+namespace emm {
+
+class TileEvaluator {
+public:
+  /// Binds the evaluation context. `block` and `plan` must outlive the
+  /// evaluator. Throws ApiError on arity mismatches (candidates vs depth,
+  /// paramValues vs block parameters).
+  TileEvaluator(const ProgramBlock& block, const ParallelismPlan& plan,
+                const TileSearchOptions& options, const SmemOptions& smemBase);
+
+  /// Memoized Section-4.3 evaluation of one candidate tile-size vector.
+  /// The reference stays valid for the evaluator's lifetime.
+  const TileEvaluation& evaluate(const std::vector<i64>& subTile);
+
+  int depth() const { return depth_; }
+  /// Iteration range of common loop `l` at the bound parameter values.
+  i64 loopRange(int l) const { return loopRange_[l]; }
+  /// Candidate ladder per loop: options.candidates when given, otherwise the
+  /// geometric ladder {1, 2, 4, ...} clipped to each loop's range.
+  const std::vector<std::vector<i64>>& candidates() const { return candidates_; }
+
+  const TileSearchOptions& options() const { return options_; }
+
+  /// Number of candidates actually evaluated (memo misses).
+  int evaluations() const { return evaluations_; }
+  /// Number of evaluate() calls answered from the memo.
+  int memoHits() const { return memoHits_; }
+  /// Number of evaluations that survived the cheap constraints and paid for
+  /// the Section-3 analysis (<= evaluations()).
+  int analysesRun() const { return analysesRun_; }
+
+private:
+  TileEvaluation evaluateUncached(const std::vector<i64>& subTile);
+
+  const ProgramBlock& block_;
+  const ParallelismPlan& plan_;
+  TileSearchOptions options_;
+  SmemOptions smemBase_;
+  int depth_ = 0;
+  std::vector<DimBounds> loopBounds_;  ///< tile-size independent, shared
+  std::vector<i64> loopRange_;
+  std::vector<std::vector<i64>> candidates_;
+  std::map<std::vector<i64>, TileEvaluation> memo_;
+  int evaluations_ = 0;
+  int memoHits_ = 0;
+  int analysesRun_ = 0;
+};
+
+/// Fast solver (geometric seeding + projected coordinate descent) over a
+/// caller-provided evaluator, sharing its memo with other solvers.
+TileSearchResult searchTileSizes(TileEvaluator& evaluator);
+
+/// Grid oracle over a caller-provided evaluator.
+TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator);
+
+}  // namespace emm

@@ -1,163 +1,23 @@
 #include "tilesearch/tilesearch.h"
 
 #include <algorithm>
-#include <map>
+
+#include "tilesearch/tile_evaluator.h"
 
 namespace emm {
-
-namespace {
-
-/// Drops the leading `l` iterator coefficient slots (all zero for the
-/// rectangular bounds analyzeTile certifies) so bounds evaluate against the
-/// parameter vector alone.
-DimBounds stripLoopBounds(const DimBounds& b, int l) {
-  DimBounds out;
-  for (const DivExpr& e : b.lower) {
-    DivExpr s;
-    s.den = e.den;
-    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-    out.lower.push_back(std::move(s));
-  }
-  for (const DivExpr& e : b.upper) {
-    DivExpr s;
-    s.den = e.den;
-    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-    out.upper.push_back(std::move(s));
-  }
-  return out;
-}
-
-/// Trip count of loop `l` at the given binding when tiled by `t`.
-i64 tripCount(const DimBounds& bounds, int l, const IntVec& params, i64 t) {
-  DimBounds b = stripLoopBounds(bounds, l);
-  i64 lo = b.evalLower(params);
-  i64 hi = b.evalUpper(params);
-  i64 range = std::max<i64>(0, hi - lo + 1);
-  return ceilDiv(range, t);
-}
-
-/// Binding of the extended (origin-including) parameter vector with origins
-/// pinned at their loop lower bounds, for volume/footprint evaluation.
-IntVec extendedBinding(const TileAnalysis& ta, const IntVec& params) {
-  IntVec ext = params;
-  for (int l = 0; l < ta.depth; ++l) {
-    std::vector<DivExpr> lower = ta.loopBounds[l].lower;
-    i64 best = INT64_MIN;
-    for (const DivExpr& e : lower) {
-      // Bounds are parameter-only; strip leading iterator slots.
-      DivExpr s;
-      s.den = e.den;
-      s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-      best = std::max(best, s.evalCeil(params));
-    }
-    ext.push_back(best);
-  }
-  return ext;
-}
-
-}  // namespace
 
 TileEvaluation evaluateTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
                                  const std::vector<i64>& subTile,
                                  const TileSearchOptions& options, const SmemOptions& smemBase) {
-  TileEvaluation ev;
-  int depth = commonLoopDepth(block);
-  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth, "subTile arity mismatch");
-  EMM_REQUIRE(static_cast<int>(options.paramValues.size()) == block.nparam(),
-              "paramValues arity mismatch");
-
-  // Constraint (1): 0 < t_i <= N_i.
-  TileAnalysis ta = analyzeTile(block, plan, subTile, smemBase, options.hoistCopies);
-  for (int l = 0; l < depth; ++l) {
-    i64 range = std::max<i64>(
-        0, ta.loopBounds[l].upper.empty() || ta.loopBounds[l].lower.empty()
-               ? 0
-               : tripCount(ta.loopBounds[l], l, options.paramValues, 1));
-    if (subTile[l] < 1 || subTile[l] > std::max<i64>(range, 1)) {
-      ev.reason = "tile size out of loop range";
-      return ev;
-    }
-  }
-
-  IntVec ext = extendedBinding(ta, options.paramValues);
-
-  // Constraint (2): footprint <= Mup.
-  i64 footprint = 0;
-  for (size_t p = 0; p < ta.plan.partitions.size(); ++p)
-    footprint = addChecked(footprint, ta.plan.bufferFootprint(static_cast<int>(p), ext));
-  ev.footprint = footprint;
-  if (footprint > options.memLimitElems) {
-    ev.reason = "scratchpad footprint exceeds limit";
-    return ev;
-  }
-
-  // Constraint (3): tile volume keeps all inner-level processes busy.
-  i64 tileVolume = 1;
-  for (int l = 0; l < depth; ++l) tileVolume = mulChecked(tileVolume, subTile[l]);
-  if (tileVolume < options.innerProcs) {
-    ev.reason = "tile smaller than inner-level process count";
-    return ev;
-  }
-
-  // Objective: sum over buffers of occurrences * (P*S + V*L/P).
-  double P = static_cast<double>(options.innerProcs);
-  double cost = 0;
-  for (size_t p = 0; p < ta.plan.partitions.size(); ++p) {
-    const PartitionPlan& part = ta.plan.partitions[p];
-    if (!part.hasBuffer) continue;
-    // Occurrences: product of tiling-loop trip counts above the placement
-    // level (the r_k of Section 4.3).
-    i64 occ = 1;
-    for (int l = 0; l < ta.hoistLevel[p]; ++l)
-      occ = mulChecked(occ, tripCount(ta.loopBounds[l], l, options.paramValues, subTile[l]));
-    i64 vin = ta.plan.moveInVolumeBound(static_cast<int>(p), ext);
-    i64 vout = ta.plan.moveOutVolumeBound(static_cast<int>(p), ext);
-    double termIn = vin > 0 ? static_cast<double>(occ) *
-                                  (P * options.syncCost +
-                                   static_cast<double>(vin) * options.transferCost / P)
-                            : 0.0;
-    double termOut = vout > 0 ? static_cast<double>(occ) *
-                                    (P * options.syncCost +
-                                     static_cast<double>(vout) * options.transferCost / P)
-                              : 0.0;
-    cost += termIn + termOut;
-    ev.terms.push_back({part.bufferName, occ, vin, vout, ta.hoistLevel[p]});
-  }
-  ev.feasible = true;
-  ev.cost = cost;
-  return ev;
+  TileEvaluator evaluator(block, plan, options, smemBase);
+  return evaluator.evaluate(subTile);
 }
 
-namespace {
-
-std::vector<std::vector<i64>> defaultCandidates(const ProgramBlock& block,
-                                                const ParallelismPlan& plan,
-                                                const TileSearchOptions& options,
-                                                const SmemOptions& smemBase) {
-  // Geometric ladder clipped to each loop's range.
-  std::vector<i64> probe(commonLoopDepth(block), 1);
-  TileAnalysis ta = analyzeTile(block, plan, probe, smemBase, options.hoistCopies);
-  std::vector<std::vector<i64>> out;
-  for (int l = 0; l < ta.depth; ++l) {
-    i64 range = tripCount(ta.loopBounds[l], l, options.paramValues, 1);
-    std::vector<i64> ladder;
-    for (i64 t = 1; t < range; t *= 2) ladder.push_back(t);
-    ladder.push_back(std::max<i64>(range, 1));
-    out.push_back(std::move(ladder));
-  }
-  return out;
-}
-
-}  // namespace
-
-TileSearchResult exhaustiveTileSearch(const ProgramBlock& block, const ParallelismPlan& plan,
-                                      const TileSearchOptions& options,
-                                      const SmemOptions& smemBase) {
-  auto cands = options.candidates.empty()
-                   ? defaultCandidates(block, plan, options, smemBase)
-                   : options.candidates;
-  int depth = commonLoopDepth(block);
-  EMM_REQUIRE(static_cast<int>(cands.size()) == depth, "candidate arity mismatch");
+TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
+  const std::vector<std::vector<i64>>& cands = evaluator.candidates();
+  const int depth = evaluator.depth();
+  const int evalsBefore = evaluator.evaluations();
+  const int hitsBefore = evaluator.memoHits();
 
   TileSearchResult best;
   best.eval.feasible = false;
@@ -165,8 +25,7 @@ TileSearchResult exhaustiveTileSearch(const ProgramBlock& block, const Paralleli
   while (true) {
     std::vector<i64> tile(depth);
     for (int l = 0; l < depth; ++l) tile[l] = cands[l][idx[l]];
-    TileEvaluation ev = evaluateTileSizes(block, plan, tile, options, smemBase);
-    ++best.evaluations;
+    const TileEvaluation& ev = evaluator.evaluate(tile);
     if (ev.feasible && (!best.eval.feasible || ev.cost < best.eval.cost)) {
       best.eval = ev;
       best.subTile = tile;
@@ -175,30 +34,27 @@ TileSearchResult exhaustiveTileSearch(const ProgramBlock& block, const Paralleli
     while (l >= 0 && ++idx[l] == cands[l].size()) idx[l--] = 0;
     if (l < 0) break;
   }
+  best.evaluations = evaluator.evaluations() - evalsBefore;
+  best.memoHits = evaluator.memoHits() - hitsBefore;
   return best;
 }
 
-TileSearchResult searchTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
-                                 const TileSearchOptions& options, const SmemOptions& smemBase) {
-  auto cands = options.candidates.empty()
-                   ? defaultCandidates(block, plan, options, smemBase)
-                   : options.candidates;
-  int depth = commonLoopDepth(block);
-  EMM_REQUIRE(static_cast<int>(cands.size()) == depth, "candidate arity mismatch");
+TileSearchResult searchTileSizes(TileEvaluator& evaluator) {
+  const std::vector<std::vector<i64>>& cands = evaluator.candidates();
+  const int depth = evaluator.depth();
+  const int evalsBefore = evaluator.evaluations();
+  const int hitsBefore = evaluator.memoHits();
 
   TileSearchResult result;
   result.eval.feasible = false;
 
-  // Memoized evaluation over ladder positions.
-  std::map<std::vector<size_t>, TileEvaluation> memo;
+  // All probes go through the evaluator's value-keyed memo, so the same
+  // candidate re-probed across descent sweeps, seeds, or a later solver run
+  // (e.g. the exhaustive oracle certifying this answer) is analyzed once.
   auto evalPos = [&](const std::vector<size_t>& p) -> const TileEvaluation& {
-    auto it = memo.find(p);
-    if (it != memo.end()) return it->second;
     std::vector<i64> tile(depth);
     for (int l = 0; l < depth; ++l) tile[l] = cands[l][p[l]];
-    ++result.evaluations;
-    return memo.emplace(p, evaluateTileSizes(block, plan, tile, options, smemBase))
-        .first->second;
+    return evaluator.evaluate(tile);
   };
 
   // Coordinate descent over ladder positions from one seed. This plays the
@@ -260,7 +116,22 @@ TileSearchResult searchTileSizes(const ProgramBlock& block, const ParallelismPla
     result.subTile.resize(depth);
     for (int l = 0; l < depth; ++l) result.subTile[l] = cands[l][bestPos[l]];
   }
+  result.evaluations = evaluator.evaluations() - evalsBefore;
+  result.memoHits = evaluator.memoHits() - hitsBefore;
   return result;
+}
+
+TileSearchResult exhaustiveTileSearch(const ProgramBlock& block, const ParallelismPlan& plan,
+                                      const TileSearchOptions& options,
+                                      const SmemOptions& smemBase) {
+  TileEvaluator evaluator(block, plan, options, smemBase);
+  return exhaustiveTileSearch(evaluator);
+}
+
+TileSearchResult searchTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const TileSearchOptions& options, const SmemOptions& smemBase) {
+  TileEvaluator evaluator(block, plan, options, smemBase);
+  return searchTileSizes(evaluator);
 }
 
 }  // namespace emm

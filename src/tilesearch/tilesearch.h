@@ -11,7 +11,11 @@
 //
 // The evaluator instantiates the Section-3 analysis for each candidate, so
 // footprints, hoist levels and volumes are the real ones the code generator
-// would produce — not closed-form approximations.
+// would produce — not closed-form approximations. Candidate evaluation is
+// memoized by the TileEvaluator (tile_evaluator.h), which both solvers
+// share: cheap constraints are checked before any analysis runs, and a
+// candidate probed twice — across descent sweeps, seeds, or solvers — is
+// analyzed once.
 //
 // Two solvers are provided:
 //  - searchTileSizes: geometric seeding + projected coordinate descent with
@@ -59,7 +63,8 @@ struct TileEvaluation {
 struct TileSearchResult {
   std::vector<i64> subTile;
   TileEvaluation eval;
-  int evaluations = 0;
+  int evaluations = 0;  ///< candidates actually analyzed (memo misses)
+  int memoHits = 0;     ///< probes answered from the shared evaluation memo
 };
 
 /// Evaluates the Section-4.3 objective for one concrete tile-size vector.

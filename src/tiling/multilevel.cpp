@@ -23,9 +23,25 @@ IntMat widenMatParams(const IntMat& m, int dim, int oldNp, int addNp) {
   return out;
 }
 
-/// Per-loop parameter-only bounds shared by all statements. Aborts when the
-/// block is not rectangular (see header).
-std::vector<DimBounds> rectangularBounds(const ProgramBlock& block, int depth) {
+/// Strips the leading `l` iterator coefficient slots (all zero for
+/// rectangular bounds) so the DivExpr is over [params, 1] only.
+DivExpr stripIters(const DivExpr& e, int l) {
+  DivExpr out;
+  out.den = e.den;
+  out.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
+  return out;
+}
+
+BoundExpr boundOverParams(const std::vector<DivExpr>& parts, bool isLower, int loop,
+                          const std::vector<std::string>& paramNames) {
+  std::vector<DivExpr> stripped;
+  for (const DivExpr& e : parts) stripped.push_back(stripIters(e, loop));
+  return toBoundExpr(stripped, isLower, {}, paramNames);
+}
+
+}  // namespace
+
+std::vector<DimBounds> rectangularLoopBounds(const ProgramBlock& block, int depth) {
   std::vector<DimBounds> out(depth);
   for (int l = 0; l < depth; ++l) {
     bool first = true;
@@ -52,24 +68,6 @@ std::vector<DimBounds> rectangularBounds(const ProgramBlock& block, int depth) {
   return out;
 }
 
-/// Strips the leading `l` iterator coefficient slots (all zero for
-/// rectangular bounds) so the DivExpr is over [params, 1] only.
-DivExpr stripIters(const DivExpr& e, int l) {
-  DivExpr out;
-  out.den = e.den;
-  out.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-  return out;
-}
-
-BoundExpr boundOverParams(const std::vector<DivExpr>& parts, bool isLower, int loop,
-                          const std::vector<std::string>& paramNames) {
-  std::vector<DivExpr> stripped;
-  for (const DivExpr& e : parts) stripped.push_back(stripIters(e, loop));
-  return toBoundExpr(stripped, isLower, {}, paramNames);
-}
-
-}  // namespace
-
 TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
                          const std::vector<i64>& subTile, const SmemOptions& smemBase,
                          bool hoist, bool useScratchpad) {
@@ -84,7 +82,7 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
   TileAnalysis ta;
   ta.depth = depth;
   ta.subTile = subTile;
-  ta.loopBounds = rectangularBounds(block, depth);
+  ta.loopBounds = rectangularLoopBounds(block, depth);
 
   // ---- Extended block: tile origins become parameters. ----
   ta.tileBlock = std::make_unique<ProgramBlock>(block);

@@ -53,6 +53,13 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
                          const std::vector<i64>& subTile, const SmemOptions& smemBase,
                          bool hoist = true, bool useScratchpad = true);
 
+/// Per-loop parameter-only bounds shared by all statements (the rectangular
+/// band shape the tiler requires); identical to TileAnalysis::loopBounds but
+/// computed without running the scratchpad analysis. Tile-size independent,
+/// so the tile-size search computes them once and shares them across all
+/// candidate evaluations. Throws ApiError on non-rectangular blocks.
+std::vector<DimBounds> rectangularLoopBounds(const ProgramBlock& block, int depth);
+
 /// Concrete tile sizes. Ordering follows loop index order of the block.
 struct TileConfig {
   /// Per common loop: sub-tile (memory-level) size; must be >= 1.

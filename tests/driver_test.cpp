@@ -200,6 +200,7 @@ TEST(BackendRegistryTest, StandardBackendsRegistered) {
   BackendRegistry& reg = BackendRegistry::global();
   ASSERT_NE(reg.lookup("c"), nullptr);
   ASSERT_NE(reg.lookup("cuda"), nullptr);
+  ASSERT_NE(reg.lookup("cell"), nullptr);
   EXPECT_EQ(reg.lookup("c")->name(), "c");
   EXPECT_EQ(reg.lookup("spe"), nullptr);
   std::vector<std::string> names = reg.names();

@@ -1,0 +1,496 @@
+// Tests for the compilation-service layer: structural fingerprints, the
+// plan cache (hit/miss accounting, byte-identical warm artifacts, clone
+// integrity), the thread pool, async/batch compilation, and the memoized
+// tile evaluator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "driver/compiler.h"
+#include "driver/plan_cache.h"
+#include "ir/interp.h"
+#include "kernels/blocks.h"
+#include "support/fingerprint.h"
+#include "support/thread_pool.h"
+#include "tilesearch/tile_evaluator.h"
+
+namespace emm {
+namespace {
+
+// ---- Structural fingerprints. ----
+
+TEST(Fingerprint, SameBlockBuiltTwiceHashesEqual) {
+  EXPECT_EQ(hashProgramBlock(buildMeBlock(64, 64, 8)), hashProgramBlock(buildMeBlock(64, 64, 8)));
+  EXPECT_EQ(hashProgramBlock(buildMatmulBlock(32, 32, 32)),
+            hashProgramBlock(buildMatmulBlock(32, 32, 32)));
+  EXPECT_EQ(hashProgramBlock(buildFigure1Block()), hashProgramBlock(buildFigure1Block()));
+}
+
+TEST(Fingerprint, DistinctBlocksHashDifferently) {
+  u64 me = hashProgramBlock(buildMeBlock(64, 64, 8));
+  EXPECT_NE(me, hashProgramBlock(buildMeBlock(64, 64, 16)));  // extents differ
+  EXPECT_NE(me, hashProgramBlock(buildMatmulBlock(64, 64, 8)));
+}
+
+TEST(Fingerprint, AnyStructuralMutationChangesTheHash) {
+  ProgramBlock base = buildMatmulBlock(16, 16, 16);
+  const u64 h = hashProgramBlock(base);
+
+  ProgramBlock b = base;
+  b.name = "other";
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;
+  b.paramNames[0] = "Q";
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;
+  b.arrays[0].extents[0] += 1;
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;
+  b.statements[0].name = "other";
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;  // mutate a domain bound
+  {
+    IntVec row(b.statements[0].domain.cols(), 0);
+    row[0] = 1;
+    row.back() = -1;  // i >= 1
+    b.statements[0].domain.addInequality(row);
+  }
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;  // mutate an access function entry
+  b.statements[0].accesses[0].fn.at(0, 0) += 1;
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;  // flip an access direction
+  b.statements[0].accesses[0].isWrite = !b.statements[0].accesses[0].isWrite;
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;  // mutate the schedule
+  b.statements[0].schedule.at(0, b.statements[0].schedule.cols() - 1) += 1;
+  EXPECT_NE(hashProgramBlock(b), h);
+
+  b = base;  // replace the statement body
+  b.statements[0].rhs = Expr::constant(42);
+  EXPECT_NE(hashProgramBlock(b), h);
+}
+
+TEST(Fingerprint, OptionsHashCoversEveryKnob) {
+  CompileOptions base;
+  base.paramValues = {64, 64, 8};
+  const u64 h = hashCompileOptions(base);
+
+  auto mutated = [&](auto&& mutate) {
+    CompileOptions o = base;
+    mutate(o);
+    return hashCompileOptions(o);
+  };
+  EXPECT_NE(mutated([](CompileOptions& o) { o.paramValues[0] = 65; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.mode = PipelineMode::ScratchpadOnly; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.delta = 0.5; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.partitionMode = PartitionMode::PerArrayUnion; }),
+            h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.stageEverything = true; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.subTile = {8, 8, 8}; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.hoistCopies = false; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.searchMode = TileSearchMode::Exhaustive; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.memLimitBytes = 8 * 1024; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.innerProcs = 16; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.tileCandidates = {{4}, {4}, {4}}; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.backendName = "cuda"; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.kernelName = "k2"; }), h);
+  EXPECT_EQ(hashCompileOptions(base), h);  // hashing is pure
+}
+
+// ---- Thread pool. ----
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+  // The pool stays usable after a wait.
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPoolTest, ClampsWorkerCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+// ---- Memoized tile evaluator. ----
+
+struct EvalSetup {
+  ProgramBlock block;
+  ParallelismPlan plan;
+  SmemOptions smem;
+  TileSearchOptions opts;
+
+  EvalSetup() {
+    block = buildMeBlock(32, 32, 8);
+    auto deps = computeDependences(block);
+    plan = findParallelism(block, deps);
+    smem.sampleParams = {32, 32, 8};
+    opts.paramValues = {32, 32, 8};
+    opts.memLimitElems = 2048;
+    opts.innerProcs = 32;
+  }
+};
+
+TEST(TileEvaluatorTest, MatchesDirectEvaluation) {
+  EvalSetup s;
+  TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
+  for (const std::vector<i64>& tile :
+       {std::vector<i64>{8, 8, 8, 8}, {16, 16, 8, 8}, {1, 1, 2, 2}, {64, 16, 8, 8}}) {
+    TileEvaluation direct = evaluateTileSizes(s.block, s.plan, tile, s.opts, s.smem);
+    const TileEvaluation& memo = evaluator.evaluate(tile);
+    EXPECT_EQ(direct.feasible, memo.feasible);
+    EXPECT_EQ(direct.reason, memo.reason);
+    EXPECT_DOUBLE_EQ(direct.cost, memo.cost);
+    EXPECT_EQ(direct.footprint, memo.footprint);
+    ASSERT_EQ(direct.terms.size(), memo.terms.size());
+    for (size_t i = 0; i < direct.terms.size(); ++i) {
+      EXPECT_EQ(direct.terms[i].occurrences, memo.terms[i].occurrences);
+      EXPECT_EQ(direct.terms[i].volumeIn, memo.terms[i].volumeIn);
+      EXPECT_EQ(direct.terms[i].volumeOut, memo.terms[i].volumeOut);
+      EXPECT_EQ(direct.terms[i].hoistLevel, memo.terms[i].hoistLevel);
+    }
+  }
+}
+
+TEST(TileEvaluatorTest, MemoizesRepeatedProbes) {
+  EvalSetup s;
+  TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
+  evaluator.evaluate({8, 8, 8, 8});
+  EXPECT_EQ(evaluator.evaluations(), 1);
+  EXPECT_EQ(evaluator.memoHits(), 0);
+  evaluator.evaluate({8, 8, 8, 8});
+  evaluator.evaluate({8, 8, 8, 8});
+  EXPECT_EQ(evaluator.evaluations(), 1);
+  EXPECT_EQ(evaluator.memoHits(), 2);
+}
+
+TEST(TileEvaluatorTest, CheapConstraintsSkipTheAnalysis) {
+  EvalSetup s;
+  TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
+  // Volume < innerProcs and out-of-range tiles never pay for Section 3.
+  EXPECT_FALSE(evaluator.evaluate({1, 1, 2, 2}).feasible);
+  EXPECT_FALSE(evaluator.evaluate({64, 16, 8, 8}).feasible);
+  EXPECT_EQ(evaluator.evaluations(), 2);
+  EXPECT_EQ(evaluator.analysesRun(), 0);
+  EXPECT_TRUE(evaluator.evaluate({8, 8, 8, 8}).feasible);
+  EXPECT_EQ(evaluator.analysesRun(), 1);
+}
+
+TEST(TileEvaluatorTest, SolversShareOneMemo) {
+  EvalSetup s;
+  s.opts.candidates = {{4, 8, 16, 32}, {4, 8, 16, 32}, {4, 8}, {4, 8}};
+  TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
+  TileSearchResult fast = searchTileSizes(evaluator);
+  const int afterDescent = evaluator.evaluations();
+  TileSearchResult oracle = exhaustiveTileSearch(evaluator);
+  ASSERT_TRUE(fast.eval.feasible);
+  ASSERT_TRUE(oracle.eval.feasible);
+  EXPECT_DOUBLE_EQ(fast.eval.cost, oracle.eval.cost);
+  // The oracle's sweep re-used every candidate the descent had analyzed.
+  EXPECT_EQ(evaluator.evaluations(), 4 * 4 * 2 * 2);
+  EXPECT_EQ(oracle.evaluations, 4 * 4 * 2 * 2 - afterDescent);
+  EXPECT_GT(oracle.memoHits, 0);
+}
+
+TEST(TileEvaluatorTest, ExplicitTileIgnoresUnrelatedCandidateArity) {
+  // Regression: the explicit-subTile path never reads tileCandidates, so a
+  // mismatched candidate arity must not fail the compile.
+  CompileResult r = Compiler(buildMeBlock(32, 32, 8))
+                        .parameters({32, 32, 8})
+                        .tileSizes({8, 8, 8, 8})
+                        .tileCandidates({{4}, {4}})  // wrong arity, unused
+                        .compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  EXPECT_EQ(r.search.subTile, (std::vector<i64>{8, 8, 8, 8}));
+}
+
+// ---- Plan cache. ----
+
+Compiler cachedMeCompiler(PlanCache* cache, const std::string& backend = "c") {
+  Compiler c(buildMeBlock(32, 32, 8));
+  c.parameters({32, 32, 8}).memoryLimitBytes(8 * 1024).backend(backend).cache(cache);
+  return c;
+}
+
+TEST(PlanCacheTest, WarmHitIsByteIdenticalAcrossBackends) {
+  for (const std::string& backend : {"c", "cuda", "cell"}) {
+    PlanCache cache;
+    Compiler compiler = cachedMeCompiler(&cache, backend);
+    CompileResult cold = compiler.compile();
+    CompileResult warm = compiler.compile();
+    ASSERT_TRUE(cold.ok) << backend << ": " << cold.firstError();
+    ASSERT_TRUE(warm.ok);
+    EXPECT_FALSE(cold.cacheHit);
+    EXPECT_TRUE(warm.cacheHit) << backend;
+    EXPECT_FALSE(cold.artifact.empty());
+    EXPECT_EQ(cold.artifact, warm.artifact) << backend;
+    PlanCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1);
+    EXPECT_EQ(s.misses, 1);
+    EXPECT_EQ(s.entries, 1);
+  }
+}
+
+TEST(PlanCacheTest, WarmResultIsSemanticallyUsable) {
+  PlanCache cache;
+  Compiler compiler = cachedMeCompiler(&cache);
+  CompileResult cold = compiler.compile();
+  CompileResult warm = compiler.compile();
+  ASSERT_TRUE(warm.cacheHit);
+  ASSERT_TRUE(warm.kernel.has_value());  // the clone carries the full plan
+  ASSERT_NE(warm.unit(), nullptr);
+  ASSERT_NE(warm.dataPlan(), nullptr);
+
+  // Executing the cloned unit produces the same memory state and trace as
+  // the cold one.
+  ArrayStore a(cold.block().arrays), b(warm.block().arrays);
+  a.fillAllPattern(3);
+  b.fillAllPattern(3);
+  IntVec ext = {32, 32, 8};
+  ext.resize(cold.kernel->analysis.tileBlock->paramNames.size(), 0);
+  MemTrace ta = executeCodeUnit(*cold.unit(), ext, a);
+  MemTrace tb = executeCodeUnit(*warm.unit(), ext, b);
+  EXPECT_EQ(ArrayStore::maxAbsDiff(a, b), 0.0);
+  EXPECT_EQ(ta.stmtInstances, tb.stmtInstances);
+  EXPECT_EQ(ta.copyElements, tb.copyElements);
+  EXPECT_EQ(ta.syncs, tb.syncs);
+}
+
+TEST(PlanCacheTest, KeyCoversOptionsAndSkippedPasses) {
+  PlanCache cache;
+  Compiler compiler = cachedMeCompiler(&cache);
+  CompileResult first = compiler.compile();
+  ASSERT_TRUE(first.ok);
+  // Different options: miss.
+  CompileResult other = compiler.memoryLimitBytes(4 * 1024).compile();
+  EXPECT_FALSE(other.cacheHit);
+  // Same options again: hit.
+  CompileResult again = compiler.compile();
+  EXPECT_TRUE(again.cacheHit);
+  // Same options but a skipped pass: different key, and the artifact-less
+  // result is cached under it.
+  compiler.skipPass("codegen");
+  CompileResult skipped = compiler.compile();
+  EXPECT_FALSE(skipped.cacheHit);
+  EXPECT_TRUE(skipped.artifact.empty());
+  CompileResult skippedWarm = compiler.compile();
+  EXPECT_TRUE(skippedWarm.cacheHit);
+  EXPECT_TRUE(skippedWarm.artifact.empty());
+}
+
+TEST(PlanCacheTest, ScratchpadOnlyPipelineIsCached) {
+  PlanCache cache;
+  Compiler compiler(buildFigure1Block());
+  compiler.scratchpadOnly().stageEverything(true).partition(PartitionMode::PerArrayUnion);
+  compiler.cache(&cache);
+  CompileResult cold = compiler.compile();
+  CompileResult warm = compiler.compile();
+  ASSERT_TRUE(cold.ok) << cold.firstError();
+  ASSERT_TRUE(warm.cacheHit);
+  EXPECT_EQ(cold.artifact, warm.artifact);
+  ASSERT_TRUE(warm.scratchpadUnit.has_value());
+  ASSERT_NE(warm.dataPlan(), nullptr);
+}
+
+TEST(PlanCacheTest, ReplacedPassesBypassTheCache) {
+  class FixedTilePass : public Pass {
+  public:
+    FixedTilePass() : Pass("tilesearch") {}
+    void run(CompileState& s) override {
+      s.search.subTile = {4, 4, 8, 8};
+      s.search.eval.feasible = true;
+    }
+  };
+  PlanCache cache;
+  Compiler compiler = cachedMeCompiler(&cache);
+  compiler.replacePass("tilesearch", std::make_shared<FixedTilePass>());
+  CompileResult first = compiler.compile();
+  CompileResult second = compiler.compile();
+  ASSERT_TRUE(first.ok) << first.firstError();
+  EXPECT_FALSE(first.cacheHit);
+  EXPECT_FALSE(second.cacheHit);
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 0);  // never consulted
+  EXPECT_EQ(s.entries, 0);
+}
+
+TEST(PlanCacheTest, FailedCompilesAreNotCached) {
+  PlanCache cache;
+  Compiler compiler = cachedMeCompiler(&cache);
+  compiler.memoryLimitBytes(4);  // nothing fits: tile search fails
+  CompileResult first = compiler.compile();
+  CompileResult second = compiler.compile();
+  EXPECT_FALSE(first.ok);
+  EXPECT_FALSE(second.cacheHit);  // the failure re-ran the pipeline
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.entries, 0);
+}
+
+TEST(PlanCacheTest, CapacityEvictsOldestEntries) {
+  PlanCache cache(2);
+  Compiler compiler;
+  compiler.cache(&cache).memoryLimitBytes(2 * 1024).skipPass("codegen");
+  for (i64 n : {16, 20, 24}) {
+    CompileResult r = compiler.parameters({n, n, n}).compile(buildMatmulBlock(n, n, n));
+    ASSERT_TRUE(r.ok) << r.firstError();
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1);
+  // The oldest (16) was evicted; the newer two still hit.
+  EXPECT_FALSE(compiler.parameters({16, 16, 16}).compile(buildMatmulBlock(16, 16, 16)).cacheHit);
+  EXPECT_TRUE(compiler.parameters({24, 24, 24}).compile(buildMatmulBlock(24, 24, 24)).cacheHit);
+}
+
+TEST(CellBackendTest, SelectionByNameForcesStaging) {
+  // delta(0.99) makes Figure 1's constant-reuse partitions fail Algorithm
+  // 1, so a partition only gets a buffer here if the backend forces
+  // staging. The "c" control proves the test can fail: without the forcing
+  // at least one partition stays in global memory.
+  auto compileWith = [](const std::string& backend) {
+    Compiler c(buildFigure1Block());
+    c.scratchpadOnly().delta(0.99).backend(backend);
+    return c.compile();
+  };
+  CompileResult unforced = compileWith("c");
+  ASSERT_TRUE(unforced.ok) << unforced.firstError();
+  bool anyGlobal = false;
+  for (const auto& part : unforced.dataPlan()->partitions) anyGlobal |= !part.hasBuffer;
+  ASSERT_TRUE(anyGlobal) << "control lost its teeth: raise delta";
+
+  CompileResult cell = compileWith("cell");
+  ASSERT_TRUE(cell.ok) << cell.firstError();
+  for (const auto& part : cell.dataPlan()->partitions) EXPECT_TRUE(part.hasBuffer);
+  // (The block-level unit has no Sync nodes, so no DMA fence appears here;
+  // the tiled-kernel test below covers it.)
+  EXPECT_NE(cell.artifact.find("dma_get("), std::string::npos) << cell.artifact;
+  EXPECT_NE(cell.artifact.find("dma_put("), std::string::npos);
+}
+
+TEST(CellBackendTest, TiledKernelRendersDmaStagedCopies) {
+  CompileResult r = Compiler(buildMeBlock(32, 32, 8))
+                        .parameters({32, 32, 8})
+                        .memoryLimitBytes(8 * 1024)
+                        .backend("cell")
+                        .compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  ASSERT_TRUE(r.kernel.has_value());
+  // Forced staging: every partition is buffered in the local store.
+  for (const auto& part : r.kernel->analysis.plan.partitions) EXPECT_TRUE(part.hasBuffer);
+  EXPECT_NE(r.artifact.find("_spe("), std::string::npos);
+  EXPECT_NE(r.artifact.find("dma_get("), std::string::npos);
+  EXPECT_NE(r.artifact.find("dma_put("), std::string::npos);
+  EXPECT_NE(r.artifact.find("mfc_read_tag_status_all"), std::string::npos);
+  EXPECT_NE(r.artifact.find("distributed across SPEs"), std::string::npos);
+}
+
+// ---- Async and batch compilation. ----
+
+TEST(CompileAsyncTest, MatchesSynchronousCompile) {
+  Compiler compiler(buildMatmulBlock(24, 24, 24));
+  compiler.parameters({24, 24, 24}).tileSizes({4, 4, 8}).jobs(2);
+  CompileResult sync = compiler.compile();
+  CompileResult async = compiler.compileAsync().get();
+  ASSERT_TRUE(sync.ok) << sync.firstError();
+  ASSERT_TRUE(async.ok) << async.firstError();
+  EXPECT_EQ(sync.artifact, async.artifact);
+  EXPECT_EQ(sync.search.subTile, async.search.subTile);
+}
+
+TEST(CompileAsyncTest, WithoutSourceThrows) {
+  Compiler compiler;
+  EXPECT_THROW(compiler.compileAsync(), ApiError);
+}
+
+TEST(CompileAsyncTest, SnapshotsTheConfiguration) {
+  Compiler compiler(buildMatmulBlock(24, 24, 24));
+  compiler.parameters({24, 24, 24}).tileSizes({4, 4, 8}).jobs(1);
+  std::future<CompileResult> f = compiler.compileAsync();
+  compiler.kernelName("mutated_after_submit").backend("cuda");  // must not affect the task
+  CompileResult r = f.get();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.artifact.find("mutated_after_submit"), std::string::npos);
+}
+
+TEST(CompileBatchTest, PreservesInputOrder) {
+  std::vector<ProgramBlock> blocks;
+  blocks.push_back(buildMatmulBlock(16, 16, 16));
+  blocks.push_back(buildMatmulBlock(16, 16, 16));
+  blocks.push_back(buildMatmulBlock(16, 16, 16));
+  blocks[1].name = "marker_block";  // structural difference in the middle
+  Compiler compiler;
+  compiler.parameters({16, 16, 16}).tileSizes({4, 4, 4}).jobs(2).skipPass("codegen");
+  std::vector<CompileResult> results = compiler.compileBatch(std::move(blocks));
+  ASSERT_EQ(results.size(), 3u);
+  for (const CompileResult& r : results) ASSERT_TRUE(r.ok) << r.firstError();
+  EXPECT_NE(results[0].block().name, "marker_block");
+  EXPECT_EQ(results[1].block().name, "marker_block");
+  EXPECT_NE(results[2].block().name, "marker_block");
+}
+
+TEST(CompileBatchTest, SequentialDuplicatesHitTheCache) {
+  PlanCache cache;
+  std::vector<ProgramBlock> blocks;
+  for (int i = 0; i < 4; ++i) blocks.push_back(buildMeBlock(32, 32, 8));
+  Compiler compiler;
+  compiler.parameters({32, 32, 8}).memoryLimitBytes(8 * 1024).jobs(1).cache(&cache);
+  std::vector<CompileResult> results = compiler.compileBatch(std::move(blocks));
+  ASSERT_EQ(results.size(), 4u);
+  int hits = 0;
+  for (const CompileResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.firstError();
+    hits += r.cacheHit ? 1 : 0;
+  }
+  // jobs(1) runs the batch in order: the first compile fills the cache, the
+  // other three replay it. All four artifacts are identical either way.
+  EXPECT_EQ(hits, 3);
+  for (const CompileResult& r : results) EXPECT_EQ(r.artifact, results[0].artifact);
+}
+
+TEST(CompileBatchTest, ConcurrentCompilesShareTheCacheSafely) {
+  PlanCache cache;
+  std::vector<ProgramBlock> blocks;
+  for (int i = 0; i < 8; ++i) blocks.push_back(buildMeBlock(32, 32, 8));
+  Compiler compiler;
+  compiler.parameters({32, 32, 8}).memoryLimitBytes(8 * 1024).jobs(4).cache(&cache);
+  std::vector<CompileResult> results = compiler.compileBatch(std::move(blocks));
+  ASSERT_EQ(results.size(), 8u);
+  for (const CompileResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.firstError();
+    EXPECT_EQ(r.artifact, results[0].artifact);
+  }
+  // Concurrent duplicates may each miss, but the cache never serves a
+  // partial result and ends with exactly one entry for the one key.
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace emm

@@ -1,22 +1,33 @@
 // emmapc — command-line driver for the emmap toolchain.
 //
-// A thin shell over emm::Compiler: builds one of the built-in kernels,
-// compiles it through the unified pipeline, and prints the requested
-// artifact.
+// A thin shell over emm::Compiler: builds one or more of the built-in
+// kernels, compiles them through the unified pipeline (batched over a
+// thread pool when several are given), and prints the requested artifact.
 //
 // Usage:
-//   emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1
+//   emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...]
 //          [--size=N[,M[,K]]]          problem sizes (defaults per kernel)
 //          [--tile=t0,t1,...]          sub-tile sizes (default: search)
 //          [--mem=BYTES]               scratchpad limit (default 16384)
-//          [--emit=c|cuda|plan|stats]  artifact to print (default plan)
+//          [--emit=c|cuda|cell|plan|stats]  artifact to print (default plan)
 //          [--no-hoist]                disable Section-4.2 hoisting
 //          [--machine=gpu|cell]        simulated target (default gpu)
+//          [--jobs=N]                  pool workers for multi-kernel batches
+//          [--cache=on|off]            process-wide plan cache (default off)
 //          [--verbose]                 print all pipeline diagnostics
+//
+// With a comma-separated --kernel list, the blocks are compiled as one
+// batch over --jobs workers and one summary line is printed per kernel
+// (--emit=stats adds per-kernel search/timing lines; artifacts and
+// interpreter counters are printed for single-kernel runs only). Repeating
+// a kernel with --cache=on --jobs=1 demonstrates a warm plan-cache hit in
+// a single process.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "driver/compiler.h"
+#include "driver/plan_cache.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
 #include "support/cli.h"
@@ -26,9 +37,22 @@ using namespace emm;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1 [--size=N,M,..]\n"
-    "              [--tile=t0,t1,..] [--mem=BYTES] [--emit=c|cuda|plan|stats]\n"
-    "              [--no-hoist] [--machine=gpu|cell] [--verbose]\n";
+    "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...] [--size=N,M,..]\n"
+    "              [--tile=t0,t1,..] [--mem=BYTES] [--emit=c|cuda|cell|plan|stats]\n"
+    "              [--no-hoist] [--machine=gpu|cell] [--jobs=N] [--cache=on|off]\n"
+    "              [--verbose]\n";
+
+std::vector<std::string> splitList(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
 
 void printPartitions(const ProgramBlock& block, const DataPlan& plan) {
   for (const PartitionPlan& part : plan.partitions)
@@ -81,37 +105,101 @@ void printStats(const CompileResult& r, const IntVec& params) {
   std::printf("\n");
 }
 
+/// Per-kernel configuration shared by the single and batch paths.
+void configureForKernel(Compiler& compiler, const std::string& kernel,
+                        const std::string& machine) {
+  compiler.kernelName(kernel == "figure1" ? kernel : kernel + "_kernel");
+  const bool fig1 = kernel == "figure1";
+  // Figure-1-style block (no parallel mapping): block-level scratchpad only.
+  compiler.scratchpadOnly(fig1)
+      .stageEverything(machine == "cell" || fig1)  // Cell must stage everything
+      .partition(fig1 ? PartitionMode::PerArrayUnion : PartitionMode::MaximalDisjoint);
+}
+
+int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
+             const std::vector<i64>& sizes, const std::string& machine,
+             const std::string& emit, bool verbose, bool cacheOn) {
+  std::vector<std::future<CompileResult>> futures;
+  futures.reserve(kernels.size());
+  for (const std::string& kernel : kernels) {
+    IntVec params;
+    ProgramBlock block = buildKernelByName(kernel, sizes, params);
+    configureForKernel(compiler.parameters(params), kernel, machine);
+    futures.push_back(compiler.compileAsync(std::move(block)));
+  }
+  int failures = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    CompileResult r = futures[i].get();
+    for (const Diagnostic& d : r.diagnostics)
+      if (verbose || d.severity == Severity::Error)
+        std::fprintf(stderr, "[%s] %s\n", kernels[i].c_str(), d.str().c_str());
+    std::string tile;
+    for (i64 t : r.search.subTile) tile += (tile.empty() ? "" : ",") + std::to_string(t);
+    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s\n", kernels[i].c_str(),
+                r.ok ? "ok" : "FAIL", tile.c_str(), r.artifact.size(),
+                r.cacheHit ? "  [cache hit]" : "");
+    if (emit == "stats") {
+      // Per-kernel summary stats (full interpreter counters need the
+      // single-kernel path).
+      std::printf("           tile search %d evaluations (%d memo hits); timings:",
+                  r.search.evaluations, r.search.memoHits);
+      for (const PassTiming& pt : r.timings)
+        if (pt.ran) std::printf(" %s %.2fms", pt.pass.c_str(), pt.millis);
+      std::printf("%s\n", r.cacheHit ? " (cached run)" : "");
+    }
+    if (!r.ok) ++failures;
+  }
+  if (cacheOn) {
+    PlanCache::Stats s = PlanCache::global().stats();
+    std::printf("plan cache : %lld hits / %lld misses / %lld entries\n", s.hits, s.misses,
+                s.entries);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int run(cli::Args& args) {
   const std::string kernelArg = args.str("kernel", "me");
   const std::string emit = args.str("emit", "plan");
   const std::string machine = args.str("machine", "gpu");
+  const std::string cacheArg = args.str("cache", "off");
+  const i64 jobsArg = args.integer("jobs", 1);
   const bool hoist = !args.flag("no-hoist");
   const bool verbose = args.flag("verbose");
-  if (emit != "c" && emit != "cuda" && emit != "plan" && emit != "stats") {
+  if (emit != "c" && emit != "cuda" && emit != "cell" && emit != "plan" && emit != "stats") {
     std::fprintf(stderr, "unknown --emit mode '%s'\n%s", emit.c_str(), kUsage);
     return 2;
   }
+  if (cacheArg != "on" && cacheArg != "off") {
+    std::fprintf(stderr, "unknown --cache mode '%s'\n%s", cacheArg.c_str(), kUsage);
+    return 2;
+  }
+  const bool cacheOn = cacheArg == "on";
+  const std::vector<std::string> kernels = splitList(kernelArg);
+  if (kernels.empty()) {
+    std::fprintf(stderr, "empty --kernel list\n%s", kUsage);
+    return 2;
+  }
   const std::vector<i64> tile = args.intList("tile");
-  IntVec params;
-  ProgramBlock block = buildKernelByName(kernelArg, args.intList("size"), params);
+  const std::vector<i64> sizes = args.intList("size");
 
-  Compiler compiler(std::move(block));
-  compiler.parameters(params)
-      .memoryLimitBytes(args.integer("mem", 16 * 1024))
+  Compiler compiler;
+  compiler.memoryLimitBytes(args.integer("mem", 16 * 1024))
       .innerProcs(machine == "cell" ? 4 : 32)
-      .stageEverything(machine == "cell")  // Cell must stage everything
       .hoistCopies(hoist)
       .tileSizes(tile)
-      .backend(emit == "cuda" ? "cuda" : "c")
-      .kernelName(kernelArg == "figure1" ? kernelArg : kernelArg + "_kernel");
-  if (kernelArg == "figure1") {
-    // Figure-1-style block (no parallel mapping): block-level scratchpad only.
-    compiler.scratchpadOnly().stageEverything(true).partition(PartitionMode::PerArrayUnion);
-  }
+      .backend(emit == "cuda" || emit == "cell" ? emit : "c")
+      .jobs(static_cast<int>(jobsArg));
+  if (cacheOn) compiler.cache(&PlanCache::global());
   if (emit == "plan" || emit == "stats") compiler.skipPass("codegen");
   if (!args.validate(kUsage)) return 2;
 
-  CompileResult r = compiler.compile();
+  if (kernels.size() > 1)
+    return runBatch(compiler, kernels, sizes, machine, emit, verbose, cacheOn);
+
+  IntVec params;
+  ProgramBlock block = buildKernelByName(kernels[0], sizes, params);
+  configureForKernel(compiler.parameters(params), kernels[0], machine);
+  CompileResult r = compiler.compile(std::move(block));
   // Warnings and errors always reach the user (e.g. an explicit --tile that
   // violates --mem); notes only under --verbose.
   for (const Diagnostic& d : r.diagnostics)
@@ -120,7 +208,7 @@ int run(cli::Args& args) {
   if (!r.ok) return 1;
 
   if (r.havePlan) {
-    std::printf("// kernel %s, space loops:", kernelArg.c_str());
+    std::printf("// kernel %s, space loops:", kernels[0].c_str());
     for (int l : r.plan.spaceLoops) std::printf(" %d", l);
     std::printf(", inter-block sync: %s\n", r.plan.needsInterBlockSync ? "yes" : "no");
   }
@@ -144,7 +232,7 @@ int run(cli::Args& args) {
                 r.search.eval.footprint, r.search.evaluations);
   }
 
-  if (emit == "c" || emit == "cuda") {
+  if (emit == "c" || emit == "cuda" || emit == "cell") {
     std::fputs(r.artifact.c_str(), stdout);
   } else if (emit == "stats") {
     if (!r.kernel) {
@@ -152,6 +240,13 @@ int run(cli::Args& args) {
       return 1;
     }
     printStats(r, params);
+    std::printf("tile search         : %d evaluations (%d memo hits)\n", r.search.evaluations,
+                r.search.memoHits);
+    if (cacheOn) {
+      PlanCache::Stats s = PlanCache::global().stats();
+      std::printf("plan cache          : %s; %lld hits / %lld misses / %lld entries\n",
+                  r.cacheHit ? "hit" : "miss", s.hits, s.misses, s.entries);
+    }
   } else if (emit == "plan") {
     if (r.kernel)
       printTiledPlan(r, params);
