@@ -1,9 +1,13 @@
-// Ablation A3: tile-size search solver vs exhaustive oracle.
+// Ablation A3: tile-size search solver vs exhaustive oracle, and the
+// parametric evaluator vs the concrete per-candidate analysis.
 //
 // Validates that the multi-start coordinate-descent solver (the SQP+rounding
 // stand-in) finds the oracle optimum with far fewer evaluations, on both the
-// ME and matmul cost surfaces. Both solvers run through emm::Compiler; only
-// TileSearchMode differs.
+// ME and matmul cost surfaces, and that the parametric tile plan (Section-3
+// analysis built once, symbolically) reproduces the concrete evaluator's
+// choice while cutting the tilesearch pass time. Both solvers run through
+// emm::Compiler; only TileSearchMode / parametricTileAnalysis differ.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -15,17 +19,44 @@ using namespace emm;
 namespace {
 
 CompileResult searchOnly(const ProgramBlock& block, const IntVec& params,
-                         std::vector<std::vector<i64>> candidates, bool exhaustive) {
-  return Compiler(block)
-      .parameters(params)
+                         std::vector<std::vector<i64>> candidates, bool exhaustive,
+                         bool parametric = true) {
+  Compiler compiler(block);
+  compiler.parameters(params)
       .memoryLimitBytes(4096 * 4)
       .innerProcs(32)
       .tileCandidates(std::move(candidates))
       .exhaustiveSearch(exhaustive)
       .skipPass("tiling")
       .skipPass("smem")
-      .skipPass("codegen")
-      .compile();
+      .skipPass("codegen");
+  compiler.opts().parametricTileAnalysis = parametric;
+  return compiler.compile();
+}
+
+/// Best-of-N tilesearch pass time for one evaluator mode.
+double searchMillis(const ProgramBlock& block, const IntVec& params,
+                    const std::vector<std::vector<i64>>& candidates, bool exhaustive,
+                    bool parametric, int reps = 3) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    CompileResult r = searchOnly(block, params, candidates, exhaustive, parametric);
+    if (const PassTiming* t = r.timing("tilesearch")) best = std::min(best, t->millis);
+  }
+  return best;
+}
+
+void evaluatorAblation(const char* name, const ProgramBlock& block, const IntVec& params,
+                       const std::vector<std::vector<i64>>& candidates, bool exhaustive) {
+  CompileResult para = searchOnly(block, params, candidates, exhaustive, true);
+  CompileResult conc = searchOnly(block, params, candidates, exhaustive, false);
+  double paraMs = searchMillis(block, params, candidates, exhaustive, true);
+  double concMs = searchMillis(block, params, candidates, exhaustive, false);
+  bool sameTile = para.search.subTile == conc.search.subTile;
+  std::printf("  %-8s %-10s parametric %8.2f ms  concrete %8.2f ms  speedup %5.2fx  %s\n",
+              name, exhaustive ? "(oracle)" : "(solver)", paraMs, concMs,
+              paraMs > 0 ? concMs / paraMs : 0.0,
+              sameTile && para.search.parametric ? "SAME TILE" : "MISMATCH");
 }
 
 void compare(const char* name, const ProgramBlock& block, const IntVec& params,
@@ -51,5 +82,13 @@ int main() {
           {{4, 8, 16, 32, 64}, {4, 8, 16, 32}, {4, 8, 16}, {4, 8, 16}});
   compare("matmul", buildMatmulBlock(256, 256, 256), {256, 256, 256},
           {{4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}});
+
+  std::printf("\n  parametric evaluator vs concrete per-candidate analysis\n");
+  evaluatorAblation("ME", buildMeBlock(512, 256, 16), {512, 256, 16},
+                    {{4, 8, 16, 32, 64}, {4, 8, 16, 32}, {4, 8, 16}, {4, 8, 16}}, true);
+  evaluatorAblation("ME", buildMeBlock(512, 256, 16), {512, 256, 16},
+                    {{4, 8, 16, 32, 64}, {4, 8, 16, 32}, {4, 8, 16}, {4, 8, 16}}, false);
+  evaluatorAblation("matmul", buildMatmulBlock(256, 256, 256), {256, 256, 256},
+                    {{4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}, {4, 8, 16, 32, 64}}, true);
   return 0;
 }

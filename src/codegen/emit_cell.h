@@ -32,6 +32,12 @@ struct CellEmitOptions {
   int numBoundParams = -1;
   std::string kernelName = "emmap_kernel";
   std::string elementType = "float";
+  /// Collapse an innermost unit-stride copy loop into ONE strided
+  /// dma_get/dma_put covering the whole row, instead of one element-sized
+  /// transfer per iteration. Real MFC transfers are sized in bytes, so a
+  /// row-granularity transfer is both the realistic artifact and the fast
+  /// one; disable only for the element-granularity ablation.
+  bool coalesceDma = true;
 };
 
 /// Renders the unit as an SPE kernel plus a PPU-side launch stub.

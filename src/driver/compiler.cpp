@@ -187,14 +187,13 @@ CompileResult Compiler::compile() {
   EMM_REQUIRE(source_.has_value(), "Compiler::compile() called without a source block");
   // Replaced passes run arbitrary code that a fingerprint cannot witness;
   // those pipelines always run and are never stored.
-  std::optional<PlanKey> key;
   if (cache_ != nullptr && replacements_.empty()) {
-    key = planKeyFor(*source_, effectiveOptions(), skipped_);
-    if (std::optional<CompileResult> hit = cache_->lookup(*key)) return std::move(*hit);
+    // Single-flight: concurrent misses on the same key collapse to one
+    // pipeline run; followers receive the leader's result as a cache hit.
+    PlanKey key = planKeyFor(*source_, effectiveOptions(), skipped_);
+    return cache_->getOrCompute(key, [this] { return runPipeline(); });
   }
-  CompileResult result = runPipeline();
-  if (key.has_value() && result.ok) cache_->insert(*key, result);
-  return result;
+  return runPipeline();
 }
 
 CompileResult Compiler::runPipeline() {
@@ -239,6 +238,16 @@ CompileResult Compiler::runPipeline() {
     timing.ran = true;
     timing.millis = std::chrono::duration<double, std::milli>(end - start).count();
     timings.push_back(timing);
+    // Surface any sub-stage timings the pass recorded (e.g. the tilesearch
+    // pass splits plan construction from candidate evaluation).
+    for (auto& [sub, millis] : state.subTimings) {
+      PassTiming st;
+      st.pass = sub;
+      st.millis = millis;
+      st.ran = true;
+      timings.push_back(std::move(st));
+    }
+    state.subTimings.clear();
     if (state.failed) break;
   }
 

@@ -21,6 +21,7 @@ TileSearchOptions CompileOptions::tileSearchOptions() const {
   t.paramValues = paramValues;
   t.candidates = tileCandidates;
   t.hoistCopies = hoistCopies;
+  t.parametric = parametricTileAnalysis;
   return t;
 }
 

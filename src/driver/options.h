@@ -70,6 +70,11 @@ struct CompileOptions {
   double transferCost = 4;        ///< L, cycles per element
   /// Candidate tile sizes per loop; empty = geometric ladder.
   std::vector<std::vector<i64>> tileCandidates;
+  /// Build the Section-3 cost model once with tile sizes symbolic and
+  /// evaluate candidates as pure expression evaluation (falls back to the
+  /// concrete per-candidate analysis, with a diagnostic, when the block is
+  /// not parametrically analyzable).
+  bool parametricTileAnalysis = true;
 
   // ---- codegen ----
   std::string backendName = "c";  ///< registered Backend to render with

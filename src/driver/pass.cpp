@@ -43,6 +43,7 @@ PipelineProducts PipelineProducts::clone() const {
   out.havePlan = havePlan;
   out.appliedSkews = appliedSkews;
   out.search = search;
+  out.geometryHints = geometryHints;
   if (kernel) {
     TiledKernel k;
     k.analysis.depth = kernel->analysis.depth;
@@ -169,8 +170,10 @@ public:
       // the result still carries cost/footprint/per-buffer terms. Candidate
       // ladders are irrelevant on this path (and historically ignored), so
       // drop them: an unrelated candidate arity mismatch must not fail an
-      // explicitly tiled compile.
+      // explicitly tiled compile. A one-shot evaluation gains nothing from
+      // a symbolic plan, so it stays on the concrete path.
       topts.candidates.clear();
+      topts.parametric = false;
       TileEvaluator evaluator(block, s.plan, topts, smem);
       s.search.subTile = s.options.subTile;
       s.search.eval = evaluator.evaluate(s.options.subTile);
@@ -185,15 +188,31 @@ public:
       return;
     }
     // One evaluator per compile: all probes (descent sweeps, seeds, the
-    // exhaustive oracle) share its candidate memo and loop bounds.
+    // exhaustive oracle) share its candidate memo, loop bounds, and (when
+    // the block admits one) the symbolic Section-3 plan.
     TileEvaluator evaluator(block, s.plan, topts, smem);
     s.search = s.options.searchMode == TileSearchMode::Exhaustive
                    ? exhaustiveTileSearch(evaluator)
                    : searchTileSizes(evaluator);
+    s.subTimings.emplace_back(name() + ".plan", s.search.planBuildMillis);
+    s.subTimings.emplace_back(name() + ".eval", s.search.evalMillis);
+    if (s.search.parametric) {
+      s.note(name(), "parametric plan built in " +
+                         std::to_string(s.search.planBuildMillis) +
+                         " ms; candidate evaluation took " +
+                         std::to_string(s.search.evalMillis) + " ms total");
+    } else if (topts.parametric) {
+      s.warn(name(), "parametric tile analysis fell back to concrete evaluation: " +
+                         s.search.parametricReason);
+    }
     if (!s.search.eval.feasible) {
       s.error(name(), "no feasible tile: " + s.search.eval.reason);
       return;
     }
+    // Hand the tiler the buffer geometry instantiated at the chosen tile so
+    // the Section-3 planner adopts (and merely re-verifies) those bounds.
+    if (const ParametricTilePlan* plan = evaluator.parametricPlan())
+      s.geometryHints = plan->instantiateGeometry(s.search.subTile);
     s.note(name(), "chose tile (" + joinInts(s.search.subTile) + "), cost " +
                        std::to_string(s.search.eval.cost) + ", footprint " +
                        std::to_string(s.search.eval.footprint) + " elems, " +
@@ -238,7 +257,9 @@ public:
     } else {
       tc.threadTile.assign(nspace, 1);
     }
-    s.kernel = buildTiledKernel(s.currentBlock(), s.plan, tc, s.options.smemOptions());
+    SmemOptions smem = s.options.smemOptions();
+    smem.geometryHints = s.geometryHints;
+    s.kernel = buildTiledKernel(s.currentBlock(), s.plan, tc, smem);
     s.note(name(), "tiled kernel with " + std::to_string(s.kernel->unit.localBuffers.size()) +
                        " local buffers, block tile (" + joinInts(tc.blockTile) + ")");
   }

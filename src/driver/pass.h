@@ -46,6 +46,12 @@ struct PipelineProducts {
   /// search pass still fills eval/terms by evaluating it (for diagnostics).
   TileSearchResult search;
 
+  /// Buffer-geometry hints instantiated from the parametric tile plan at the
+  /// chosen tile sizes; the tiling pass threads them into the Section-3
+  /// planner so buffer bounds are adopted instead of re-derived. Empty when
+  /// the search ran on the concrete path.
+  std::vector<GeometryHint> geometryHints;
+
   /// Full tiled kernel (Figure-3 structure); absent on the scratchpad-only
   /// and pipeline-parallel fallback paths.
   std::optional<TiledKernel> kernel;
@@ -86,6 +92,11 @@ struct CompileState : PipelineProducts {
 
   std::vector<Diagnostic> diagnostics;
   bool failed = false;  ///< an error diagnostic was recorded
+
+  /// Named sub-stage timings a pass wants surfaced next to its own entry in
+  /// CompileResult::timings (e.g. "tilesearch.plan" vs "tilesearch.eval").
+  /// The driver drains this after every pass.
+  std::vector<std::pair<std::string, double>> subTimings;
 
   const ProgramBlock& currentBlock() const { return block(); }
 

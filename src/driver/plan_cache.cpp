@@ -30,6 +30,10 @@ std::optional<CompileResult> PlanCache::lookup(const PlanKey& key) {
 void PlanCache::insert(const PlanKey& key, const CompileResult& result) {
   auto snapshot = std::make_shared<const CompileResult>(result.clone());
   std::lock_guard<std::mutex> lock(mutex_);
+  insertLocked(key, std::move(snapshot));
+}
+
+void PlanCache::insertLocked(const PlanKey& key, std::shared_ptr<const CompileResult> snapshot) {
   auto [it, inserted] = entries_.emplace(key, snapshot);
   if (!inserted) {
     it->second = std::move(snapshot);
@@ -41,6 +45,62 @@ void PlanCache::insert(const PlanKey& key, const CompileResult& result) {
     insertionOrder_.pop_front();
     ++evictions_;
   }
+}
+
+void PlanCache::finishFlight(const PlanKey& key, const std::shared_ptr<InFlight>& flight,
+                             std::shared_ptr<const CompileResult> snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (snapshot != nullptr) insertLocked(key, snapshot);
+  flight->result = std::move(snapshot);
+  flight->done = true;
+  inflight_.erase(key);
+  flightDone_.notify_all();
+}
+
+CompileResult PlanCache::getOrCompute(const PlanKey& key,
+                                      const std::function<CompileResult()>& compute) {
+  std::shared_ptr<InFlight> flight;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        std::shared_ptr<const CompileResult> entry = it->second;
+        lock.unlock();
+        CompileResult out = entry->clone();
+        out.cacheHit = true;
+        return out;
+      }
+      auto fit = inflight_.find(key);
+      if (fit == inflight_.end()) break;  // no leader: become one
+      std::shared_ptr<InFlight> waitFor = fit->second;
+      flightDone_.wait(lock, [&] { return waitFor->done; });
+      if (waitFor->result != nullptr) {
+        ++hits_;
+        std::shared_ptr<const CompileResult> entry = waitFor->result;
+        lock.unlock();
+        CompileResult out = entry->clone();
+        out.cacheHit = true;
+        return out;
+      }
+      // The leader failed; loop to retry (and maybe become the next leader).
+    }
+    ++misses_;
+    flight = std::make_shared<InFlight>();
+    inflight_.emplace(key, flight);
+  }
+  CompileResult result;
+  try {
+    result = compute();
+  } catch (...) {
+    finishFlight(key, flight, nullptr);
+    throw;
+  }
+  std::shared_ptr<const CompileResult> snapshot;
+  if (result.ok) snapshot = std::make_shared<const CompileResult>(result.clone());
+  finishFlight(key, flight, std::move(snapshot));
+  return result;
 }
 
 PlanCache::Stats PlanCache::stats() const {

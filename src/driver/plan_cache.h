@@ -18,8 +18,16 @@
 //
 // Thread-safe: batch compilation shares one cache across pool workers.
 // Capacity-bounded with insertion-order eviction.
+//
+// Single-flight: getOrCompute() collapses concurrent misses on the same key
+// to ONE pipeline run. The first caller becomes the leader and computes;
+// followers block on a per-key in-flight latch and receive the leader's
+// result as a cache hit, so a batch of identical kernels performs exactly
+// one compile no matter how many workers race.
 #pragma once
 
+#include <condition_variable>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -60,6 +68,16 @@ public:
   /// entry and evicting the oldest entry when over capacity.
   void insert(const PlanKey& key, const CompileResult& result);
 
+  /// Single-flight lookup-or-compute. Returns a cached result (hit), or —
+  /// when another caller is already computing this key — waits on its
+  /// in-flight latch and returns that result as a hit. Otherwise the caller
+  /// becomes the leader: exactly one miss is counted, `compute` runs
+  /// without any lock held, and an `ok` result is stored for followers and
+  /// future lookups. A failed leader (result not ok, or compute throws)
+  /// releases the key and wakes the followers, which retry — the next one
+  /// becomes leader — so failures are never served from the cache.
+  CompileResult getOrCompute(const PlanKey& key, const std::function<CompileResult()>& compute);
+
   Stats stats() const;
   size_t size() const;
   void clear();  ///< drops entries and resets counters
@@ -69,9 +87,25 @@ public:
   static PlanCache& global();
 
 private:
+  /// Per-key latch for in-flight computations. `done` flips under the cache
+  /// mutex; `result` is null when the leader failed.
+  struct InFlight {
+    bool done = false;
+    std::shared_ptr<const CompileResult> result;
+  };
+
+  /// Inserts a pre-cloned snapshot; requires mutex_ held.
+  void insertLocked(const PlanKey& key, std::shared_ptr<const CompileResult> snapshot);
+  /// Publishes the leader's outcome, stores it when non-null, erases the
+  /// in-flight entry and wakes the followers.
+  void finishFlight(const PlanKey& key, const std::shared_ptr<InFlight>& flight,
+                    std::shared_ptr<const CompileResult> snapshot);
+
   mutable std::mutex mutex_;
+  std::condition_variable flightDone_;
   size_t capacity_;
   std::map<PlanKey, std::shared_ptr<const CompileResult>> entries_;
+  std::map<PlanKey, std::shared_ptr<InFlight>> inflight_;
   std::list<PlanKey> insertionOrder_;
   i64 hits_ = 0;
   i64 misses_ = 0;

@@ -523,6 +523,23 @@ PolySet makeDisjoint(const PolySet& pieces) {
   return out;
 }
 
+DivExpr dropLeadingCoeffs(const DivExpr& e, int count) {
+  EMM_CHECK(count >= 0 && static_cast<size_t>(count) < e.coeffs.size(),
+            "dropLeadingCoeffs out of range");
+  DivExpr out;
+  out.den = e.den;
+  out.coeffs.assign(e.coeffs.begin() + count, e.coeffs.end());
+  return out;
+}
+
+i64 evalStrippedLower(const DimBounds& b, int count, const IntVec& params) {
+  EMM_CHECK(!b.lower.empty(), "dimension has no lower bound");
+  i64 best = INT64_MIN;
+  for (const DivExpr& e : b.lower)
+    best = std::max(best, dropLeadingCoeffs(e, count).evalCeil(params));
+  return best;
+}
+
 bool overlaps(const Polyhedron& a, const Polyhedron& b) {
   return !Polyhedron::intersect(a, b).isEmpty();
 }

@@ -144,6 +144,17 @@ private:
   friend class PolyBuilder;
 };
 
+/// Drops the leading `count` coefficient slots of a bound form. Used to
+/// turn a loop/paramBounds DivExpr over [outer vars, params, 1] into one
+/// over [params, 1] when the leading variable coefficients are known to be
+/// zero (rectangular bounds) — the single place that encodes this slicing.
+DivExpr dropLeadingCoeffs(const DivExpr& e, int count);
+
+/// Max over the ceil-evaluated lower bounds of `b` with the leading `count`
+/// variable slots dropped: the canonical "pin this loop's origin at its
+/// lower bound" evaluation shared by the tiler and both tile evaluators.
+i64 evalStrippedLower(const DimBounds& b, int count, const IntVec& params);
+
 /// Disjunction of polyhedra (all with identical dim/nparam).
 using PolySet = std::vector<Polyhedron>;
 

@@ -122,6 +122,24 @@ AffExpr affSub(const AffExpr& a, const AffExpr& b, i64 extraConst) {
   return merged;
 }
 
+/// Finds the geometry hint matching this partition (same array, exact
+/// reference set), or nullptr. A matching hint replaces the per-reference
+/// Fourier-Motzkin candidate generation; selection and tie-breaking still
+/// run so the chosen geometry is identical to what derivation would pick.
+const GeometryHint* findGeometryHint(const PartitionPlan& plan, const ProgramBlock& block,
+                                     const SmemOptions& options) {
+  if (options.geometryHints.empty()) return nullptr;
+  const int ndim = block.arrays[plan.arrayId].ndim();
+  std::vector<std::pair<int, int>> refKeys;
+  for (const RefSummary& r : plan.refs) refKeys.emplace_back(r.stmt, r.access);
+  std::sort(refKeys.begin(), refKeys.end());
+  for (const GeometryHint& h : options.geometryHints)
+    if (h.arrayId == plan.arrayId && h.refs == refKeys &&
+        static_cast<int>(h.lower.size()) == ndim && static_cast<int>(h.upper.size()) == ndim)
+      return &h;
+  return nullptr;
+}
+
 /// Evaluates an affine candidate at the sample binding for tie-breaking.
 i64 evalAtSample(const AffExpr& e, const std::vector<std::string>& paramNames,
                  const IntVec& sample) {
@@ -138,6 +156,7 @@ void planBufferGeometry(PartitionPlan& plan, const ProgramBlock& block,
   int ndim = block.arrays[plan.arrayId].ndim();
   plan.offset.clear();
   plan.sizeExpr.clear();
+  const GeometryHint* hint = findGeometryHint(plan, block, options);
 
   for (int d = 0; d < ndim; ++d) {
     // Gather candidate lower bounds from every space's parametric bounds,
@@ -168,13 +187,51 @@ void planBufferGeometry(PartitionPlan& plan, const ProgramBlock& block,
     addCandidate(lowerCandidates, AffExpr::constant(0), std::nullopt);
     addCandidate(upperCandidates, AffExpr::constant(block.arrays[plan.arrayId].extents[d] - 1),
                  std::nullopt);
-    for (size_t ri = 0; ri < plan.refs.size(); ++ri) {
-      Polyhedron ctx = withContext(plan.refs[ri].dataSpace, options.paramContext);
-      DimBounds b = ctx.paramBounds(d);
-      for (const DivExpr& e : b.lower)
-        if (auto a = toAffine(e, paramNames)) addCandidate(lowerCandidates, *a, ri);
-      for (const DivExpr& e : b.upper)
-        if (auto a = toAffine(e, paramNames)) addCandidate(upperCandidates, *a, ri);
+    // A matching geometry hint (from the parametric tile plan) replaces the
+    // per-reference Fourier-Motzkin candidate generation: its pools hold
+    // the candidates that verified against every reference for ALL tile
+    // sizes, in derivation order. Each hinted bound is still re-verified
+    // against every reference here (the block the tiler analyzes is not
+    // the block the search saw); any failure discards the whole hint for
+    // this dimension and derivation runs as usual, so a stale or drifted
+    // hint can never produce an undersized buffer. The minimize-extent /
+    // first-found tie-break below then chooses exactly what derivation
+    // would.
+    bool hinted = hint != nullptr && !hint->lower[d].empty() && !hint->upper[d].empty();
+    if (hinted) {
+      for (const AffExpr& e : hint->lower[d])
+        if (e.den != 1) hinted = false;
+      for (const AffExpr& e : hint->upper[d])
+        if (e.den != 1) hinted = false;
+    }
+    if (hinted) {
+      for (const AffExpr& e : hint->lower[d])
+        if (!std::all_of(plan.refs.begin(), plan.refs.end(), [&](const RefSummary& r) {
+              return boundIsValid(r.dataSpace, options.paramContext, d, e, paramNames, true);
+            }))
+          hinted = false;
+      for (const AffExpr& e : hint->upper[d])
+        if (!std::all_of(plan.refs.begin(), plan.refs.end(), [&](const RefSummary& r) {
+              return boundIsValid(r.dataSpace, options.paramContext, d, e, paramNames, false);
+            }))
+          hinted = false;
+    }
+    if (hinted) {
+      // Verified above: claim every reference as a source so validForAll
+      // below does not repeat the work.
+      for (const AffExpr& e : hint->lower[d])
+        for (size_t ri = 0; ri < plan.refs.size(); ++ri) addCandidate(lowerCandidates, e, ri);
+      for (const AffExpr& e : hint->upper[d])
+        for (size_t ri = 0; ri < plan.refs.size(); ++ri) addCandidate(upperCandidates, e, ri);
+    } else {
+      for (size_t ri = 0; ri < plan.refs.size(); ++ri) {
+        Polyhedron ctx = withContext(plan.refs[ri].dataSpace, options.paramContext);
+        DimBounds b = ctx.paramBounds(d);
+        for (const DivExpr& e : b.lower)
+          if (auto a = toAffine(e, paramNames)) addCandidate(lowerCandidates, *a, ri);
+        for (const DivExpr& e : b.upper)
+          if (auto a = toAffine(e, paramNames)) addCandidate(upperCandidates, *a, ri);
+      }
     }
 
     // Keep candidates valid for *every* space in the partition.
@@ -249,6 +306,20 @@ double constReuseFraction(const PartitionPlan& plan, const SmemOptions& options,
 }
 
 }  // namespace
+
+Polyhedron spaceWithContext(const Polyhedron& space, const std::optional<Polyhedron>& context) {
+  return withContext(space, context);
+}
+
+bool boundIsValidForSpace(const Polyhedron& space, const std::optional<Polyhedron>& context,
+                          int dim, const AffExpr& e, const std::vector<std::string>& paramNames,
+                          bool lower) {
+  return boundIsValid(space, context, dim, e, paramNames, lower);
+}
+
+std::optional<AffExpr> divToAffine(const DivExpr& d, const std::vector<std::string>& paramNames) {
+  return toAffine(d, paramNames);
+}
 
 DataPlan analyzeBlock(const ProgramBlock& block, const SmemOptions& options) {
   block.validate();

@@ -45,6 +45,23 @@ namespace emm {
 /// reproduces the figure exactly (see DESIGN.md).
 enum class PartitionMode { MaximalDisjoint, PerArrayUnion };
 
+/// Precomputed buffer-bound candidates for one partition, instantiated from
+/// a parametric tile plan. A hint applies when a partition has the same
+/// array and exactly the same (stmt, access) reference set;
+/// planBufferGeometry then uses the pre-verified candidate pools instead of
+/// re-deriving them via per-reference Fourier-Motzkin, and runs the normal
+/// minimize-extent selection over them, so the chosen geometry (including
+/// tie-breaks against the constant fallbacks) is identical to the derived
+/// one.
+struct GeometryHint {
+  int arrayId = -1;
+  std::vector<std::pair<int, int>> refs;  ///< sorted (stmt, access) pairs
+  /// Per array dim: valid lower/upper bound candidates in derivation pool
+  /// order, already verified against every reference of the partition.
+  std::vector<std::vector<AffExpr>> lower;
+  std::vector<std::vector<AffExpr>> upper;
+};
+
 /// Options controlling the framework.
 struct SmemOptions {
   /// Constant-reuse threshold of Algorithm 1 (fraction of total volume that
@@ -70,6 +87,9 @@ struct SmemOptions {
   IntVec sampleParams;
   /// Enumeration cap for volume measurements.
   i64 volumeCap = 4'000'000;
+  /// Buffer-geometry hints from a parametric tile plan (see GeometryHint).
+  /// Unmatched or invalid hints are ignored and bounds are derived as usual.
+  std::vector<GeometryHint> geometryHints;
 };
 
 /// One reference of the analyzed array.
@@ -141,5 +161,21 @@ CodeUnit buildScratchpadUnit(const ProgramBlock& block, const SmemOptions& optio
 /// one partition, as Copy loops. Exposed for the tiling driver, which places
 /// these fragments at hoisted positions (Section 4.2).
 AstPtr buildCopyCode(const DataPlan& plan, int partition, bool moveIn);
+
+// ---- Bound-candidate machinery, exposed for the parametric tile plan
+// (which re-runs the same candidate generation once, symbolically). ----
+
+/// Intersects `space` with the parameter-only context constraints.
+Polyhedron spaceWithContext(const Polyhedron& space, const std::optional<Polyhedron>& context);
+
+/// True when the affine form `e` (over parameters) bounds every point of
+/// `space` (under the optional context) from below (lower=true) or above.
+bool boundIsValidForSpace(const Polyhedron& space, const std::optional<Polyhedron>& context,
+                          int dim, const AffExpr& e, const std::vector<std::string>& paramNames,
+                          bool lower);
+
+/// Converts a DivExpr over [params, 1] to an AffExpr; nullopt when the
+/// divisor is not 1 (such forms are kept out of candidate pools).
+std::optional<AffExpr> divToAffine(const DivExpr& d, const std::vector<std::string>& paramNames);
 
 }  // namespace emm

@@ -148,6 +148,7 @@ u64 hashCompileOptions(const CompileOptions& o) {
   h.mix(o.syncCost);
   h.mix(o.transferCost);
   h.mix(o.tileCandidates);
+  h.mix(o.parametricTileAnalysis);
   h.mix(o.backendName);
   h.mix(o.kernelName);
   h.mix(o.elementType);

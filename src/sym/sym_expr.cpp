@@ -1,0 +1,258 @@
+#include "sym/sym_expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace emm {
+
+namespace {
+
+bool isConst(const SymPtr& e, i64 v) {
+  return e->kind() == SymExpr::Kind::Const && e->constValue() == v;
+}
+
+}  // namespace
+
+SymPtr SymExpr::node(Kind kind, SymPtr a, SymPtr b) {
+  auto n = std::shared_ptr<SymExpr>(new SymExpr());
+  n->kind_ = kind;
+  n->a_ = std::move(a);
+  n->b_ = std::move(b);
+  return n;
+}
+
+SymPtr SymExpr::constant(i64 v) {
+  auto n = std::shared_ptr<SymExpr>(new SymExpr());
+  n->kind_ = Kind::Const;
+  n->cval_ = v;
+  return n;
+}
+
+SymPtr SymExpr::param(int index, std::string name) {
+  EMM_REQUIRE(index >= 0, "negative symbolic parameter index");
+  auto n = std::shared_ptr<SymExpr>(new SymExpr());
+  n->kind_ = Kind::Param;
+  n->paramIdx_ = index;
+  n->name_ = std::move(name);
+  return n;
+}
+
+SymPtr SymExpr::add(SymPtr a, SymPtr b) {
+  EMM_REQUIRE(a && b, "null symbolic operand");
+  if (a->kind() == Kind::Const && b->kind() == Kind::Const)
+    return constant(addChecked(a->constValue(), b->constValue()));
+  if (isConst(a, 0)) return b;
+  if (isConst(b, 0)) return a;
+  return node(Kind::Add, std::move(a), std::move(b));
+}
+
+SymPtr SymExpr::sub(SymPtr a, SymPtr b) {
+  return add(std::move(a), mul(constant(-1), std::move(b)));
+}
+
+SymPtr SymExpr::mul(SymPtr a, SymPtr b) {
+  EMM_REQUIRE(a && b, "null symbolic operand");
+  if (a->kind() == Kind::Const && b->kind() == Kind::Const)
+    return constant(mulChecked(a->constValue(), b->constValue()));
+  if (isConst(a, 1)) return b;
+  if (isConst(b, 1)) return a;
+  if (isConst(a, 0) || isConst(b, 0)) return constant(0);
+  return node(Kind::Mul, std::move(a), std::move(b));
+}
+
+SymPtr SymExpr::floorDiv(SymPtr num, SymPtr den) {
+  EMM_REQUIRE(num && den, "null symbolic operand");
+  if (isConst(den, 1)) return num;
+  if (num->kind() == Kind::Const && den->kind() == Kind::Const) {
+    EMM_REQUIRE(den->constValue() > 0, "symbolic division by a non-positive divisor");
+    return constant(emm::floorDiv(num->constValue(), den->constValue()));
+  }
+  return node(Kind::FloorDiv, std::move(num), std::move(den));
+}
+
+SymPtr SymExpr::ceilDiv(SymPtr num, SymPtr den) {
+  EMM_REQUIRE(num && den, "null symbolic operand");
+  if (isConst(den, 1)) return num;
+  if (num->kind() == Kind::Const && den->kind() == Kind::Const) {
+    EMM_REQUIRE(den->constValue() > 0, "symbolic division by a non-positive divisor");
+    return constant(emm::ceilDiv(num->constValue(), den->constValue()));
+  }
+  return node(Kind::CeilDiv, std::move(num), std::move(den));
+}
+
+SymPtr SymExpr::min(SymPtr a, SymPtr b) {
+  EMM_REQUIRE(a && b, "null symbolic operand");
+  if (a.get() == b.get()) return a;
+  if (a->kind() == Kind::Const && b->kind() == Kind::Const)
+    return constant(std::min(a->constValue(), b->constValue()));
+  return node(Kind::Min, std::move(a), std::move(b));
+}
+
+SymPtr SymExpr::max(SymPtr a, SymPtr b) {
+  EMM_REQUIRE(a && b, "null symbolic operand");
+  if (a.get() == b.get()) return a;
+  if (a->kind() == Kind::Const && b->kind() == Kind::Const)
+    return constant(std::max(a->constValue(), b->constValue()));
+  return node(Kind::Max, std::move(a), std::move(b));
+}
+
+SymPtr SymExpr::affine(i64 cnst, const std::vector<std::pair<i64, SymPtr>>& terms) {
+  SymPtr acc = constant(cnst);
+  for (const auto& [coeff, expr] : terms) {
+    if (coeff == 0) continue;
+    acc = add(std::move(acc), mul(constant(coeff), expr));
+  }
+  return acc;
+}
+
+i64 SymExpr::eval(const std::vector<i64>& params) const {
+  switch (kind_) {
+    case Kind::Const:
+      return cval_;
+    case Kind::Param:
+      EMM_CHECK(paramIdx_ < static_cast<int>(params.size()),
+                "symbolic evaluation binding too short");
+      return params[paramIdx_];
+    case Kind::Add:
+      return addChecked(a_->eval(params), b_->eval(params));
+    case Kind::Mul:
+      return mulChecked(a_->eval(params), b_->eval(params));
+    case Kind::FloorDiv: {
+      i64 d = b_->eval(params);
+      EMM_CHECK(d > 0, "symbolic division by a non-positive divisor");
+      return emm::floorDiv(a_->eval(params), d);
+    }
+    case Kind::CeilDiv: {
+      i64 d = b_->eval(params);
+      EMM_CHECK(d > 0, "symbolic division by a non-positive divisor");
+      return emm::ceilDiv(a_->eval(params), d);
+    }
+    case Kind::Min:
+      return std::min(a_->eval(params), b_->eval(params));
+    case Kind::Max:
+      return std::max(a_->eval(params), b_->eval(params));
+  }
+  EMM_CHECK(false, "unreachable symbolic kind");
+}
+
+Rat SymExpr::evalRat(const std::vector<Rat>& params) const {
+  switch (kind_) {
+    case Kind::Const:
+      return Rat(cval_);
+    case Kind::Param:
+      EMM_CHECK(paramIdx_ < static_cast<int>(params.size()),
+                "symbolic evaluation binding too short");
+      return params[paramIdx_];
+    case Kind::Add:
+      return a_->evalRat(params) + b_->evalRat(params);
+    case Kind::Mul:
+      return a_->evalRat(params) * b_->evalRat(params);
+    case Kind::FloorDiv: {
+      Rat d = b_->evalRat(params);
+      EMM_CHECK(d.sign() > 0, "symbolic division by a non-positive divisor");
+      return Rat((a_->evalRat(params) / d).floor());
+    }
+    case Kind::CeilDiv: {
+      Rat d = b_->evalRat(params);
+      EMM_CHECK(d.sign() > 0, "symbolic division by a non-positive divisor");
+      return Rat((a_->evalRat(params) / d).ceil());
+    }
+    case Kind::Min:
+      return std::min(a_->evalRat(params), b_->evalRat(params));
+    case Kind::Max:
+      return std::max(a_->evalRat(params), b_->evalRat(params));
+  }
+  EMM_CHECK(false, "unreachable symbolic kind");
+}
+
+SymInterval SymExpr::evalInterval(const std::vector<SymInterval>& params) const {
+  switch (kind_) {
+    case Kind::Const:
+      return {cval_, cval_};
+    case Kind::Param:
+      EMM_CHECK(paramIdx_ < static_cast<int>(params.size()),
+                "symbolic evaluation binding too short");
+      EMM_CHECK(params[paramIdx_].lo <= params[paramIdx_].hi, "empty parameter interval");
+      return params[paramIdx_];
+    case Kind::Add: {
+      SymInterval x = a_->evalInterval(params), y = b_->evalInterval(params);
+      return {addChecked(x.lo, y.lo), addChecked(x.hi, y.hi)};
+    }
+    case Kind::Mul: {
+      SymInterval x = a_->evalInterval(params), y = b_->evalInterval(params);
+      i64 c[4] = {mulChecked(x.lo, y.lo), mulChecked(x.lo, y.hi), mulChecked(x.hi, y.lo),
+                  mulChecked(x.hi, y.hi)};
+      return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+    }
+    case Kind::FloorDiv: {
+      SymInterval x = a_->evalInterval(params), y = b_->evalInterval(params);
+      EMM_CHECK(y.lo > 0, "symbolic division by a possibly non-positive divisor");
+      // The quotient is monotone in each argument separately (in the
+      // divisor the direction depends on the numerator's sign), so its
+      // extremes lie at the four corners.
+      i64 c[4] = {emm::floorDiv(x.lo, y.lo), emm::floorDiv(x.lo, y.hi),
+                  emm::floorDiv(x.hi, y.lo), emm::floorDiv(x.hi, y.hi)};
+      return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+    }
+    case Kind::CeilDiv: {
+      SymInterval x = a_->evalInterval(params), y = b_->evalInterval(params);
+      EMM_CHECK(y.lo > 0, "symbolic division by a possibly non-positive divisor");
+      i64 c[4] = {emm::ceilDiv(x.lo, y.lo), emm::ceilDiv(x.lo, y.hi),
+                  emm::ceilDiv(x.hi, y.lo), emm::ceilDiv(x.hi, y.hi)};
+      return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+    }
+    case Kind::Min: {
+      SymInterval x = a_->evalInterval(params), y = b_->evalInterval(params);
+      return {std::min(x.lo, y.lo), std::min(x.hi, y.hi)};
+    }
+    case Kind::Max: {
+      SymInterval x = a_->evalInterval(params), y = b_->evalInterval(params);
+      return {std::max(x.lo, y.lo), std::max(x.hi, y.hi)};
+    }
+  }
+  EMM_CHECK(false, "unreachable symbolic kind");
+}
+
+int SymExpr::maxParamIndex() const {
+  switch (kind_) {
+    case Kind::Const:
+      return -1;
+    case Kind::Param:
+      return paramIdx_;
+    default:
+      return std::max(a_->maxParamIndex(), b_->maxParamIndex());
+  }
+}
+
+std::string SymExpr::str() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::Const:
+      os << cval_;
+      break;
+    case Kind::Param:
+      os << (name_.empty() ? "p" + std::to_string(paramIdx_) : name_);
+      break;
+    case Kind::Add:
+      os << "(" << a_->str() << " + " << b_->str() << ")";
+      break;
+    case Kind::Mul:
+      os << "(" << a_->str() << " * " << b_->str() << ")";
+      break;
+    case Kind::FloorDiv:
+      os << "floord(" << a_->str() << ", " << b_->str() << ")";
+      break;
+    case Kind::CeilDiv:
+      os << "ceild(" << a_->str() << ", " << b_->str() << ")";
+      break;
+    case Kind::Min:
+      os << "min(" << a_->str() << ", " << b_->str() << ")";
+      break;
+    case Kind::Max:
+      os << "max(" << a_->str() << ", " << b_->str() << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace emm

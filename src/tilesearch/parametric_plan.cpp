@@ -1,0 +1,453 @@
+#include "tilesearch/parametric_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace emm {
+
+namespace {
+
+/// A constraint row drives Section-4.2 hoisting only when it couples the
+/// data space to the origin — pure parameter residues of the projection do
+/// not (mirrors the rule in tiling/multilevel.cpp).
+bool rowUsesData(const IntVec& row, int dim) {
+  for (int j = 0; j < dim; ++j)
+    if (row[j] != 0) return true;
+  return false;
+}
+
+}  // namespace
+
+ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const ParallelismPlan& plan,
+                                       const TileSearchOptions& options,
+                                       const SmemOptions& smemBase,
+                                       const std::vector<i64>& loopRange,
+                                       const std::vector<i64>& tileSample)
+    : depth_(static_cast<int>(loopRange.size())),
+      options_(options),
+      loopRange_(loopRange),
+      hoist_(options.hoistCopies) {
+  EMM_REQUIRE(depth_ > 0, "parametric tile plan needs at least one common loop");
+  EMM_REQUIRE(static_cast<int>(options.paramValues.size()) == block.nparam(),
+              "paramValues arity mismatch");
+  analysis_ = analyzeTileSymbolic(block, plan, tileSample, smemBase, options.hoistCopies);
+
+  // The Algorithm-1 benefit verdict must not depend on the tile sizes. The
+  // rank-based order-of-magnitude condition is per reference and
+  // tile-independent; requiring it of EVERY reference keeps every partition
+  // refinement beneficial too. (With unconditional buffers —
+  // stageEverything — the verdict is irrelevant.)
+  if (smemBase.onlyBeneficial) {
+    for (const PartitionPlan& p : analysis_.plan.partitions)
+      for (const RefSummary& r : p.refs)
+        EMM_REQUIRE(r.hasOrderReuse(),
+                    "reference of array " + analysis_.tileBlock->arrays[p.arrayId].name +
+                        " lacks order-of-magnitude reuse; its benefit verdict depends on "
+                        "tile sizes");
+  }
+  for (const PartitionPlan& p : analysis_.plan.partitions)
+    EMM_REQUIRE(p.hasBuffer, "parametric plan requires every partition buffered");
+
+  for (int l = 0; l < depth_; ++l) tileSyms_.push_back(SymExpr::param(l, analysis_.tileParams[l]));
+
+  // Fixed binding of the symbolic block's non-tile parameters: the original
+  // problem sizes plus the tile origins pinned at the loop lower bounds —
+  // exactly the binding the concrete evaluator uses.
+  fixedParams_ = options.paramValues;
+  for (int l = 0; l < depth_; ++l)
+    fixedParams_.push_back(evalStrippedLower(analysis_.loopBounds[l], l, options.paramValues));
+
+  // ---- Compile per-array, per-component reference formulas. ----
+  const int oldNp = block.nparam();
+  const std::optional<Polyhedron>& ctx = analysis_.plan.options.paramContext;
+  for (size_t p = 0; p < analysis_.plan.partitions.size(); ++p) {
+    const PartitionPlan& part = analysis_.plan.partitions[p];
+    if (arrays_.empty() || arrays_.back().arrayId != part.arrayId) {
+      ArrayFormula af;
+      af.arrayId = part.arrayId;
+      af.arrayName = analysis_.tileBlock->arrays[part.arrayId].name;
+      arrays_.push_back(std::move(af));
+    }
+    ComponentFormula comp;
+    for (const RefSummary& r : part.refs) {
+      RefFormula rf;
+      rf.key = {r.stmt, r.access};
+      rf.isWrite = r.isWrite;
+      rf.ctxBox = compileBox(spaceWithContext(r.dataSpace, ctx));
+      rf.rawBox = compileBox(r.dataSpace);
+      rf.usesOrigin.assign(depth_, false);
+      const int dim = r.dataSpace.dim();
+      for (int l = 0; l < depth_; ++l) {
+        const int col = dim + oldNp + l;
+        for (int rr = 0; rr < r.dataSpace.equalities().rows() && !rf.usesOrigin[l]; ++rr) {
+          IntVec row = r.dataSpace.equalities().row(rr);
+          if (row[col] != 0 && rowUsesData(row, dim)) rf.usesOrigin[l] = true;
+        }
+        for (int rr = 0; rr < r.dataSpace.inequalities().rows() && !rf.usesOrigin[l]; ++rr) {
+          IntVec row = r.dataSpace.inequalities().row(rr);
+          if (row[col] != 0 && rowUsesData(row, dim)) rf.usesOrigin[l] = true;
+        }
+      }
+      comp.refs.push_back(std::move(rf));
+    }
+    const int n = static_cast<int>(comp.refs.size());
+    comp.pairs.resize(static_cast<size_t>(n) * n);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        comp.pairs[static_cast<size_t>(i) * n + j] =
+            compilePredicate(part.refs[i].dataSpace, part.refs[j].dataSpace);
+    comp.hoistLevel = analysis_.hoistLevel[p];
+    if (hoist_) {
+      // The per-reference origin bits must reproduce the partition's hoist
+      // level, or refined partitions could hoist differently than the
+      // concrete analysis would; bail to the fallback when they cannot.
+      int level = 0;
+      for (int l = 0; l < depth_; ++l)
+        for (const RefFormula& rf : comp.refs)
+          if (rf.usesOrigin[l]) level = l + 1;
+      EMM_REQUIRE(level == comp.hoistLevel,
+                  "hoist level of array " + arrays_.back().arrayName +
+                      " is not derivable per reference");
+    }
+    arrays_.back().comps.push_back(std::move(comp));
+
+    // Geometry candidate pools: the same per-reference derivation the
+    // concrete planner performs, run once over the symbolic spaces; only
+    // candidates valid against every reference for ALL tile sizes survive.
+    GeometryRecord g;
+    g.arrayId = part.arrayId;
+    for (const RefSummary& r : part.refs) g.refKeys.emplace_back(r.stmt, r.access);
+    std::sort(g.refKeys.begin(), g.refKeys.end());
+    const std::vector<std::string>& extNames = analysis_.tileBlock->paramNames;
+    const int ndim = analysis_.tileBlock->arrays[part.arrayId].ndim();
+    g.lower.resize(ndim);
+    g.upper.resize(ndim);
+    auto push = [](std::vector<AffExpr>& list, const AffExpr& e) {
+      for (const AffExpr& x : list)
+        if (x.str() == e.str()) return;
+      list.push_back(e);
+    };
+    for (int d = 0; d < ndim; ++d) {
+      std::vector<AffExpr> lowers, uppers;
+      for (const RefSummary& r : part.refs) {
+        Polyhedron ctxSpace = spaceWithContext(r.dataSpace, ctx);
+        DimBounds b = ctxSpace.paramBounds(d);
+        for (const DivExpr& e : b.lower)
+          if (auto a = divToAffine(e, extNames)) push(lowers, *a);
+        for (const DivExpr& e : b.upper)
+          if (auto a = divToAffine(e, extNames)) push(uppers, *a);
+      }
+      auto validForAll = [&](const AffExpr& e, bool lower) {
+        for (const RefSummary& r : part.refs)
+          if (!boundIsValidForSpace(r.dataSpace, ctx, d, e, extNames, lower)) return false;
+        return true;
+      };
+      for (const AffExpr& e : lowers)
+        if (validForAll(e, true)) g.lower[d].push_back(e);
+      for (const AffExpr& e : uppers)
+        if (validForAll(e, false)) g.upper[d].push_back(e);
+    }
+    geometry_.push_back(std::move(g));
+  }
+
+  // Per-array reference indexing: analyzeBlock discovers an array's
+  // references in ascending (stmt, access) order, and partition discovery
+  // order at any tile size follows the lowest such index. Symbolic
+  // components can interleave on it, so refinement groups must be formed
+  // over these indices, not component by component.
+  for (ArrayFormula& af : arrays_) {
+    std::vector<std::pair<std::pair<int, int>, std::pair<int, int>>> keyed;
+    for (size_t ci = 0; ci < af.comps.size(); ++ci) {
+      af.comps[ci].globalIdx.resize(af.comps[ci].refs.size());
+      for (size_t li = 0; li < af.comps[ci].refs.size(); ++li)
+        keyed.push_back({af.comps[ci].refs[li].key,
+                         {static_cast<int>(ci), static_cast<int>(li)}});
+    }
+    std::sort(keyed.begin(), keyed.end());
+    af.numRefs = static_cast<int>(keyed.size());
+    af.refLoc.resize(keyed.size());
+    for (size_t g = 0; g < keyed.size(); ++g) {
+      af.refLoc[g] = keyed[g].second;
+      af.comps[keyed[g].second.first].globalIdx[keyed[g].second.second] = static_cast<int>(g);
+    }
+  }
+}
+
+SymPtr ParametricTilePlan::compileDiv(const DivExpr& e, bool ceil) const {
+  const size_t fixed = fixedParams_.size();
+  EMM_CHECK(e.coeffs.size() == fixed + static_cast<size_t>(depth_) + 1,
+            "parametric bound arity mismatch");
+  i128 acc = e.coeffs.back();
+  for (size_t j = 0; j < fixed; ++j) acc += static_cast<i128>(e.coeffs[j]) * fixedParams_[j];
+  std::vector<std::pair<i64, SymPtr>> terms;
+  for (int l = 0; l < depth_; ++l) terms.emplace_back(e.coeffs[fixed + l], tileSyms_[l]);
+  SymPtr num = SymExpr::affine(narrow(acc), terms);
+  SymPtr den = SymExpr::constant(e.den);
+  return ceil ? SymExpr::ceilDiv(std::move(num), std::move(den))
+              : SymExpr::floorDiv(std::move(num), std::move(den));
+}
+
+ParametricTilePlan::Box ParametricTilePlan::compileBox(const Polyhedron& space) const {
+  Box box;
+  for (int d = 0; d < space.dim(); ++d) {
+    DimBounds b = space.paramBounds(d);
+    EMM_REQUIRE(!b.lower.empty() && !b.upper.empty(),
+                "unbounded data-space dimension in parametric analysis");
+    SymPtr lo = compileDiv(b.lower[0], /*ceil=*/true);
+    for (size_t q = 1; q < b.lower.size(); ++q)
+      lo = SymExpr::max(std::move(lo), compileDiv(b.lower[q], true));
+    SymPtr hi = compileDiv(b.upper[0], /*ceil=*/false);
+    for (size_t q = 1; q < b.upper.size(); ++q)
+      hi = SymExpr::min(std::move(hi), compileDiv(b.upper[q], false));
+    box.emplace_back(std::move(lo), std::move(hi));
+  }
+  return box;
+}
+
+ParametricTilePlan::PairPredicate ParametricTilePlan::compilePredicate(const Polyhedron& a,
+                                                                       const Polyhedron& b) const {
+  // Project the symbolic intersection onto the tile parameters: the pair
+  // overlaps at concrete T exactly when T satisfies the projection
+  // (Fourier-Motzkin is exact for the rational feasibility test the
+  // concrete overlap check performs).
+  Polyhedron inter = Polyhedron::intersect(a, b);
+  Polyhedron q = inter.paramsAsVars();
+  const int drop = q.dim() - depth_;
+  EMM_CHECK(drop >= 0, "predicate projection shape mismatch");
+  for (int i = 0; i < drop; ++i) q = q.eliminated(0);
+  q.simplify();
+  PairPredicate p;
+  if (q.isEmpty()) {
+    p.never = true;
+    return p;
+  }
+  if (q.numConstraints() == 0) {
+    p.always = true;
+    return p;
+  }
+  p.cond = std::move(q);
+  return p;
+}
+
+bool ParametricTilePlan::pairOverlaps(const PairPredicate& p, const std::vector<i64>& tiles) const {
+  if (p.always) return true;
+  if (p.never) return false;
+  return p.cond.contains(tiles);
+}
+
+namespace {
+
+/// Union-find over `n` members; mirrors poly/overlapComponents: components
+/// are reported ordered by lowest member, members ascending.
+struct Grouper {
+  std::vector<int> parent;
+  explicit Grouper(int n) : parent(n) { std::iota(parent.begin(), parent.end(), 0); }
+  int find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(int a, int b) { parent[find(a)] = find(b); }
+  std::vector<std::vector<int>> groups() {
+    const int n = static_cast<int>(parent.size());
+    std::vector<std::vector<int>> out;
+    std::vector<int> groupOf(n, -1);
+    for (int i = 0; i < n; ++i) {
+      int root = find(i);
+      if (groupOf[root] < 0) {
+        groupOf[root] = static_cast<int>(out.size());
+        out.emplace_back();
+      }
+      out[groupOf[root]].push_back(i);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) const {
+  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth_, "subTile arity mismatch");
+  TileEvaluation ev;
+
+  // ---- Recover the partition structure at these tile sizes. ----
+  // Overlap grows with the tile, so the symbolic components are the
+  // coarsest structure; evaluating the pairwise predicates refines them to
+  // exactly what the concrete analysis would partition.
+  struct LiveGroup {
+    std::string name;
+    const ComponentFormula* comp = nullptr;
+    std::vector<int> members;  ///< local ref indices within comp
+    int hoistLevel = 0;
+    i64 footprint = 0;
+  };
+  std::vector<LiveGroup> groups;
+  int partitionCounter = 0;
+  i64 footprint = 0;
+  for (const ArrayFormula& af : arrays_) {
+    // Refine over the array's whole reference set (overlap edges only ever
+    // connect refs of one symbolic component): groups then come out in the
+    // lowest-discovery-index order the concrete partitioner uses, even
+    // when symbolic components interleave by reference index.
+    Grouper grouper(af.numRefs);
+    for (const ComponentFormula& comp : af.comps) {
+      const int n = static_cast<int>(comp.refs.size());
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+          if (pairOverlaps(comp.pairs[static_cast<size_t>(i) * n + j], subTile))
+            grouper.unite(comp.globalIdx[i], comp.globalIdx[j]);
+    }
+    for (const std::vector<int>& globalMembers : grouper.groups()) {
+      LiveGroup g;
+      const ComponentFormula& comp = af.comps[af.refLoc[globalMembers[0]].first];
+      g.comp = &comp;
+      for (int m : globalMembers) g.members.push_back(af.refLoc[m].second);
+      g.name = "L" + af.arrayName + std::to_string(partitionCounter++);
+      g.hoistLevel = depth_;
+      if (hoist_) {
+        g.hoistLevel = 0;
+        for (int l = 0; l < depth_; ++l)
+          for (int m : g.members)
+            if (comp.refs[m].usesOrigin[l]) g.hoistLevel = l + 1;
+      }
+      // Buffer footprint: per-dimension bounding box of the group under
+      // the analysis context (the optimum the geometry planner derives).
+      i64 fp = 1;
+      for (int d = 0; d < static_cast<int>(comp.refs[g.members[0]].ctxBox.size()); ++d) {
+        i64 lo = INT64_MAX, hi = INT64_MIN;
+        for (int m : g.members) {
+          lo = std::min(lo, comp.refs[m].ctxBox[d].first->eval(subTile));
+          hi = std::max(hi, comp.refs[m].ctxBox[d].second->eval(subTile));
+        }
+        fp = mulChecked(fp, std::max<i64>(0, addChecked(subChecked(hi, lo), 1)));
+      }
+      g.footprint = fp;
+      footprint = addChecked(footprint, fp);
+      groups.push_back(std::move(g));
+    }
+  }
+
+  // Constraint (2): footprint <= Mup.
+  ev.footprint = footprint;
+  if (footprint > options_.memLimitElems) {
+    ev.reason = "scratchpad footprint exceeds limit";
+    return ev;
+  }
+
+  // ---- Section-4.3 objective, mirroring the concrete evaluator exactly
+  // (field order and floating-point expression shapes). ----
+  auto volumeOf = [&](const LiveGroup& g, bool writes) {
+    // Section-3.1.3: group the (read resp. write) spaces into maximal
+    // non-overlapping subsets, sum their bounding-box sizes.
+    std::vector<int> side;
+    for (int m : g.members)
+      if (g.comp->refs[m].isWrite == writes) side.push_back(m);
+    const int n = static_cast<int>(g.comp->refs.size());
+    Grouper grouper(static_cast<int>(side.size()));
+    for (size_t i = 0; i < side.size(); ++i)
+      for (size_t j = i + 1; j < side.size(); ++j) {
+        int a = std::min(side[i], side[j]), b = std::max(side[i], side[j]);
+        if (pairOverlaps(g.comp->pairs[static_cast<size_t>(a) * n + b], subTile))
+          grouper.unite(static_cast<int>(i), static_cast<int>(j));
+      }
+    i64 total = 0;
+    for (const std::vector<int>& sub : grouper.groups()) {
+      i64 vol = 1;
+      const Box& first = g.comp->refs[side[sub[0]]].rawBox;
+      for (int d = 0; d < static_cast<int>(first.size()); ++d) {
+        i64 lo = INT64_MAX, hi = INT64_MIN;
+        for (int m : sub) {
+          const Box& box = g.comp->refs[side[m]].rawBox;
+          lo = std::min(lo, box[d].first->eval(subTile));
+          hi = std::max(hi, box[d].second->eval(subTile));
+        }
+        if (hi < lo) {
+          vol = 0;
+          break;
+        }
+        vol = mulChecked(vol, addChecked(subChecked(hi, lo), 1));
+      }
+      total = addChecked(total, vol);
+    }
+    return total;
+  };
+
+  double P = static_cast<double>(options_.innerProcs);
+  double cost = 0;
+  for (const LiveGroup& g : groups) {
+    i64 occ = 1;
+    for (int l = 0; l < g.hoistLevel; ++l)
+      occ = mulChecked(occ, ceilDiv(loopRange_[l], subTile[l]));
+    i64 vin = volumeOf(g, /*writes=*/false);
+    i64 vout = volumeOf(g, /*writes=*/true);
+    double termIn = bufferCostTerm(occ, vin, P, options_.syncCost, options_.transferCost);
+    double termOut = bufferCostTerm(occ, vout, P, options_.syncCost, options_.transferCost);
+    cost += termIn + termOut;
+    ev.terms.push_back({g.name, occ, vin, vout, g.hoistLevel});
+  }
+  ev.feasible = true;
+  ev.cost = cost;
+  return ev;
+}
+
+AffExpr ParametricTilePlan::substituteTiles(const AffExpr& e, const std::vector<i64>& tiles) const {
+  AffExpr out;
+  out.den = e.den;
+  i128 cnst = e.cnst;
+  for (const auto& [name, coeff] : e.terms) {
+    auto it = std::find(analysis_.tileParams.begin(), analysis_.tileParams.end(), name);
+    if (it != analysis_.tileParams.end())
+      cnst += static_cast<i128>(coeff) * tiles[it - analysis_.tileParams.begin()];
+    else
+      out.terms.emplace_back(name, coeff);
+  }
+  out.cnst = narrow(cnst);
+  return out;
+}
+
+std::vector<GeometryHint> ParametricTilePlan::instantiateGeometry(
+    const std::vector<i64>& subTile) const {
+  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth_, "subTile arity mismatch");
+  std::vector<GeometryHint> hints;
+  for (const GeometryRecord& g : geometry_) {
+    GeometryHint h;
+    h.arrayId = g.arrayId;
+    h.refs = g.refKeys;
+    h.lower.resize(g.lower.size());
+    h.upper.resize(g.upper.size());
+    for (size_t d = 0; d < g.lower.size(); ++d) {
+      for (const AffExpr& e : g.lower[d]) h.lower[d].push_back(substituteTiles(e, subTile));
+      for (const AffExpr& e : g.upper[d]) h.upper[d].push_back(substituteTiles(e, subTile));
+    }
+    hints.push_back(std::move(h));
+  }
+  return hints;
+}
+
+SymInterval ParametricTilePlan::footprintInterval(const std::vector<SymInterval>& tileBox) const {
+  EMM_REQUIRE(static_cast<int>(tileBox.size()) == depth_, "tile box arity mismatch");
+  // Enclosure of the symbolic (coarsest-structure) footprint: per
+  // component, the interval of the per-dimension bounding-box product.
+  SymInterval total{0, 0};
+  for (const ArrayFormula& af : arrays_) {
+    for (const ComponentFormula& comp : af.comps) {
+      SymPtr fp = SymExpr::constant(1);
+      for (int d = 0; d < static_cast<int>(comp.refs[0].ctxBox.size()); ++d) {
+        SymPtr lo = comp.refs[0].ctxBox[d].first;
+        SymPtr hi = comp.refs[0].ctxBox[d].second;
+        for (size_t m = 1; m < comp.refs.size(); ++m) {
+          lo = SymExpr::min(std::move(lo), comp.refs[m].ctxBox[d].first);
+          hi = SymExpr::max(std::move(hi), comp.refs[m].ctxBox[d].second);
+        }
+        SymPtr extent = SymExpr::add(SymExpr::sub(std::move(hi), std::move(lo)),
+                                     SymExpr::constant(1));
+        fp = SymExpr::mul(std::move(fp), SymExpr::max(SymExpr::constant(0), std::move(extent)));
+      }
+      SymInterval fi = fp->evalInterval(tileBox);
+      total.lo = addChecked(total.lo, fi.lo);
+      total.hi = addChecked(total.hi, fi.hi);
+    }
+  }
+  return total;
+}
+
+}  // namespace emm

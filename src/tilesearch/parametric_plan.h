@@ -1,0 +1,154 @@
+// ParametricTilePlan: the Section-3 cost model built once, symbolically.
+//
+// The concrete tile-size search instantiates the full Section-3 analysis
+// (data-space images, overlap partitioning, buffer geometry, volume bounds)
+// per candidate vector. This class runs that analysis a single time with the
+// tile sizes T1..Tk as symbolic parameters (analyzeTileSymbolic) and
+// compiles everything the Section-4.3 objective needs into closed-form
+// pieces over T:
+//
+//   - per reference: the per-dimension [lo, hi] bounding-box bound formulas
+//     of its data space (SymExpr trees over T), once with the analysis
+//     context applied (buffer geometry) and once raw (volume bounds), plus
+//     the per-loop origin-dependence bits that drive Section-4.2 hoisting,
+//   - per reference pair: the OVERLAP PREDICATE — the tile-size region in
+//     which the two data spaces intersect, obtained by projecting their
+//     symbolic intersection onto the tile parameters. Overlap grows
+//     monotonically with tile sizes, so the symbolic components (overlap
+//     for SOME T >= 1) are the coarsest structure; the concrete structure
+//     at a given T is the refinement induced by the predicates that hold,
+//     recovered at evaluation time with a tiny union-find. This is what
+//     makes stencil kernels exact: at T_l = 1 a shifted window pair
+//     (A[i-1], A[i+1]) separates into distinct partitions, and the plan
+//     reproduces the split without re-running any polyhedral analysis.
+//
+// evaluate() is then pure expression evaluation — SymExpr trees plus
+// boolean predicate rows — and reproduces the concrete evaluator's
+// TileEvaluation field by field (including bit-identical cost doubles: the
+// floating-point combination is the same expression in the same order, and
+// partition naming follows the same discovery order).
+//
+// Construction throws ApiError when the block cannot be analyzed
+// parametrically (e.g. a reference without order-of-magnitude reuse makes
+// the Algorithm-1 benefit verdict tile-dependent); the TileEvaluator
+// catches this (and validates the plan against concrete probe evaluations)
+// and falls back to the per-candidate path with a diagnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sym/sym_expr.h"
+#include "tilesearch/tilesearch.h"
+#include "tiling/multilevel.h"
+
+namespace emm {
+
+class ParametricTilePlan {
+public:
+  /// Runs the symbolic Section-3 analysis and compiles the cost-model
+  /// formulas. `loopRange` holds the shared per-loop iteration ranges the
+  /// evaluator already computed; `tileSample` (one size per loop) seeds
+  /// the sample binding exactly like concrete sizes would. Throws ApiError
+  /// when the block is not parametrically analyzable.
+  ParametricTilePlan(const ProgramBlock& block, const ParallelismPlan& plan,
+                     const TileSearchOptions& options, const SmemOptions& smemBase,
+                     const std::vector<i64>& loopRange, const std::vector<i64>& tileSample);
+
+  /// Pure expression evaluation of one candidate. The caller (TileEvaluator)
+  /// has already applied the cheap range/volume constraints; this evaluates
+  /// footprint feasibility and the Section-4.3 objective.
+  TileEvaluation evaluate(const std::vector<i64>& subTile) const;
+
+  /// Instantiates the parametric buffer geometry at concrete tile sizes:
+  /// the hints let smem::planBufferGeometry adopt the precomputed bounds
+  /// (after a cheap validity check) instead of re-deriving them. Hints are
+  /// keyed on exact reference sets, so at tile sizes where the partition
+  /// structure refines past the symbolic one they simply do not match and
+  /// geometry is derived as usual.
+  std::vector<GeometryHint> instantiateGeometry(const std::vector<i64>& subTile) const;
+
+  /// Interval enclosure of the total scratchpad footprint over a tile-size
+  /// box (one interval per loop), via SymExpr interval evaluation of the
+  /// symbolic (coarsest-structure) footprint formulas.
+  SymInterval footprintInterval(const std::vector<SymInterval>& tileBox) const;
+
+  int depth() const { return depth_; }
+  /// The underlying symbolic analysis (tile block, partitions, ...).
+  const TileAnalysis& analysis() const { return analysis_; }
+
+private:
+  /// Per-dimension [lo, hi] bound formulas of one polyhedron's box.
+  using Box = std::vector<std::pair<SymPtr, SymPtr>>;
+
+  /// Overlap predicate of one reference pair over the tile parameters.
+  struct PairPredicate {
+    bool always = false;  ///< overlap for every T >= 1
+    bool never = false;   ///< empty intersection for every T
+    Polyhedron cond;      ///< otherwise: dim = depth vars (T), no params
+  };
+
+  struct RefFormula {
+    std::pair<int, int> key;  ///< (stmt, access)
+    bool isWrite = false;
+    Box ctxBox;  ///< bounds under the analysis context (buffer geometry)
+    Box rawBox;  ///< raw bounds (Section-3.1.3 volume estimation)
+    std::vector<bool> usesOrigin;  ///< per loop: Section-4.2 dependence bits
+  };
+
+  /// One symbolic (coarsest) overlap component of one array.
+  struct ComponentFormula {
+    std::vector<RefFormula> refs;
+    /// Predicates for ref pairs (i, j), i < j, indexed i * nrefs + j.
+    std::vector<PairPredicate> pairs;
+    int hoistLevel = 0;  ///< of the merged structure (validated vs analysis_)
+    /// Per local ref: its per-array discovery index (see ArrayFormula).
+    std::vector<int> globalIdx;
+  };
+
+  struct ArrayFormula {
+    int arrayId = -1;
+    std::string arrayName;
+    std::vector<ComponentFormula> comps;  ///< ordered by lowest reference
+    int numRefs = 0;
+    /// Per per-array reference index (ascending (stmt, access) discovery
+    /// order): its (component, local index) location. Refinement groups
+    /// are formed over these indices so partition discovery order — and
+    /// with it buffer naming and the cost summation order — matches the
+    /// concrete analysis even when symbolic components interleave by
+    /// reference index.
+    std::vector<std::pair<int, int>> refLoc;
+  };
+
+  /// Geometry record of one symbolic partition, for instantiateGeometry():
+  /// the per-dimension buffer-bound candidate pools, derived once over the
+  /// symbolic spaces and verified against every reference for ALL tile
+  /// sizes. Expressions may mention the tile symbols.
+  struct GeometryRecord {
+    int arrayId = -1;
+    std::vector<std::pair<int, int>> refKeys;  ///< sorted (stmt, access)
+    std::vector<std::vector<AffExpr>> lower;   ///< per dim, pool order
+    std::vector<std::vector<AffExpr>> upper;
+  };
+
+  SymPtr compileDiv(const DivExpr& e, bool ceil) const;
+  Box compileBox(const Polyhedron& space) const;
+  PairPredicate compilePredicate(const Polyhedron& a, const Polyhedron& b) const;
+  bool pairOverlaps(const PairPredicate& p, const std::vector<i64>& tiles) const;
+  AffExpr substituteTiles(const AffExpr& e, const std::vector<i64>& tiles) const;
+
+  int depth_ = 0;
+  TileSearchOptions options_;
+  std::vector<i64> loopRange_;
+  std::vector<SymPtr> tileSyms_;  ///< one symbolic parameter per loop
+  TileAnalysis analysis_;
+  /// Concrete binding of the symbolic block's non-tile parameters:
+  /// [original params, origins pinned at the loop lower bounds].
+  IntVec fixedParams_;
+  std::vector<ArrayFormula> arrays_;  ///< arrays with references, in order
+  std::vector<GeometryRecord> geometry_;
+  bool hoist_ = true;
+};
+
+}  // namespace emm

@@ -1,6 +1,7 @@
 #include "tilesearch/tile_evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace emm {
 
@@ -11,18 +12,8 @@ namespace {
 /// parameter vector alone.
 DimBounds stripLoopBounds(const DimBounds& b, int l) {
   DimBounds out;
-  for (const DivExpr& e : b.lower) {
-    DivExpr s;
-    s.den = e.den;
-    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-    out.lower.push_back(std::move(s));
-  }
-  for (const DivExpr& e : b.upper) {
-    DivExpr s;
-    s.den = e.den;
-    s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-    out.upper.push_back(std::move(s));
-  }
+  for (const DivExpr& e : b.lower) out.lower.push_back(dropLeadingCoeffs(e, l));
+  for (const DivExpr& e : b.upper) out.upper.push_back(dropLeadingCoeffs(e, l));
   return out;
 }
 
@@ -39,19 +30,38 @@ i64 tripCount(const DimBounds& bounds, int l, const IntVec& params, i64 t) {
 /// pinned at their loop lower bounds, for volume/footprint evaluation.
 IntVec extendedBinding(const TileAnalysis& ta, const IntVec& params) {
   IntVec ext = params;
-  for (int l = 0; l < ta.depth; ++l) {
-    std::vector<DivExpr> lower = ta.loopBounds[l].lower;
-    i64 best = INT64_MIN;
-    for (const DivExpr& e : lower) {
-      // Bounds are parameter-only; strip leading iterator slots.
-      DivExpr s;
-      s.den = e.den;
-      s.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-      best = std::max(best, s.evalCeil(params));
-    }
-    ext.push_back(best);
-  }
+  // Bounds are parameter-only; strip leading iterator slots.
+  for (int l = 0; l < ta.depth; ++l)
+    ext.push_back(evalStrippedLower(ta.loopBounds[l], l, params));
   return ext;
+}
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string joinTile(const std::vector<i64>& tile) {
+  std::string out;
+  for (size_t i = 0; i < tile.size(); ++i) out += (i ? "," : "") + std::to_string(tile[i]);
+  return out;
+}
+
+/// Field-by-field equivalence used by probe validation. Costs are compared
+/// exactly: both paths combine identical integers with identical
+/// floating-point expressions, so any difference is a real model mismatch.
+bool sameEvaluation(const TileEvaluation& a, const TileEvaluation& b) {
+  if (a.feasible != b.feasible || a.reason != b.reason) return false;
+  if (a.footprint != b.footprint || a.cost != b.cost) return false;
+  if (a.terms.size() != b.terms.size()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    const TileEvaluation::BufferTerm& x = a.terms[i];
+    const TileEvaluation::BufferTerm& y = b.terms[i];
+    if (x.name != y.name || x.occurrences != y.occurrences || x.volumeIn != y.volumeIn ||
+        x.volumeOut != y.volumeOut || x.hoistLevel != y.hoistLevel)
+      return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -83,22 +93,42 @@ TileEvaluator::TileEvaluator(const ProgramBlock& block, const ParallelismPlan& p
   }
 }
 
+TileEvaluator::~TileEvaluator() = default;
+
 const TileEvaluation& TileEvaluator::evaluate(const std::vector<i64>& subTile) {
   auto it = memo_.find(subTile);
   if (it != memo_.end()) {
     ++memoHits_;
     return it->second;
   }
-  ++evaluations_;
-  return memo_.emplace(subTile, evaluateUncached(subTile)).first->second;
-}
-
-TileEvaluation TileEvaluator::evaluateUncached(const std::vector<i64>& subTile) {
-  TileEvaluation ev;
   EMM_REQUIRE(static_cast<int>(subTile.size()) == depth_, "subTile arity mismatch");
 
-  // Constraints that need no per-candidate analysis come first, so the
-  // search discards infeasible candidates without paying for Section 3.
+  // Constraints that need no analysis come first, so the search discards
+  // infeasible candidates without building a plan or paying for Section 3.
+  TileEvaluation cheap = cheapCheck(subTile);
+  if (!cheap.reason.empty()) {
+    ++evaluations_;
+    return memo_.emplace(subTile, std::move(cheap)).first->second;
+  }
+
+  // First surviving candidate: build (and probe-validate) the symbolic plan.
+  ensurePlan();
+  it = memo_.find(subTile);  // the candidate may have served as a probe
+  if (it != memo_.end()) {
+    ++memoHits_;
+    return it->second;
+  }
+
+  ++evaluations_;
+  const auto start = std::chrono::steady_clock::now();
+  TileEvaluation ev =
+      paramPlan_ != nullptr ? paramPlan_->evaluate(subTile) : evaluateConcrete(subTile);
+  evalMillis_ += millisSince(start);
+  return memo_.emplace(subTile, std::move(ev)).first->second;
+}
+
+TileEvaluation TileEvaluator::cheapCheck(const std::vector<i64>& subTile) const {
+  TileEvaluation ev;
   // Constraint (1): 0 < t_i <= N_i (shared, tile-size-independent bounds).
   for (int l = 0; l < depth_; ++l) {
     if (subTile[l] < 1 || subTile[l] > std::max<i64>(loopRange_[l], 1)) {
@@ -106,7 +136,6 @@ TileEvaluation TileEvaluator::evaluateUncached(const std::vector<i64>& subTile) 
       return ev;
     }
   }
-
   // Constraint (3): tile volume keeps all inner-level processes busy.
   i64 tileVolume = 1;
   for (int l = 0; l < depth_; ++l) tileVolume = mulChecked(tileVolume, subTile[l]);
@@ -114,6 +143,84 @@ TileEvaluation TileEvaluator::evaluateUncached(const std::vector<i64>& subTile) 
     ev.reason = "tile smaller than inner-level process count";
     return ev;
   }
+  return ev;  // survived: feasible stays false, reason stays empty
+}
+
+void TileEvaluator::ensurePlan() {
+  if (state_ != ParametricState::Pending) return;
+  if (!options_.parametric) {
+    state_ = ParametricState::Fallback;
+    fallbackReason_ = "parametric evaluation disabled by options";
+    return;
+  }
+  if (depth_ == 0) {
+    state_ = ParametricState::Fallback;
+    fallbackReason_ = "block has no common loops";
+    return;
+  }
+  for (const std::vector<i64>& ladder : candidates_) {
+    if (ladder.empty()) {
+      state_ = ParametricState::Fallback;
+      fallbackReason_ = "empty candidate ladder";
+      return;
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // Probe tiles: the mid-grid candidate (validates the full feasible-path
+  // formulas at a typical point) and the largest grid corner (stresses the
+  // footprint formulas, usually against the memory limit). Both are
+  // clipped into the loop ranges so user-supplied out-of-range ladders
+  // cannot sneak an unvalidated plan past the cheap constraints — the
+  // clipped corner has the maximum feasible volume, so it survives the
+  // cheap check whenever any candidate does.
+  std::vector<i64> mid(depth_), corner(depth_);
+  for (int l = 0; l < depth_; ++l) {
+    const i64 range = std::max<i64>(loopRange_[l], 1);
+    mid[l] = std::min(candidates_[l][candidates_[l].size() / 2], range);
+    corner[l] = std::min(candidates_[l].back(), range);
+  }
+  bool validated = false;
+  try {
+    paramPlan_ = std::make_unique<ParametricTilePlan>(block_, plan_, options_, smemBase_,
+                                                      loopRange_, mid);
+    state_ = ParametricState::Active;
+    for (const std::vector<i64>& probe : {mid, corner}) {
+      if (memo_.count(probe) != 0) continue;
+      TileEvaluation cheap = cheapCheck(probe);
+      if (!cheap.reason.empty()) {
+        ++evaluations_;
+        memo_.emplace(probe, std::move(cheap));
+        continue;  // both paths agree trivially; nothing to validate
+      }
+      ++evaluations_;
+      TileEvaluation concrete = evaluateConcrete(probe);
+      if (paramPlan_ != nullptr && !sameEvaluation(concrete, paramPlan_->evaluate(probe))) {
+        state_ = ParametricState::Fallback;
+        fallbackReason_ =
+            "symbolic plan disagrees with the concrete analysis at tile (" + joinTile(probe) +
+            ")";
+        paramPlan_.reset();
+      }
+      validated = true;
+      memo_.emplace(probe, std::move(concrete));  // authoritative either way
+    }
+    if (state_ == ParametricState::Active && !validated) {
+      // Never serve candidates from a plan no probe could exercise.
+      state_ = ParametricState::Fallback;
+      fallbackReason_ = "no probe candidate survived the cheap constraints";
+      paramPlan_.reset();
+    }
+  } catch (const ApiError& e) {
+    state_ = ParametricState::Fallback;
+    fallbackReason_ = e.what();
+    paramPlan_.reset();
+  }
+  planBuildMillis_ = millisSince(start);
+}
+
+TileEvaluation TileEvaluator::evaluateConcrete(const std::vector<i64>& subTile) {
+  TileEvaluation ev = cheapCheck(subTile);
+  if (!ev.reason.empty()) return ev;
 
   // The candidate survives the cheap constraints: run the Section-3
   // analysis (the dominant cost, memoized by the caller).
@@ -144,14 +251,8 @@ TileEvaluation TileEvaluator::evaluateUncached(const std::vector<i64>& subTile) 
       occ = mulChecked(occ, tripCount(ta.loopBounds[l], l, options_.paramValues, subTile[l]));
     i64 vin = ta.plan.moveInVolumeBound(static_cast<int>(p), ext);
     i64 vout = ta.plan.moveOutVolumeBound(static_cast<int>(p), ext);
-    double termIn = vin > 0 ? static_cast<double>(occ) *
-                                  (P * options_.syncCost +
-                                   static_cast<double>(vin) * options_.transferCost / P)
-                            : 0.0;
-    double termOut = vout > 0 ? static_cast<double>(occ) *
-                                    (P * options_.syncCost +
-                                     static_cast<double>(vout) * options_.transferCost / P)
-                              : 0.0;
+    double termIn = bufferCostTerm(occ, vin, P, options_.syncCost, options_.transferCost);
+    double termOut = bufferCostTerm(occ, vout, P, options_.syncCost, options_.transferCost);
     cost += termIn + termOut;
     ev.terms.push_back({part.bufferName, occ, vin, vout, ta.hoistLevel[p]});
   }

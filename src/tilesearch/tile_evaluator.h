@@ -1,4 +1,4 @@
-// Memoized candidate evaluation for the Section-4.3 tile-size search.
+// Candidate evaluation for the Section-4.3 tile-size search.
 //
 // Every candidate evaluation used to instantiate the full Section-3
 // analysis (analyzeTile -> analyzeBlock: data-space images, overlap
@@ -10,6 +10,13 @@
 //    across all candidates (they do not depend on the tile sizes), so the
 //    range and minimum-volume constraints are checked BEFORE any analysis
 //    runs and infeasible candidates cost ~nothing,
+//  - lazily builds a ParametricTilePlan — the Section-3 analysis run ONCE
+//    with tile sizes symbolic — on the first candidate that survives the
+//    cheap constraints, validates it against concrete probe evaluations,
+//    and from then on serves evaluations as pure expression evaluation
+//    (parametric_plan.h); when the block is not parametrically analyzable
+//    or a probe disagrees, it falls back to the concrete per-candidate
+//    path and records the reason,
 //  - memoizes full evaluations by candidate vector, so a tile probed by
 //    several descent sweeps, several seeds, or several solvers (the
 //    coordinate-descent solver and the exhaustive oracle used to certify
@@ -17,22 +24,35 @@
 //
 // Both searchTileSizes and exhaustiveTileSearch route through a shared
 // TileEvaluator; the driver's tilesearch pass holds one per compile.
+//
+// Accounting: evaluations() counts memo misses, including the probe
+// candidates evaluated during plan validation; analysesRun() counts the
+// candidates that paid for a *concrete* Section-3 analysis (probes and
+// fallback evaluations — zero extra analyses once a parametric plan is
+// active).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "tilesearch/parametric_plan.h"
 #include "tilesearch/tilesearch.h"
 
 namespace emm {
 
 class TileEvaluator {
 public:
+  /// Parametric-plan status. Pending = no candidate has survived the cheap
+  /// constraints yet, so no plan has been attempted.
+  enum class ParametricState { Pending, Active, Fallback };
+
   /// Binds the evaluation context. `block` and `plan` must outlive the
   /// evaluator. Throws ApiError on arity mismatches (candidates vs depth,
   /// paramValues vs block parameters).
   TileEvaluator(const ProgramBlock& block, const ParallelismPlan& plan,
                 const TileSearchOptions& options, const SmemOptions& smemBase);
+  ~TileEvaluator();
 
   /// Memoized Section-4.3 evaluation of one candidate tile-size vector.
   /// The reference stays valid for the evaluator's lifetime.
@@ -52,11 +72,30 @@ public:
   /// Number of evaluate() calls answered from the memo.
   int memoHits() const { return memoHits_; }
   /// Number of evaluations that survived the cheap constraints and paid for
-  /// the Section-3 analysis (<= evaluations()).
+  /// a concrete Section-3 analysis (<= evaluations(); stays at the probe
+  /// count while a parametric plan serves evaluations).
   int analysesRun() const { return analysesRun_; }
 
+  /// Current parametric-plan status (never forces a build).
+  ParametricState parametricState() const { return state_; }
+  /// Why the fallback is active ("" while Pending/Active).
+  const std::string& fallbackReason() const { return fallbackReason_; }
+  /// The active plan, or nullptr (Pending or Fallback).
+  const ParametricTilePlan* parametricPlan() const { return paramPlan_.get(); }
+  /// Symbolic plan construction + probe-validation time, ms.
+  double planBuildMillis() const { return planBuildMillis_; }
+  /// Cumulative time spent evaluating memo-miss candidates, ms.
+  double evalMillis() const { return evalMillis_; }
+
 private:
-  TileEvaluation evaluateUncached(const std::vector<i64>& subTile);
+  /// Tile-size-independent constraints (range, minimum volume). Returns an
+  /// infeasible evaluation when one fails, feasible=false + empty reason
+  /// when the candidate survives.
+  TileEvaluation cheapCheck(const std::vector<i64>& subTile) const;
+  /// Full concrete evaluation (cheap constraints + Section-3 analysis).
+  TileEvaluation evaluateConcrete(const std::vector<i64>& subTile);
+  /// Builds and validates the parametric plan once (no-op afterwards).
+  void ensurePlan();
 
   const ProgramBlock& block_;
   const ParallelismPlan& plan_;
@@ -67,6 +106,11 @@ private:
   std::vector<i64> loopRange_;
   std::vector<std::vector<i64>> candidates_;
   std::map<std::vector<i64>, TileEvaluation> memo_;
+  std::unique_ptr<ParametricTilePlan> paramPlan_;
+  ParametricState state_ = ParametricState::Pending;
+  std::string fallbackReason_;
+  double planBuildMillis_ = 0;
+  double evalMillis_ = 0;
   int evaluations_ = 0;
   int memoHits_ = 0;
   int analysesRun_ = 0;

@@ -9,9 +9,25 @@ namespace emm {
 TileEvaluation evaluateTileSizes(const ProgramBlock& block, const ParallelismPlan& plan,
                                  const std::vector<i64>& subTile,
                                  const TileSearchOptions& options, const SmemOptions& smemBase) {
-  TileEvaluator evaluator(block, plan, options, smemBase);
+  // One-shot evaluation: building a symbolic plan (one analysis + probe
+  // validation) costs more than the single concrete analysis it would save.
+  TileSearchOptions concrete = options;
+  concrete.parametric = false;
+  TileEvaluator evaluator(block, plan, concrete, smemBase);
   return evaluator.evaluate(subTile);
 }
+
+namespace {
+
+/// Copies the evaluator's parametric/timing bookkeeping into a result.
+void recordEvaluatorStats(const TileEvaluator& evaluator, TileSearchResult& result) {
+  result.parametric = evaluator.parametricState() == TileEvaluator::ParametricState::Active;
+  result.parametricReason = evaluator.fallbackReason();
+  result.planBuildMillis = evaluator.planBuildMillis();
+  result.evalMillis = evaluator.evalMillis();
+}
+
+}  // namespace
 
 TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
   const std::vector<std::vector<i64>>& cands = evaluator.candidates();
@@ -36,6 +52,7 @@ TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
   }
   best.evaluations = evaluator.evaluations() - evalsBefore;
   best.memoHits = evaluator.memoHits() - hitsBefore;
+  recordEvaluatorStats(evaluator, best);
   return best;
 }
 
@@ -118,6 +135,7 @@ TileSearchResult searchTileSizes(TileEvaluator& evaluator) {
   }
   result.evaluations = evaluator.evaluations() - evalsBefore;
   result.memoHits = evaluator.memoHits() - hitsBefore;
+  recordEvaluatorStats(evaluator, result);
   return result;
 }
 

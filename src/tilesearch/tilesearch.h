@@ -42,7 +42,25 @@ struct TileSearchOptions {
   /// a geometric ladder {1,2,4,...} clipped to the loop range is used.
   std::vector<std::vector<i64>> candidates;
   bool hoistCopies = true;
+  /// Run the Section-3 analysis once with tile sizes symbolic and evaluate
+  /// candidates as pure expression evaluation (see parametric_plan.h). The
+  /// evaluator validates the symbolic plan against concrete probe
+  /// evaluations and falls back to the per-candidate path — with a
+  /// diagnostic reason — when the block is not parametrically analyzable.
+  bool parametric = true;
 };
+
+/// One buffer's Section-4.3 data-movement cost term,
+///   occ * (P*S + V*L/P)  (0 when nothing moves).
+/// Shared by the concrete and the parametric evaluator: probe validation
+/// compares costs EXACTLY, so both paths must combine these quantities
+/// with literally the same floating-point expression.
+inline double bufferCostTerm(i64 occurrences, i64 volume, double P, double syncCost,
+                             double transferCost) {
+  return volume > 0 ? static_cast<double>(occurrences) *
+                          (P * syncCost + static_cast<double>(volume) * transferCost / P)
+                    : 0.0;
+}
 
 struct TileEvaluation {
   bool feasible = false;
@@ -65,6 +83,15 @@ struct TileSearchResult {
   TileEvaluation eval;
   int evaluations = 0;  ///< candidates actually analyzed (memo misses)
   int memoHits = 0;     ///< probes answered from the shared evaluation memo
+  /// True when candidates were evaluated through a ParametricTilePlan
+  /// (Section-3 analysis run once, symbolically).
+  bool parametric = false;
+  /// Why the concrete fallback was used (empty when parametric).
+  std::string parametricReason;
+  /// Symbolic plan construction time, including probe validation, in ms.
+  double planBuildMillis = 0;
+  /// Cumulative candidate evaluation time (memo misses only), in ms.
+  double evalMillis = 0;
 };
 
 /// Evaluates the Section-4.3 objective for one concrete tile-size vector.

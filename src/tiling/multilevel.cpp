@@ -23,19 +23,10 @@ IntMat widenMatParams(const IntMat& m, int dim, int oldNp, int addNp) {
   return out;
 }
 
-/// Strips the leading `l` iterator coefficient slots (all zero for
-/// rectangular bounds) so the DivExpr is over [params, 1] only.
-DivExpr stripIters(const DivExpr& e, int l) {
-  DivExpr out;
-  out.den = e.den;
-  out.coeffs.assign(e.coeffs.begin() + l, e.coeffs.end());
-  return out;
-}
-
 BoundExpr boundOverParams(const std::vector<DivExpr>& parts, bool isLower, int loop,
                           const std::vector<std::string>& paramNames) {
   std::vector<DivExpr> stripped;
-  for (const DivExpr& e : parts) stripped.push_back(stripIters(e, loop));
+  for (const DivExpr& e : parts) stripped.push_back(dropLeadingCoeffs(e, loop));
   return toBoundExpr(stripped, isLower, {}, paramNames);
 }
 
@@ -68,23 +59,29 @@ std::vector<DimBounds> rectangularLoopBounds(const ProgramBlock& block, int dept
   return out;
 }
 
-TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
-                         const std::vector<i64>& subTile, const SmemOptions& smemBase,
-                         bool hoist, bool useScratchpad) {
-  (void)plan;
+namespace {
+
+/// Shared implementation of analyzeTile / analyzeTileSymbolic. In symbolic
+/// mode the sub-tile box uses one fresh tile-size parameter per loop (and
+/// `tileValues` only feeds the sample binding); in concrete mode
+/// `tileValues` are the actual sub-tile sizes baked into the box constants.
+TileAnalysis analyzeTileImpl(const ProgramBlock& block, const std::vector<i64>& tileValues,
+                             const SmemOptions& smemBase, bool hoist, bool useScratchpad,
+                             bool symbolic) {
   block.validate();
   int depth = commonLoopDepth(block);
   for (const Statement& st : block.statements)
     EMM_REQUIRE(st.dim() == depth, "tiler requires all statements at common depth");
-  EMM_REQUIRE(static_cast<int>(subTile.size()) == depth, "subTile arity mismatch");
-  for (i64 t : subTile) EMM_REQUIRE(t >= 1, "tile sizes must be >= 1");
+  EMM_REQUIRE(static_cast<int>(tileValues.size()) == depth, "subTile arity mismatch");
+  for (i64 t : tileValues) EMM_REQUIRE(t >= 1, "tile sizes must be >= 1");
 
   TileAnalysis ta;
   ta.depth = depth;
-  ta.subTile = subTile;
+  if (!symbolic) ta.subTile = tileValues;
   ta.loopBounds = rectangularLoopBounds(block, depth);
 
-  // ---- Extended block: tile origins become parameters. ----
+  // ---- Extended block: tile origins (and, in symbolic mode, tile sizes)
+  // become parameters. ----
   ta.tileBlock = std::make_unique<ProgramBlock>(block);
   ProgramBlock& ext = *ta.tileBlock;
   ext.name = block.name + "_tile";
@@ -93,7 +90,17 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
     ta.originParams.push_back("o" + std::to_string(l));
     ext.paramNames.push_back(ta.originParams.back());
   }
-  int addNp = depth;
+  if (symbolic) {
+    for (int l = 0; l < depth; ++l) {
+      std::string name = "Tsz" + std::to_string(l);
+      EMM_REQUIRE(std::find(block.paramNames.begin(), block.paramNames.end(), name) ==
+                      block.paramNames.end(),
+                  "block parameter collides with symbolic tile name " + name);
+      ta.tileParams.push_back(name);
+      ext.paramNames.push_back(name);
+    }
+  }
+  const int addNp = symbolic ? 2 * depth : depth;
   for (Statement& st : ext.statements) {
     Polyhedron dom(st.dim(), oldNp + addNp);
     IntMat eqs = widenMatParams(st.domain.equalities(), st.dim(), oldNp, addNp);
@@ -107,7 +114,12 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
       dom.addInequality(lo);
       hi[l] = -1;
       hi[st.dim() + oldNp + l] = 1;
-      hi.back() = subTile[l] - 1;  // o_l + t_l - 1 - i_l >= 0
+      if (symbolic) {
+        hi[st.dim() + oldNp + depth + l] = 1;  // o_l + T_l - 1 - i_l >= 0
+        hi.back() = -1;
+      } else {
+        hi.back() = tileValues[l] - 1;  // o_l + t_l - 1 - i_l >= 0
+      }
       dom.addInequality(hi);
     }
     dom.simplify();
@@ -120,11 +132,11 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
   SmemOptions opts = smemBase;
   opts.blockLocalParams = ta.originParams;
   {
-    // Context: loop lb <= o_l <= loop ub.
+    // Context: loop lb <= o_l <= loop ub (and T_l >= 1 in symbolic mode).
     Polyhedron ctx(0, oldNp + addNp);
     for (int l = 0; l < depth; ++l) {
       for (const DivExpr& e : ta.loopBounds[l].lower) {
-        DivExpr s = stripIters(e, l);
+        DivExpr s = dropLeadingCoeffs(e, l);
         IntVec row(ctx.cols(), 0);
         row[oldNp + l] = s.den;  // den*o_l - expr >= 0
         for (int j = 0; j < oldNp; ++j) row[j] = narrow(-static_cast<i128>(s.coeffs[j]));
@@ -132,11 +144,17 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
         ctx.addInequality(row);
       }
       for (const DivExpr& e : ta.loopBounds[l].upper) {
-        DivExpr s = stripIters(e, l);
+        DivExpr s = dropLeadingCoeffs(e, l);
         IntVec row(ctx.cols(), 0);
         row[oldNp + l] = -s.den;  // expr - den*o_l >= 0
         for (int j = 0; j < oldNp; ++j) row[j] = s.coeffs[j];
         row.back() = s.coeffs.back();
+        ctx.addInequality(row);
+      }
+      if (symbolic) {
+        IntVec row(ctx.cols(), 0);
+        row[oldNp + depth + l] = 1;  // T_l - 1 >= 0
+        row.back() = -1;
         ctx.addInequality(row);
       }
     }
@@ -148,14 +166,11 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
     // Sample tile origins at the loop lower bounds (which are functions of
     // the original parameters only).
     IntVec base(opts.sampleParams.begin(), opts.sampleParams.begin() + oldNp);
-    for (int l = 0; l < depth; ++l) {
-      std::vector<DivExpr> stripped;
-      for (const DivExpr& e : ta.loopBounds[l].lower) stripped.push_back(stripIters(e, l));
-      i64 best = stripped[0].evalCeil(base);
-      for (size_t q = 1; q < stripped.size(); ++q)
-        best = std::max(best, stripped[q].evalCeil(base));
-      opts.sampleParams.push_back(best);
-    }
+    for (int l = 0; l < depth; ++l)
+      opts.sampleParams.push_back(evalStrippedLower(ta.loopBounds[l], l, base));
+    // Symbolic tile parameters sample at the probe sizes the caller gave.
+    if (symbolic)
+      opts.sampleParams.insert(opts.sampleParams.end(), tileValues.begin(), tileValues.end());
   }
 
   if (useScratchpad) ta.plan = analyzeBlock(ext, opts);
@@ -199,6 +214,23 @@ TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
     ta.hoistLevel[p] = levelNeeded;
   }
   return ta;
+}
+
+}  // namespace
+
+TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
+                         const std::vector<i64>& subTile, const SmemOptions& smemBase,
+                         bool hoist, bool useScratchpad) {
+  (void)plan;
+  return analyzeTileImpl(block, subTile, smemBase, hoist, useScratchpad, /*symbolic=*/false);
+}
+
+TileAnalysis analyzeTileSymbolic(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const std::vector<i64>& tileSample, const SmemOptions& smemBase,
+                                 bool hoist) {
+  (void)plan;
+  return analyzeTileImpl(block, tileSample, smemBase, hoist, /*useScratchpad=*/true,
+                         /*symbolic=*/true);
 }
 
 i64 TiledKernel::numBlockTiles(const IntVec& paramValues) const {

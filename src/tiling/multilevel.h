@@ -38,8 +38,11 @@ struct TileAnalysis {
   std::unique_ptr<ProgramBlock> tileBlock;
   DataPlan plan;                          ///< empty partitions when scratchpad off
   std::vector<std::string> originParams;  ///< one per common loop
+  /// Symbolic tile-size parameter names (one per common loop) when the
+  /// analysis ran in parametric mode (analyzeTileSymbolic); empty otherwise.
+  std::vector<std::string> tileParams;
   std::vector<DimBounds> loopBounds;      ///< parameter-only bounds per loop
-  std::vector<i64> subTile;
+  std::vector<i64> subTile;               ///< empty in parametric mode
   int depth = 0;
   /// Per partition index: sub-tile nesting level (0..depth) the copy code is
   /// placed at; `depth` = innermost. Only meaningful for buffered partitions.
@@ -52,6 +55,18 @@ struct TileAnalysis {
 TileAnalysis analyzeTile(const ProgramBlock& block, const ParallelismPlan& plan,
                          const std::vector<i64>& subTile, const SmemOptions& smemBase,
                          bool hoist = true, bool useScratchpad = true);
+
+/// Parametric variant: the sub-tile box is written with one fresh *symbolic*
+/// parameter per loop (TileAnalysis::tileParams, constrained >= 1 in the
+/// analysis context) instead of concrete sizes, so the whole Section-3
+/// analysis — data-space images, overlap partitions, buffer geometry, hoist
+/// levels — is derived once for all tile sizes. `tileSample` (one value per
+/// loop) extends the Algorithm-1/geometry sample binding the way concrete
+/// sizes would. The ParametricTilePlan layer compiles the result into
+/// closed-form evaluators.
+TileAnalysis analyzeTileSymbolic(const ProgramBlock& block, const ParallelismPlan& plan,
+                                 const std::vector<i64>& tileSample, const SmemOptions& smemBase,
+                                 bool hoist = true);
 
 /// Per-loop parameter-only bounds shared by all statements (the rectangular
 /// band shape the tiler requires); identical to TileAnalysis::loopBounds but

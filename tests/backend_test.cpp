@@ -1,9 +1,12 @@
-// Tests for the CUDA source backend, the Cell-like machine profile, and the
-// 2-D Jacobi extension kernel.
+// Tests for the CUDA source backend, the Cell backend's DMA coalescing, the
+// Cell-like machine profile, and the 2-D Jacobi extension kernel.
 #include <gtest/gtest.h>
 
+#include "codegen/emit_cell.h"
 #include "codegen/emit_cuda.h"
+#include "driver/compiler.h"
 #include "ir/interp.h"
+#include "kernels/blocks.h"
 #include "kernels/jacobi2d_mapped.h"
 #include "kernels/me_pipeline.h"
 #include "smem/data_manage.h"
@@ -212,6 +215,62 @@ INSTANTIATE_TEST_SUITE_P(
                       std::tuple<i64, i64, i64, i64>{33, 17, 7, 3},
                       std::tuple<i64, i64, i64, i64>{16, 48, 6, 6},
                       std::tuple<i64, i64, i64, i64>{25, 25, 11, 4}));
+
+// ---- Cell backend DMA coalescing. ----
+
+size_t countOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(CellBackend, CoalescesContiguousRowCopiesIntoStridedDma) {
+  // The tiled ME kernel stages 2-D windows: its move-in/move-out scanners
+  // end in unit-stride inner loops, so coalescing must replace the
+  // per-element dma_get/dma_put with one strided transfer per row.
+  CompileResult r = Compiler(buildMeBlock(32, 32, 8))
+                        .parameters({32, 32, 8})
+                        .memoryLimitBytes(8 * 1024)
+                        .backend("cell")
+                        .compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  ASSERT_NE(r.unit(), nullptr);
+
+  CellEmitOptions opts;
+  opts.paramValues = {32, 32, 8};
+  opts.coalesceDma = false;
+  std::string elementWise = emitCell(*r.unit(), opts);
+  opts.coalesceDma = true;
+  std::string coalesced = emitCell(*r.unit(), opts);
+
+  // The transfer count drops from one DMA per element to one per row: the
+  // innermost copy loops disappear (each dma site loses its enclosing
+  // element loop) and every remaining transfer is row-sized — no transfer
+  // of exactly sizeof(float) survives.
+  ASSERT_GT(countOccurrences(elementWise, "dma_get("), 0u);
+  ASSERT_GT(countOccurrences(coalesced, "dma_get("), 0u);
+  size_t dmaSites = countOccurrences(elementWise, "dma_get(") +
+                    countOccurrences(elementWise, "dma_put(");
+  EXPECT_EQ(countOccurrences(elementWise, "for ("),
+            countOccurrences(coalesced, "for (") + dmaSites);
+  EXPECT_NE(coalesced.find("// coalesced row"), std::string::npos) << coalesced;
+  // Element-granularity transfers (size exactly sizeof(float)) are gone.
+  EXPECT_NE(elementWise.find("sizeof(float));"), std::string::npos);
+  EXPECT_EQ(coalesced.find("sizeof(float));"), std::string::npos) << coalesced;
+}
+
+TEST(CellBackend, DriverArtifactUsesCoalescedTransfers) {
+  CompileResult r = Compiler(buildMeBlock(32, 32, 8))
+                        .parameters({32, 32, 8})
+                        .memoryLimitBytes(8 * 1024)
+                        .backend("cell")
+                        .compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  EXPECT_NE(r.artifact.find("// coalesced row"), std::string::npos);
+  EXPECT_NE(r.artifact.find("dma_get("), std::string::npos);
+}
 
 }  // namespace
 }  // namespace emm

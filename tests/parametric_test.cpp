@@ -1,0 +1,462 @@
+// Tests for the parametric tile analysis: the SymExpr layer, the
+// ParametricTilePlan's equivalence with the concrete per-candidate
+// evaluator (ME, jacobi 1-D/2-D, matmul; randomized candidate points), the
+// fallback diagnostics, and byte-identical pipeline artifacts across the
+// two evaluation paths.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "deps/dependence.h"
+#include "driver/compiler.h"
+#include "kernels/blocks.h"
+#include "sym/sym_expr.h"
+#include "tilesearch/tile_evaluator.h"
+#include "transform/transform.h"
+
+namespace emm {
+namespace {
+
+// ---- SymExpr layer. ----
+
+TEST(SymExprTest, ConstantFoldingAndIdentities) {
+  SymPtr five = SymExpr::add(SymExpr::constant(2), SymExpr::constant(3));
+  ASSERT_EQ(five->kind(), SymExpr::Kind::Const);
+  EXPECT_EQ(five->constValue(), 5);
+  SymPtr t = SymExpr::param(0, "T");
+  EXPECT_EQ(SymExpr::mul(SymExpr::constant(1), t).get(), t.get());
+  EXPECT_EQ(SymExpr::add(t, SymExpr::constant(0)).get(), t.get());
+  EXPECT_EQ(SymExpr::mul(t, SymExpr::constant(0))->constValue(), 0);
+  EXPECT_EQ(SymExpr::floorDiv(t, SymExpr::constant(1)).get(), t.get());
+  EXPECT_EQ(SymExpr::ceilDiv(SymExpr::constant(7), SymExpr::constant(2))->constValue(), 4);
+  EXPECT_EQ(SymExpr::floorDiv(SymExpr::constant(-7), SymExpr::constant(2))->constValue(), -4);
+}
+
+TEST(SymExprTest, EvaluatesAffineMinMaxAndDivisions) {
+  SymPtr t0 = SymExpr::param(0, "T0");
+  SymPtr t1 = SymExpr::param(1, "T1");
+  // e = min(3*T0 + T1 - 1, 40) and occ = ceil(100 / T0)
+  SymPtr e = SymExpr::min(SymExpr::affine(-1, {{3, t0}, {1, t1}}), SymExpr::constant(40));
+  SymPtr occ = SymExpr::ceilDiv(SymExpr::constant(100), t0);
+  EXPECT_EQ(e->eval({4, 8}), 19);
+  EXPECT_EQ(e->eval({16, 8}), 40);  // capped by the min
+  EXPECT_EQ(occ->eval({16, 8}), 7);
+  EXPECT_EQ(occ->eval({3, 8}), 34);
+  EXPECT_EQ(e->maxParamIndex(), 1);
+  EXPECT_EQ(occ->maxParamIndex(), 0);
+  EXPECT_NE(e->str().find("min("), std::string::npos);
+}
+
+TEST(SymExprTest, RationalEvaluationRoundsDivisionsExactly) {
+  SymPtr t = SymExpr::param(0, "T");
+  SymPtr e = SymExpr::ceilDiv(SymExpr::affine(1, {{1, t}}), SymExpr::constant(2));
+  // At T = 5/2: ceil((5/2 + 1) / 2) = ceil(7/4) = 2, an exact integer Rat.
+  Rat v = e->evalRat({Rat(5, 2)});
+  EXPECT_TRUE(v.isInteger());
+  EXPECT_EQ(v.num(), 2);
+  // Plain affine arithmetic stays rational: (T + 1) at T=5/2 is 7/2.
+  Rat a = SymExpr::affine(1, {{1, t}})->evalRat({Rat(5, 2)});
+  EXPECT_EQ(a, Rat(7, 2));
+}
+
+TEST(SymExprTest, IntervalEnclosureIsTightForMonotoneOps) {
+  SymPtr t0 = SymExpr::param(0, "T0");
+  SymPtr t1 = SymExpr::param(1, "T1");
+  // footprint-shaped: (T0 + 2) * T1
+  SymPtr fp = SymExpr::mul(SymExpr::affine(2, {{1, t0}}), t1);
+  SymInterval box0{1, 32}, box1{2, 8};
+  SymInterval r = fp->evalInterval({box0, box1});
+  EXPECT_EQ(r.lo, 3 * 2);
+  EXPECT_EQ(r.hi, 34 * 8);
+  // trip-count-shaped: ceil(100 / T0) is antitone in T0.
+  SymInterval occ = SymExpr::ceilDiv(SymExpr::constant(100), t0)->evalInterval({box0, box1});
+  EXPECT_EQ(occ.lo, 4);   // at T0 = 32
+  EXPECT_EQ(occ.hi, 100);  // at T0 = 1
+  // min/max combine endpoint-wise.
+  SymInterval m = SymExpr::min(t0, t1)->evalInterval({box0, box1});
+  EXPECT_EQ(m.lo, 1);
+  EXPECT_EQ(m.hi, 8);
+}
+
+TEST(SymExprTest, RejectsNonPositiveDivisors) {
+  EXPECT_THROW(SymExpr::ceilDiv(SymExpr::constant(4), SymExpr::constant(0)), ApiError);
+  EXPECT_THROW(SymExpr::floorDiv(SymExpr::constant(4), SymExpr::constant(-2)), ApiError);
+}
+
+TEST(SymExprTest, DivisionIntervalsStaySoundForNegativeNumerators) {
+  // Regression: for a negative numerator the quotient grows with the
+  // divisor, so the enclosure must come from the four corners, not from a
+  // fixed monotonicity assumption.
+  SymPtr n = SymExpr::param(0, "n");
+  SymPtr d = SymExpr::param(1, "d");
+  SymInterval f = SymExpr::floorDiv(n, d)->evalInterval({{-10, -4}, {1, 5}});
+  EXPECT_EQ(f.lo, -10);  // floor(-10 / 1)
+  EXPECT_EQ(f.hi, -1);   // floor(-4 / 5)
+  SymInterval c = SymExpr::ceilDiv(n, d)->evalInterval({{-10, -4}, {1, 5}});
+  EXPECT_EQ(c.lo, -10);
+  EXPECT_EQ(c.hi, 0);  // ceil(-4 / 5)
+  // Mixed-sign numerator spans zero.
+  SymInterval m = SymExpr::floorDiv(n, d)->evalInterval({{-3, 7}, {2, 2}});
+  EXPECT_EQ(m.lo, -2);
+  EXPECT_EQ(m.hi, 3);
+}
+
+// ---- Parametric vs concrete evaluator equivalence. ----
+
+void expectSameEvaluation(const TileEvaluation& a, const TileEvaluation& b,
+                          const std::vector<i64>& tile) {
+  std::string at = "tile (";
+  for (size_t i = 0; i < tile.size(); ++i) at += (i ? "," : "") + std::to_string(tile[i]);
+  at += ")";
+  EXPECT_EQ(a.feasible, b.feasible) << at;
+  EXPECT_EQ(a.reason, b.reason) << at;
+  EXPECT_EQ(a.footprint, b.footprint) << at;
+  // Bit-identical, not merely close: both paths combine identical integers
+  // with the same floating-point expression.
+  EXPECT_EQ(a.cost, b.cost) << at;
+  ASSERT_EQ(a.terms.size(), b.terms.size()) << at;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    EXPECT_EQ(a.terms[i].name, b.terms[i].name) << at;
+    EXPECT_EQ(a.terms[i].occurrences, b.terms[i].occurrences) << at;
+    EXPECT_EQ(a.terms[i].volumeIn, b.terms[i].volumeIn) << at;
+    EXPECT_EQ(a.terms[i].volumeOut, b.terms[i].volumeOut) << at;
+    EXPECT_EQ(a.terms[i].hoistLevel, b.terms[i].hoistLevel) << at;
+  }
+}
+
+/// Evaluates ladder corners plus `randomProbes` random candidate points
+/// through both evaluation paths and asserts identical results everywhere.
+void runEquivalence(const ProgramBlock& block, const ParallelismPlan& plan, const IntVec& params,
+                    i64 memLimitElems, unsigned seed, int randomProbes = 30) {
+  TileSearchOptions opts;
+  opts.paramValues = params;
+  opts.memLimitElems = memLimitElems;
+  opts.innerProcs = 4;  // small P: most random candidates survive the cheap cut
+  SmemOptions smem;
+  smem.sampleParams = params;
+
+  TileSearchOptions concreteOpts = opts;
+  concreteOpts.parametric = false;
+  TileEvaluator parametric(block, plan, opts, smem);
+  TileEvaluator concrete(block, plan, concreteOpts, smem);
+
+  const int depth = parametric.depth();
+  std::vector<std::vector<i64>> tiles;
+  // Ladder corners and midpoints stress the boundary formulas.
+  std::vector<i64> lo(depth), mid(depth), hi(depth);
+  for (int l = 0; l < depth; ++l) {
+    const std::vector<i64>& c = parametric.candidates()[l];
+    lo[l] = c.front();
+    mid[l] = c[c.size() / 2];
+    hi[l] = c.back();
+  }
+  tiles.push_back(lo);
+  tiles.push_back(mid);
+  tiles.push_back(hi);
+  std::mt19937 rng(seed);
+  for (int i = 0; i < randomProbes; ++i) {
+    std::vector<i64> tile(depth);
+    for (int l = 0; l < depth; ++l) {
+      i64 range = std::max<i64>(parametric.loopRange(l), 1);
+      tile[l] = std::uniform_int_distribution<i64>(1, range)(rng);
+    }
+    tiles.push_back(std::move(tile));
+  }
+
+  int feasibleSeen = 0;
+  for (const std::vector<i64>& tile : tiles) {
+    const TileEvaluation& a = parametric.evaluate(tile);
+    const TileEvaluation& b = concrete.evaluate(tile);
+    expectSameEvaluation(a, b, tile);
+    feasibleSeen += a.feasible ? 1 : 0;
+  }
+  ASSERT_GT(feasibleSeen, 0) << "equivalence run never exercised the feasible path";
+  EXPECT_EQ(parametric.parametricState(), TileEvaluator::ParametricState::Active)
+      << parametric.fallbackReason();
+  EXPECT_EQ(concrete.parametricState(), TileEvaluator::ParametricState::Fallback);
+  // The parametric path pays for exactly the two validation probes.
+  EXPECT_LE(parametric.analysesRun(), 2);
+  EXPECT_GT(concrete.analysesRun(), 2);
+
+  // Interval sanity: every evaluated footprint lies inside the plan's
+  // enclosure over the full tile box.
+  const ParametricTilePlan* symPlan = parametric.parametricPlan();
+  ASSERT_NE(symPlan, nullptr);
+  std::vector<SymInterval> box(depth);
+  for (int l = 0; l < depth; ++l) box[l] = {1, std::max<i64>(parametric.loopRange(l), 1)};
+  SymInterval enclosure = symPlan->footprintInterval(box);
+  for (const std::vector<i64>& tile : tiles) {
+    const TileEvaluation& ev = parametric.evaluate(tile);
+    if (ev.footprint == 0) continue;  // cheap-rejected candidates carry none
+    EXPECT_GE(ev.footprint, enclosure.lo);
+    EXPECT_LE(ev.footprint, enclosure.hi);
+  }
+}
+
+TEST(ParametricEquivalence, MeKernelMatchesConcreteEvaluationEverywhere) {
+  ProgramBlock block = buildMeBlock(32, 32, 8);
+  std::vector<Dependence> deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  runEquivalence(block, plan, {32, 32, 8}, 2048, /*seed=*/1);
+}
+
+TEST(ParametricEquivalence, Jacobi1dMatchesConcreteEvaluationEverywhere) {
+  // The driver maps Jacobi through the concurrent-start kernels, but the
+  // Section-3/4.3 machinery itself is well-defined on the block; both
+  // evaluation paths must agree on it all the same.
+  ProgramBlock block = buildJacobiBlock(64, 8);
+  runEquivalence(block, ParallelismPlan{}, {64, 8}, 4096, /*seed=*/2);
+}
+
+TEST(ParametricEquivalence, Jacobi2dMatchesConcreteEvaluationEverywhere) {
+  ProgramBlock block = buildJacobi2dBlock(24, 20, 6);
+  runEquivalence(block, ParallelismPlan{}, {24, 20, 6}, 8192, /*seed=*/3);
+}
+
+TEST(ParametricEquivalence, MatmulMatchesConcreteEvaluationEverywhere) {
+  ProgramBlock block = buildMatmulBlock(48, 40, 32);
+  std::vector<Dependence> deps = computeDependences(block);
+  ParallelismPlan plan = findParallelism(block, deps);
+  runEquivalence(block, plan, {48, 40, 32}, 4096, /*seed=*/4);
+}
+
+TEST(ParametricEquivalence, StageEverythingModeMatchesToo) {
+  // Cell-style staging (onlyBeneficial = false) buffers every partition;
+  // the parametric path must reproduce that configuration as well.
+  ProgramBlock block = buildMeBlock(32, 32, 8);
+  TileSearchOptions opts;
+  opts.paramValues = {32, 32, 8};
+  opts.memLimitElems = 4096;
+  opts.innerProcs = 4;
+  SmemOptions smem;
+  smem.sampleParams = {32, 32, 8};
+  smem.onlyBeneficial = false;
+  TileSearchOptions concreteOpts = opts;
+  concreteOpts.parametric = false;
+  TileEvaluator parametric(block, ParallelismPlan{}, opts, smem);
+  TileEvaluator concrete(block, ParallelismPlan{}, concreteOpts, smem);
+  for (const std::vector<i64>& tile :
+       {std::vector<i64>{8, 8, 8, 8}, {4, 4, 8, 8}, {16, 8, 4, 4}, {32, 32, 8, 8}})
+    expectSameEvaluation(parametric.evaluate(tile), concrete.evaluate(tile), tile);
+  EXPECT_EQ(parametric.parametricState(), TileEvaluator::ParametricState::Active)
+      << parametric.fallbackReason();
+}
+
+/// Interleaved symbolic components with asymmetric members: A's references
+/// in discovery order are r0=A[0][j], r1=A[1][0], r2=A[0][j+1]; the
+/// symbolic overlap components {r0,r2} and {r1} INTERLEAVE by reference
+/// index, and {r0,r2} splits at T_j = 1. Partition discovery order (and
+/// with it buffer naming and the per-term stats) must match the concrete
+/// analysis exactly: r1 hoists to level 0 (its data space ignores both
+/// origins) while r0/r2 stay innermost, so emitting groups component by
+/// component would visibly swap the second and third terms.
+ProgramBlock buildInterleavedBlock(i64 n) {
+  ProgramBlock block;
+  block.name = "interleaved";
+  block.paramNames = {"N", "Tt"};
+  block.arrays = {{"A", {2, n + 1}}, {"B", {n}}};
+  Statement s;
+  s.name = "S";
+  s.domain = Polyhedron(2, 2);
+  // Rows over [t, j, N, Tt, 1]: 0 <= t <= Tt-1, 0 <= j <= N-1.
+  s.domain.addInequality({1, 0, 0, 0, 0});
+  s.domain.addInequality({-1, 0, 0, 1, -1});
+  s.domain.addInequality({0, 1, 0, 0, 0});
+  s.domain.addInequality({0, -1, 1, 0, -1});
+  auto accessTo = [](int arrayId, bool isWrite, std::vector<IntVec> rows) {
+    Access a;
+    a.arrayId = arrayId;
+    a.isWrite = isWrite;
+    a.fn = IntMat(0, 5);
+    for (const IntVec& r : rows) a.fn.appendRow(r);
+    return a;
+  };
+  s.accesses = {
+      accessTo(1, true, {{0, 1, 0, 0, 0}}),                    // B[j]
+      accessTo(0, false, {{0, 0, 0, 0, 0}, {0, 1, 0, 0, 0}}),  // A[0][j]
+      accessTo(0, false, {{0, 0, 0, 0, 1}, {0, 0, 0, 0, 0}}),  // A[1][0]
+      accessTo(0, false, {{0, 0, 0, 0, 0}, {0, 1, 0, 0, 1}}),  // A[0][j+1]
+  };
+  s.writeAccess = 0;
+  s.rhs = Expr::add(Expr::load(1), Expr::add(Expr::load(2), Expr::load(3)));
+  s.schedule = ProgramBlock::interleavedSchedule(2, 2, {0, 0, 0});
+  block.statements.push_back(std::move(s));
+  block.validate();
+  return block;
+}
+
+TEST(ParametricEquivalence, InterleavedComponentsRefineInConcreteOrder) {
+  ProgramBlock block = buildInterleavedBlock(32);
+  TileSearchOptions opts;
+  opts.paramValues = {32, 8};
+  opts.memLimitElems = 4096;
+  opts.innerProcs = 2;
+  SmemOptions smem;
+  smem.sampleParams = {32, 8};
+  TileSearchOptions concreteOpts = opts;
+  concreteOpts.parametric = false;
+  TileEvaluator parametric(block, ParallelismPlan{}, opts, smem);
+  TileEvaluator concrete(block, ParallelismPlan{}, concreteOpts, smem);
+  // T_j = 1 splits {r0,r2}; partition order must come out in global
+  // discovery order (r0, r1, r2), not component-by-component (r0, r2, r1).
+  for (const std::vector<i64>& tile :
+       {std::vector<i64>{8, 1}, {4, 1}, {2, 1}, {5, 1}, {8, 2}, {3, 3}, {8, 8}, {2, 32}})
+    expectSameEvaluation(parametric.evaluate(tile), concrete.evaluate(tile), tile);
+  EXPECT_EQ(parametric.parametricState(), TileEvaluator::ParametricState::Active)
+      << parametric.fallbackReason();
+  const TileEvaluation& split = parametric.evaluate({8, 1});
+  ASSERT_TRUE(split.feasible) << split.reason;
+  ASSERT_EQ(split.terms.size(), 4u);  // A split into three + B
+  // terms[1] must be the A[1][0] partition: hoisted all the way out.
+  EXPECT_EQ(split.terms[1].name, "LA1");
+  EXPECT_EQ(split.terms[1].hoistLevel, 0);
+  EXPECT_EQ(split.terms[2].hoistLevel, 2);
+}
+
+// ---- Fallback diagnostics. ----
+
+/// A plain 2-D copy kernel: every access has rank == iteration dim, so no
+/// partition has order-of-magnitude reuse and the benefit verdict needs the
+/// sampled constant-reuse test — which depends on tile sizes.
+ProgramBlock buildCopyBlock(i64 n) {
+  ProgramBlock block;
+  block.name = "copy2d";
+  block.paramNames = {"N"};
+  block.arrays = {{"A", {n, n}}, {"B", {n, n}}};
+  Statement s;
+  s.name = "Scopy";
+  s.domain = Polyhedron(2, 1);
+  // 0 <= i,j <= N-1.
+  for (int v = 0; v < 2; ++v) {
+    IntVec lo(4, 0), hi(4, 0);
+    lo[v] = 1;
+    s.domain.addInequality(lo);
+    hi[v] = -1;
+    hi[2] = 1;
+    hi[3] = -1;
+    s.domain.addInequality(hi);
+  }
+  IntMat fn(0, 4);
+  {
+    IntVec r0(4, 0), r1(4, 0);
+    r0[0] = 1;
+    r1[1] = 1;
+    fn.appendRow(r0);
+    fn.appendRow(r1);
+  }
+  Access w;
+  w.arrayId = 1;
+  w.isWrite = true;
+  w.fn = fn;
+  Access r;
+  r.arrayId = 0;
+  r.isWrite = false;
+  r.fn = fn;
+  s.accesses = {w, r};
+  s.writeAccess = 0;
+  s.rhs = Expr::load(1);
+  s.schedule = ProgramBlock::interleavedSchedule(2, 1, {0, 0, 0});
+  block.statements.push_back(std::move(s));
+  block.validate();
+  return block;
+}
+
+TEST(ParametricFallback, TileDependentBenefitVerdictFallsBackWithAReason) {
+  ProgramBlock block = buildCopyBlock(32);
+  TileSearchOptions opts;
+  opts.paramValues = {32};
+  opts.memLimitElems = 4096;
+  opts.innerProcs = 1;
+  SmemOptions smem;
+  smem.sampleParams = {32};
+  TileEvaluator evaluator(block, ParallelismPlan{}, opts, smem);
+  const TileEvaluation& ev = evaluator.evaluate({8, 8});
+  EXPECT_EQ(evaluator.parametricState(), TileEvaluator::ParametricState::Fallback);
+  EXPECT_NE(evaluator.fallbackReason().find("order-of-magnitude"), std::string::npos)
+      << evaluator.fallbackReason();
+  // The fallback still evaluates candidates (concretely).
+  EXPECT_TRUE(ev.feasible || !ev.reason.empty());
+}
+
+TEST(ParametricFallback, DisablingTheOptionPinsTheConcretePath) {
+  ProgramBlock block = buildMeBlock(32, 32, 8);
+  TileSearchOptions opts;
+  opts.paramValues = {32, 32, 8};
+  opts.parametric = false;
+  SmemOptions smem;
+  smem.sampleParams = {32, 32, 8};
+  TileEvaluator evaluator(block, ParallelismPlan{}, opts, smem);
+  evaluator.evaluate({8, 8, 8, 8});
+  EXPECT_EQ(evaluator.parametricState(), TileEvaluator::ParametricState::Fallback);
+  EXPECT_NE(evaluator.fallbackReason().find("disabled"), std::string::npos);
+}
+
+// ---- Full-pipeline equivalence (chosen tiles, geometry hints, artifacts). ----
+
+CompileResult compileKernel(ProgramBlock block, const IntVec& params, bool parametric,
+                            const std::string& backend) {
+  Compiler compiler(std::move(block));
+  compiler.parameters(params).memoryLimitBytes(8 * 1024).backend(backend);
+  compiler.opts().parametricTileAnalysis = parametric;
+  return compiler.compile();
+}
+
+TEST(ParametricPipeline, ArtifactsByteIdenticalAcrossEvaluationPaths) {
+  struct Case {
+    const char* name;
+    ProgramBlock block;
+    IntVec params;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"me", buildMeBlock(64, 64, 8), {64, 64, 8}});
+  cases.push_back({"matmul", buildMatmulBlock(64, 48, 32), {64, 48, 32}});
+  for (Case& c : cases) {
+    for (const std::string& backend : {"c", "cuda"}) {
+      CompileResult on = compileKernel(c.block, c.params, true, backend);
+      CompileResult off = compileKernel(c.block, c.params, false, backend);
+      ASSERT_TRUE(on.ok) << c.name << ": " << on.firstError();
+      ASSERT_TRUE(off.ok) << c.name << ": " << off.firstError();
+      EXPECT_TRUE(on.search.parametric) << c.name << ": " << on.search.parametricReason;
+      EXPECT_FALSE(off.search.parametric);
+      EXPECT_EQ(on.search.subTile, off.search.subTile) << c.name;
+      EXPECT_EQ(on.search.eval.cost, off.search.eval.cost) << c.name;
+      EXPECT_EQ(on.search.eval.footprint, off.search.eval.footprint) << c.name;
+      ASSERT_FALSE(on.artifact.empty()) << c.name;
+      EXPECT_EQ(on.artifact, off.artifact) << c.name << " backend " << backend;
+      // The parametric route handed the tiler instantiated geometry hints.
+      EXPECT_FALSE(on.geometryHints.empty()) << c.name;
+      EXPECT_TRUE(off.geometryHints.empty()) << c.name;
+    }
+  }
+}
+
+TEST(ParametricPipeline, SurfacesPlanVsEvalTimings) {
+  CompileResult r = compileKernel(buildMeBlock(64, 64, 8), {64, 64, 8}, true, "c");
+  ASSERT_TRUE(r.ok) << r.firstError();
+  const PassTiming* plan = r.timing("tilesearch.plan");
+  const PassTiming* eval = r.timing("tilesearch.eval");
+  ASSERT_NE(plan, nullptr);
+  ASSERT_NE(eval, nullptr);
+  EXPECT_TRUE(plan->ran);
+  EXPECT_GT(plan->millis, 0.0);
+  EXPECT_GE(eval->millis, 0.0);
+  EXPECT_GT(r.search.planBuildMillis, 0.0);
+}
+
+TEST(ParametricPipeline, JacobiPipelinesUnaffectedByTheKnob) {
+  // Jacobi rides the pipeline-parallel fallback (no tile search); flipping
+  // the knob must not change anything.
+  for (const char* kernel : {"jacobi", "jacobi2d"}) {
+    IntVec params;
+    ProgramBlock on = buildKernelByName(kernel, {}, params);
+    ProgramBlock off = on;
+    CompileResult a = compileKernel(std::move(on), params, true, "c");
+    CompileResult b = compileKernel(std::move(off), params, false, "c");
+    ASSERT_TRUE(a.ok) << kernel << ": " << a.firstError();
+    ASSERT_TRUE(b.ok) << kernel;
+    EXPECT_EQ(a.artifact, b.artifact) << kernel;
+  }
+}
+
+}  // namespace
+}  // namespace emm

@@ -101,6 +101,7 @@ TEST(Fingerprint, OptionsHashCoversEveryKnob) {
   EXPECT_NE(mutated([](CompileOptions& o) { o.memLimitBytes = 8 * 1024; }), h);
   EXPECT_NE(mutated([](CompileOptions& o) { o.innerProcs = 16; }), h);
   EXPECT_NE(mutated([](CompileOptions& o) { o.tileCandidates = {{4}, {4}, {4}}; }), h);
+  EXPECT_NE(mutated([](CompileOptions& o) { o.parametricTileAnalysis = false; }), h);
   EXPECT_NE(mutated([](CompileOptions& o) { o.backendName = "cuda"; }), h);
   EXPECT_NE(mutated([](CompileOptions& o) { o.kernelName = "k2"; }), h);
   EXPECT_EQ(hashCompileOptions(base), h);  // hashing is pure
@@ -181,6 +182,7 @@ TEST(TileEvaluatorTest, MatchesDirectEvaluation) {
 
 TEST(TileEvaluatorTest, MemoizesRepeatedProbes) {
   EvalSetup s;
+  s.opts.parametric = false;  // pin the concrete path: exact miss accounting
   TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
   evaluator.evaluate({8, 8, 8, 8});
   EXPECT_EQ(evaluator.evaluations(), 1);
@@ -193,6 +195,7 @@ TEST(TileEvaluatorTest, MemoizesRepeatedProbes) {
 
 TEST(TileEvaluatorTest, CheapConstraintsSkipTheAnalysis) {
   EvalSetup s;
+  s.opts.parametric = false;  // pin the concrete path: exact analysis counts
   TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
   // Volume < innerProcs and out-of-range tiles never pay for Section 3.
   EXPECT_FALSE(evaluator.evaluate({1, 1, 2, 2}).feasible);
@@ -206,6 +209,7 @@ TEST(TileEvaluatorTest, CheapConstraintsSkipTheAnalysis) {
 TEST(TileEvaluatorTest, SolversShareOneMemo) {
   EvalSetup s;
   s.opts.candidates = {{4, 8, 16, 32}, {4, 8, 16, 32}, {4, 8}, {4, 8}};
+  s.opts.parametric = false;  // pin the concrete path: exact miss accounting
   TileEvaluator evaluator(s.block, s.plan, s.opts, s.smem);
   TileSearchResult fast = searchTileSizes(evaluator);
   const int afterDescent = evaluator.evaluations();
@@ -483,13 +487,51 @@ TEST(CompileBatchTest, ConcurrentCompilesShareTheCacheSafely) {
   compiler.parameters({32, 32, 8}).memoryLimitBytes(8 * 1024).jobs(4).cache(&cache);
   std::vector<CompileResult> results = compiler.compileBatch(std::move(blocks));
   ASSERT_EQ(results.size(), 8u);
+  int pipelineRuns = 0;
   for (const CompileResult& r : results) {
     ASSERT_TRUE(r.ok) << r.firstError();
     EXPECT_EQ(r.artifact, results[0].artifact);
+    pipelineRuns += r.cacheHit ? 0 : 1;
   }
-  // Concurrent duplicates may each miss, but the cache never serves a
-  // partial result and ends with exactly one entry for the one key.
+  // Single-flight: concurrent misses on the one key collapse onto one
+  // leader; the other seven block on the in-flight latch (or hit the
+  // finished entry) and are served the leader's plan as cache hits.
+  EXPECT_EQ(pipelineRuns, 1);
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.hits, 7);
   EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, SingleFlightRetriesAfterALeaderFailure) {
+  PlanCache cache;
+  PlanKey key{1, 2, 3};
+  std::atomic<int> computes{0};
+  // A failing leader must not poison the key: the next caller recomputes.
+  CompileResult failed = cache.getOrCompute(key, [&] {
+    ++computes;
+    return CompileResult{};  // ok = false
+  });
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(cache.size(), 0u);
+  CompileResult good = cache.getOrCompute(key, [&] {
+    ++computes;
+    CompileResult r;
+    r.ok = true;
+    r.artifact = "art";
+    return r;
+  });
+  EXPECT_TRUE(good.ok);
+  EXPECT_FALSE(good.cacheHit);
+  EXPECT_EQ(computes.load(), 2);
+  // Third call is a plain hit.
+  CompileResult warm = cache.getOrCompute(key, [&] {
+    ++computes;
+    return CompileResult{};
+  });
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.artifact, "art");
+  EXPECT_EQ(computes.load(), 2);
 }
 
 }  // namespace

@@ -141,8 +141,9 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
     if (emit == "stats") {
       // Per-kernel summary stats (full interpreter counters need the
       // single-kernel path).
-      std::printf("           tile search %d evaluations (%d memo hits); timings:",
-                  r.search.evaluations, r.search.memoHits);
+      std::printf("           tile search %d evaluations (%d memo hits)%s; timings:",
+                  r.search.evaluations, r.search.memoHits,
+                  r.search.parametric ? ", parametric" : "");
       for (const PassTiming& pt : r.timings)
         if (pt.ran) std::printf(" %s %.2fms", pt.pass.c_str(), pt.millis);
       std::printf("%s\n", r.cacheHit ? " (cached run)" : "");
@@ -242,6 +243,11 @@ int run(cli::Args& args) {
     printStats(r, params);
     std::printf("tile search         : %d evaluations (%d memo hits)\n", r.search.evaluations,
                 r.search.memoHits);
+    if (r.search.parametric)
+      std::printf("parametric plan     : built in %.2f ms; candidate evaluation %.2f ms total\n",
+                  r.search.planBuildMillis, r.search.evalMillis);
+    else if (!r.search.parametricReason.empty())
+      std::printf("parametric plan     : fallback (%s)\n", r.search.parametricReason.c_str());
     if (cacheOn) {
       PlanCache::Stats s = PlanCache::global().stats();
       std::printf("plan cache          : %s; %lld hits / %lld misses / %lld entries\n",
