@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "driver/disk_cache.h"
 #include "driver/plan_cache.h"
 #include "support/diagnostics.h"
 #include "support/fingerprint.h"
@@ -27,6 +28,7 @@ CompileResult CompileResult::clone() const {
   static_cast<PipelineProducts&>(out) = PipelineProducts::clone();
   out.ok = ok;
   out.cacheHit = cacheHit;
+  out.diskHit = diskHit;
   out.diagnostics = diagnostics;
   out.timings = timings;
   return out;
@@ -128,6 +130,22 @@ Compiler& Compiler::cache(PlanCache* cache) {
   return *this;
 }
 
+Compiler& Compiler::diskCache(DiskPlanCache* cache) {
+  diskCache_ = cache;
+  ownedDiskCache_.reset();
+  return *this;
+}
+
+Compiler& Compiler::diskCache(const std::string& dir) {
+  ownedDiskCache_ = std::make_shared<DiskPlanCache>(dir);
+  diskCache_ = nullptr;
+  return *this;
+}
+
+DiskPlanCache* Compiler::diskPlanCache() const {
+  return diskCache_ != nullptr ? diskCache_ : ownedDiskCache_.get();
+}
+
 Compiler& Compiler::jobs(int n) {
   EMM_REQUIRE(n >= 0, "jobs() takes a non-negative worker count");
   if (n != jobs_) pool_.reset();  // recreated lazily at the new size
@@ -186,14 +204,31 @@ PlanKey planKeyFor(const ProgramBlock& block, const CompileOptions& options,
 CompileResult Compiler::compile() {
   EMM_REQUIRE(source_.has_value(), "Compiler::compile() called without a source block");
   // Replaced passes run arbitrary code that a fingerprint cannot witness;
-  // those pipelines always run and are never stored.
-  if (cache_ != nullptr && replacements_.empty()) {
-    // Single-flight: concurrent misses on the same key collapse to one
-    // pipeline run; followers receive the leader's result as a cache hit.
+  // those pipelines always run and are never stored in either tier.
+  if ((cache_ != nullptr || diskPlanCache() != nullptr) && replacements_.empty()) {
     PlanKey key = planKeyFor(*source_, effectiveOptions(), skipped_);
-    return cache_->getOrCompute(key, [this] { return runPipeline(); });
+    // Single-flight: concurrent misses on the same key collapse to one
+    // compute (disk lookup or pipeline run); followers receive the
+    // leader's result as a cache hit. A disk hit returned by the leader is
+    // an ok result, so getOrCompute promotes it into the memory tier.
+    if (cache_ != nullptr)
+      return cache_->getOrCompute(key, [this, &key] { return computeWithDiskTier(key); });
+    return computeWithDiskTier(key);
   }
   return runPipeline();
+}
+
+CompileResult Compiler::computeWithDiskTier(const PlanKey& key) {
+  DiskPlanCache* disk = diskPlanCache();
+  if (disk != nullptr && source_.has_value()) {
+    if (std::optional<CompileResult> hit = disk->lookup(key, *source_, effectiveOptions()))
+      return std::move(*hit);
+  }
+  CompileResult result = runPipeline();
+  // The disk tier never fails a compile: a full or read-only cache
+  // directory silently degrades to cold compiles.
+  if (disk != nullptr && result.ok) disk->insert(key, effectiveOptions(), result);
+  return result;
 }
 
 CompileResult Compiler::runPipeline() {

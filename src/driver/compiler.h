@@ -30,7 +30,9 @@
 
 namespace emm {
 
+class DiskPlanCache;
 class PlanCache;
+struct PlanKey;
 class ThreadPool;
 
 /// Wall-clock record of one pipeline stage.
@@ -52,6 +54,11 @@ struct CompileResult : PipelineProducts {
   /// run. The products are a deep copy of the cached plan; `timings`
   /// describe the run that originally produced it.
   bool cacheHit = false;
+  /// True when this result was deserialized from the on-disk plan cache
+  /// (DiskPlanCache) instead of a pipeline run; `timings` describe the run
+  /// that originally produced the plan. A memory-cache replay of a
+  /// disk-loaded plan reports cacheHit only.
+  bool diskHit = false;
   std::vector<Diagnostic> diagnostics;
   std::vector<PassTiming> timings;  ///< one entry per pipeline pass, in order
 
@@ -68,31 +75,53 @@ struct CompileResult : PipelineProducts {
 /// called repeatedly (e.g. with different options between calls).
 class Compiler {
 public:
+  /// An empty builder; set a source via source() or compile(block).
   Compiler() = default;
+  /// Builder seeded with a validated source block.
   explicit Compiler(ProgramBlock block) { source(std::move(block)); }
 
   // ---- configuration ----
+  /// Sets (and validates) the block to compile. Throws ApiError on
+  /// malformed blocks.
   Compiler& source(ProgramBlock block);
+  /// Replaces the entire option set.
   Compiler& options(CompileOptions o);
   /// Direct access to the full option set (for knobs without sugar).
   CompileOptions& opts() { return options_; }
   const CompileOptions& opts() const { return options_; }
 
+  /// Concrete problem-size binding for the block's parameters.
   Compiler& parameters(IntVec values);
+  /// Explicit sub-tile sizes (one per common loop); empty runs the search.
   Compiler& tileSizes(std::vector<i64> subTile);
+  /// Block-tile sizes per space loop; empty defaults to 2x the sub-tile.
   Compiler& blockTileSizes(std::vector<i64> blockTile);
+  /// Thread-tile sizes per space loop; empty defaults to all 1.
   Compiler& threadTileSizes(std::vector<i64> threadTile);
+  /// Candidate tile sizes per loop for the search; empty uses a geometric
+  /// ladder.
   Compiler& tileCandidates(std::vector<std::vector<i64>> candidates);
+  /// Scratchpad capacity in bytes (the Section-4.3 Mup constraint).
   Compiler& memoryLimitBytes(i64 bytes);
+  /// Inner-level process count P (warp size on the GPU target).
   Compiler& innerProcs(i64 procs);
+  /// Section-4.2 copy hoisting on/off.
   Compiler& hoistCopies(bool on);
+  /// When false, the paper's "GPU w/o scratchpad" baseline.
   Compiler& useScratchpad(bool on);
+  /// Stages every reference through the local store (Cell-style targets).
   Compiler& stageEverything(bool on);
+  /// Reference-grouping mode for the Section-3 partitioner.
   Compiler& partition(PartitionMode mode);
+  /// Algorithm-1 constant-reuse threshold (the paper fixes 0.30).
   Compiler& delta(double d);
+  /// Runs the Figure-1 flow only (Section-3 planning, no tiling).
   Compiler& scratchpadOnly(bool on = true);
+  /// Uses the exhaustive candidate-grid oracle instead of the fast solver.
   Compiler& exhaustiveSearch(bool on = true);
+  /// Backend to render with ("c", "cuda", "cell"); resolved at compile().
   Compiler& backend(std::string name);
+  /// Function name used in the emitted source.
   Compiler& kernelName(std::string name);
 
   // ---- service configuration ----
@@ -103,6 +132,19 @@ public:
   /// is the process-wide instance.
   Compiler& cache(PlanCache* cache);
   const PlanCache* planCache() const { return cache_; }
+  /// Attaches a persistent on-disk cache as the second tier (nullptr
+  /// detaches): compile() then resolves memory hit -> disk hit -> cold
+  /// compile, promotes disk hits into the attached memory cache, and
+  /// writes successful cold compiles back to disk. Disk hits set
+  /// CompileResult::diskHit. The cache must outlive the Compiler (and any
+  /// futures it spawned); replaced passes bypass both tiers.
+  Compiler& diskCache(DiskPlanCache* cache);
+  /// Convenience: creates (and owns) a DiskPlanCache rooted at `dir`,
+  /// creating the directory if needed. Throws ApiError when the directory
+  /// cannot be created.
+  Compiler& diskCache(const std::string& dir);
+  /// The attached disk tier, or nullptr.
+  DiskPlanCache* diskPlanCache() const;
   /// Worker count for compileAsync/compileBatch (0 = hardware default).
   /// The pool is created lazily on the first async/batch call.
   Compiler& jobs(int n);
@@ -143,6 +185,10 @@ public:
 private:
   CompileOptions effectiveOptions() const;
   CompileResult runPipeline();
+  /// Disk lookup -> cold compile -> disk write-back; the "compute" half of
+  /// the tiered flow (runs as the single-flight leader when a memory cache
+  /// is attached).
+  CompileResult computeWithDiskTier(const PlanKey& key);
   void ensurePool();
 
   CompileOptions options_;
@@ -150,6 +196,10 @@ private:
   std::vector<std::string> skipped_;
   std::map<std::string, std::shared_ptr<Pass>> replacements_;
   PlanCache* cache_ = nullptr;
+  DiskPlanCache* diskCache_ = nullptr;
+  /// Owns the cache created by diskCache(dir); shared so async snapshots
+  /// keep it alive.
+  std::shared_ptr<DiskPlanCache> ownedDiskCache_;
   int jobs_ = 0;
   std::shared_ptr<ThreadPool> pool_;
   /// Set on single-use async snapshots: runPipeline() may move the source

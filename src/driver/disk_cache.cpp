@@ -1,0 +1,273 @@
+#include "driver/disk_cache.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/serialize.h"
+
+namespace fs = std::filesystem;
+
+namespace emm {
+
+namespace {
+
+// 8-byte magic opening every .emmplan file. The trailing newline makes a
+// text-mode transfer corruption visible immediately.
+constexpr char kMagic[8] = {'E', 'M', 'M', 'P', 'L', 'A', 'N', '\n'};
+
+constexpr size_t kHeaderBytes = 8    // magic
+                                + 4  // format version
+                                + 8  // schema fingerprint
+                                + 24  // PlanKey echo
+                                + 8   // block digest
+                                + 8   // options digest
+                                + 8;  // payload length
+
+std::string hex16(u64 v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4) out[i] = digits[v & 0xF];
+  return out;
+}
+
+bool readFile(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (in.bad()) return false;
+  out = std::move(data);
+  return true;
+}
+
+void removeQuietly(const fs::path& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+/// Why a present entry could not be used.
+enum class Reject {
+  None,
+  Structural,  ///< corrupt/truncated/foreign-version file: safe to unlink
+  Collision,   ///< valid file owned by a different (block, options): keep it
+};
+
+Reject validateAndExtract(const std::string& file, const PlanKey& key, u64 blockDigest,
+                          u64 optionsDigest, std::string_view& payloadOut) {
+  if (file.size() < kHeaderBytes) return Reject::Structural;
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) return Reject::Structural;
+  ByteReader r(std::string_view(file).substr(sizeof(kMagic)));
+  try {
+    if (r.u32v() != kPlanFormatVersion) return Reject::Structural;
+    if (r.u64v() != serializeSchemaFingerprint()) return Reject::Structural;
+    PlanKey echo;
+    echo.block = r.u64v();
+    echo.options = r.u64v();
+    echo.passes = r.u64v();
+    u64 fileBlockDigest = r.u64v();
+    u64 fileOptionsDigest = r.u64v();
+    u64 payloadLen = r.count();
+    if (payloadLen + 8 > r.remaining()) return Reject::Structural;  // payload + checksum
+    // The file name is derived from a 64-bit hash; the echo + digests are
+    // what make a name collision a miss instead of a wrong plan.
+    if (echo != key) return Reject::Collision;
+    if (fileBlockDigest != blockDigest || fileOptionsDigest != optionsDigest)
+      return Reject::Collision;
+    std::string_view payload =
+        std::string_view(file).substr(sizeof(kMagic) + r.position(), payloadLen);
+    ByteReader tail(std::string_view(file).substr(sizeof(kMagic) + r.position() + payloadLen));
+    if (tail.u64v() != digestBytes(payload)) return Reject::Structural;
+    payloadOut = payload;
+    return Reject::None;
+  } catch (const SerializeError&) {
+    return Reject::Structural;
+  }
+}
+
+}  // namespace
+
+DiskPlanCache::DiskPlanCache(std::string dir, i64 maxBytes)
+    : dir_(std::move(dir)), maxBytes_(maxBytes) {
+  EMM_REQUIRE(!dir_.empty(), "DiskPlanCache needs a directory path");
+  EMM_REQUIRE(maxBytes_ > 0, "DiskPlanCache byte cap must be positive");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  EMM_REQUIRE(fs::is_directory(dir_, ec),
+              "cannot create plan-cache directory '" + dir_ + "': " + ec.message());
+  // Sweep temp files orphaned by a crash between write and rename; they
+  // are invisible to the byte cap (everything below filters on .emmplan).
+  // Racing a live writer's temp is possible but harmless: its rename
+  // fails and that one insert is lost, which insert() already tolerates.
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
+    if (de.is_regular_file(ec) &&
+        de.path().filename().string().find(".emmplan.tmp.") != std::string::npos)
+      removeQuietly(de.path());
+}
+
+std::string DiskPlanCache::entryFileName(const PlanKey& key) {
+  return hex16(hashCombine(key.block, hashCombine(key.options, key.passes))) + ".emmplan";
+}
+
+std::string DiskPlanCache::entryPath(const PlanKey& key) const {
+  return (fs::path(dir_) / entryFileName(key)).string();
+}
+
+std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const ProgramBlock& block,
+                                                   const CompileOptions& options) {
+  const fs::path path = entryPath(key);
+  std::string file;
+  if (!readFile(path, file)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    return std::nullopt;
+  }
+  const u64 blockDigest = digestBytes(serializeProgramBlock(block));
+  const u64 optionsDigest = digestBytes(serializeCompileOptions(options));
+  std::string_view payload;
+  Reject verdict = validateAndExtract(file, key, blockDigest, optionsDigest, payload);
+  if (verdict == Reject::None) {
+    try {
+      CompileResult result = deserializeCompileResult(payload);
+      result.diskHit = true;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++hits_;
+      }
+      // Refresh the LRU stamp so hot entries survive eviction.
+      std::error_code ec;
+      fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+      return result;
+    } catch (const SerializeError&) {
+      verdict = Reject::Structural;  // checksummed but unparseable: drop it
+    }
+  }
+  if (verdict == Reject::Structural) removeQuietly(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejects_;
+  return std::nullopt;
+}
+
+void DiskPlanCache::insert(const PlanKey& key, const CompileOptions& options,
+                           const CompileResult& result) {
+  if (!result.ok || result.input == nullptr) return;
+  ByteWriter w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32v(kPlanFormatVersion);
+  w.u64v(serializeSchemaFingerprint());
+  w.u64v(key.block);
+  w.u64v(key.options);
+  w.u64v(key.passes);
+  w.u64v(digestBytes(serializeProgramBlock(*result.input)));
+  w.u64v(digestBytes(serializeCompileOptions(options)));
+  const std::string payload = serializeCompileResult(result);
+  w.u64v(payload.size());
+  w.bytes(payload.data(), payload.size());
+  w.u64v(digestBytes(payload));
+
+  // Unique temp name in the SAME directory (rename must not cross devices),
+  // then an atomic rename: readers see the old entry or the new one, never
+  // a torn write.
+  static std::atomic<u64> tempCounter{0};
+  const fs::path path = entryPath(key);
+  const fs::path temp = fs::path(dir_) / (entryFileName(key) + ".tmp." +
+                                          std::to_string(::getpid()) + "." +
+                                          std::to_string(tempCounter.fetch_add(1)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable directory: degrade silently
+    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      removeQuietly(temp);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    removeQuietly(temp);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++insertions_;
+  evictLocked(path);
+}
+
+void DiskPlanCache::evictLocked(const std::filesystem::path& justWritten) {
+  struct Entry {
+    fs::path path;
+    i64 size = 0;
+    fs::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  i64 total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".emmplan") continue;
+    Entry e;
+    e.path = de.path();
+    std::error_code sec, tec;
+    e.size = static_cast<i64>(de.file_size(sec));
+    e.mtime = de.last_write_time(tec);
+    // A concurrent evictor/clear in a shared directory can remove the file
+    // mid-iteration; skip it rather than folding the error value (-1) into
+    // the total.
+    if (sec || tec) continue;
+    total += e.size;
+    entries.push_back(std::move(e));
+  }
+  if (total <= maxBytes_) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  // Oldest first, but never the entry just inserted — evicting it would
+  // make an over-cap plan uncacheable forever. Matching by path, not by
+  // newest mtime: on coarse-granularity filesystems the fresh file can tie
+  // an older one and sort anywhere.
+  for (size_t i = 0; i < entries.size() && total > maxBytes_; ++i) {
+    if (entries[i].path == justWritten) continue;
+    std::error_code rec;
+    if (fs::remove(entries[i].path, rec)) {
+      total -= entries[i].size;
+      ++evictions_;
+    }
+  }
+}
+
+void DiskPlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::error_code ec;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
+    if (de.is_regular_file(ec) && de.path().extension() == ".emmplan") removeQuietly(de.path());
+}
+
+DiskPlanCache::Stats DiskPlanCache::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.rejects = rejects_;
+    s.evictions = evictions_;
+    s.insertions = insertions_;
+  }
+  std::error_code ec;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
+    if (de.is_regular_file(ec) && de.path().extension() == ".emmplan") {
+      std::error_code sec;
+      i64 size = static_cast<i64>(de.file_size(sec));
+      if (sec) continue;  // removed by a concurrent evictor: skip, not -1
+      ++s.entries;
+      s.bytes += size;
+    }
+  return s;
+}
+
+}  // namespace emm

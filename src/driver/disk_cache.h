@@ -1,0 +1,108 @@
+// DiskPlanCache: the persistent second tier of the plan cache.
+//
+// The in-memory PlanCache makes repeated compiles within one process cheap,
+// but every `emmapc` invocation and every service restart still starts
+// cold. This cache persists finished plans to `<dir>/<fingerprint>.emmplan`
+// files (format: support/serialize.h and docs/PLAN_FORMAT.md) so the stable
+// structural fingerprints in support/fingerprint.h can replay them across
+// processes.
+//
+// Tiering (wired in Compiler::compile): memory hit -> disk hit -> cold
+// compile. A disk hit is deserialized, marked CompileResult::diskHit, and —
+// because the single-flight leader's result is stored like any other ok
+// result — promoted into the attached memory cache. A cold compile that
+// succeeds is written back to disk.
+//
+// Failure policy: the disk tier NEVER fails a compile. Truncated files,
+// flipped magic bytes, stale format versions, schema-fingerprint drift,
+// checksum mismatches and malformed payloads are all rejected with a
+// counted diagnostic and fall through to a cold compile; structurally
+// broken files are unlinked so they stop costing a parse per lookup. The
+// 64-bit cache key has no collision resistance, so the header also carries
+// digests of the canonically serialized source block and option set; a
+// colliding key whose digests disagree is treated as a miss (and the file
+// — valid, just owned by someone else — is left in place).
+//
+// Durability: entries are written to a temp file in the cache directory and
+// atomically renamed into place, so readers never observe a half-written
+// entry. Eviction is LRU by file modification time (hits re-touch their
+// entry) with a configurable byte cap.
+//
+// Thread-safe; one instance may be shared by every Compiler in the process
+// (and the directory may be shared by many processes — rename keeps
+// concurrent writers safe, last write wins).
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "driver/plan_cache.h"
+
+namespace emm {
+
+class DiskPlanCache {
+public:
+  /// Counters since construction (this instance only; the directory may be
+  /// older). `entries`/`bytes` reflect the directory at the time of the
+  /// call.
+  struct Stats {
+    i64 hits = 0;
+    i64 misses = 0;      ///< no entry file for the key
+    i64 rejects = 0;     ///< entry present but unusable (corrupt/version/collision)
+    i64 evictions = 0;   ///< entries removed by the LRU byte cap
+    i64 insertions = 0;  ///< entries written
+    i64 entries = 0;     ///< .emmplan files currently in the directory
+    i64 bytes = 0;       ///< their total size
+  };
+
+  /// Opens (and creates, including parents) the cache directory. `maxBytes`
+  /// caps the directory's total .emmplan size; inserts evict
+  /// least-recently-used entries down to the cap. Throws ApiError when the
+  /// directory cannot be created.
+  explicit DiskPlanCache(std::string dir, i64 maxBytes = i64(256) * 1024 * 1024);
+
+  const std::string& directory() const { return dir_; }
+  i64 maxBytes() const { return maxBytes_; }
+
+  /// Loads the entry for `key`, verifying the header (magic, version,
+  /// schema fingerprint, key echo) and the collision-guard digests of
+  /// `block`/`options` before deserializing the checksummed payload. On
+  /// success the result has diskHit set and the entry's LRU stamp is
+  /// refreshed. Any failure returns nullopt — never throws, never returns a
+  /// wrong plan.
+  std::optional<CompileResult> lookup(const PlanKey& key, const ProgramBlock& block,
+                                      const CompileOptions& options);
+
+  /// Persists `result` (which must own its input block — the digest is
+  /// taken from it) under `key` with write-then-rename, then enforces the
+  /// byte cap. Failures are swallowed: a read-only or full disk degrades
+  /// the cache, not the compile.
+  void insert(const PlanKey& key, const CompileOptions& options, const CompileResult& result);
+
+  /// Removes every .emmplan entry in the directory (counters keep running).
+  void clear();
+
+  Stats stats() const;
+
+  /// Entry file name for a key: 16 lowercase hex digits of the combined
+  /// key hash plus the ".emmplan" suffix.
+  static std::string entryFileName(const PlanKey& key);
+
+private:
+  std::string entryPath(const PlanKey& key) const;
+  /// Enforces the byte cap, never evicting `justWritten`; requires mutex_.
+  void evictLocked(const std::filesystem::path& justWritten);
+
+  std::string dir_;
+  i64 maxBytes_;
+  mutable std::mutex mutex_;  ///< guards counters and directory mutation
+  i64 hits_ = 0;
+  i64 misses_ = 0;
+  i64 rejects_ = 0;
+  i64 evictions_ = 0;
+  i64 insertions_ = 0;
+};
+
+}  // namespace emm

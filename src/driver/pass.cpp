@@ -25,8 +25,9 @@ CodeUnit cloneUnit(const CodeUnit& u, const ProgramBlock* source) {
 
 // NOTE: field-by-field copy of PipelineProducts, TiledKernel, TileAnalysis
 // and (via cloneUnit) CodeUnit. A field added to any of those structs must
-// be added here too, or warm plan-cache hits will silently drop it — see
-// the warning on the struct in pass.h.
+// be added here too — and to the serializers (plus their schema manifest)
+// in support/serialize.cpp — or warm plan-cache hits and disk replays will
+// silently drop it; see the warning on the struct in pass.h.
 PipelineProducts PipelineProducts::clone() const {
   PipelineProducts out;
   if (input) out.input = std::make_unique<ProgramBlock>(*input);
@@ -49,6 +50,7 @@ PipelineProducts PipelineProducts::clone() const {
     k.analysis.depth = kernel->analysis.depth;
     k.analysis.subTile = kernel->analysis.subTile;
     k.analysis.originParams = kernel->analysis.originParams;
+    k.analysis.tileParams = kernel->analysis.tileParams;
     k.analysis.loopBounds = kernel->analysis.loopBounds;
     k.analysis.hoistLevel = kernel->analysis.hoistLevel;
     if (kernel->analysis.tileBlock)

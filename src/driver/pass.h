@@ -25,7 +25,9 @@ namespace emm {
 /// wholesale, so a field added here flows to results automatically — but
 /// clone() below copies field by field (the unique_ptr-held blocks make the
 /// struct non-copyable), so ADDING A FIELD REQUIRES EXTENDING clone() in
-/// pass.cpp or warm plan-cache hits will silently default-initialize it.
+/// pass.cpp AND the serializers (plus their schema manifest) in
+/// support/serialize.cpp, or warm plan-cache hits / disk replays will
+/// silently default-initialize it.
 /// Program blocks live behind unique_ptr so CodeUnit/DataPlan back-pointers
 /// into them survive those moves.
 struct PipelineProducts {

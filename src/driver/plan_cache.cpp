@@ -24,6 +24,7 @@ std::optional<CompileResult> PlanCache::lookup(const PlanKey& key) {
   // free, and pool workers hit the cache concurrently.
   CompileResult out = entry->clone();
   out.cacheHit = true;
+  out.diskHit = false;  // a memory replay, even of a disk-loaded plan
   return out;
 }
 
@@ -70,6 +71,7 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
         lock.unlock();
         CompileResult out = entry->clone();
         out.cacheHit = true;
+        out.diskHit = false;
         return out;
       }
       auto fit = inflight_.find(key);
@@ -82,6 +84,7 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
         lock.unlock();
         CompileResult out = entry->clone();
         out.cacheHit = true;
+        out.diskHit = false;
         return out;
       }
       // The leader failed; loop to retry (and maybe become the next leader).
@@ -104,6 +107,9 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
 }
 
 PlanCache::Stats PlanCache::stats() const {
+  // All four fields are read under the same mutex that every writer holds,
+  // so the snapshot is coherent: hits/misses/evictions/entries come from
+  // one instant, never a torn mix of two updates racing with the reader.
   std::lock_guard<std::mutex> lock(mutex_);
   Stats s;
   s.hits = hits_;

@@ -19,6 +19,10 @@
 // Thread-safe: batch compilation shares one cache across pool workers.
 // Capacity-bounded with insertion-order eviction.
 //
+// This is the first tier of a two-tier hierarchy: driver/disk_cache.h
+// persists plans across processes, and Compiler::compile() resolves
+// memory hit -> disk hit (promoted here) -> cold compile.
+//
 // Single-flight: getOrCompute() collapses concurrent misses on the same key
 // to ONE pipeline run. The first caller becomes the leader and computes;
 // followers block on a per-key in-flight latch and receive the leader's
@@ -41,20 +45,23 @@ namespace emm {
 
 /// Cache key: (block fingerprint, options fingerprint, skipped-pass set).
 struct PlanKey {
-  u64 block = 0;
-  u64 options = 0;
-  u64 passes = 0;
+  u64 block = 0;    ///< hashProgramBlock of the source
+  u64 options = 0;  ///< hashCompileOptions of the effective option set
+  u64 passes = 0;   ///< digest of the sorted skipped-pass names
 
   auto operator<=>(const PlanKey&) const = default;
 };
 
+/// Memoizes finished CompileResults by PlanKey (see file comment).
 class PlanCache {
 public:
+  /// Counter snapshot; stats() reads all fields under the cache mutex, so
+  /// a snapshot is always coherent (never a torn mix of two updates).
   struct Stats {
-    i64 hits = 0;
-    i64 misses = 0;
-    i64 entries = 0;
-    i64 evictions = 0;
+    i64 hits = 0;       ///< lookups served from the cache
+    i64 misses = 0;     ///< lookups that fell through (or led a compute)
+    i64 entries = 0;    ///< results currently stored
+    i64 evictions = 0;  ///< entries dropped by the capacity bound
   };
 
   /// `capacity` = max entries before insertion-order eviction (>= 1).

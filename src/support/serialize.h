@@ -1,0 +1,139 @@
+// Versioned binary serialization for compilation plans.
+//
+// The on-disk plan cache (driver/disk_cache.h) persists finished
+// CompileResults so `emmapc` runs and service restarts start warm. This
+// module provides the byte format: a tagged, length-prefixed, endian-stable
+// encoding (everything is written little-endian byte by byte, so files are
+// portable across hosts) with deserializers that are safe on hostile input —
+// every read is bounds-checked and every malformed tag, count, enum value or
+// truncation throws SerializeError instead of crashing or fabricating a
+// plan.
+//
+// Versioning has two layers (see docs/PLAN_FORMAT.md for the policy):
+//  - kPlanFormatVersion: the container framing (header layout, tag
+//    discipline). Bumped when the envelope changes shape.
+//  - serializeSchemaFingerprint(): a digest of the schema manifest string in
+//    serialize.cpp, which enumerates every serialized struct field by field.
+//    Changing any serializer requires editing the manifest, which changes
+//    the fingerprint, which makes older files reject cleanly. This is the
+//    "build fingerprint" of the .emmplan header.
+//
+// Round-trip guarantee: deserializeCompileResult(serializeCompileResult(r))
+// reproduces r field by field — same emitted artifact bytes, same costs and
+// tile choices, same diagnostics and timings — with the internal
+// back-pointers (CodeUnit::source, DataPlan::block) rebound to the
+// deserialized blocks, exactly as PipelineProducts::clone() rebinds them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "support/checked_int.h"
+
+namespace emm {
+
+struct CompileResult;
+struct CompileOptions;
+struct ProgramBlock;
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Thrown on any malformed input: truncation, tag mismatch, out-of-range
+/// enum or count, checksum failure. The disk cache treats every
+/// SerializeError as "entry unusable" and falls through to a cold compile.
+class SerializeError : public std::runtime_error {
+public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Container format version (the .emmplan envelope). Bump on framing
+/// changes; readers reject any other value.
+inline constexpr u32 kPlanFormatVersion = 1;
+
+/// Digest of the serialization schema compiled into this binary (the
+/// manifest string in serialize.cpp). Two binaries agree on this value iff
+/// they agree on every serialized struct layout.
+u64 serializeSchemaFingerprint();
+
+/// FNV-1a digest of a byte range; used for payload checksums and for the
+/// collision-guard digests in the .emmplan header.
+u64 digestBytes(std::string_view bytes);
+
+/// Append-only little-endian encoder. All multi-byte values are written
+/// byte by byte (no host-endianness dependence).
+class ByteWriter {
+public:
+  void u8(unsigned char v) { buf_.push_back(static_cast<char>(v)); }
+  void u32v(u32 v);
+  void u64v(u64 v);
+  void i64v(i64 v) { u64v(static_cast<u64>(v)); }
+  void intv(int v) { i64v(static_cast<i64>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void f64(double v);  ///< bit-pattern; round-trips -0.0 and NaN exactly
+  void str(const std::string& s);
+  void bytes(const void* data, size_t n);
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range. Every
+/// accessor throws SerializeError on truncation; counts are validated
+/// against the remaining bytes before any allocation, so a corrupt length
+/// field cannot trigger a huge allocation or an out-of-range read.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view bytes) : data_(bytes) {}
+
+  unsigned char u8();
+  u32 u32v();
+  u64 u64v();
+  i64 i64v() { return static_cast<i64>(u64v()); }
+  int intv();  ///< i64 narrowed with range check
+  bool boolean();
+  double f64();
+  std::string str();
+
+  /// Validates a count field: the remaining input must hold at least
+  /// `count * minBytesPerElement` bytes. Returns the count.
+  u64 count(u64 minBytesPerElement = 1);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool atEnd() const { return pos_ == data_.size(); }
+  /// Throws unless the input is fully consumed (trailing garbage check).
+  void expectEnd() const;
+
+private:
+  const unsigned char* need(size_t n);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Plan payloads -------------------------------------------------------
+
+/// Encodes a finished CompileResult (products, verdict, diagnostics,
+/// timings). cacheHit/diskHit are transport flags owned by the cache tiers
+/// and are not part of the payload.
+std::string serializeCompileResult(const CompileResult& result);
+
+/// Decodes a payload produced by serializeCompileResult, rebinding internal
+/// back-pointers. Throws SerializeError on any malformation.
+CompileResult deserializeCompileResult(std::string_view bytes);
+
+/// Canonical byte encodings used for the collision-guard digests in the
+/// .emmplan header: the 64-bit cache key has no collision resistance, so the
+/// disk cache stores digests of these encodings and re-derives them at
+/// lookup; a colliding key with a different block or option set is rejected
+/// and falls through to a cold compile.
+std::string serializeProgramBlock(const ProgramBlock& block);
+std::string serializeCompileOptions(const CompileOptions& options);
+
+}  // namespace emm

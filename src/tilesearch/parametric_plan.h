@@ -74,6 +74,7 @@ public:
   /// symbolic (coarsest-structure) footprint formulas.
   SymInterval footprintInterval(const std::vector<SymInterval>& tileBox) const;
 
+  /// Number of tiled loops (= tile symbols T1..Tk the plan is over).
   int depth() const { return depth_; }
   /// The underlying symbolic analysis (tile block, partitions, ...).
   const TileAnalysis& analysis() const { return analysis_; }

@@ -1,0 +1,409 @@
+// Tests for the on-disk plan cache: tiering through the Compiler (memory
+// hit -> disk hit -> cold compile, with promotion), durability across
+// Compiler instances (the cross-process scenario), and the failure policy —
+// truncation, flipped magic bytes, stale format versions, and key
+// collisions with differing options must all fall back to a clean cold
+// compile, never crash or replay a wrong plan. Also covers LRU eviction
+// under the byte cap and the PlanCache stats-snapshot coherence.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "driver/compiler.h"
+#include "driver/disk_cache.h"
+#include "driver/plan_cache.h"
+#include "kernels/blocks.h"
+#include "support/fingerprint.h"
+#include "support/serialize.h"
+
+namespace fs = std::filesystem;
+
+namespace emm {
+namespace {
+
+/// Fresh unique cache directory per test, removed on destruction.
+struct TempCacheDir {
+  fs::path path;
+  TempCacheDir() {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("emmplan_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+Compiler meCompiler() {
+  Compiler c(buildMeBlock(64, 64, 8));
+  c.parameters({64, 64, 8}).memoryLimitBytes(16 * 1024);
+  return c;
+}
+
+/// The single .emmplan entry in `dir` (asserts there is exactly one).
+fs::path soleEntry(const fs::path& dir) {
+  fs::path found;
+  int count = 0;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir))
+    if (de.path().extension() == ".emmplan") {
+      found = de.path();
+      ++count;
+    }
+  EXPECT_EQ(count, 1);
+  return found;
+}
+
+void corruptFile(const fs::path& path, size_t offset, unsigned char xorMask) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(static_cast<std::streamoff>(offset));
+  byte = static_cast<char>(byte ^ xorMask);
+  f.write(&byte, 1);
+}
+
+// ---- Tiering. ----
+
+TEST(DiskCache, SecondCompilerInstanceStartsWarm) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+
+  Compiler first = meCompiler();
+  first.diskCache(&disk);
+  CompileResult cold = first.compile();
+  ASSERT_TRUE(cold.ok) << cold.firstError();
+  EXPECT_FALSE(cold.diskHit);
+  EXPECT_EQ(disk.stats().insertions, 1);
+
+  // A brand-new Compiler (standing in for a new process) replays the plan.
+  Compiler second = meCompiler();
+  second.diskCache(&disk);
+  CompileResult warm = second.compile();
+  ASSERT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.diskHit);
+  EXPECT_FALSE(warm.cacheHit);
+  EXPECT_EQ(warm.artifact, cold.artifact);
+  EXPECT_EQ(warm.search.subTile, cold.search.subTile);
+  EXPECT_EQ(warm.search.eval.cost, cold.search.eval.cost);
+  EXPECT_EQ(disk.stats().hits, 1);
+}
+
+TEST(DiskCache, CompilerOwnsCacheCreatedFromPath) {
+  TempCacheDir dir;
+  Compiler c = meCompiler();
+  c.diskCache(dir.str());
+  ASSERT_NE(c.diskPlanCache(), nullptr);
+  EXPECT_EQ(c.diskPlanCache()->directory(), dir.str());
+  ASSERT_TRUE(c.compile().ok);
+  EXPECT_TRUE(c.compile().diskHit);  // no memory tier attached
+}
+
+TEST(DiskCache, MemoryTierWinsOverDiskTier) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  PlanCache memory;
+  Compiler c = meCompiler();
+  c.cache(&memory).diskCache(&disk);
+
+  CompileResult cold = c.compile();
+  ASSERT_TRUE(cold.ok);
+  CompileResult warm = c.compile();
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_FALSE(warm.diskHit);        // served from memory, disk untouched
+  EXPECT_EQ(disk.stats().hits, 0);
+}
+
+TEST(DiskCache, DiskHitIsPromotedIntoTheMemoryTier) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  {
+    Compiler seed = meCompiler();
+    seed.diskCache(&disk);
+    ASSERT_TRUE(seed.compile().ok);
+  }
+  PlanCache memory;
+  Compiler c = meCompiler();
+  c.cache(&memory).diskCache(&disk);
+
+  CompileResult viaDisk = c.compile();
+  EXPECT_TRUE(viaDisk.diskHit);
+  EXPECT_EQ(memory.size(), 1u);  // promoted
+
+  CompileResult viaMemory = c.compile();
+  EXPECT_TRUE(viaMemory.cacheHit);
+  EXPECT_FALSE(viaMemory.diskHit);
+  EXPECT_EQ(disk.stats().hits, 1);  // disk consulted exactly once
+  EXPECT_EQ(viaMemory.artifact, viaDisk.artifact);
+}
+
+TEST(DiskCache, DistinctOptionsGetDistinctEntries) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler a = meCompiler();
+  a.diskCache(&disk);
+  ASSERT_TRUE(a.compile().ok);
+
+  Compiler b = meCompiler();
+  b.memoryLimitBytes(8 * 1024).diskCache(&disk);
+  CompileResult r = b.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.diskHit);  // different options hash -> different entry
+  EXPECT_EQ(disk.stats().entries, 2);
+}
+
+TEST(DiskCache, FailedCompilesAreNotStored) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler c(buildMeBlock(64, 64, 8));
+  c.parameters({64, 64, 8}).memoryLimitBytes(1).diskCache(&disk);  // infeasible
+  CompileResult r = c.compile();
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(disk.stats().entries, 0);
+  EXPECT_EQ(disk.stats().insertions, 0);
+}
+
+// ---- Failure policy: corruption and version skew. ----
+
+TEST(DiskCache, TruncatedEntryFallsBackToColdCompile) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler seed = meCompiler();
+  seed.diskCache(&disk);
+  CompileResult cold = seed.compile();
+  ASSERT_TRUE(cold.ok);
+
+  fs::path entry = soleEntry(dir.path);
+  fs::resize_file(entry, fs::file_size(entry) / 2);
+
+  Compiler c = meCompiler();
+  c.diskCache(&disk);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.diskHit);
+  EXPECT_EQ(r.artifact, cold.artifact);
+  EXPECT_GE(disk.stats().rejects, 1);
+}
+
+TEST(DiskCache, FlippedMagicByteIsRejectedAndUnlinked) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler seed = meCompiler();
+  seed.diskCache(&disk);
+  ASSERT_TRUE(seed.compile().ok);
+
+  fs::path entry = soleEntry(dir.path);
+  corruptFile(entry, 0, 0xFF);
+
+  Compiler c = meCompiler();
+  c.diskCache(&disk);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.diskHit);
+  EXPECT_EQ(disk.stats().rejects, 1);
+  // The cold compile re-wrote a good entry over the unlinked bad one.
+  EXPECT_EQ(disk.stats().entries, 1);
+  EXPECT_TRUE(c.compile().diskHit);
+}
+
+TEST(DiskCache, StaleFormatVersionIsRejected) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler seed = meCompiler();
+  seed.diskCache(&disk);
+  ASSERT_TRUE(seed.compile().ok);
+
+  // Byte 8 is the low byte of the little-endian u32 format version.
+  corruptFile(soleEntry(dir.path), 8, 0x7F);
+
+  Compiler c = meCompiler();
+  c.diskCache(&disk);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.diskHit);
+  EXPECT_GE(disk.stats().rejects, 1);
+}
+
+TEST(DiskCache, SchemaFingerprintDriftIsRejected) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler seed = meCompiler();
+  seed.diskCache(&disk);
+  ASSERT_TRUE(seed.compile().ok);
+
+  // Bytes 12..19 hold the schema fingerprint.
+  corruptFile(soleEntry(dir.path), 12, 0x01);
+
+  Compiler c = meCompiler();
+  c.diskCache(&disk);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.diskHit);
+  EXPECT_GE(disk.stats().rejects, 1);
+}
+
+TEST(DiskCache, PayloadBitFlipFailsTheChecksum) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler seed = meCompiler();
+  seed.diskCache(&disk);
+  ASSERT_TRUE(seed.compile().ok);
+
+  fs::path entry = soleEntry(dir.path);
+  corruptFile(entry, fs::file_size(entry) / 2, 0x10);  // middle of the payload
+
+  Compiler c = meCompiler();
+  c.diskCache(&disk);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_FALSE(r.diskHit);
+  EXPECT_GE(disk.stats().rejects, 1);
+}
+
+TEST(DiskCache, KeyCollisionWithDifferingOptionsIsAMissNotAWrongPlan) {
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+
+  // Seed an entry compiled with options A.
+  Compiler a = meCompiler();
+  a.diskCache(&disk);
+  CompileResult ra = a.compile();
+  ASSERT_TRUE(ra.ok);
+  fs::path entryA = soleEntry(dir.path);
+
+  // Forge a 64-bit name collision: copy A's file to the entry name that
+  // options B (different memory limit -> different key) would look up.
+  Compiler b = meCompiler();
+  b.memoryLimitBytes(8 * 1024);
+  PlanKey keyB;
+  keyB.block = hashProgramBlock(buildMeBlock(64, 64, 8));
+  {
+    CompileOptions optsB = b.opts();
+    keyB.options = hashCompileOptions(optsB);
+    Hasher h;
+    h.mix(std::vector<std::string>{});  // no skipped passes
+    keyB.passes = h.digest();
+  }
+  fs::copy_file(entryA, dir.path / DiskPlanCache::entryFileName(keyB));
+
+  // B must detect the key-echo mismatch, reject, and cold-compile: its
+  // tile choice under the tighter budget differs from A's cached one.
+  b.diskCache(&disk);
+  CompileResult rb = b.compile();
+  ASSERT_TRUE(rb.ok);
+  EXPECT_FALSE(rb.diskHit);
+  EXPECT_GE(disk.stats().rejects, 1);
+  EXPECT_LE(rb.search.eval.footprint, 8 * 1024 / 4);  // B's own plan, not A's
+}
+
+TEST(DiskCache, OrphanedTempFilesAreSweptOnOpen) {
+  TempCacheDir dir;
+  fs::create_directories(dir.path);
+  const fs::path orphan = dir.path / "deadbeef.emmplan.tmp.123.0";
+  std::ofstream(orphan) << "half-written by a crashed process";
+  ASSERT_TRUE(fs::exists(orphan));
+  DiskPlanCache disk(dir.str());
+  EXPECT_FALSE(fs::exists(orphan));
+  EXPECT_EQ(disk.stats().entries, 0);
+}
+
+// ---- Eviction. ----
+
+TEST(DiskCache, LruEvictionKeepsTheCacheUnderTheByteCap) {
+  TempCacheDir dir;
+  // First find one entry's size, then cap the cache below two entries.
+  i64 entryBytes = 0;
+  {
+    DiskPlanCache probe(dir.str());
+    Compiler c = meCompiler();
+    c.diskCache(&probe);
+    ASSERT_TRUE(c.compile().ok);
+    entryBytes = probe.stats().bytes;
+    probe.clear();
+  }
+  ASSERT_GT(entryBytes, 0);
+
+  DiskPlanCache disk(dir.str(), entryBytes + entryBytes / 2);
+  Compiler first = meCompiler();
+  first.diskCache(&disk);
+  ASSERT_TRUE(first.compile().ok);
+
+  Compiler second = meCompiler();
+  second.memoryLimitBytes(8 * 1024).diskCache(&disk);
+  ASSERT_TRUE(second.compile().ok);
+
+  DiskPlanCache::Stats s = disk.stats();
+  EXPECT_EQ(s.evictions, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_LE(s.bytes, disk.maxBytes());
+
+  // The survivor is the newer entry; the older one cold-compiles again.
+  EXPECT_TRUE(second.compile().diskHit);
+  Compiler firstAgain = meCompiler();
+  firstAgain.diskCache(&disk);
+  EXPECT_FALSE(firstAgain.compile().diskHit);
+}
+
+// ---- Stats coherence (in-memory tier). ----
+
+TEST(PlanCacheStats, SnapshotStaysCoherentUnderConcurrentTraffic) {
+  PlanCache cache(64);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<bool> stop{false};
+
+  // A reader hammers stats() while writers look up and insert; every
+  // snapshot must be internally consistent (no torn counter pairs).
+  // Violations are recorded and asserted after join (gtest macros are not
+  // thread-safe).
+  std::atomic<bool> tornSnapshot{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      PlanCache::Stats s = cache.stats();
+      // Entries only appear via insert after a miss, so at any coherent
+      // instant 0 <= entries <= min(capacity, misses).
+      if (s.hits < 0 || s.misses < 0 || s.entries < 0 || s.entries > 64 ||
+          s.entries > s.misses)
+        tornSnapshot.store(true);
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        PlanKey key;
+        key.block = static_cast<u64>(t * kOpsPerThread + i);
+        CompileResult r = cache.getOrCompute(key, [] {
+          CompileResult fresh;
+          fresh.ok = true;
+          fresh.input = std::make_unique<ProgramBlock>();
+          return fresh;
+        });
+        if (!r.ok) failures.fetch_add(1);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  stop.store(true);
+  reader.join();
+  EXPECT_FALSE(tornSnapshot.load());
+
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kOpsPerThread);
+  EXPECT_EQ(s.misses, kThreads * kOpsPerThread);  // all keys distinct
+}
+
+}  // namespace
+}  // namespace emm

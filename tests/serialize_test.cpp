@@ -1,0 +1,254 @@
+// Tests for the versioned plan serialization layer: primitive encodings,
+// hostile-input rejection, and full CompileResult round-trips over every
+// built-in kernel (the products must replay byte-identically — same
+// artifact, costs, tile choices, diagnostics, and timings — and the
+// deserialized code unit must execute identically in the interpreter).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "driver/compiler.h"
+#include "ir/interp.h"
+#include "kernels/blocks.h"
+#include "support/serialize.h"
+
+namespace emm {
+namespace {
+
+// ---- Primitive encodings. ----
+
+TEST(ByteCodec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32v(0xDEADBEEF);
+  w.u64v(0x0123456789ABCDEFull);
+  w.i64v(-42);
+  w.boolean(true);
+  w.boolean(false);
+  w.f64(-0.0);
+  w.f64(3.14159);
+  w.str("hello");
+  w.str("");
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32v(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64v(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64v(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  double negZero = r.f64();
+  EXPECT_EQ(negZero, 0.0);
+  EXPECT_TRUE(std::signbit(negZero));
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteCodec, EncodingIsLittleEndianByteByByte) {
+  ByteWriter w;
+  w.u32v(0x01020304);
+  const std::string& b = w.buffer();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(ByteCodec, NaNBitPatternSurvives) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+TEST(ByteCodec, TruncatedReadsThrowInsteadOfCrashing) {
+  ByteWriter w;
+  w.u64v(7);
+  std::string bytes = w.take();
+  bytes.resize(3);
+  ByteReader r(bytes);
+  EXPECT_THROW(r.u64v(), SerializeError);
+}
+
+TEST(ByteCodec, HugeCountIsRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.u64v(std::numeric_limits<u64>::max() / 2);  // absurd element count
+  ByteReader r(w.buffer());
+  EXPECT_THROW(r.count(8), SerializeError);
+}
+
+TEST(ByteCodec, StringLengthBeyondInputThrows) {
+  ByteWriter w;
+  w.u64v(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  ByteReader r(w.buffer());
+  EXPECT_THROW(r.str(), SerializeError);
+}
+
+TEST(ByteCodec, ExpectEndFlagsTrailingGarbage) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.expectEnd(), SerializeError);
+}
+
+// ---- Schema identity. ----
+
+TEST(Schema, FingerprintIsStableWithinABuild) {
+  EXPECT_EQ(serializeSchemaFingerprint(), serializeSchemaFingerprint());
+  EXPECT_NE(serializeSchemaFingerprint(), 0u);
+}
+
+TEST(Schema, BlockAndOptionEncodingsAreCanonical) {
+  EXPECT_EQ(serializeProgramBlock(buildMeBlock(64, 32, 8)),
+            serializeProgramBlock(buildMeBlock(64, 32, 8)));
+  EXPECT_NE(serializeProgramBlock(buildMeBlock(64, 32, 8)),
+            serializeProgramBlock(buildMeBlock(64, 32, 16)));
+  CompileOptions a, b;
+  EXPECT_EQ(serializeCompileOptions(a), serializeCompileOptions(b));
+  b.memLimitBytes += 1;
+  EXPECT_NE(serializeCompileOptions(a), serializeCompileOptions(b));
+}
+
+// ---- Full-plan round trips. ----
+
+/// Compiles a built-in kernel the way emmapc would configure it.
+CompileResult compileKernel(const std::string& name, const std::string& backend) {
+  IntVec params;
+  ProgramBlock block = buildKernelByName(name, {}, params);
+  Compiler c(std::move(block));
+  const bool fig1 = name == "figure1";
+  c.parameters(params)
+      .memoryLimitBytes(16 * 1024)
+      .backend(backend)
+      .scratchpadOnly(fig1)
+      .stageEverything(fig1)
+      .partition(fig1 ? PartitionMode::PerArrayUnion : PartitionMode::MaximalDisjoint);
+  return c.compile();
+}
+
+/// The strong oracle: re-serializing the deserialized result must reproduce
+/// the original byte stream exactly — any field dropped or altered by the
+/// reader shows up as a byte difference.
+void expectRoundTripIdentity(const CompileResult& r) {
+  const std::string bytes = serializeCompileResult(r);
+  CompileResult back = deserializeCompileResult(bytes);
+  EXPECT_EQ(serializeCompileResult(back), bytes);
+
+  // Field-level spot checks (redundant with the byte identity, but they
+  // localize a failure).
+  EXPECT_EQ(back.ok, r.ok);
+  EXPECT_EQ(back.artifact, r.artifact);
+  EXPECT_EQ(back.search.subTile, r.search.subTile);
+  EXPECT_EQ(back.search.eval.cost, r.search.eval.cost);  // bit-identical double
+  EXPECT_EQ(back.search.eval.footprint, r.search.eval.footprint);
+  EXPECT_EQ(back.diagnostics.size(), r.diagnostics.size());
+  EXPECT_EQ(back.timings.size(), r.timings.size());
+  EXPECT_EQ(back.kernel.has_value(), r.kernel.has_value());
+  EXPECT_EQ(back.scratchpadUnit.has_value(), r.scratchpadUnit.has_value());
+  EXPECT_EQ(back.blockPlan.has_value(), r.blockPlan.has_value());
+
+  // Back-pointers must land on the deserialized blocks, not the originals.
+  if (back.kernel) {
+    EXPECT_EQ(back.kernel->unit.source, back.kernel->analysis.tileBlock.get());
+    EXPECT_EQ(back.kernel->analysis.plan.block, back.kernel->analysis.tileBlock.get());
+  }
+  if (back.blockPlan && r.blockPlan && r.blockPlan->block != nullptr) {
+    EXPECT_NE(back.blockPlan->block, r.blockPlan->block);
+    EXPECT_TRUE(back.blockPlan->block == back.input.get() ||
+                back.blockPlan->block == back.transformed.get());
+  }
+}
+
+TEST(PlanRoundTrip, EveryBuiltinKernelReplaysByteIdentically) {
+  for (const std::string& name : builtinKernelNames()) {
+    SCOPED_TRACE(name);
+    CompileResult r = compileKernel(name, "c");
+    ASSERT_TRUE(r.ok) << r.firstError();
+    expectRoundTripIdentity(r);
+  }
+}
+
+TEST(PlanRoundTrip, CudaAndCellArtifactsSurvive) {
+  for (const std::string& backend : {std::string("cuda"), std::string("cell")}) {
+    SCOPED_TRACE(backend);
+    CompileResult r = compileKernel("me", backend);
+    ASSERT_TRUE(r.ok) << r.firstError();
+    EXPECT_FALSE(r.artifact.empty());
+    expectRoundTripIdentity(r);
+  }
+}
+
+TEST(PlanRoundTrip, DeserializedUnitExecutesIdentically) {
+  const IntVec params = {16, 16, 4};  // small so the interpreter run is fast
+  Compiler c(buildMeBlock(params[0], params[1], params[2]));
+  c.parameters(params).memoryLimitBytes(16 * 1024).backend("c");
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  ASSERT_TRUE(r.kernel.has_value());
+  CompileResult back = deserializeCompileResult(serializeCompileResult(r));
+
+  IntVec ext = params;
+  ext.resize(r.kernel->analysis.tileBlock->paramNames.size(), 0);
+
+  ArrayStore storeA(r.input->arrays);
+  storeA.fillAllPattern(1);
+  MemTrace a = executeCodeUnit(*r.unit(), ext, storeA);
+
+  ArrayStore storeB(back.input->arrays);
+  storeB.fillAllPattern(1);
+  MemTrace b = executeCodeUnit(*back.unit(), ext, storeB);
+
+  EXPECT_EQ(a.stmtInstances, b.stmtInstances);
+  EXPECT_EQ(a.globalReads, b.globalReads);
+  EXPECT_EQ(a.globalWrites, b.globalWrites);
+  EXPECT_EQ(a.copyElements, b.copyElements);
+  EXPECT_EQ(a.syncs, b.syncs);
+  EXPECT_EQ(ArrayStore::maxAbsDiff(storeA, storeB), 0.0);
+}
+
+TEST(PlanRoundTrip, FailedResultsRoundTripToo) {
+  // An infeasible memory budget fails in tilesearch; the diagnostics-only
+  // result must survive (the disk cache never stores these, but the codec
+  // should not care).
+  Compiler c(buildMeBlock(64, 64, 8));
+  c.parameters({64, 64, 8}).memoryLimitBytes(1);
+  CompileResult r = c.compile();
+  ASSERT_FALSE(r.ok);
+  expectRoundTripIdentity(r);
+}
+
+// ---- Hostile payloads. ----
+
+TEST(PlanDecode, EmptyInputThrows) {
+  EXPECT_THROW(deserializeCompileResult(std::string_view{}), SerializeError);
+}
+
+TEST(PlanDecode, WrongLeadingTagThrows) {
+  std::string bytes = serializeCompileResult(compileKernel("matmul", "c"));
+  bytes[0] ^= 0x5A;
+  EXPECT_THROW(deserializeCompileResult(bytes), SerializeError);
+}
+
+TEST(PlanDecode, AnyTruncationThrowsCleanly) {
+  std::string bytes = serializeCompileResult(compileKernel("matmul", "c"));
+  // Chop at several depths: header, mid-products, one byte short.
+  for (size_t keep : {size_t(1), bytes.size() / 3, bytes.size() / 2, bytes.size() - 1}) {
+    SCOPED_TRACE(keep);
+    EXPECT_THROW(deserializeCompileResult(std::string_view(bytes).substr(0, keep)),
+                 SerializeError);
+  }
+}
+
+TEST(PlanDecode, TrailingGarbageIsRejected) {
+  std::string bytes = serializeCompileResult(compileKernel("matmul", "c"));
+  bytes += "extra";
+  EXPECT_THROW(deserializeCompileResult(bytes), SerializeError);
+}
+
+}  // namespace
+}  // namespace emm

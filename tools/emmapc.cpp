@@ -14,19 +14,24 @@
 //          [--machine=gpu|cell]        simulated target (default gpu)
 //          [--jobs=N]                  pool workers for multi-kernel batches
 //          [--cache=on|off]            process-wide plan cache (default off)
+//          [--cache-dir=PATH]          persistent on-disk plan cache
 //          [--verbose]                 print all pipeline diagnostics
+//          [--help]                    full flag reference
 //
 // With a comma-separated --kernel list, the blocks are compiled as one
 // batch over --jobs workers and one summary line is printed per kernel
 // (--emit=stats adds per-kernel search/timing lines; artifacts and
 // interpreter counters are printed for single-kernel runs only). Repeating
 // a kernel with --cache=on --jobs=1 demonstrates a warm plan-cache hit in
-// a single process.
+// a single process; running twice with the same --cache-dir demonstrates a
+// disk hit across processes (the second run skips the pipeline entirely
+// and replays the stored plan).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "driver/compiler.h"
+#include "driver/disk_cache.h"
 #include "driver/plan_cache.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
@@ -40,7 +45,36 @@ constexpr const char* kUsage =
     "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...] [--size=N,M,..]\n"
     "              [--tile=t0,t1,..] [--mem=BYTES] [--emit=c|cuda|cell|plan|stats]\n"
     "              [--no-hoist] [--machine=gpu|cell] [--jobs=N] [--cache=on|off]\n"
-    "              [--verbose]\n";
+    "              [--cache-dir=PATH] [--verbose] [--help]\n";
+
+constexpr const char* kHelp =
+    "emmapc — command-line driver for the emmap toolchain.\n"
+    "\n"
+    "  --kernel=NAME[,NAME...]  built-in kernel(s) to compile (default me):\n"
+    "                           me, jacobi, jacobi2d, matmul, figure1. A comma-\n"
+    "                           separated list compiles as one batch over --jobs\n"
+    "                           workers, one summary line per kernel.\n"
+    "  --size=N[,M[,K]]         problem sizes; per-kernel defaults fill the rest\n"
+    "  --tile=t0,t1,...         explicit sub-tile sizes (default: the Section-4.3\n"
+    "                           tile-size search under the --mem budget)\n"
+    "  --mem=BYTES              scratchpad capacity in bytes (default 16384)\n"
+    "  --emit=MODE              artifact to print (default plan):\n"
+    "                           c | cuda | cell  rendered source for that backend\n"
+    "                           plan             scratchpad plan summary\n"
+    "                           stats            interpreter counters + timings\n"
+    "  --no-hoist               disable Section-4.2 copy hoisting\n"
+    "  --machine=gpu|cell       simulated target (default gpu); cell stages every\n"
+    "                           reference through the local store\n"
+    "  --jobs=N                 thread-pool workers for multi-kernel batches\n"
+    "  --cache=on|off           process-wide in-memory plan cache (default off);\n"
+    "                           hit/miss counters shown under --emit=stats\n"
+    "  --cache-dir=PATH         persistent on-disk plan cache (created if absent):\n"
+    "                           memory hit -> disk hit -> cold compile; a second\n"
+    "                           run with the same flags replays the stored plan\n"
+    "                           without running the pipeline. Disk counters are\n"
+    "                           shown under --emit=stats. Format: docs/PLAN_FORMAT.md\n"
+    "  --verbose                print every pipeline diagnostic (notes included)\n"
+    "  --help                   this text\n";
 
 std::vector<std::string> splitList(const std::string& s) {
   std::vector<std::string> out;
@@ -135,9 +169,9 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
         std::fprintf(stderr, "[%s] %s\n", kernels[i].c_str(), d.str().c_str());
     std::string tile;
     for (i64 t : r.search.subTile) tile += (tile.empty() ? "" : ",") + std::to_string(t);
-    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s\n", kernels[i].c_str(),
+    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s%s\n", kernels[i].c_str(),
                 r.ok ? "ok" : "FAIL", tile.c_str(), r.artifact.size(),
-                r.cacheHit ? "  [cache hit]" : "");
+                r.cacheHit ? "  [cache hit]" : "", r.diskHit ? "  [disk hit]" : "");
     if (emit == "stats") {
       // Per-kernel summary stats (full interpreter counters need the
       // single-kernel path).
@@ -155,14 +189,25 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
     std::printf("plan cache : %lld hits / %lld misses / %lld entries\n", s.hits, s.misses,
                 s.entries);
   }
+  if (compiler.diskPlanCache() != nullptr) {
+    DiskPlanCache::Stats s = compiler.diskPlanCache()->stats();
+    std::printf("disk cache : %lld hits / %lld misses / %lld rejects / %lld evictions; "
+                "%lld entries (%lld bytes)\n",
+                s.hits, s.misses, s.rejects, s.evictions, s.entries, s.bytes);
+  }
   return failures == 0 ? 0 : 1;
 }
 
 int run(cli::Args& args) {
+  if (args.flag("help")) {
+    std::fputs(kHelp, stdout);
+    return 0;
+  }
   const std::string kernelArg = args.str("kernel", "me");
   const std::string emit = args.str("emit", "plan");
   const std::string machine = args.str("machine", "gpu");
   const std::string cacheArg = args.str("cache", "off");
+  const std::string cacheDir = args.str("cache-dir", "");
   const i64 jobsArg = args.integer("jobs", 1);
   const bool hoist = !args.flag("no-hoist");
   const bool verbose = args.flag("verbose");
@@ -191,6 +236,7 @@ int run(cli::Args& args) {
       .backend(emit == "cuda" || emit == "cell" ? emit : "c")
       .jobs(static_cast<int>(jobsArg));
   if (cacheOn) compiler.cache(&PlanCache::global());
+  if (!cacheDir.empty()) compiler.diskCache(cacheDir);
   if (emit == "plan" || emit == "stats") compiler.skipPass("codegen");
   if (!args.validate(kUsage)) return 2;
 
@@ -252,6 +298,13 @@ int run(cli::Args& args) {
       PlanCache::Stats s = PlanCache::global().stats();
       std::printf("plan cache          : %s; %lld hits / %lld misses / %lld entries\n",
                   r.cacheHit ? "hit" : "miss", s.hits, s.misses, s.entries);
+    }
+    if (compiler.diskPlanCache() != nullptr) {
+      DiskPlanCache::Stats s = compiler.diskPlanCache()->stats();
+      std::printf("disk cache          : %s; %lld hits / %lld misses / %lld rejects / "
+                  "%lld evictions; %lld entries (%lld bytes)\n",
+                  r.diskHit ? "hit (pipeline skipped)" : "miss", s.hits, s.misses, s.rejects,
+                  s.evictions, s.entries, s.bytes);
     }
   } else if (emit == "plan") {
     if (r.kernel)
