@@ -4,13 +4,52 @@
 // Paper setup: NVIDIA 8800 GTX, 32 thread blocks, 256 threads, W = 16,
 // tile sizes (32, 16, 16, 16) from the Section-4.3 search. Expected shape:
 // scratchpad version ~8x faster than DRAM-only; >100x faster than CPU.
+//
+// The second table exercises the compilation service in SHARED-PLAN mode:
+// the whole size sweep is compiled with one kernel-family plan (problem
+// sizes stay symbolic end-to-end), so exactly one cold pipeline runs and
+// every further size is a bind-and-emit instantiation. The sweep FAILS
+// (exit 1) on any per-size artifact/tile mismatch against an isolated cold
+// compile or on a missing family hit — CI runs it as a smoke test.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
+#include "driver/compiler.h"
+#include "driver/plan_cache.h"
 #include "kernels/me_pipeline.h"
 
 using namespace emm;
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "FIG4 SHARED-PLAN CHECK FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+double millisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One-size ME compile through the unified pipeline (cuda backend folds the
+/// problem sizes, so artifact bytes are size-specific).
+CompileResult compileMe(i64 ni, i64 nj, i64 w, PlanCache* cache, double* ms) {
+  Compiler c(buildMeBlock(ni, nj, w));
+  c.parameters({ni, nj, w}).memoryLimitBytes(16 * 1024).backend("cuda");
+  if (cache != nullptr) c.cache(cache);
+  const auto t0 = std::chrono::steady_clock::now();
+  CompileResult r = c.compile();
+  if (ms != nullptr) *ms = millisSince(t0);
+  return r;
+}
+
+}  // namespace
 
 int main() {
   bench::header("Figure 4: Mpeg4 ME execution time vs problem size",
@@ -46,5 +85,38 @@ int main() {
                 rwo.milliseconds / rw.milliseconds, cpu / rw.milliseconds);
   }
   std::printf("\n  paper reports: smem speedup ~8x over DRAM-only, >100x over CPU\n");
+
+  // ---- Shared-plan compilation sweep (size-generic family tier) ----------
+  std::printf("\n  shared-plan compilation sweep: one family plan, per-size bind-and-emit\n");
+  std::printf("  %-10s %10s %10s %8s  %s\n", "size", "cold-ms", "warm-ms", "spdp",
+              "tile");
+  PlanCache cache;
+  double coldTotal = 0, warmTotal = 0;
+  bool first = true;
+  for (i64 points : sizes) {
+    const i64 nj = 1024, ni = points / nj, w = 16;
+    double coldMs = 0, warmMs = 0;
+    CompileResult cold = compileMe(ni, nj, w, nullptr, &coldMs);
+    CompileResult warm = compileMe(ni, nj, w, &cache, &warmMs);
+    require(cold.ok && warm.ok, "compile failed");
+    require(warm.artifact == cold.artifact, "per-size artifact mismatch");
+    require(warm.search.subTile == cold.search.subTile, "chosen tile mismatch");
+    require(warm.familyHit == !first, first ? "first size must build the family"
+                                            : "missing family hit");
+    require(warm.search.familyAdopted == !first, "family plan not adopted");
+    coldTotal += coldMs;
+    warmTotal += warmMs;
+    std::string tile;
+    for (i64 t : warm.search.subTile) tile += (tile.empty() ? "" : ",") + std::to_string(t);
+    std::printf("  %-10s %10.2f %10.2f %7.1fx  (%s)\n", bench::sizeLabel(points).c_str(),
+                coldMs, warmMs, coldMs / warmMs, tile.c_str());
+    first = false;
+  }
+  PlanCache::Stats s = cache.stats();
+  require(s.familyMisses == 1, "sweep must perform exactly one cold pipeline run");
+  require(s.familyHits == static_cast<i64>(sizes.size()) - 1, "family hit per warm size");
+  std::printf("  sweep totals: %.1f ms cold vs %.1f ms shared-plan (%.1fx); "
+              "%lld family hits / %lld misses\n",
+              coldTotal, warmTotal, coldTotal / warmTotal, s.familyHits, s.familyMisses);
   return 0;
 }

@@ -4,13 +4,58 @@
 // Paper setup: T = 4096 time steps, time tile 32, problem sizes 8k..512k.
 // Expected shape: scratchpad version ~10x faster than DRAM-only and ~15x
 // faster than CPU.
+//
+// The second table compiles the jacobi block across the sweep in
+// SHARED-PLAN mode. Jacobi's band is pipeline-parallel, so there is no tile
+// search to share — this is the degraded-family case: the family tier still
+// serves the dependence analysis, and the Section-3 planning + cell
+// emission run per size. The sweep FAILS (exit 1) on any per-size artifact
+// mismatch against an isolated cold compile or on a missing family hit.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
+#include "driver/compiler.h"
+#include "driver/plan_cache.h"
+#include "kernels/blocks.h"
 #include "kernels/jacobi_mapped.h"
 
 using namespace emm;
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "FIG5 SHARED-PLAN CHECK FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+double millisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One-size jacobi compile: scratchpad-only flow (the Figure-1 pipeline the
+/// paper applies to this kernel) rendered through the cell backend, which
+/// folds the problem sizes — artifact bytes are size-specific.
+CompileResult compileJacobi(i64 n, i64 t, PlanCache* cache, double* ms) {
+  Compiler c(buildJacobiBlock(n, t));
+  c.parameters({n, t})
+      .scratchpadOnly(true)
+      .stageEverything(true)
+      .memoryLimitBytes(16 * 1024)
+      .backend("cell");
+  if (cache != nullptr) c.cache(cache);
+  const auto t0 = std::chrono::steady_clock::now();
+  CompileResult r = c.compile();
+  if (ms != nullptr) *ms = millisSince(t0);
+  return r;
+}
+
+}  // namespace
 
 int main() {
   bench::header("Figure 5: 1-D Jacobi execution time vs problem size",
@@ -47,5 +92,33 @@ int main() {
                 cpu / rw.milliseconds);
   }
   std::printf("\n  paper reports: smem speedup ~10x over DRAM-only, ~15x over CPU\n");
+
+  // ---- Shared-plan compilation sweep (size-generic family tier) ----------
+  std::printf("\n  shared-plan compilation sweep: family tier on the no-search pipeline\n");
+  std::printf("  %-10s %10s %10s %8s\n", "size", "cold-ms", "warm-ms", "spdp");
+  PlanCache cache;
+  double coldTotal = 0, warmTotal = 0;
+  bool first = true;
+  for (i64 n : sizes) {
+    double coldMs = 0, warmMs = 0;
+    CompileResult cold = compileJacobi(n, 4096, nullptr, &coldMs);
+    CompileResult warm = compileJacobi(n, 4096, &cache, &warmMs);
+    require(cold.ok && warm.ok, "compile failed");
+    require(!cold.artifact.empty(), "scratchpad-only flow must emit an artifact");
+    require(warm.artifact == cold.artifact, "per-size artifact mismatch");
+    require(warm.familyHit == !first, first ? "first size must build the family"
+                                            : "missing family hit");
+    coldTotal += coldMs;
+    warmTotal += warmMs;
+    std::printf("  %-10s %10.2f %10.2f %7.1fx\n", bench::sizeLabel(n).c_str(), coldMs,
+                warmMs, coldMs / warmMs);
+    first = false;
+  }
+  PlanCache::Stats s = cache.stats();
+  require(s.familyMisses == 1, "sweep must perform exactly one cold pipeline run");
+  require(s.familyHits == static_cast<i64>(sizes.size()) - 1, "family hit per warm size");
+  std::printf("  sweep totals: %.1f ms cold vs %.1f ms shared-plan; "
+              "%lld family hits / %lld misses\n",
+              coldTotal, warmTotal, s.familyHits, s.familyMisses);
   return 0;
 }

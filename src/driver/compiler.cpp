@@ -4,7 +4,9 @@
 #include <chrono>
 
 #include "driver/disk_cache.h"
+#include "driver/family_plan.h"
 #include "driver/plan_cache.h"
+#include "support/serialize.h"
 #include "support/diagnostics.h"
 #include "support/fingerprint.h"
 #include "support/thread_pool.h"
@@ -29,6 +31,7 @@ CompileResult CompileResult::clone() const {
   out.ok = ok;
   out.cacheHit = cacheHit;
   out.diskHit = diskHit;
+  out.familyHit = familyHit;
   out.diagnostics = diagnostics;
   out.timings = timings;
   return out;
@@ -187,16 +190,31 @@ CompileOptions Compiler::effectiveOptions() const {
 
 namespace {
 
-PlanKey planKeyFor(const ProgramBlock& block, const CompileOptions& options,
-                   std::vector<std::string> skipped) {
+u64 skippedPassDigest(std::vector<std::string> skipped) {
   std::sort(skipped.begin(), skipped.end());
   Hasher h;
   h.mix(skipped);
+  return h.digest();
+}
+
+PlanKey planKeyFor(const ProgramBlock& block, const CompileOptions& options,
+                   const std::vector<std::string>& skipped) {
   PlanKey key;
   key.block = hashProgramBlock(block);
   key.options = hashCompileOptions(options);
-  key.passes = h.digest();
+  key.passes = skippedPassDigest(skipped);
   return key;
+}
+
+/// Skipped-pass digest for the family key. Codegen consumes pipeline
+/// products and contributes nothing to the family plan, so skipping it
+/// must not split the family: a cache warmed by full compiles serves
+/// --emit=plan/stats sweeps and vice versa.
+u64 familyPassesDigest(const std::vector<std::string>& skipped) {
+  std::vector<std::string> relevant;
+  for (const std::string& name : skipped)
+    if (name != "codegen") relevant.push_back(name);
+  return skippedPassDigest(relevant);
 }
 
 }  // namespace
@@ -220,22 +238,55 @@ CompileResult Compiler::compile() {
 
 CompileResult Compiler::computeWithDiskTier(const PlanKey& key) {
   DiskPlanCache* disk = diskPlanCache();
+  const CompileOptions opts = effectiveOptions();
   if (disk != nullptr && source_.has_value()) {
-    if (std::optional<CompileResult> hit = disk->lookup(key, *source_, effectiveOptions()))
+    if (std::optional<CompileResult> hit = disk->lookup(key, *source_, opts))
       return std::move(*hit);
   }
-  CompileResult result = runPipeline();
-  // The disk tier never fails a compile: a full or read-only cache
-  // directory silently degrades to cold compiles.
-  if (disk != nullptr && result.ok) disk->insert(key, effectiveOptions(), result);
+  // Family tier: one size-generic plan per kernel family (same block and
+  // options modulo the problem sizes). Canonical forms, keys and digests
+  // are computed ONCE, up front — runPipeline() may consume source_ on
+  // one-shot async snapshots, so nothing below may touch it afterwards.
+  const ProgramBlock famBlock = familyCanonicalBlock(*source_);
+  const CompileOptions famOptions = familyCanonicalOptions(opts);
+  FamilyKey fkey;
+  fkey.block = hashProgramBlock(famBlock);
+  fkey.options = hashCompileOptions(famOptions);
+  fkey.passes = familyPassesDigest(skipped_);
+  const u64 famBlockDigest = digestBytes(serializeProgramBlock(famBlock));
+  const u64 famOptionsDigest = digestBytes(serializeCompileOptions(famOptions));
+  const u64 fdigest = hashCombine(famBlockDigest, famOptionsDigest);
+  std::shared_ptr<const FamilyPlan> family;
+  if (cache_ != nullptr) family = cache_->lookupFamily(fkey, fdigest);
+  if (family == nullptr && disk != nullptr) {
+    family = disk->lookupFamily(fkey, famBlockDigest, famOptionsDigest);
+    if (family != nullptr && cache_ != nullptr) cache_->insertFamily(fkey, fdigest, family);
+  }
+  std::shared_ptr<FamilyPlan> produced;
+  CompileResult result = runPipeline(family, &produced);
+  if (result.ok) {
+    // Publish the family products of a cold run before the per-size entry,
+    // so a racing sweep member sees the family as soon as the plan exists.
+    if (produced != nullptr) {
+      if (cache_ != nullptr) cache_->insertFamily(fkey, fdigest, produced);
+      if (disk != nullptr) disk->insertFamily(fkey, famBlockDigest, famOptionsDigest, produced);
+    }
+    // The disk tier never fails a compile: a full or read-only cache
+    // directory silently degrades to cold compiles.
+    if (disk != nullptr) disk->insert(key, opts, result);
+  }
   return result;
 }
 
-CompileResult Compiler::runPipeline() {
+CompileResult Compiler::runPipeline(std::shared_ptr<const FamilyPlan> familyIn,
+                                    std::shared_ptr<FamilyPlan>* familyOut) {
   const PassRegistry& registry = PassRegistry::standard();
 
   CompileState state;
   state.options = effectiveOptions();
+  state.familyIn = std::move(familyIn);
+  if (state.familyIn == nullptr && familyOut != nullptr)
+    state.familyOut = std::make_shared<FamilyPlan>();
   // Keep Compiler reusable by copying the source — except for one-shot
   // async snapshots, which own their source exclusively and may donate it.
   state.input = consumeSource_ ? std::make_unique<ProgramBlock>(std::move(*source_))
@@ -288,6 +339,8 @@ CompileResult Compiler::runPipeline() {
 
   CompileResult result;
   result.ok = !state.failed;
+  result.familyHit = state.familyUsed;
+  if (familyOut != nullptr) *familyOut = std::move(state.familyOut);
   result.diagnostics = std::move(state.diagnostics);
   result.timings = std::move(timings);
   static_cast<PipelineProducts&>(result) = std::move(static_cast<PipelineProducts&>(state));

@@ -31,6 +31,7 @@
 namespace emm {
 
 class DiskPlanCache;
+struct FamilyPlan;
 class PlanCache;
 struct PlanKey;
 class ThreadPool;
@@ -59,6 +60,14 @@ struct CompileResult : PipelineProducts {
   /// that originally produced the plan. A memory-cache replay of a
   /// disk-loaded plan reports cacheHit only.
   bool diskHit = false;
+  /// True when this result was instantiated from the size-generic FAMILY
+  /// tier: the pipeline ran, but dependence analysis, the transform search
+  /// and/or the symbolic tile-plan build were served from a kernel-family
+  /// plan compiled once for the whole `--size` sweep, leaving only the
+  /// cheap per-size bind-and-emit stages. Like cacheHit/diskHit this is a
+  /// transport flag: cache replays of a family-instantiated plan report
+  /// their own tier instead.
+  bool familyHit = false;
   std::vector<Diagnostic> diagnostics;
   std::vector<PassTiming> timings;  ///< one entry per pipeline pass, in order
 
@@ -184,7 +193,8 @@ public:
 
 private:
   CompileOptions effectiveOptions() const;
-  CompileResult runPipeline();
+  CompileResult runPipeline(std::shared_ptr<const FamilyPlan> familyIn = nullptr,
+                            std::shared_ptr<FamilyPlan>* familyOut = nullptr);
   /// Disk lookup -> cold compile -> disk write-back; the "compute" half of
   /// the tiered flow (runs as the single-flight leader when a memory cache
   /// is attached).

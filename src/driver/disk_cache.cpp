@@ -10,6 +10,7 @@
 #include <system_error>
 #include <vector>
 
+#include "driver/family_plan.h"
 #include "support/diagnostics.h"
 #include "support/serialize.h"
 
@@ -22,6 +23,8 @@ namespace {
 // 8-byte magic opening every .emmplan file. The trailing newline makes a
 // text-mode transfer corruption visible immediately.
 constexpr char kMagic[8] = {'E', 'M', 'M', 'P', 'L', 'A', 'N', '\n'};
+// 8-byte magic of .emmfam kernel-family records (same envelope layout).
+constexpr char kFamilyMagic[8] = {'E', 'M', 'M', 'F', 'A', 'M', 'P', '\n'};
 
 constexpr size_t kHeaderBytes = 8    // magic
                                 + 4  // format version
@@ -59,10 +62,10 @@ enum class Reject {
   Collision,   ///< valid file owned by a different (block, options): keep it
 };
 
-Reject validateAndExtract(const std::string& file, const PlanKey& key, u64 blockDigest,
-                          u64 optionsDigest, std::string_view& payloadOut) {
+Reject validateAndExtract(const std::string& file, const char* magic, const PlanKey& key,
+                          u64 blockDigest, u64 optionsDigest, std::string_view& payloadOut) {
   if (file.size() < kHeaderBytes) return Reject::Structural;
-  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) return Reject::Structural;
+  if (std::memcmp(file.data(), magic, sizeof(kMagic)) != 0) return Reject::Structural;
   ByteReader r(std::string_view(file).substr(sizeof(kMagic)));
   try {
     if (r.u32v() != kPlanFormatVersion) return Reject::Structural;
@@ -91,6 +94,54 @@ Reject validateAndExtract(const std::string& file, const PlanKey& key, u64 block
   }
 }
 
+/// Serializes one cache-entry envelope (shared by .emmplan and .emmfam:
+/// magic, format version, schema fingerprint, key echo, collision digests,
+/// length-prefixed payload, checksum) and writes it to `path` via a unique
+/// temp file in `dir` + atomic rename. Returns false when the directory is
+/// unwritable (callers degrade silently).
+bool writeEntryAtomically(const std::string& dir, const fs::path& path,
+                          const std::string& fileName, const char* magic, u64 keyBlock,
+                          u64 keyOptions, u64 keyPasses, u64 blockDigest, u64 optionsDigest,
+                          const std::string& payload) {
+  ByteWriter w;
+  w.bytes(magic, sizeof(kMagic));
+  w.u32v(kPlanFormatVersion);
+  w.u64v(serializeSchemaFingerprint());
+  w.u64v(keyBlock);
+  w.u64v(keyOptions);
+  w.u64v(keyPasses);
+  w.u64v(blockDigest);
+  w.u64v(optionsDigest);
+  w.u64v(payload.size());
+  w.bytes(payload.data(), payload.size());
+  w.u64v(digestBytes(payload));
+
+  // Unique temp name in the SAME directory (rename must not cross devices),
+  // then an atomic rename: readers see the old entry or the new one, never
+  // a torn write.
+  static std::atomic<u64> tempCounter{0};
+  const fs::path temp = fs::path(dir) / (fileName + ".tmp." + std::to_string(::getpid()) +
+                                         "." + std::to_string(tempCounter.fetch_add(1)));
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;  // unwritable directory: degrade silently
+    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      removeQuietly(temp);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    removeQuietly(temp);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 DiskPlanCache::DiskPlanCache(std::string dir, i64 maxBytes)
@@ -115,8 +166,16 @@ std::string DiskPlanCache::entryFileName(const PlanKey& key) {
   return hex16(hashCombine(key.block, hashCombine(key.options, key.passes))) + ".emmplan";
 }
 
+std::string DiskPlanCache::familyFileName(const FamilyKey& key) {
+  return hex16(hashCombine(key.block, hashCombine(key.options, key.passes))) + ".emmfam";
+}
+
 std::string DiskPlanCache::entryPath(const PlanKey& key) const {
   return (fs::path(dir_) / entryFileName(key)).string();
+}
+
+std::string DiskPlanCache::familyPath(const FamilyKey& key) const {
+  return (fs::path(dir_) / familyFileName(key)).string();
 }
 
 std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const ProgramBlock& block,
@@ -131,7 +190,7 @@ std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const Pro
   const u64 blockDigest = digestBytes(serializeProgramBlock(block));
   const u64 optionsDigest = digestBytes(serializeCompileOptions(options));
   std::string_view payload;
-  Reject verdict = validateAndExtract(file, key, blockDigest, optionsDigest, payload);
+  Reject verdict = validateAndExtract(file, kMagic, key, blockDigest, optionsDigest, payload);
   if (verdict == Reject::None) {
     try {
       CompileResult result = deserializeCompileResult(payload);
@@ -157,48 +216,64 @@ std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const Pro
 void DiskPlanCache::insert(const PlanKey& key, const CompileOptions& options,
                            const CompileResult& result) {
   if (!result.ok || result.input == nullptr) return;
-  ByteWriter w;
-  w.bytes(kMagic, sizeof(kMagic));
-  w.u32v(kPlanFormatVersion);
-  w.u64v(serializeSchemaFingerprint());
-  w.u64v(key.block);
-  w.u64v(key.options);
-  w.u64v(key.passes);
-  w.u64v(digestBytes(serializeProgramBlock(*result.input)));
-  w.u64v(digestBytes(serializeCompileOptions(options)));
-  const std::string payload = serializeCompileResult(result);
-  w.u64v(payload.size());
-  w.bytes(payload.data(), payload.size());
-  w.u64v(digestBytes(payload));
-
-  // Unique temp name in the SAME directory (rename must not cross devices),
-  // then an atomic rename: readers see the old entry or the new one, never
-  // a torn write.
-  static std::atomic<u64> tempCounter{0};
   const fs::path path = entryPath(key);
-  const fs::path temp = fs::path(dir_) / (entryFileName(key) + ".tmp." +
-                                          std::to_string(::getpid()) + "." +
-                                          std::to_string(tempCounter.fetch_add(1)));
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) return;  // unwritable directory: degrade silently
-    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      removeQuietly(temp);
-      return;
-    }
-  }
-  std::error_code ec;
-  fs::rename(temp, path, ec);
-  if (ec) {
-    removeQuietly(temp);
+  if (!writeEntryAtomically(dir_, path, entryFileName(key), kMagic, key.block, key.options,
+                            key.passes, digestBytes(serializeProgramBlock(*result.input)),
+                            digestBytes(serializeCompileOptions(options)),
+                            serializeCompileResult(result)))
     return;
-  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++insertions_;
   evictLocked(path);
+}
+
+
+std::shared_ptr<const FamilyPlan> DiskPlanCache::lookupFamily(const FamilyKey& key,
+                                                              u64 blockDigest,
+                                                              u64 optionsDigest) {
+  const fs::path path = familyPath(key);
+  std::string file;
+  if (!readFile(path, file)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++familyMisses_;
+    return nullptr;
+  }
+  // Collision guards digest the CANONICAL family forms, so every member of
+  // the family derives the same digests and foreign entries are misses.
+  PlanKey echo;  // same wire shape as the per-size key echo
+  echo.block = key.block;
+  echo.options = key.options;
+  echo.passes = key.passes;
+  std::string_view payload;
+  Reject verdict = validateAndExtract(file, kFamilyMagic, echo, blockDigest, optionsDigest,
+                                      payload);
+  if (verdict == Reject::None) {
+    try {
+      std::shared_ptr<const FamilyPlan> plan = deserializeFamilyPlan(payload);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++familyHits_;
+      }
+      return plan;
+    } catch (const SerializeError&) {
+      verdict = Reject::Structural;  // checksummed but unparseable: drop it
+    }
+  }
+  if (verdict == Reject::Structural) removeQuietly(path);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++familyRejects_;
+  return nullptr;
+}
+
+void DiskPlanCache::insertFamily(const FamilyKey& key, u64 blockDigest, u64 optionsDigest,
+                                 const std::shared_ptr<const FamilyPlan>& plan) {
+  if (plan == nullptr) return;
+  if (!writeEntryAtomically(dir_, familyPath(key), familyFileName(key), kFamilyMagic,
+                            key.block, key.options, key.passes, blockDigest, optionsDigest,
+                            serializeFamilyPlan(*plan)))
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++familyInsertions_;
 }
 
 void DiskPlanCache::evictLocked(const std::filesystem::path& justWritten) {
@@ -245,7 +320,9 @@ void DiskPlanCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::error_code ec;
   for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
-    if (de.is_regular_file(ec) && de.path().extension() == ".emmplan") removeQuietly(de.path());
+    if (de.is_regular_file(ec) &&
+        (de.path().extension() == ".emmplan" || de.path().extension() == ".emmfam"))
+      removeQuietly(de.path());
 }
 
 DiskPlanCache::Stats DiskPlanCache::stats() const {
@@ -257,16 +334,28 @@ DiskPlanCache::Stats DiskPlanCache::stats() const {
     s.rejects = rejects_;
     s.evictions = evictions_;
     s.insertions = insertions_;
+    s.familyHits = familyHits_;
+    s.familyMisses = familyMisses_;
+    s.familyRejects = familyRejects_;
+    s.familyInsertions = familyInsertions_;
   }
   std::error_code ec;
-  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
-    if (de.is_regular_file(ec) && de.path().extension() == ".emmplan") {
-      std::error_code sec;
-      i64 size = static_cast<i64>(de.file_size(sec));
-      if (sec) continue;  // removed by a concurrent evictor: skip, not -1
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    const bool plan = de.path().extension() == ".emmplan";
+    const bool fam = de.path().extension() == ".emmfam";
+    if (!plan && !fam) continue;
+    std::error_code sec;
+    i64 size = static_cast<i64>(de.file_size(sec));
+    if (sec) continue;  // removed by a concurrent evictor: skip, not -1
+    if (plan) {
       ++s.entries;
       s.bytes += size;
+    } else {
+      ++s.familyEntries;
+      s.familyBytes += size;
     }
+  }
   return s;
 }
 

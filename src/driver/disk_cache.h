@@ -55,6 +55,14 @@ public:
     i64 insertions = 0;  ///< entries written
     i64 entries = 0;     ///< .emmplan files currently in the directory
     i64 bytes = 0;       ///< their total size
+    // Family tier (.emmfam kernel-family records; exempt from the LRU byte
+    // cap — a directory holds a handful of families at most).
+    i64 familyHits = 0;
+    i64 familyMisses = 0;
+    i64 familyRejects = 0;
+    i64 familyInsertions = 0;
+    i64 familyEntries = 0;  ///< .emmfam files currently in the directory
+    i64 familyBytes = 0;
   };
 
   /// Opens (and creates, including parents) the cache directory. `maxBytes`
@@ -81,7 +89,23 @@ public:
   /// the cache, not the compile.
   void insert(const PlanKey& key, const CompileOptions& options, const CompileResult& result);
 
-  /// Removes every .emmplan entry in the directory (counters keep running).
+  // ---- family tier (size-generic kernel-family plans) ------------------
+  /// Loads the .emmfam record for `key`, verifying the header (magic,
+  /// version, schema fingerprint, key echo) and the caller-supplied
+  /// collision-guard digests (of the canonically serialized CANONICAL
+  /// family block/options — the driver computes them once per compile)
+  /// before deserializing the checksummed payload. Any failure returns
+  /// nullptr.
+  std::shared_ptr<const FamilyPlan> lookupFamily(const FamilyKey& key, u64 blockDigest,
+                                                 u64 optionsDigest);
+
+  /// Persists a kernel-family plan under `key` with write-then-rename.
+  /// Failures are swallowed like insert()'s.
+  void insertFamily(const FamilyKey& key, u64 blockDigest, u64 optionsDigest,
+                    const std::shared_ptr<const FamilyPlan>& plan);
+
+  /// Removes every .emmplan and .emmfam entry in the directory (counters
+  /// keep running).
   void clear();
 
   Stats stats() const;
@@ -89,9 +113,12 @@ public:
   /// Entry file name for a key: 16 lowercase hex digits of the combined
   /// key hash plus the ".emmplan" suffix.
   static std::string entryFileName(const PlanKey& key);
+  /// Family record name: 16 hex digits of the family-key hash + ".emmfam".
+  static std::string familyFileName(const FamilyKey& key);
 
 private:
   std::string entryPath(const PlanKey& key) const;
+  std::string familyPath(const FamilyKey& key) const;
   /// Enforces the byte cap, never evicting `justWritten`; requires mutex_.
   void evictLocked(const std::filesystem::path& justWritten);
 
@@ -103,6 +130,10 @@ private:
   i64 rejects_ = 0;
   i64 evictions_ = 0;
   i64 insertions_ = 0;
+  i64 familyHits_ = 0;
+  i64 familyMisses_ = 0;
+  i64 familyRejects_ = 0;
+  i64 familyInsertions_ = 0;
 };
 
 }  // namespace emm

@@ -1,0 +1,37 @@
+#include "driver/family_plan.h"
+
+#include "driver/options.h"
+#include "support/fingerprint.h"
+
+namespace emm {
+
+ProgramBlock familyCanonicalBlock(const ProgramBlock& block) {
+  ProgramBlock canon = block;
+  for (ArrayDecl& a : canon.arrays)
+    for (i64& e : a.extents) e = 0;  // rank survives, concrete sizes do not
+  return canon;
+}
+
+CompileOptions familyCanonicalOptions(const CompileOptions& options) {
+  CompileOptions canon = options;
+  canon.paramValues.clear();
+  // Codegen-only knobs never reach the family products (dependences,
+  // transform, tile plan); note that a backend's SEMANTIC effect —
+  // cell forcing stageEverything — is applied by effectiveOptions()
+  // before any hashing, so it still separates families.
+  canon.backendName.clear();
+  canon.kernelName.clear();
+  canon.elementType.clear();
+  canon.numBoundParams = -1;
+  return canon;
+}
+
+u64 hashProgramBlockFamily(const ProgramBlock& block) {
+  return hashProgramBlock(familyCanonicalBlock(block));
+}
+
+u64 hashCompileOptionsFamily(const CompileOptions& options) {
+  return hashCompileOptions(familyCanonicalOptions(options));
+}
+
+}  // namespace emm

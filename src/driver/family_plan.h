@@ -1,0 +1,105 @@
+// Kernel-family plans: the size-generic tier of the compilation service.
+//
+// A kernel FAMILY is the set of program blocks that differ only in their
+// problem sizes — same statements, domains (symbolic in the size
+// parameters), accesses, schedules and array ranks, but different concrete
+// array extents and CompileOptions::paramValues. Everything the pipeline
+// computes BEFORE sizes are bound is family-invariant:
+//
+//   - dependences: computed from domains/accesses/schedules, which never
+//     mention extents — identical polyhedra for every family member,
+//   - the enabling transformation (skews) and the parallelism plan: derived
+//     from those dependences; the transformed statements are shared and
+//     only the array table differs per member,
+//   - the ParametricTilePlan: since PR 5 its formulas keep the problem
+//     sizes symbolic, so one plan evaluates candidates for every member via
+//     ParametricTilePlan::bindSizes.
+//
+// A FamilyPlan bundles those products. The driver keys it on family
+// fingerprints (extents and paramValues canonicalized away), stores it in
+// the PlanCache's family tier (and on disk as a .emmfam record), and a
+// per-size compile that finds one skips dependence analysis, the transform
+// search and the symbolic plan build — the remaining work (candidate
+// expression evaluation, tiling, scratchpad planning, codegen) is the cheap
+// bind-and-emit step, reported as CompileResult::familyHit.
+//
+// Safety: the tile plan is revalidated against concrete probe evaluations
+// at every size it is bound to (TileEvaluator::adoptFamilyPlan), and both
+// cache tiers guard the 64-bit family keys with digests of the canonical
+// family serializations, so a hash collision or an unsound family plan
+// degrades to a cold compile instead of changing any result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deps/dependence.h"
+#include "tilesearch/parametric_plan.h"
+#include "transform/transform.h"
+
+namespace emm {
+
+struct CompileOptions;
+
+using u64 = std::uint64_t;
+
+/// Family cache key: fingerprints of the size-canonicalized block and
+/// option set plus the skipped-pass digest (family products depend on which
+/// passes ran).
+struct FamilyKey {
+  u64 block = 0;    ///< hashProgramBlockFamily of the source
+  u64 options = 0;  ///< hashCompileOptionsFamily of the effective options
+  u64 passes = 0;   ///< digest of the sorted skipped-pass names
+
+  auto operator<=>(const FamilyKey&) const = default;
+};
+
+/// The family-invariant pipeline products (see file comment). Immutable
+/// once published; shared by every per-size compile of the family.
+struct FamilyPlan {
+  // ---- deps tier ----
+  bool haveDeps = false;
+  std::vector<Dependence> deps;
+
+  // ---- transform tier ----
+  /// Valid when the transform pass ran (not on scratchpad-only pipelines).
+  bool haveTransform = false;
+  /// The transformed block of the member that built the plan; statements,
+  /// schedules and parameter names are family-invariant, the array table is
+  /// swapped per member at instantiation.
+  ProgramBlock transformedTemplate;
+  ParallelismPlan plan;
+  std::vector<std::pair<int, std::pair<int, i64>>> appliedSkews;
+
+  // ---- tilesearch tier ----
+  /// Size-generic symbolic plan, or null when the kernel family is not
+  /// parametrically analyzable (or the pipeline path has no tile search).
+  std::shared_ptr<const ParametricTilePlan> tilePlan;
+  /// Why tilePlan is null — surfaced per kernel in `emmapc --emit=stats`
+  /// batch output so a family that degrades to per-size compiles is
+  /// visible ("" when tilePlan is set or the path has no search).
+  std::string parametricReason;
+};
+
+/// The block with its concrete problem sizes canonicalized away (array
+/// extents zeroed, ranks kept): two family members map to the same
+/// canonical block.
+ProgramBlock familyCanonicalBlock(const ProgramBlock& block);
+
+/// The option set with paramValues and the codegen-only fields (backend,
+/// kernel name, element type, bound-parameter count) neutralized: none of
+/// them reach the family products, so one family serves every emit target.
+/// (A backend's semantic side effect — cell forcing stageEverything — is
+/// applied by Compiler::effectiveOptions() before hashing and still
+/// separates families.)
+CompileOptions familyCanonicalOptions(const CompileOptions& options);
+
+/// Family fingerprints: the structural hashes of the canonical forms.
+/// (The driver canonicalizes once and hashes the forms directly; these
+/// wrappers serve tests and external callers.)
+u64 hashProgramBlockFamily(const ProgramBlock& block);
+u64 hashCompileOptionsFamily(const CompileOptions& options);
+
+}  // namespace emm

@@ -118,8 +118,23 @@ class DepsPass : public Pass {
 public:
   DepsPass() : Pass("deps") {}
   void run(CompileState& s) override {
+    if (s.familyIn != nullptr && s.familyIn->haveDeps) {
+      // Dependences are family-invariant: domains, access functions and
+      // schedules never mention the concrete array extents, so the
+      // family's polyhedra are exactly what computeDependences would
+      // rebuild for this member.
+      s.deps = s.familyIn->deps;
+      s.haveDeps = true;
+      s.familyUsed = true;
+      s.note(name(), std::to_string(s.deps.size()) + " dependences (family tier)");
+      return;
+    }
     s.deps = computeDependences(s.currentBlock());
     s.haveDeps = true;
+    if (s.familyOut != nullptr) {
+      s.familyOut->deps = s.deps;
+      s.familyOut->haveDeps = true;
+    }
     s.note(name(), std::to_string(s.deps.size()) + " dependences");
   }
 };
@@ -133,11 +148,32 @@ public:
       s.note(name(), "scratchpad-only pipeline: transformation skipped");
       return;
     }
-    TransformResult tr = makeTilable(*s.input);
-    s.transformed = std::make_unique<ProgramBlock>(std::move(tr.block));
-    s.plan = std::move(tr.plan);
-    s.havePlan = true;
-    s.appliedSkews = std::move(tr.appliedSkews);
+    if (s.familyIn != nullptr && s.familyIn->haveTransform) {
+      // The enabling transformation is derived from the (family-invariant)
+      // dependences and touches statements and schedules only, so the
+      // family's transformed block is reused with this member's array
+      // table swapped in — the skew search is skipped entirely.
+      ProgramBlock t = s.familyIn->transformedTemplate;
+      t.arrays = s.input->arrays;
+      s.transformed = std::make_unique<ProgramBlock>(std::move(t));
+      s.plan = s.familyIn->plan;
+      s.havePlan = true;
+      s.appliedSkews = s.familyIn->appliedSkews;
+      s.familyUsed = true;
+      s.note(name(), "transformation adopted from the family tier");
+    } else {
+      TransformResult tr = makeTilable(*s.input);
+      s.transformed = std::make_unique<ProgramBlock>(std::move(tr.block));
+      s.plan = std::move(tr.plan);
+      s.havePlan = true;
+      s.appliedSkews = std::move(tr.appliedSkews);
+      if (s.familyOut != nullptr) {
+        s.familyOut->transformedTemplate = *s.transformed;
+        s.familyOut->plan = s.plan;
+        s.familyOut->appliedSkews = s.appliedSkews;
+        s.familyOut->haveTransform = true;
+      }
+    }
     for (const auto& [target, srcFactor] : s.appliedSkews)
       s.note(name(), "skewed loop " + std::to_string(target) + " by loop " +
                          std::to_string(srcFactor.first) + " (factor " +
@@ -162,6 +198,15 @@ public:
     if (s.options.mode == PipelineMode::ScratchpadOnly || !s.havePlan ||
         s.plan.needsInterBlockSync) {
       s.note(name(), "not applicable on this pipeline path");
+      // Record WHY the family has no size-generic tile plan, so sweeps over
+      // such kernels show the degradation in --emit=stats instead of
+      // silently compiling per size.
+      s.search.parametricReason =
+          s.options.mode == PipelineMode::ScratchpadOnly
+              ? "scratchpad-only pipeline: no tile search"
+              : (!s.havePlan ? "no parallelism plan: no tile search"
+                             : "pipeline-parallel band: no tile search");
+      if (s.familyOut != nullptr) s.familyOut->parametricReason = s.search.parametricReason;
       return;
     }
     const ProgramBlock& block = s.currentBlock();
@@ -193,9 +238,24 @@ public:
     // exhaustive oracle) share its candidate memo, loop bounds, and (when
     // the block admits one) the symbolic Section-3 plan.
     TileEvaluator evaluator(block, s.plan, topts, smem);
+    if (s.familyIn != nullptr && s.familyIn->tilePlan != nullptr)
+      evaluator.adoptFamilyPlan(s.familyIn->tilePlan);
     s.search = s.options.searchMode == TileSearchMode::Exhaustive
                    ? exhaustiveTileSearch(evaluator)
                    : searchTileSizes(evaluator);
+    if (s.search.familyAdopted) {
+      s.familyUsed = true;
+      s.note(name(), "family plan bound at this problem size (probe-revalidated)");
+    }
+    if (s.familyOut != nullptr) {
+      // Publish the size-generic plan for the rest of the family — or the
+      // fallback reason, so degraded families stay visible in stats.
+      s.familyOut->tilePlan = evaluator.sharedPlan();
+      s.familyOut->parametricReason = evaluator.fallbackReason();
+    }
+    if (s.search.prunedBoxes > 0)
+      s.note(name(), std::to_string(s.search.prunedBoxes) +
+                         " candidate boxes pruned by the footprint interval");
     s.subTimings.emplace_back(name() + ".plan", s.search.planBuildMillis);
     s.subTimings.emplace_back(name() + ".eval", s.search.evalMillis);
     if (s.search.parametric) {

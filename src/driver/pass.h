@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "driver/diagnostic.h"
+#include "driver/family_plan.h"
 #include "driver/options.h"
 #include "tiling/multilevel.h"
 
@@ -91,6 +92,18 @@ struct PipelineProducts {
 /// plus the option set and the diagnostics channel.
 struct CompileState : PipelineProducts {
   CompileOptions options;
+
+  /// Family-tier input, set by the driver on a family hit: the
+  /// size-generic products of this kernel family (family_plan.h). Passes
+  /// adopt what applies to their stage and mark familyUsed.
+  std::shared_ptr<const FamilyPlan> familyIn;
+  /// Allocated by the driver on a family miss; passes publish the
+  /// family-invariant products they computed, and the driver stores the
+  /// result in the family tier after a successful run.
+  std::shared_ptr<FamilyPlan> familyOut;
+  /// True when any pass served its stage from familyIn (drives
+  /// CompileResult::familyHit and the family-tier counters).
+  bool familyUsed = false;
 
   std::vector<Diagnostic> diagnostics;
   bool failed = false;  ///< an error diagnostic was recorded

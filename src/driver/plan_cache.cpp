@@ -24,7 +24,8 @@ std::optional<CompileResult> PlanCache::lookup(const PlanKey& key) {
   // free, and pool workers hit the cache concurrently.
   CompileResult out = entry->clone();
   out.cacheHit = true;
-  out.diskHit = false;  // a memory replay, even of a disk-loaded plan
+  out.diskHit = false;    // a memory replay, even of a disk-loaded plan
+  out.familyHit = false;  // the replay itself did not instantiate a family
   return out;
 }
 
@@ -72,6 +73,7 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
         CompileResult out = entry->clone();
         out.cacheHit = true;
         out.diskHit = false;
+        out.familyHit = false;
         return out;
       }
       auto fit = inflight_.find(key);
@@ -85,6 +87,7 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
         CompileResult out = entry->clone();
         out.cacheHit = true;
         out.diskHit = false;
+        out.familyHit = false;
         return out;
       }
       // The leader failed; loop to retry (and maybe become the next leader).
@@ -106,6 +109,33 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
   return result;
 }
 
+std::shared_ptr<const FamilyPlan> PlanCache::lookupFamily(const FamilyKey& key,
+                                                          u64 collisionDigest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = families_.find(key);
+  if (it == families_.end() || it->second.digest != collisionDigest) {
+    // A colliding key with a foreign digest is a miss, never a wrong plan.
+    ++familyMisses_;
+    return nullptr;
+  }
+  ++familyHits_;
+  return it->second.plan;
+}
+
+void PlanCache::insertFamily(const FamilyKey& key, u64 collisionDigest,
+                             std::shared_ptr<const FamilyPlan> plan) {
+  if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = families_.emplace(key, FamilyEntry{collisionDigest, std::move(plan)});
+  if (!inserted) return;  // first writer wins; families are built once
+  familyOrder_.push_back(key);
+  if (families_.size() > capacity_) {
+    families_.erase(familyOrder_.front());
+    familyOrder_.pop_front();
+    ++familyEvictions_;
+  }
+}
+
 PlanCache::Stats PlanCache::stats() const {
   // All four fields are read under the same mutex that every writer holds,
   // so the snapshot is coherent: hits/misses/evictions/entries come from
@@ -116,6 +146,10 @@ PlanCache::Stats PlanCache::stats() const {
   s.misses = misses_;
   s.entries = static_cast<i64>(entries_.size());
   s.evictions = evictions_;
+  s.familyHits = familyHits_;
+  s.familyMisses = familyMisses_;
+  s.familyEntries = static_cast<i64>(families_.size());
+  s.familyEvictions = familyEvictions_;
   return s;
 }
 
@@ -128,7 +162,10 @@ void PlanCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   insertionOrder_.clear();
+  families_.clear();
+  familyOrder_.clear();
   hits_ = misses_ = evictions_ = 0;
+  familyHits_ = familyMisses_ = familyEvictions_ = 0;
 }
 
 PlanCache& PlanCache::global() {

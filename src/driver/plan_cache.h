@@ -39,6 +39,7 @@
 #include <optional>
 
 #include "driver/compiler.h"
+#include "driver/family_plan.h"
 #include "support/fingerprint.h"
 
 namespace emm {
@@ -62,6 +63,11 @@ public:
     i64 misses = 0;     ///< lookups that fell through (or led a compute)
     i64 entries = 0;    ///< results currently stored
     i64 evictions = 0;  ///< entries dropped by the capacity bound
+    // Family tier (size-generic kernel-family plans; see family_plan.h).
+    i64 familyHits = 0;       ///< family lookups served from the tier
+    i64 familyMisses = 0;     ///< family lookups that fell through
+    i64 familyEntries = 0;    ///< family plans currently stored
+    i64 familyEvictions = 0;  ///< family plans dropped by the capacity bound
   };
 
   /// `capacity` = max entries before insertion-order eviction (>= 1).
@@ -85,9 +91,20 @@ public:
   /// becomes leader — so failures are never served from the cache.
   CompileResult getOrCompute(const PlanKey& key, const std::function<CompileResult()>& compute);
 
+  // ---- family tier (size-generic kernel-family plans) ------------------
+  /// Returns the stored family plan when both the key and the collision
+  /// digest match, else nullptr (counting a family miss). The plan is
+  /// shared, immutable and safe to use from any thread.
+  std::shared_ptr<const FamilyPlan> lookupFamily(const FamilyKey& key, u64 collisionDigest);
+  /// Stores a family plan (first writer wins: a family is built once and
+  /// republishing an identical plan is pointless churn). Capacity-bounded
+  /// with insertion-order eviction like the result tier.
+  void insertFamily(const FamilyKey& key, u64 collisionDigest,
+                    std::shared_ptr<const FamilyPlan> plan);
+
   Stats stats() const;
   size_t size() const;
-  void clear();  ///< drops entries and resets counters
+  void clear();  ///< drops entries (both tiers) and resets counters
 
   /// Process-wide cache shared by every Compiler that enables caching
   /// without supplying its own.
@@ -108,15 +125,27 @@ private:
   void finishFlight(const PlanKey& key, const std::shared_ptr<InFlight>& flight,
                     std::shared_ptr<const CompileResult> snapshot);
 
+  /// Family-tier entry: the shared plan plus the digest guarding the
+  /// 64-bit key against collisions.
+  struct FamilyEntry {
+    u64 digest = 0;
+    std::shared_ptr<const FamilyPlan> plan;
+  };
+
   mutable std::mutex mutex_;
   std::condition_variable flightDone_;
   size_t capacity_;
   std::map<PlanKey, std::shared_ptr<const CompileResult>> entries_;
   std::map<PlanKey, std::shared_ptr<InFlight>> inflight_;
   std::list<PlanKey> insertionOrder_;
+  std::map<FamilyKey, FamilyEntry> families_;
+  std::list<FamilyKey> familyOrder_;
   i64 hits_ = 0;
   i64 misses_ = 0;
   i64 evictions_ = 0;
+  i64 familyHits_ = 0;
+  i64 familyMisses_ = 0;
+  i64 familyEvictions_ = 0;
 };
 
 }  // namespace emm

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "driver/compiler.h"
+#include "driver/family_plan.h"
 #include "driver/options.h"
 #include "support/fingerprint.h"
 
@@ -58,6 +59,16 @@ enum : unsigned char {
   kTagPipelineProducts,
   kTagCompileResult,
   kTagCompileOptions,
+  kTagSymExpr,
+  kTagPairPredicate,
+  kTagRefFormula,
+  kTagComponentFormula,
+  kTagArrayFormula,
+  kTagGeometryRecord,
+  kTagTileSearchOptions,
+  kTagSizeBinding,
+  kTagParametricPlan,
+  kTagFamilyPlan,
   kTagList = 0xA0,
 };
 
@@ -66,7 +77,7 @@ enum : unsigned char {
 // a serializer below must be mirrored here — that edit is what retires
 // stale .emmplan files (see docs/PLAN_FORMAT.md for the policy).
 constexpr const char* kSchemaManifest =
-    "emmplan-schema v1;"
+    "emmplan-schema v2;"
     "IntMat{rows,cols,data[i64]};"
     "Polyhedron{dim,nparam,eqs:IntMat,ineqs:IntMat,empty:bool};"
     "DivExpr{coeffs[i64],den};"
@@ -90,7 +101,8 @@ constexpr const char* kSchemaManifest =
     "BufferTerm{name,occurrences,volumeIn,volumeOut,hoistLevel};"
     "TileEvaluation{feasible,reason,cost:f64,footprint,terms[]};"
     "TileSearchResult{subTile[i64],eval,evaluations,memoHits,parametric,"
-    "parametricReason,planBuildMillis:f64,evalMillis:f64};"
+    "familyAdopted,prunedBoxes,parametricReason,planBuildMillis:f64,"
+    "evalMillis:f64};"
     "GeometryHint{arrayId,refs[(int,int)],lower[[AffExpr]],upper[[AffExpr]]};"
     "SmemOptions{delta:f64,partitionMode,onlyBeneficial,optimizeCopySets,"
     "deadAfterBlock[int],blockLocalParams[str],paramContext?:Polyhedron,"
@@ -115,7 +127,24 @@ constexpr const char* kSchemaManifest =
     "threadTile[i64],hoistCopies,useScratchpad,searchMode,memLimitBytes,"
     "elementBytes,innerProcs,syncCost:f64,transferCost:f64,"
     "tileCandidates[[i64]],parametricTileAnalysis,backendName,kernelName,"
-    "elementType,numBoundParams};";
+    "elementType,numBoundParams};"
+    "SymExpr{kind,cval|paramIdx+name|lhs,rhs};"
+    "PairPredicate{always,never,cond:Polyhedron};"
+    "RefFormula{stmt,access,isWrite,ctxBox[(SymExpr,SymExpr)],"
+    "rawBox[(SymExpr,SymExpr)],usesOrigin[bool]};"
+    "ComponentFormula{refs[],pairs[],hoistLevel,globalIdx[int]};"
+    "ArrayFormula{arrayId,arrayName,comps[],numRefs,refLoc[(int,int)]};"
+    "GeometryRecord{arrayId,refKeys[(int,int)],lower[[AffExpr]],"
+    "upper[[AffExpr]]};"
+    "TileSearchOptions{memLimitElems,innerProcs,syncCost:f64,"
+    "transferCost:f64,paramValues[i64],candidates[[i64]],hoistCopies,"
+    "parametric};"
+    "SizeBinding{ext[i64],loopRange[i64]};"
+    "ParametricTilePlan{depth,np,options,analysis,defaultBinding,arrays[],"
+    "geometry[],hoist};"
+    "FamilyPlan{haveDeps,deps[],haveTransform,transformedTemplate?:"
+    "ProgramBlock,plan,appliedSkews[(int,int,i64)],tilePlan?:"
+    "ParametricTilePlan,parametricReason};";
 
 void expectTag(ByteReader& r, unsigned char tag, const char* what) {
   unsigned char got = r.u8();
@@ -649,6 +678,8 @@ void writeSearchResult(ByteWriter& w, const TileSearchResult& s) {
   w.intv(s.evaluations);
   w.intv(s.memoHits);
   w.boolean(s.parametric);
+  w.boolean(s.familyAdopted);
+  w.intv(s.prunedBoxes);
   w.str(s.parametricReason);
   w.f64(s.planBuildMillis);
   w.f64(s.evalMillis);
@@ -662,6 +693,8 @@ TileSearchResult readSearchResult(ByteReader& r) {
   s.evaluations = r.intv();
   s.memoHits = r.intv();
   s.parametric = r.boolean();
+  s.familyAdopted = r.boolean();
+  s.prunedBoxes = r.intv();
   s.parametricReason = r.str();
   s.planBuildMillis = r.f64();
   s.evalMillis = r.f64();
@@ -1001,6 +1034,163 @@ PipelineProducts readProducts(ByteReader& r) {
   return p;
 }
 
+
+// ---- symbolic expressions (parametric family plans) ----------------------
+
+void writeSymExpr(ByteWriter& w, const SymPtr& e) {
+  if (e == nullptr) throw SerializeError("null symbolic expression");
+  w.u8(kTagSymExpr);
+  w.i64v(static_cast<i64>(e->kind()));
+  switch (e->kind()) {
+    case SymExpr::Kind::Const:
+      w.i64v(e->constValue());
+      break;
+    case SymExpr::Kind::Param:
+      w.intv(e->paramIndex());
+      w.str(e->paramName());
+      break;
+    default:
+      writeSymExpr(w, e->lhs());
+      writeSymExpr(w, e->rhs());
+      break;
+  }
+}
+
+SymPtr readSymExpr(ByteReader& r, int depth) {
+  if (depth > kMaxExprDepth) throw SerializeError("symbolic expression nesting too deep");
+  expectTag(r, kTagSymExpr, "SymExpr");
+  auto kind = readEnum<SymExpr::Kind>(r, static_cast<i64>(SymExpr::Kind::Max), "SymExpr kind");
+  switch (kind) {
+    case SymExpr::Kind::Const:
+      return SymExpr::constant(r.i64v());
+    case SymExpr::Kind::Param: {
+      int idx = readShape(r, "SymExpr param index");
+      return SymExpr::param(idx, r.str());
+    }
+    default: {
+      SymPtr a = readSymExpr(r, depth + 1);
+      SymPtr b = readSymExpr(r, depth + 1);
+      // Every divisor a compiled plan produces is a positive constant
+      // (compileDiv wraps DivExpr::den); anything else would only surface
+      // as an eval-time checked-arithmetic abort, so reject it here.
+      if ((kind == SymExpr::Kind::FloorDiv || kind == SymExpr::Kind::CeilDiv) &&
+          (b->kind() != SymExpr::Kind::Const || b->constValue() <= 0))
+        throw SerializeError("symbolic divisor must be a positive constant");
+      // The factories fold constant operands with checked (aborting)
+      // arithmetic; pre-validate so corrupt constants throw instead.
+      if (a->kind() == SymExpr::Kind::Const && b->kind() == SymExpr::Kind::Const) {
+        const i128 x = a->constValue();
+        const i128 y = b->constValue();
+        i128 folded = 0;
+        if (kind == SymExpr::Kind::Add) folded = x + y;
+        if (kind == SymExpr::Kind::Mul) folded = x * y;
+        if (folded < static_cast<i128>(INT64_MIN) || folded > static_cast<i128>(INT64_MAX))
+          throw SerializeError("symbolic constant overflow");
+      }
+      switch (kind) {
+        case SymExpr::Kind::Add:
+          return SymExpr::add(std::move(a), std::move(b));
+        case SymExpr::Kind::Mul:
+          return SymExpr::mul(std::move(a), std::move(b));
+        case SymExpr::Kind::FloorDiv:
+          return SymExpr::floorDiv(std::move(a), std::move(b));
+        case SymExpr::Kind::CeilDiv:
+          return SymExpr::ceilDiv(std::move(a), std::move(b));
+        case SymExpr::Kind::Min:
+          return SymExpr::min(std::move(a), std::move(b));
+        default:
+          return SymExpr::max(std::move(a), std::move(b));
+      }
+    }
+  }
+}
+
+void writeSymBox(ByteWriter& w, const std::vector<std::pair<SymPtr, SymPtr>>& box) {
+  w.u8(kTagList);
+  w.u64v(box.size());
+  for (const auto& [lo, hi] : box) {
+    writeSymExpr(w, lo);
+    writeSymExpr(w, hi);
+  }
+}
+
+std::vector<std::pair<SymPtr, SymPtr>> readSymBox(ByteReader& r) {
+  expectTag(r, kTagList, "symbolic box");
+  u64 n = r.count();
+  std::vector<std::pair<SymPtr, SymPtr>> box;
+  for (u64 i = 0; i < n; ++i) {
+    SymPtr lo = readSymExpr(r, 0);
+    SymPtr hi = readSymExpr(r, 0);
+    box.emplace_back(std::move(lo), std::move(hi));
+  }
+  return box;
+}
+
+void writeIntPairVec(ByteWriter& w, const std::vector<std::pair<int, int>>& v) {
+  w.u8(kTagList);
+  w.u64v(v.size());
+  for (const auto& [a, b] : v) {
+    w.intv(a);
+    w.intv(b);
+  }
+}
+
+std::vector<std::pair<int, int>> readIntPairVec(ByteReader& r) {
+  expectTag(r, kTagList, "int pair vector");
+  u64 n = r.count();
+  std::vector<std::pair<int, int>> out;
+  for (u64 i = 0; i < n; ++i) {
+    int a = r.intv();
+    int b = r.intv();
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+void writeBoolVec(ByteWriter& w, const std::vector<bool>& v) {
+  w.u8(kTagList);
+  w.u64v(v.size());
+  for (bool b : v) w.boolean(b);
+}
+
+std::vector<bool> readBoolVec(ByteReader& r) {
+  expectTag(r, kTagList, "bool vector");
+  u64 n = r.count();
+  std::vector<bool> out;
+  for (u64 i = 0; i < n; ++i) out.push_back(r.boolean());
+  return out;
+}
+
+void writeTileSearchOptions(ByteWriter& w, const TileSearchOptions& o) {
+  w.u8(kTagTileSearchOptions);
+  w.i64v(o.memLimitElems);
+  w.i64v(o.innerProcs);
+  w.f64(o.syncCost);
+  w.f64(o.transferCost);
+  writeI64Vec(w, o.paramValues);
+  w.u8(kTagList);
+  w.u64v(o.candidates.size());
+  for (const std::vector<i64>& v : o.candidates) writeI64Vec(w, v);
+  w.boolean(o.hoistCopies);
+  w.boolean(o.parametric);
+}
+
+TileSearchOptions readTileSearchOptions(ByteReader& r) {
+  expectTag(r, kTagTileSearchOptions, "TileSearchOptions");
+  TileSearchOptions o;
+  o.memLimitElems = r.i64v();
+  o.innerProcs = r.i64v();
+  o.syncCost = r.f64();
+  o.transferCost = r.f64();
+  o.paramValues = readI64Vec(r);
+  expectTag(r, kTagList, "candidate ladders");
+  u64 n = r.count();
+  for (u64 i = 0; i < n; ++i) o.candidates.push_back(readI64Vec(r));
+  o.hoistCopies = r.boolean();
+  o.parametric = r.boolean();
+  return o;
+}
+
 }  // namespace
 
 // ---- public API ----------------------------------------------------------
@@ -1161,6 +1351,246 @@ std::string serializeCompileOptions(const CompileOptions& o) {
   w.str(o.elementType);
   w.intv(o.numBoundParams);
   return w.take();
+}
+
+// ---- parametric family plans ---------------------------------------------
+// serializeParametricPlanBody / deserializeParametricPlanBody are friends of
+// ParametricTilePlan (parametric_plan.h): the plan's compiled formulas are
+// private by design and only the wire format reaches into them.
+
+void serializeParametricPlanBody(ByteWriter& w, const ParametricTilePlan& plan) {
+  w.u8(kTagParametricPlan);
+  w.intv(plan.depth_);
+  w.intv(plan.np_);
+  writeTileSearchOptions(w, plan.options_);
+  writeTileAnalysis(w, plan.analysis_);
+  w.u8(kTagSizeBinding);
+  writeI64Vec(w, plan.defaultBinding_.ext);
+  writeI64Vec(w, plan.defaultBinding_.loopRange);
+  w.u8(kTagList);
+  w.u64v(plan.arrays_.size());
+  for (const auto& af : plan.arrays_) {
+    w.u8(kTagArrayFormula);
+    w.intv(af.arrayId);
+    w.str(af.arrayName);
+    w.u8(kTagList);
+    w.u64v(af.comps.size());
+    for (const auto& comp : af.comps) {
+      w.u8(kTagComponentFormula);
+      w.u8(kTagList);
+      w.u64v(comp.refs.size());
+      for (const auto& rf : comp.refs) {
+        w.u8(kTagRefFormula);
+        w.intv(rf.key.first);
+        w.intv(rf.key.second);
+        w.boolean(rf.isWrite);
+        writeSymBox(w, rf.ctxBox);
+        writeSymBox(w, rf.rawBox);
+        writeBoolVec(w, rf.usesOrigin);
+      }
+      w.u8(kTagList);
+      w.u64v(comp.pairs.size());
+      for (const auto& pred : comp.pairs) {
+        w.u8(kTagPairPredicate);
+        w.boolean(pred.always);
+        w.boolean(pred.never);
+        writePoly(w, pred.cond);
+      }
+      w.intv(comp.hoistLevel);
+      writeIntVecOfInt(w, comp.globalIdx);
+    }
+    w.intv(af.numRefs);
+    writeIntPairVec(w, af.refLoc);
+  }
+  w.u8(kTagList);
+  w.u64v(plan.geometry_.size());
+  for (const auto& g : plan.geometry_) {
+    w.u8(kTagGeometryRecord);
+    w.intv(g.arrayId);
+    writeIntPairVec(w, g.refKeys);
+    auto writePools = [](ByteWriter& ww, const std::vector<std::vector<AffExpr>>& pools) {
+      ww.u8(kTagList);
+      ww.u64v(pools.size());
+      for (const std::vector<AffExpr>& pool : pools) writeAffExprVec(ww, pool);
+    };
+    writePools(w, g.lower);
+    writePools(w, g.upper);
+  }
+  w.boolean(plan.hoist_);
+}
+
+ParametricTilePlan deserializeParametricPlanBody(ByteReader& r) {
+  expectTag(r, kTagParametricPlan, "ParametricTilePlan");
+  ParametricTilePlan plan;
+  plan.depth_ = readShape(r, "plan depth");
+  plan.np_ = readShape(r, "plan size-parameter count");
+  plan.options_ = readTileSearchOptions(r);
+  plan.analysis_ = readTileAnalysis(r);
+  expectTag(r, kTagSizeBinding, "SizeBinding");
+  plan.defaultBinding_.ext = readI64Vec(r);
+  plan.defaultBinding_.loopRange = readI64Vec(r);
+  expectTag(r, kTagList, "array formulas");
+  u64 narrays = r.count();
+  for (u64 i = 0; i < narrays; ++i) {
+    expectTag(r, kTagArrayFormula, "ArrayFormula");
+    ParametricTilePlan::ArrayFormula af;
+    af.arrayId = r.intv();
+    af.arrayName = r.str();
+    expectTag(r, kTagList, "component formulas");
+    u64 ncomps = r.count();
+    for (u64 c = 0; c < ncomps; ++c) {
+      expectTag(r, kTagComponentFormula, "ComponentFormula");
+      ParametricTilePlan::ComponentFormula comp;
+      expectTag(r, kTagList, "reference formulas");
+      u64 nrefs = r.count();
+      for (u64 q = 0; q < nrefs; ++q) {
+        expectTag(r, kTagRefFormula, "RefFormula");
+        ParametricTilePlan::RefFormula rf;
+        rf.key.first = r.intv();
+        rf.key.second = r.intv();
+        rf.isWrite = r.boolean();
+        rf.ctxBox = readSymBox(r);
+        rf.rawBox = readSymBox(r);
+        rf.usesOrigin = readBoolVec(r);
+        comp.refs.push_back(std::move(rf));
+      }
+      expectTag(r, kTagList, "pair predicates");
+      u64 npairs = r.count();
+      if (npairs != nrefs * nrefs)
+        throw SerializeError("pair predicate count mismatch");
+      for (u64 q = 0; q < npairs; ++q) {
+        expectTag(r, kTagPairPredicate, "PairPredicate");
+        ParametricTilePlan::PairPredicate pred;
+        pred.always = r.boolean();
+        pred.never = r.boolean();
+        pred.cond = readPoly(r);
+        comp.pairs.push_back(std::move(pred));
+      }
+      comp.hoistLevel = r.intv();
+      comp.globalIdx = readIntVecOfInt(r);
+      if (comp.globalIdx.size() != comp.refs.size())
+        throw SerializeError("component global index arity mismatch");
+      // evaluate()/footprintInterval() index member 0's boxes, so every
+      // component needs at least one reference and congruent shapes; ragged
+      // or empty components would read out of bounds.
+      if (comp.refs.empty()) throw SerializeError("empty component formula");
+      for (const ParametricTilePlan::RefFormula& rf : comp.refs) {
+        if (rf.ctxBox.size() != comp.refs[0].ctxBox.size() ||
+            rf.rawBox.size() != comp.refs[0].rawBox.size())
+          throw SerializeError("ragged reference box dimensions");
+        if (rf.usesOrigin.size() != static_cast<size_t>(plan.depth_))
+          throw SerializeError("reference origin-bit arity mismatch");
+      }
+      af.comps.push_back(std::move(comp));
+    }
+    af.numRefs = readShape(r, "array reference count");
+    af.refLoc = readIntPairVec(r);
+    if (af.refLoc.size() != static_cast<size_t>(af.numRefs))
+      throw SerializeError("array reference location arity mismatch");
+    for (const auto& [ci, li] : af.refLoc) {
+      if (ci < 0 || static_cast<size_t>(ci) >= af.comps.size() || li < 0 ||
+          static_cast<size_t>(li) >= af.comps[ci].refs.size())
+        throw SerializeError("array reference location out of range");
+    }
+    // globalIdx must be the exact inverse of refLoc: evaluate() feeds it
+    // into an unchecked union-find over numRefs members, so any other
+    // value is memory-unsafe, not just wrong.
+    for (size_t ci = 0; ci < af.comps.size(); ++ci) {
+      const std::vector<int>& gidx = af.comps[ci].globalIdx;
+      for (size_t li = 0; li < gidx.size(); ++li) {
+        const int g = gidx[li];
+        if (g < 0 || g >= af.numRefs ||
+            af.refLoc[g] != std::make_pair(static_cast<int>(ci), static_cast<int>(li)))
+          throw SerializeError("component global index inconsistent with refLoc");
+      }
+    }
+    plan.arrays_.push_back(std::move(af));
+  }
+  expectTag(r, kTagList, "geometry records");
+  u64 ngeom = r.count();
+  for (u64 i = 0; i < ngeom; ++i) {
+    expectTag(r, kTagGeometryRecord, "GeometryRecord");
+    ParametricTilePlan::GeometryRecord g;
+    g.arrayId = r.intv();
+    g.refKeys = readIntPairVec(r);
+    auto readPools = [](ByteReader& rr) {
+      expectTag(rr, kTagList, "geometry pools");
+      u64 k = rr.count();
+      std::vector<std::vector<AffExpr>> pools;
+      for (u64 d = 0; d < k; ++d) pools.push_back(readAffExprVec(rr));
+      return pools;
+    };
+    g.lower = readPools(r);
+    g.upper = readPools(r);
+    plan.geometry_.push_back(std::move(g));
+  }
+  plan.hoist_ = r.boolean();
+  // Structural validation + symbol-table reconstruction. The checks inside
+  // run as EMM_REQUIRE (ApiError); convert so hostile input stays a clean
+  // SerializeError for the disk tier.
+  try {
+    plan.rebuildSymbols();
+  } catch (const ApiError& e) {
+    throw SerializeError(std::string("parametric plan validation failed: ") + e.what());
+  }
+  if (static_cast<int>(plan.defaultBinding_.ext.size()) != plan.np_ + plan.depth_ ||
+      static_cast<int>(plan.defaultBinding_.loopRange.size()) != plan.depth_)
+    throw SerializeError("parametric plan binding arity mismatch");
+  if (static_cast<int>(plan.analysis_.loopBounds.size()) != plan.depth_)
+    throw SerializeError("parametric plan loop-bound arity mismatch");
+  return plan;
+}
+
+std::string serializeFamilyPlan(const FamilyPlan& plan) {
+  ByteWriter w;
+  w.u8(kTagFamilyPlan);
+  w.boolean(plan.haveDeps);
+  writeList(w, plan.deps, [](ByteWriter& ww, const Dependence& d) { writeDependence(ww, d); });
+  w.boolean(plan.haveTransform);
+  if (plan.haveTransform) writeBlock(w, plan.transformedTemplate);
+  writeParallelismPlan(w, plan.plan);
+  w.u8(kTagList);
+  w.u64v(plan.appliedSkews.size());
+  for (const auto& [target, srcFactor] : plan.appliedSkews) {
+    w.intv(target);
+    w.intv(srcFactor.first);
+    w.i64v(srcFactor.second);
+  }
+  w.boolean(plan.tilePlan != nullptr);
+  if (plan.tilePlan != nullptr) serializeParametricPlanBody(w, *plan.tilePlan);
+  w.str(plan.parametricReason);
+  return w.take();
+}
+
+std::shared_ptr<const FamilyPlan> deserializeFamilyPlan(std::string_view bytes) {
+  ByteReader r(bytes);
+  auto plan = std::make_shared<FamilyPlan>();
+  try {
+    expectTag(r, kTagFamilyPlan, "FamilyPlan");
+    plan->haveDeps = r.boolean();
+    plan->deps = readList<Dependence>(r, [](ByteReader& rr) { return readDependence(rr); });
+    plan->haveTransform = r.boolean();
+    if (plan->haveTransform) plan->transformedTemplate = readBlock(r);
+    plan->plan = readParallelismPlan(r);
+    expectTag(r, kTagList, "applied skews");
+    u64 nskews = r.count();
+    for (u64 i = 0; i < nskews; ++i) {
+      int target = r.intv();
+      int src = r.intv();
+      i64 factor = r.i64v();
+      plan->appliedSkews.push_back({target, {src, factor}});
+    }
+    if (r.boolean())
+      plan->tilePlan =
+          std::make_shared<const ParametricTilePlan>(deserializeParametricPlanBody(r));
+    plan->parametricReason = r.str();
+    r.expectEnd();
+  } catch (const ApiError& e) {
+    // Reconstructed values are validated with API preconditions (e.g. a
+    // malformed transformed block); surface them as decode failures.
+    throw SerializeError(std::string("family plan decode failed: ") + e.what());
+  }
+  return plan;
 }
 
 }  // namespace emm

@@ -25,6 +25,7 @@
 // deserialized blocks, exactly as PipelineProducts::clone() rebinds them.
 #pragma once
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -35,6 +36,7 @@ namespace emm {
 
 struct CompileResult;
 struct CompileOptions;
+struct FamilyPlan;
 struct ProgramBlock;
 
 using u32 = std::uint32_t;
@@ -48,9 +50,11 @@ public:
   explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Container format version (the .emmplan envelope). Bump on framing
-/// changes; readers reject any other value.
-inline constexpr u32 kPlanFormatVersion = 1;
+/// Container format version (the .emmplan / .emmfam envelope). Bump on
+/// framing changes; readers reject any other value. v2 added the
+/// kernel-family records (.emmfam) and the family/pruning fields of the
+/// tile-search result (see docs/PLAN_FORMAT.md).
+inline constexpr u32 kPlanFormatVersion = 2;
 
 /// Digest of the serialization schema compiled into this binary (the
 /// manifest string in serialize.cpp). Two binaries agree on this value iff
@@ -135,5 +139,16 @@ CompileResult deserializeCompileResult(std::string_view bytes);
 /// and falls through to a cold compile.
 std::string serializeProgramBlock(const ProgramBlock& block);
 std::string serializeCompileOptions(const CompileOptions& options);
+
+/// Encodes a kernel-family plan (driver/family_plan.h): the family-invariant
+/// dependence/transform products plus the size-generic parametric tile plan
+/// (SymExpr formulas, overlap predicates, geometry pools). Backs the
+/// .emmfam records of the disk cache.
+std::string serializeFamilyPlan(const FamilyPlan& plan);
+
+/// Decodes a payload produced by serializeFamilyPlan. Throws SerializeError
+/// on any malformation (ApiErrors from reconstructed-value validation are
+/// converted, so hostile bytes never abort).
+std::shared_ptr<const FamilyPlan> deserializeFamilyPlan(std::string_view bytes);
 
 }  // namespace emm

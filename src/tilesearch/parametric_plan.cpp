@@ -16,6 +16,16 @@ bool rowUsesData(const IntVec& row, int dim) {
   return false;
 }
 
+/// Iteration range (trip count at tile 1) of loop `l` from parameter-only
+/// bounds; mirrors the TileEvaluator's computation so bindings agree.
+i64 strippedRange(const DimBounds& b, int l, const IntVec& params) {
+  DimBounds s;
+  for (const DivExpr& e : b.lower) s.lower.push_back(dropLeadingCoeffs(e, l));
+  for (const DivExpr& e : b.upper) s.upper.push_back(dropLeadingCoeffs(e, l));
+  if (s.lower.empty() || s.upper.empty()) return 0;
+  return std::max<i64>(0, s.evalUpper(params) - s.evalLower(params) + 1);
+}
+
 }  // namespace
 
 ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const ParallelismPlan& plan,
@@ -24,19 +34,19 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
                                        const std::vector<i64>& loopRange,
                                        const std::vector<i64>& tileSample)
     : depth_(static_cast<int>(loopRange.size())),
+      np_(block.nparam()),
       options_(options),
-      loopRange_(loopRange),
       hoist_(options.hoistCopies) {
   EMM_REQUIRE(depth_ > 0, "parametric tile plan needs at least one common loop");
   EMM_REQUIRE(static_cast<int>(options.paramValues.size()) == block.nparam(),
               "paramValues arity mismatch");
   analysis_ = analyzeTileSymbolic(block, plan, tileSample, smemBase, options.hoistCopies);
 
-  // The Algorithm-1 benefit verdict must not depend on the tile sizes. The
-  // rank-based order-of-magnitude condition is per reference and
-  // tile-independent; requiring it of EVERY reference keeps every partition
-  // refinement beneficial too. (With unconditional buffers —
-  // stageEverything — the verdict is irrelevant.)
+  // The Algorithm-1 benefit verdict must not depend on the tile sizes or
+  // the problem sizes. The rank-based order-of-magnitude condition is per
+  // reference and independent of both; requiring it of EVERY reference
+  // keeps every partition refinement beneficial too. (With unconditional
+  // buffers — stageEverything — the verdict is irrelevant.)
   if (smemBase.onlyBeneficial) {
     for (const PartitionPlan& p : analysis_.plan.partitions)
       for (const RefSummary& r : p.refs)
@@ -48,17 +58,16 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
   for (const PartitionPlan& p : analysis_.plan.partitions)
     EMM_REQUIRE(p.hasBuffer, "parametric plan requires every partition buffered");
 
-  for (int l = 0; l < depth_; ++l) tileSyms_.push_back(SymExpr::param(l, analysis_.tileParams[l]));
+  rebuildSymbols();
 
-  // Fixed binding of the symbolic block's non-tile parameters: the original
-  // problem sizes plus the tile origins pinned at the loop lower bounds —
-  // exactly the binding the concrete evaluator uses.
-  fixedParams_ = options.paramValues;
-  for (int l = 0; l < depth_; ++l)
-    fixedParams_.push_back(evalStrippedLower(analysis_.loopBounds[l], l, options.paramValues));
+  // Default binding: the problem size the plan was built at. Cross-checked
+  // against the evaluator's shared loop ranges — the two derivations
+  // (rectangularLoopBounds vs the analysis' loopBounds) must agree.
+  defaultBinding_ = bindSizes(options.paramValues);
+  EMM_CHECK(defaultBinding_.loopRange == loopRange,
+            "parametric plan loop ranges disagree with the evaluator's");
 
   // ---- Compile per-array, per-component reference formulas. ----
-  const int oldNp = block.nparam();
   const std::optional<Polyhedron>& ctx = analysis_.plan.options.paramContext;
   for (size_t p = 0; p < analysis_.plan.partitions.size(); ++p) {
     const PartitionPlan& part = analysis_.plan.partitions[p];
@@ -78,7 +87,7 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
       rf.usesOrigin.assign(depth_, false);
       const int dim = r.dataSpace.dim();
       for (int l = 0; l < depth_; ++l) {
-        const int col = dim + oldNp + l;
+        const int col = dim + np_ + l;
         for (int rr = 0; rr < r.dataSpace.equalities().rows() && !rf.usesOrigin[l]; ++rr) {
           IntVec row = r.dataSpace.equalities().row(rr);
           if (row[col] != 0 && rowUsesData(row, dim)) rf.usesOrigin[l] = true;
@@ -173,15 +182,37 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
   }
 }
 
+void ParametricTilePlan::rebuildSymbols() {
+  EMM_REQUIRE(analysis_.tileBlock != nullptr, "parametric plan needs a tile block");
+  const std::vector<std::string>& names = analysis_.tileBlock->paramNames;
+  EMM_REQUIRE(static_cast<int>(names.size()) == np_ + 2 * depth_,
+              "tile-block parameter arity mismatch");
+  symParams_.clear();
+  for (int j = 0; j < np_ + 2 * depth_; ++j) symParams_.push_back(SymExpr::param(j, names[j]));
+}
+
+ParametricTilePlan::SizeBinding ParametricTilePlan::bindSizes(const IntVec& sizes) const {
+  EMM_REQUIRE(static_cast<int>(sizes.size()) == np_,
+              "bindSizes: expected " + std::to_string(np_) + " problem sizes, got " +
+                  std::to_string(sizes.size()));
+  SizeBinding b;
+  b.ext = sizes;
+  b.loopRange.resize(depth_);
+  for (int l = 0; l < depth_; ++l) {
+    // Origins pinned at the loop lower bounds — exactly the binding the
+    // concrete evaluator uses.
+    b.ext.push_back(evalStrippedLower(analysis_.loopBounds[l], l, sizes));
+    b.loopRange[l] = strippedRange(analysis_.loopBounds[l], l, sizes);
+  }
+  return b;
+}
+
 SymPtr ParametricTilePlan::compileDiv(const DivExpr& e, bool ceil) const {
-  const size_t fixed = fixedParams_.size();
-  EMM_CHECK(e.coeffs.size() == fixed + static_cast<size_t>(depth_) + 1,
-            "parametric bound arity mismatch");
-  i128 acc = e.coeffs.back();
-  for (size_t j = 0; j < fixed; ++j) acc += static_cast<i128>(e.coeffs[j]) * fixedParams_[j];
+  const size_t nsym = static_cast<size_t>(np_) + 2 * static_cast<size_t>(depth_);
+  EMM_CHECK(e.coeffs.size() == nsym + 1, "parametric bound arity mismatch");
   std::vector<std::pair<i64, SymPtr>> terms;
-  for (int l = 0; l < depth_; ++l) terms.emplace_back(e.coeffs[fixed + l], tileSyms_[l]);
-  SymPtr num = SymExpr::affine(narrow(acc), terms);
+  for (size_t j = 0; j < nsym; ++j) terms.emplace_back(e.coeffs[j], symParams_[j]);
+  SymPtr num = SymExpr::affine(e.coeffs.back(), terms);
   SymPtr den = SymExpr::constant(e.den);
   return ceil ? SymExpr::ceilDiv(std::move(num), std::move(den))
               : SymExpr::floorDiv(std::move(num), std::move(den));
@@ -206,13 +237,17 @@ ParametricTilePlan::Box ParametricTilePlan::compileBox(const Polyhedron& space) 
 
 ParametricTilePlan::PairPredicate ParametricTilePlan::compilePredicate(const Polyhedron& a,
                                                                        const Polyhedron& b) const {
-  // Project the symbolic intersection onto the tile parameters: the pair
-  // overlaps at concrete T exactly when T satisfies the projection
-  // (Fourier-Motzkin is exact for the rational feasibility test the
-  // concrete overlap check performs).
+  // Project the symbolic intersection onto the full parameter space
+  // (sizes, origins, tiles): the pair overlaps at a concrete binding
+  // exactly when the binding satisfies the projection (Fourier-Motzkin is
+  // exact for the rational feasibility test the concrete overlap check
+  // performs). Only the data-space dimensions are eliminated; keeping the
+  // problem sizes as predicate variables is what makes the predicate valid
+  // for every member of the kernel family.
   Polyhedron inter = Polyhedron::intersect(a, b);
   Polyhedron q = inter.paramsAsVars();
-  const int drop = q.dim() - depth_;
+  const int keep = np_ + 2 * depth_;
+  const int drop = q.dim() - keep;
   EMM_CHECK(drop >= 0, "predicate projection shape mismatch");
   for (int i = 0; i < drop; ++i) q = q.eliminated(0);
   q.simplify();
@@ -229,10 +264,10 @@ ParametricTilePlan::PairPredicate ParametricTilePlan::compilePredicate(const Pol
   return p;
 }
 
-bool ParametricTilePlan::pairOverlaps(const PairPredicate& p, const std::vector<i64>& tiles) const {
+bool ParametricTilePlan::pairOverlaps(const PairPredicate& p, const IntVec& fullBinding) const {
   if (p.always) return true;
   if (p.never) return false;
-  return p.cond.contains(tiles);
+  return p.cond.contains(fullBinding);
 }
 
 namespace {
@@ -265,9 +300,16 @@ struct Grouper {
 
 }  // namespace
 
-TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) const {
+TileEvaluation ParametricTilePlan::evaluate(const SizeBinding& binding,
+                                            const std::vector<i64>& subTile) const {
   EMM_REQUIRE(static_cast<int>(subTile.size()) == depth_, "subTile arity mismatch");
+  EMM_REQUIRE(static_cast<int>(binding.ext.size()) == np_ + depth_,
+              "size binding arity mismatch");
   TileEvaluation ev;
+
+  // Full symbol binding [sizes, origins, tiles] for formula evaluation.
+  IntVec full = binding.ext;
+  full.insert(full.end(), subTile.begin(), subTile.end());
 
   // ---- Recover the partition structure at these tile sizes. ----
   // Overlap grows with the tile, so the symbolic components are the
@@ -293,7 +335,7 @@ TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) con
       const int n = static_cast<int>(comp.refs.size());
       for (int i = 0; i < n; ++i)
         for (int j = i + 1; j < n; ++j)
-          if (pairOverlaps(comp.pairs[static_cast<size_t>(i) * n + j], subTile))
+          if (pairOverlaps(comp.pairs[static_cast<size_t>(i) * n + j], full))
             grouper.unite(comp.globalIdx[i], comp.globalIdx[j]);
     }
     for (const std::vector<int>& globalMembers : grouper.groups()) {
@@ -315,8 +357,8 @@ TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) con
       for (int d = 0; d < static_cast<int>(comp.refs[g.members[0]].ctxBox.size()); ++d) {
         i64 lo = INT64_MAX, hi = INT64_MIN;
         for (int m : g.members) {
-          lo = std::min(lo, comp.refs[m].ctxBox[d].first->eval(subTile));
-          hi = std::max(hi, comp.refs[m].ctxBox[d].second->eval(subTile));
+          lo = std::min(lo, comp.refs[m].ctxBox[d].first->eval(full));
+          hi = std::max(hi, comp.refs[m].ctxBox[d].second->eval(full));
         }
         fp = mulChecked(fp, std::max<i64>(0, addChecked(subChecked(hi, lo), 1)));
       }
@@ -346,7 +388,7 @@ TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) con
     for (size_t i = 0; i < side.size(); ++i)
       for (size_t j = i + 1; j < side.size(); ++j) {
         int a = std::min(side[i], side[j]), b = std::max(side[i], side[j]);
-        if (pairOverlaps(g.comp->pairs[static_cast<size_t>(a) * n + b], subTile))
+        if (pairOverlaps(g.comp->pairs[static_cast<size_t>(a) * n + b], full))
           grouper.unite(static_cast<int>(i), static_cast<int>(j));
       }
     i64 total = 0;
@@ -357,8 +399,8 @@ TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) con
         i64 lo = INT64_MAX, hi = INT64_MIN;
         for (int m : sub) {
           const Box& box = g.comp->refs[side[m]].rawBox;
-          lo = std::min(lo, box[d].first->eval(subTile));
-          hi = std::max(hi, box[d].second->eval(subTile));
+          lo = std::min(lo, box[d].first->eval(full));
+          hi = std::max(hi, box[d].second->eval(full));
         }
         if (hi < lo) {
           vol = 0;
@@ -376,7 +418,7 @@ TileEvaluation ParametricTilePlan::evaluate(const std::vector<i64>& subTile) con
   for (const LiveGroup& g : groups) {
     i64 occ = 1;
     for (int l = 0; l < g.hoistLevel; ++l)
-      occ = mulChecked(occ, ceilDiv(loopRange_[l], subTile[l]));
+      occ = mulChecked(occ, ceilDiv(binding.loopRange[l], subTile[l]));
     i64 vin = volumeOf(g, /*writes=*/false);
     i64 vout = volumeOf(g, /*writes=*/true);
     double termIn = bufferCostTerm(occ, vin, P, options_.syncCost, options_.transferCost);
@@ -423,8 +465,17 @@ std::vector<GeometryHint> ParametricTilePlan::instantiateGeometry(
   return hints;
 }
 
-SymInterval ParametricTilePlan::footprintInterval(const std::vector<SymInterval>& tileBox) const {
+SymInterval ParametricTilePlan::footprintInterval(const SizeBinding& binding,
+                                                  const std::vector<SymInterval>& tileBox) const {
   EMM_REQUIRE(static_cast<int>(tileBox.size()) == depth_, "tile box arity mismatch");
+  EMM_REQUIRE(static_cast<int>(binding.ext.size()) == np_ + depth_,
+              "size binding arity mismatch");
+  // Sizes and origins are point intervals at the binding; the tile symbols
+  // range over the box.
+  std::vector<SymInterval> env;
+  env.reserve(binding.ext.size() + tileBox.size());
+  for (i64 v : binding.ext) env.push_back({v, v});
+  env.insert(env.end(), tileBox.begin(), tileBox.end());
   // Enclosure of the symbolic (coarsest-structure) footprint: per
   // component, the interval of the per-dimension bounding-box product.
   SymInterval total{0, 0};
@@ -442,12 +493,28 @@ SymInterval ParametricTilePlan::footprintInterval(const std::vector<SymInterval>
                                      SymExpr::constant(1));
         fp = SymExpr::mul(std::move(fp), SymExpr::max(SymExpr::constant(0), std::move(extent)));
       }
-      SymInterval fi = fp->evalInterval(tileBox);
+      SymInterval fi = fp->evalInterval(env);
       total.lo = addChecked(total.lo, fi.lo);
       total.hi = addChecked(total.hi, fi.hi);
     }
   }
   return total;
+}
+
+bool ParametricTilePlan::coarsestStructureAt(const SizeBinding& binding,
+                                             const std::vector<i64>& tiles) const {
+  EMM_REQUIRE(static_cast<int>(tiles.size()) == depth_, "subTile arity mismatch");
+  IntVec full = binding.ext;
+  full.insert(full.end(), tiles.begin(), tiles.end());
+  for (const ArrayFormula& af : arrays_) {
+    for (const ComponentFormula& comp : af.comps) {
+      const int n = static_cast<int>(comp.refs.size());
+      for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+          if (!pairOverlaps(comp.pairs[static_cast<size_t>(i) * n + j], full)) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace emm

@@ -5,22 +5,29 @@
 // per candidate vector. This class runs that analysis a single time with the
 // tile sizes T1..Tk as symbolic parameters (analyzeTileSymbolic) and
 // compiles everything the Section-4.3 objective needs into closed-form
-// pieces over T:
+// pieces over T — and, since PR 5, over the PROBLEM SIZES as well: the
+// original block parameters (N, W, ...) and the tile origins stay symbolic
+// in every compiled formula, so one plan serves the whole kernel FAMILY and
+// a new problem size costs one bindSizes() call instead of a rebuild.
+//
+// Formula symbols are indexed [sizes (np), origins (depth), tiles (depth)]:
 //
 //   - per reference: the per-dimension [lo, hi] bounding-box bound formulas
-//     of its data space (SymExpr trees over T), once with the analysis
-//     context applied (buffer geometry) and once raw (volume bounds), plus
-//     the per-loop origin-dependence bits that drive Section-4.2 hoisting,
-//   - per reference pair: the OVERLAP PREDICATE — the tile-size region in
-//     which the two data spaces intersect, obtained by projecting their
-//     symbolic intersection onto the tile parameters. Overlap grows
-//     monotonically with tile sizes, so the symbolic components (overlap
-//     for SOME T >= 1) are the coarsest structure; the concrete structure
-//     at a given T is the refinement induced by the predicates that hold,
-//     recovered at evaluation time with a tiny union-find. This is what
-//     makes stencil kernels exact: at T_l = 1 a shifted window pair
-//     (A[i-1], A[i+1]) separates into distinct partitions, and the plan
-//     reproduces the split without re-running any polyhedral analysis.
+//     of its data space (SymExpr trees over sizes, origins and T), once with
+//     the analysis context applied (buffer geometry) and once raw (volume
+//     bounds), plus the per-loop origin-dependence bits that drive
+//     Section-4.2 hoisting,
+//   - per reference pair: the OVERLAP PREDICATE — the region of the full
+//     (sizes, origins, tiles) parameter space in which the two data spaces
+//     intersect, obtained by projecting their symbolic intersection onto
+//     those parameters. Overlap grows monotonically with tile sizes, so the
+//     symbolic components (overlap for SOME T >= 1) are the coarsest
+//     structure; the concrete structure at a given binding is the
+//     refinement induced by the predicates that hold, recovered at
+//     evaluation time with a tiny union-find. This is what makes stencil
+//     kernels exact: at T_l = 1 a shifted window pair (A[i-1], A[i+1])
+//     separates into distinct partitions, and the plan reproduces the split
+//     without re-running any polyhedral analysis.
 //
 // evaluate() is then pure expression evaluation — SymExpr trees plus
 // boolean predicate rows — and reproduces the concrete evaluator's
@@ -33,6 +40,11 @@
 // the Algorithm-1 benefit verdict tile-dependent); the TileEvaluator
 // catches this (and validates the plan against concrete probe evaluations)
 // and falls back to the per-candidate path with a diagnostic.
+//
+// Instances are immutable after construction and safe to share across
+// threads and compiles: the driver's family tier (driver/family_plan.h)
+// stores one per kernel family and every per-size compile evaluates through
+// its own SizeBinding.
 #pragma once
 
 #include <memory>
@@ -45,37 +57,80 @@
 
 namespace emm {
 
+class ByteReader;
+class ByteWriter;
+
 class ParametricTilePlan {
 public:
+  /// Everything evaluation derives from one concrete problem size: the
+  /// binding of the leading formula symbols ([sizes, origins]) and the
+  /// per-loop iteration ranges. Computing one is a handful of DivExpr
+  /// evaluations — the "cheap bind" step of family reuse.
+  struct SizeBinding {
+    IntVec ext;                  ///< [sizes, origins(sizes)] symbol binding
+    std::vector<i64> loopRange;  ///< iteration range per common loop
+  };
+
   /// Runs the symbolic Section-3 analysis and compiles the cost-model
   /// formulas. `loopRange` holds the shared per-loop iteration ranges the
-  /// evaluator already computed; `tileSample` (one size per loop) seeds
-  /// the sample binding exactly like concrete sizes would. Throws ApiError
-  /// when the block is not parametrically analyzable.
+  /// evaluator already computed at options.paramValues (the default
+  /// binding); `tileSample` (one size per loop) seeds the sample binding
+  /// exactly like concrete sizes would. Throws ApiError when the block is
+  /// not parametrically analyzable.
   ParametricTilePlan(const ProgramBlock& block, const ParallelismPlan& plan,
                      const TileSearchOptions& options, const SmemOptions& smemBase,
                      const std::vector<i64>& loopRange, const std::vector<i64>& tileSample);
 
-  /// Pure expression evaluation of one candidate. The caller (TileEvaluator)
-  /// has already applied the cheap range/volume constraints; this evaluates
-  /// footprint feasibility and the Section-4.3 objective.
-  TileEvaluation evaluate(const std::vector<i64>& subTile) const;
+  /// Binds a concrete problem size: evaluates the tile origins (pinned at
+  /// the loop lower bounds, exactly as the concrete evaluator does) and the
+  /// per-loop ranges. Throws ApiError on arity mismatch. The binding is a
+  /// plain value; one plan may serve many bindings concurrently.
+  SizeBinding bindSizes(const IntVec& sizes) const;
+
+  /// The binding of the problem size the plan was constructed at.
+  const SizeBinding& defaultBinding() const { return defaultBinding_; }
+
+  /// Pure expression evaluation of one candidate at one size binding. The
+  /// caller (TileEvaluator) has already applied the cheap range/volume
+  /// constraints; this evaluates footprint feasibility and the Section-4.3
+  /// objective.
+  TileEvaluation evaluate(const SizeBinding& binding, const std::vector<i64>& subTile) const;
+  /// Evaluation at the construction-time size binding.
+  TileEvaluation evaluate(const std::vector<i64>& subTile) const {
+    return evaluate(defaultBinding_, subTile);
+  }
 
   /// Instantiates the parametric buffer geometry at concrete tile sizes:
   /// the hints let smem::planBufferGeometry adopt the precomputed bounds
   /// (after a cheap validity check) instead of re-deriving them. Hints are
   /// keyed on exact reference sets, so at tile sizes where the partition
   /// structure refines past the symbolic one they simply do not match and
-  /// geometry is derived as usual.
+  /// geometry is derived as usual. Hint expressions keep the problem sizes
+  /// and origins symbolic (by name), so they are valid for every family
+  /// member.
   std::vector<GeometryHint> instantiateGeometry(const std::vector<i64>& subTile) const;
 
   /// Interval enclosure of the total scratchpad footprint over a tile-size
-  /// box (one interval per loop), via SymExpr interval evaluation of the
-  /// symbolic (coarsest-structure) footprint formulas.
-  SymInterval footprintInterval(const std::vector<SymInterval>& tileBox) const;
+  /// box (one interval per loop) at a size binding, via SymExpr interval
+  /// evaluation of the symbolic (coarsest-structure) footprint formulas.
+  SymInterval footprintInterval(const SizeBinding& binding,
+                                const std::vector<SymInterval>& tileBox) const;
+  SymInterval footprintInterval(const std::vector<SymInterval>& tileBox) const {
+    return footprintInterval(defaultBinding_, tileBox);
+  }
+
+  /// True when every reference pair of every symbolic component overlaps at
+  /// `tiles` under `binding` — the partition structure is the coarsest one,
+  /// and (since overlap grows with tile sizes) stays coarsest for every
+  /// larger tile vector. When this holds at the minimum corner of a tile
+  /// box, footprintInterval() over that box encloses the TRUE footprint of
+  /// every candidate in it, which is what makes box pruning sound.
+  bool coarsestStructureAt(const SizeBinding& binding, const std::vector<i64>& tiles) const;
 
   /// Number of tiled loops (= tile symbols T1..Tk the plan is over).
   int depth() const { return depth_; }
+  /// Number of original block parameters (problem-size symbols).
+  int sizeParams() const { return np_; }
   /// The underlying symbolic analysis (tile block, partitions, ...).
   const TileAnalysis& analysis() const { return analysis_; }
 
@@ -83,11 +138,11 @@ private:
   /// Per-dimension [lo, hi] bound formulas of one polyhedron's box.
   using Box = std::vector<std::pair<SymPtr, SymPtr>>;
 
-  /// Overlap predicate of one reference pair over the tile parameters.
+  /// Overlap predicate of one reference pair over the full parameter space.
   struct PairPredicate {
-    bool always = false;  ///< overlap for every T >= 1
-    bool never = false;   ///< empty intersection for every T
-    Polyhedron cond;      ///< otherwise: dim = depth vars (T), no params
+    bool always = false;  ///< overlap for every binding and T >= 1
+    bool never = false;   ///< empty intersection everywhere
+    Polyhedron cond;      ///< otherwise: dim = np + 2*depth vars, no params
   };
 
   struct RefFormula {
@@ -125,7 +180,8 @@ private:
   /// Geometry record of one symbolic partition, for instantiateGeometry():
   /// the per-dimension buffer-bound candidate pools, derived once over the
   /// symbolic spaces and verified against every reference for ALL tile
-  /// sizes. Expressions may mention the tile symbols.
+  /// sizes. Expressions may mention the tile symbols, the origins and the
+  /// problem sizes.
   struct GeometryRecord {
     int arrayId = -1;
     std::vector<std::pair<int, int>> refKeys;  ///< sorted (stmt, access)
@@ -133,23 +189,31 @@ private:
     std::vector<std::vector<AffExpr>> upper;
   };
 
+  ParametricTilePlan() = default;  ///< deserialization only
+
+  /// Rebuilds the symbol table (one SymExpr parameter per size/origin/tile)
+  /// from analysis_; used by the constructor and the deserializer.
+  void rebuildSymbols();
+
   SymPtr compileDiv(const DivExpr& e, bool ceil) const;
   Box compileBox(const Polyhedron& space) const;
   PairPredicate compilePredicate(const Polyhedron& a, const Polyhedron& b) const;
-  bool pairOverlaps(const PairPredicate& p, const std::vector<i64>& tiles) const;
+  bool pairOverlaps(const PairPredicate& p, const IntVec& fullBinding) const;
   AffExpr substituteTiles(const AffExpr& e, const std::vector<i64>& tiles) const;
 
   int depth_ = 0;
+  int np_ = 0;  ///< original block parameters (problem sizes)
   TileSearchOptions options_;
-  std::vector<i64> loopRange_;
-  std::vector<SymPtr> tileSyms_;  ///< one symbolic parameter per loop
+  /// One SymExpr parameter per formula symbol: [sizes, origins, tiles].
+  std::vector<SymPtr> symParams_;
   TileAnalysis analysis_;
-  /// Concrete binding of the symbolic block's non-tile parameters:
-  /// [original params, origins pinned at the loop lower bounds].
-  IntVec fixedParams_;
+  SizeBinding defaultBinding_;  ///< binding at options_.paramValues
   std::vector<ArrayFormula> arrays_;  ///< arrays with references, in order
   std::vector<GeometryRecord> geometry_;
   bool hoist_ = true;
+
+  friend void serializeParametricPlanBody(ByteWriter& w, const ParametricTilePlan& plan);
+  friend ParametricTilePlan deserializeParametricPlanBody(ByteReader& r);
 };
 
 }  // namespace emm

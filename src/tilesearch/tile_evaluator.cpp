@@ -95,6 +95,12 @@ TileEvaluator::TileEvaluator(const ProgramBlock& block, const ParallelismPlan& p
 
 TileEvaluator::~TileEvaluator() = default;
 
+void TileEvaluator::adoptFamilyPlan(std::shared_ptr<const ParametricTilePlan> plan) {
+  EMM_REQUIRE(state_ == ParametricState::Pending && !prepared_,
+              "adoptFamilyPlan must precede the first evaluation");
+  familyCandidate_ = std::move(plan);
+}
+
 const TileEvaluation& TileEvaluator::evaluate(const std::vector<i64>& subTile) {
   auto it = memo_.find(subTile);
   if (it != memo_.end()) {
@@ -121,8 +127,8 @@ const TileEvaluation& TileEvaluator::evaluate(const std::vector<i64>& subTile) {
 
   ++evaluations_;
   const auto start = std::chrono::steady_clock::now();
-  TileEvaluation ev =
-      paramPlan_ != nullptr ? paramPlan_->evaluate(subTile) : evaluateConcrete(subTile);
+  TileEvaluation ev = paramPlan_ != nullptr ? paramPlan_->evaluate(binding_, subTile)
+                                            : evaluateConcrete(subTile);
   evalMillis_ += millisSince(start);
   return memo_.emplace(subTile, std::move(ev)).first->second;
 }
@@ -179,43 +185,119 @@ void TileEvaluator::ensurePlan() {
     mid[l] = std::min(candidates_[l][candidates_[l].size() / 2], range);
     corner[l] = std::min(candidates_[l].back(), range);
   }
-  bool validated = false;
-  try {
-    paramPlan_ = std::make_unique<ParametricTilePlan>(block_, plan_, options_, smemBase_,
-                                                      loopRange_, mid);
-    state_ = ParametricState::Active;
-    for (const std::vector<i64>& probe : {mid, corner}) {
-      if (memo_.count(probe) != 0) continue;
-      TileEvaluation cheap = cheapCheck(probe);
-      if (!cheap.reason.empty()) {
-        ++evaluations_;
-        memo_.emplace(probe, std::move(cheap));
-        continue;  // both paths agree trivially; nothing to validate
-      }
-      ++evaluations_;
-      TileEvaluation concrete = evaluateConcrete(probe);
-      if (paramPlan_ != nullptr && !sameEvaluation(concrete, paramPlan_->evaluate(probe))) {
-        state_ = ParametricState::Fallback;
-        fallbackReason_ =
-            "symbolic plan disagrees with the concrete analysis at tile (" + joinTile(probe) +
-            ")";
-        paramPlan_.reset();
-      }
-      validated = true;
-      memo_.emplace(probe, std::move(concrete));  // authoritative either way
+
+  // Concrete probe evaluations first — they are authoritative regardless of
+  // which plan (family or fresh) ends up serving candidates, so a family
+  // hit can never change a result the concrete analysis would produce.
+  std::vector<std::pair<std::vector<i64>, TileEvaluation>> probes;
+  for (const std::vector<i64>& probe : {mid, corner}) {
+    if (memo_.count(probe) != 0) continue;
+    bool seen = false;
+    for (const auto& [tile, ev] : probes) seen = seen || tile == probe;
+    if (seen) continue;
+    TileEvaluation cheap = cheapCheck(probe);
+    ++evaluations_;
+    if (!cheap.reason.empty()) {
+      memo_.emplace(probe, std::move(cheap));
+      continue;  // both paths agree trivially; nothing to validate
     }
-    if (state_ == ParametricState::Active && !validated) {
-      // Never serve candidates from a plan no probe could exercise.
-      state_ = ParametricState::Fallback;
-      fallbackReason_ = "no probe candidate survived the cheap constraints";
-      paramPlan_.reset();
-    }
-  } catch (const ApiError& e) {
+    probes.emplace_back(probe, evaluateConcrete(probe));
+  }
+  if (probes.empty()) {
+    // Never serve candidates from a plan no probe could exercise.
     state_ = ParametricState::Fallback;
-    fallbackReason_ = e.what();
+    fallbackReason_ = "no probe candidate survived the cheap constraints";
+    planBuildMillis_ = millisSince(start);
+    return;
+  }
+
+  // Candidate plans, in preference order: the adopted family plan (bound at
+  // this size), then a fresh symbolic build. Either must reproduce every
+  // authoritative probe exactly to become active.
+  std::string reason;
+  for (int attempt = 0; attempt < 2 && state_ != ParametricState::Active; ++attempt) {
+    const bool family = attempt == 0;
+    if (family && familyCandidate_ == nullptr) continue;
+    try {
+      std::shared_ptr<const ParametricTilePlan> plan =
+          family ? familyCandidate_
+                 : std::make_shared<const ParametricTilePlan>(block_, plan_, options_,
+                                                              smemBase_, loopRange_, mid);
+      ParametricTilePlan::SizeBinding binding = plan->bindSizes(options_.paramValues);
+      bool agree = true;
+      for (const auto& [tile, concrete] : probes) {
+        if (!sameEvaluation(concrete, plan->evaluate(binding, tile))) {
+          agree = false;
+          reason = std::string(family ? "family plan" : "symbolic plan") +
+                   " disagrees with the concrete analysis at tile (" + joinTile(tile) + ")";
+          break;
+        }
+      }
+      if (agree) {
+        paramPlan_ = std::move(plan);
+        binding_ = std::move(binding);
+        familyAdopted_ = family;
+        state_ = ParametricState::Active;
+      }
+    } catch (const ApiError& e) {
+      reason = e.what();
+    }
+  }
+  if (state_ != ParametricState::Active) {
+    state_ = ParametricState::Fallback;
+    fallbackReason_ = reason;
     paramPlan_.reset();
   }
+  for (auto& [tile, concrete] : probes)
+    memo_.emplace(tile, std::move(concrete));  // authoritative either way
   planBuildMillis_ = millisSince(start);
+}
+
+void TileEvaluator::prepareSearch() {
+  if (prepared_) return;
+  prepared_ = true;
+  if (depth_ == 0) return;
+  ensurePlan();
+  if (state_ != ParametricState::Active) return;
+  pruneCandidateBoxes();
+}
+
+void TileEvaluator::pruneCandidateBoxes() {
+  // Box soundness needs "larger ladder index => larger tile", so unsorted
+  // user ladders opt out of pruning.
+  for (const std::vector<i64>& ladder : candidates_)
+    if (!std::is_sorted(ladder.begin(), ladder.end())) return;
+  for (int l = 0; l < depth_; ++l) {
+    std::vector<i64>& ladder = candidates_[l];
+    size_t cut = ladder.size();
+    // Box B(l, k) = { t_l in [ladder[k], ladder.back()], t_j in its full
+    // ladder range }. If the partition structure is already coarsest at the
+    // box's minimum corner it stays coarsest across the box (overlap grows
+    // with tile sizes), so footprintInterval().lo is a true lower bound of
+    // every candidate's footprint — above the memory limit, the whole box
+    // (and, ladders being sorted, every longer-tailed box after it) is
+    // infeasible. The smallest ladder entry is always kept so the solvers
+    // see a non-empty grid and report infeasibility through evaluation.
+    for (size_t k = 1; k < ladder.size(); ++k) {
+      std::vector<SymInterval> box(depth_);
+      std::vector<i64> minCorner(depth_);
+      for (int j = 0; j < depth_; ++j) {
+        const i64 lo = j == l ? ladder[k] : candidates_[j].front();
+        const i64 hi = j == l ? ladder.back() : candidates_[j].back();
+        box[j] = {lo, hi};
+        minCorner[j] = lo;
+      }
+      if (!paramPlan_->coarsestStructureAt(binding_, minCorner)) continue;
+      if (paramPlan_->footprintInterval(binding_, box).lo > options_.memLimitElems) {
+        cut = k;
+        break;
+      }
+    }
+    if (cut < ladder.size()) {
+      prunedBoxes_ += static_cast<int>(ladder.size() - cut);
+      ladder.resize(cut);
+    }
+  }
 }
 
 TileEvaluation TileEvaluator::evaluateConcrete(const std::vector<i64>& subTile) {

@@ -17,6 +17,18 @@
 //    (parametric_plan.h); when the block is not parametrically analyzable
 //    or a probe disagrees, it falls back to the concrete per-candidate
 //    path and records the reason,
+//  - may ADOPT a shared family plan (adoptFamilyPlan) instead of building
+//    one: the driver's family tier keeps one size-generic ParametricTilePlan
+//    per kernel family, and a per-size compile binds it (bindSizes) and
+//    revalidates it against the same concrete probes — adoption that fails
+//    a probe falls back to building a fresh plan, so a family hit can never
+//    change the result of a compile,
+//  - prunes whole tile-size boxes before a solver seeds candidates
+//    (prepareSearch): when the partition structure is already coarsest at a
+//    box's minimum corner, ParametricTilePlan::footprintInterval encloses
+//    the true footprint of every candidate in the box, and a box whose
+//    lower bound exceeds the memory limit is dropped from the candidate
+//    ladders without evaluating anything,
 //  - memoizes full evaluations by candidate vector, so a tile probed by
 //    several descent sweeps, several seeds, or several solvers (the
 //    coordinate-descent solver and the exhaustive oracle used to certify
@@ -54,6 +66,17 @@ public:
                 const TileSearchOptions& options, const SmemOptions& smemBase);
   ~TileEvaluator();
 
+  /// Offers a size-generic family plan to adopt instead of building one.
+  /// Must be called before the first evaluate()/prepareSearch(). The plan
+  /// is revalidated against concrete probe evaluations at THIS evaluator's
+  /// problem size; a failed revalidation silently builds a fresh plan, so
+  /// adoption never changes any evaluation result.
+  void adoptFamilyPlan(std::shared_ptr<const ParametricTilePlan> plan);
+
+  /// Runs plan construction/adoption and candidate-box pruning once, before
+  /// a solver reads candidates(). Idempotent; called by both solvers.
+  void prepareSearch();
+
   /// Memoized Section-4.3 evaluation of one candidate tile-size vector.
   /// The reference stays valid for the evaluator's lifetime.
   const TileEvaluation& evaluate(const std::vector<i64>& subTile);
@@ -62,7 +85,8 @@ public:
   /// Iteration range of common loop `l` at the bound parameter values.
   i64 loopRange(int l) const { return loopRange_[l]; }
   /// Candidate ladder per loop: options.candidates when given, otherwise the
-  /// geometric ladder {1, 2, 4, ...} clipped to each loop's range.
+  /// geometric ladder {1, 2, 4, ...} clipped to each loop's range. After
+  /// prepareSearch() the ladders exclude pruned boxes.
   const std::vector<std::vector<i64>>& candidates() const { return candidates_; }
 
   const TileSearchOptions& options() const { return options_; }
@@ -75,6 +99,8 @@ public:
   /// a concrete Section-3 analysis (<= evaluations(); stays at the probe
   /// count while a parametric plan serves evaluations).
   int analysesRun() const { return analysesRun_; }
+  /// Candidate ladder entries removed by footprint-interval box pruning.
+  int prunedBoxes() const { return prunedBoxes_; }
 
   /// Current parametric-plan status (never forces a build).
   ParametricState parametricState() const { return state_; }
@@ -82,6 +108,11 @@ public:
   const std::string& fallbackReason() const { return fallbackReason_; }
   /// The active plan, or nullptr (Pending or Fallback).
   const ParametricTilePlan* parametricPlan() const { return paramPlan_.get(); }
+  /// The active plan as a shareable handle (for the driver's family tier).
+  std::shared_ptr<const ParametricTilePlan> sharedPlan() const { return paramPlan_; }
+  /// True when the active plan came from adoptFamilyPlan (probe-validated
+  /// at this size) rather than a fresh symbolic analysis.
+  bool familyAdopted() const { return familyAdopted_; }
   /// Symbolic plan construction + probe-validation time, ms.
   double planBuildMillis() const { return planBuildMillis_; }
   /// Cumulative time spent evaluating memo-miss candidates, ms.
@@ -94,8 +125,11 @@ private:
   TileEvaluation cheapCheck(const std::vector<i64>& subTile) const;
   /// Full concrete evaluation (cheap constraints + Section-3 analysis).
   TileEvaluation evaluateConcrete(const std::vector<i64>& subTile);
-  /// Builds and validates the parametric plan once (no-op afterwards).
+  /// Builds/adopts and validates the parametric plan once (no-op after).
   void ensurePlan();
+  /// Footprint-interval box pruning of the candidate ladders; requires an
+  /// Active plan.
+  void pruneCandidateBoxes();
 
   const ProgramBlock& block_;
   const ParallelismPlan& plan_;
@@ -106,14 +140,19 @@ private:
   std::vector<i64> loopRange_;
   std::vector<std::vector<i64>> candidates_;
   std::map<std::vector<i64>, TileEvaluation> memo_;
-  std::unique_ptr<ParametricTilePlan> paramPlan_;
+  std::shared_ptr<const ParametricTilePlan> paramPlan_;
+  ParametricTilePlan::SizeBinding binding_;  ///< paramPlan_ bound at our size
+  std::shared_ptr<const ParametricTilePlan> familyCandidate_;
   ParametricState state_ = ParametricState::Pending;
   std::string fallbackReason_;
+  bool familyAdopted_ = false;
+  bool prepared_ = false;
   double planBuildMillis_ = 0;
   double evalMillis_ = 0;
   int evaluations_ = 0;
   int memoHits_ = 0;
   int analysesRun_ = 0;
+  int prunedBoxes_ = 0;
 };
 
 /// Fast solver (geometric seeding + projected coordinate descent) over a

@@ -22,6 +22,8 @@ namespace {
 /// Copies the evaluator's parametric/timing bookkeeping into a result.
 void recordEvaluatorStats(const TileEvaluator& evaluator, TileSearchResult& result) {
   result.parametric = evaluator.parametricState() == TileEvaluator::ParametricState::Active;
+  result.familyAdopted = evaluator.familyAdopted();
+  result.prunedBoxes = evaluator.prunedBoxes();
   result.parametricReason = evaluator.fallbackReason();
   result.planBuildMillis = evaluator.planBuildMillis();
   result.evalMillis = evaluator.evalMillis();
@@ -30,6 +32,7 @@ void recordEvaluatorStats(const TileEvaluator& evaluator, TileSearchResult& resu
 }  // namespace
 
 TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
+  evaluator.prepareSearch();  // plan adoption/build + candidate-box pruning
   const std::vector<std::vector<i64>>& cands = evaluator.candidates();
   const int depth = evaluator.depth();
   const int evalsBefore = evaluator.evaluations();
@@ -57,6 +60,7 @@ TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
 }
 
 TileSearchResult searchTileSizes(TileEvaluator& evaluator) {
+  evaluator.prepareSearch();  // plan adoption/build + candidate-box pruning
   const std::vector<std::vector<i64>>& cands = evaluator.candidates();
   const int depth = evaluator.depth();
   const int evalsBefore = evaluator.evaluations();

@@ -86,6 +86,13 @@ struct TileSearchResult {
   /// True when candidates were evaluated through a ParametricTilePlan
   /// (Section-3 analysis run once, symbolically).
   bool parametric = false;
+  /// True when that plan was adopted from the driver's family tier (built
+  /// once for the kernel family, bound at this compile's problem size and
+  /// revalidated against concrete probes) instead of being rebuilt.
+  bool familyAdopted = false;
+  /// Candidate ladder entries discarded by footprint-interval box pruning
+  /// before the solver ran (each entry is a whole box of the grid).
+  int prunedBoxes = 0;
   /// Why the concrete fallback was used (empty when parametric).
   std::string parametricReason;
   /// Symbolic plan construction time, including probe validation, in ms.

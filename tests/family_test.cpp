@@ -1,0 +1,458 @@
+// Tests for size-generic (kernel-family) compilation: one symbolic plan per
+// family serving a whole --size sweep.
+//
+//  - Equivalence: family-instantiated compiles produce byte-identical
+//    artifacts, identical chosen tiles and identical cost models to
+//    isolated per-size cold compiles, across randomized problem sizes for
+//    ME, jacobi 1-D/2-D and matmul.
+//  - Accounting: a sweep performs exactly one family miss (the cold run
+//    that builds the family plan) and family hits for every further size,
+//    in both the memory tier and the disk tier (.emmfam round trip).
+//  - Safety: collision-guard digests make foreign entries misses, corrupt
+//    family records fall back to clean cold compiles, and footprint-
+//    interval box pruning never changes the chosen tile.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "deps/dependence.h"
+#include "driver/compiler.h"
+#include "driver/disk_cache.h"
+#include "driver/family_plan.h"
+#include "driver/plan_cache.h"
+#include "kernels/blocks.h"
+#include "support/serialize.h"
+#include "tilesearch/tile_evaluator.h"
+#include "transform/transform.h"
+
+namespace fs = std::filesystem;
+
+namespace emm {
+namespace {
+
+/// Fresh unique cache directory per test, removed on destruction.
+struct TempCacheDir {
+  fs::path path;
+  TempCacheDir() {
+    static std::atomic<int> counter{0};
+    path = fs::temp_directory_path() /
+           ("emmfam_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    fs::remove_all(path);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+/// Builder configured the way the sweeps run: cuda backend (folds the
+/// problem sizes into the artifact, so byte equality is meaningful).
+Compiler sweepCompiler(const std::string& kernel, const std::vector<i64>& sizes) {
+  IntVec params;
+  ProgramBlock block = buildKernelByName(kernel, sizes, params);
+  Compiler c(std::move(block));
+  c.parameters(params).memoryLimitBytes(16 * 1024).backend("cuda");
+  return c;
+}
+
+/// Isolated cold compile: no caches, no family tier.
+CompileResult coldCompile(const std::string& kernel, const std::vector<i64>& sizes) {
+  return sweepCompiler(kernel, sizes).compile();
+}
+
+void expectSameOutcome(const CompileResult& a, const CompileResult& b, const char* what) {
+  ASSERT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.search.subTile, b.search.subTile) << what;
+  EXPECT_EQ(a.search.eval.feasible, b.search.eval.feasible) << what;
+  EXPECT_DOUBLE_EQ(a.search.eval.cost, b.search.eval.cost) << what;
+  EXPECT_EQ(a.search.eval.footprint, b.search.eval.footprint) << what;
+  EXPECT_EQ(a.artifact, b.artifact) << what;  // byte-identical
+}
+
+// ---- equivalence across a sweep (memory family tier) ---------------------
+
+TEST(FamilyTierTest, MeSweepIsOneColdCompilePlusFamilyHits) {
+  const std::vector<std::vector<i64>> sweep = {
+      {64, 64, 8}, {128, 64, 8}, {192, 96, 8}, {256, 128, 8}};
+  PlanCache cache;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    Compiler c = sweepCompiler("me", sweep[i]);
+    CompileResult r = c.cache(&cache).compile();
+    ASSERT_TRUE(r.ok) << r.firstError();
+    EXPECT_EQ(r.familyHit, i > 0) << "size #" << i;
+    EXPECT_EQ(r.search.familyAdopted, i > 0) << "size #" << i;
+    EXPECT_TRUE(r.search.parametric);
+    CompileResult cold = coldCompile("me", sweep[i]);
+    expectSameOutcome(r, cold, "me sweep vs cold");
+  }
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.familyMisses, 1);  // exactly one cold pipeline per family
+  EXPECT_EQ(s.familyHits, static_cast<i64>(sweep.size()) - 1);
+  EXPECT_EQ(s.familyEntries, 1);
+}
+
+TEST(FamilyTierTest, RandomizedSizesStayByteIdentical) {
+  std::mt19937 rng(20260729);
+  const struct {
+    const char* kernel;
+    int nsizes;
+    std::vector<std::vector<i64>> pool;  ///< per size slot: values to draw
+  } cases[] = {
+      {"me", 3, {{48, 64, 96, 128, 160}, {32, 64, 96}, {8, 16}}},
+      {"matmul", 3, {{32, 48, 64, 96}, {32, 64, 96}, {32, 48, 64}}},
+  };
+  for (const auto& kc : cases) {
+    PlanCache cache;
+    std::vector<std::vector<i64>> drawn;
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<i64> sizes;
+      for (int d = 0; d < kc.nsizes; ++d) {
+        const std::vector<i64>& pool = kc.pool[d];
+        sizes.push_back(pool[rng() % pool.size()]);
+      }
+      const bool repeat =
+          std::find(drawn.begin(), drawn.end(), sizes) != drawn.end();
+      drawn.push_back(sizes);
+      CompileResult r = sweepCompiler(kc.kernel, sizes).cache(&cache).compile();
+      ASSERT_TRUE(r.ok) << kc.kernel << ": " << r.firstError();
+      if (trial > 0 && !repeat) EXPECT_TRUE(r.familyHit) << kc.kernel;
+      CompileResult cold = coldCompile(kc.kernel, sizes);
+      expectSameOutcome(r, cold, kc.kernel);
+    }
+    EXPECT_EQ(cache.stats().familyMisses, 1) << kc.kernel;
+  }
+}
+
+// ---- kernels without a tile search: deps/transform family reuse ----------
+
+TEST(FamilyTierTest, JacobiPipelinesReuseDepsAndTransform) {
+  // Jacobi bands need inter-block sync, so the pipeline falls back to the
+  // block-level analysis — the family tier still serves the dependences
+  // and the skewing transform, and the per-size products stay identical to
+  // isolated cold compiles.
+  for (const char* kernel : {"jacobi", "jacobi2d"}) {
+    PlanCache cache;
+    const std::vector<std::vector<i64>> sweep =
+        std::string(kernel) == "jacobi"
+            ? std::vector<std::vector<i64>>{{512, 16}, {1024, 16}, {4096, 32}}
+            : std::vector<std::vector<i64>>{{48, 48, 8}, {64, 96, 8}, {128, 64, 8}};
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      CompileResult r = sweepCompiler(kernel, sweep[i]).cache(&cache).compile();
+      ASSERT_TRUE(r.ok) << kernel << ": " << r.firstError();
+      EXPECT_EQ(r.familyHit, i > 0) << kernel << " size #" << i;
+      ASSERT_TRUE(r.havePlan);
+      EXPECT_TRUE(r.plan.needsInterBlockSync);
+      CompileResult cold = coldCompile(kernel, sweep[i]);
+      EXPECT_EQ(r.deps.size(), cold.deps.size());
+      EXPECT_EQ(r.appliedSkews, cold.appliedSkews);
+      EXPECT_EQ(r.plan.spaceLoops, cold.plan.spaceLoops);
+      ASSERT_NE(r.dataPlan(), nullptr);
+      ASSERT_NE(cold.dataPlan(), nullptr);
+      ASSERT_EQ(r.dataPlan()->partitions.size(), cold.dataPlan()->partitions.size());
+      for (size_t p = 0; p < r.dataPlan()->partitions.size(); ++p) {
+        EXPECT_EQ(r.dataPlan()->partitions[p].bufferName,
+                  cold.dataPlan()->partitions[p].bufferName);
+        EXPECT_EQ(r.dataPlan()->partitions[p].hasBuffer,
+                  cold.dataPlan()->partitions[p].hasBuffer);
+      }
+      EXPECT_EQ(r.artifact, cold.artifact);
+    }
+    EXPECT_EQ(cache.stats().familyMisses, 1) << kernel;
+    EXPECT_EQ(cache.stats().familyHits, 2) << kernel;
+  }
+}
+
+TEST(FamilyTierTest, ScratchpadOnlyCellSweepIsByteIdentical) {
+  // Scratchpad-only + cell backend: the artifact folds the problem sizes,
+  // so byte equality is a real check; the family tier serves dependences.
+  auto build = [](i64 n, i64 t) {
+    Compiler c(buildJacobiBlock(n, t));
+    c.parameters({n, t})
+        .scratchpadOnly(true)
+        .stageEverything(true)
+        .backend("cell")
+        .memoryLimitBytes(16 * 1024);
+    return c;
+  };
+  PlanCache cache;
+  const std::vector<std::pair<i64, i64>> sweep = {{512, 16}, {1024, 16}, {2048, 32}};
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    Compiler c = build(sweep[i].first, sweep[i].second);
+    CompileResult r = c.cache(&cache).compile();
+    ASSERT_TRUE(r.ok) << r.firstError();
+    EXPECT_EQ(r.familyHit, i > 0);
+    CompileResult cold = build(sweep[i].first, sweep[i].second).compile();
+    ASSERT_TRUE(cold.ok);
+    EXPECT_FALSE(cold.artifact.empty());
+    EXPECT_EQ(r.artifact, cold.artifact);
+  }
+  EXPECT_EQ(cache.stats().familyMisses, 1);
+  EXPECT_EQ(cache.stats().familyHits, 2);
+}
+
+// ---- the size-generic plan itself ----------------------------------------
+
+TEST(FamilyTierTest, AdoptedPlanMatchesFreshlyBuiltPlanEverywhere) {
+  // Build the plan at one size, adopt it at another, and compare every
+  // candidate evaluation against an evaluator that rebuilt its own plan.
+  ProgramBlock b0 = buildMeBlock(64, 64, 8);
+  auto deps0 = computeDependences(b0);
+  ParallelismPlan plan0 = findParallelism(b0, deps0);
+  TileSearchOptions topts;
+  topts.paramValues = {64, 64, 8};
+  topts.memLimitElems = 4096;
+  SmemOptions smem;
+  smem.sampleParams = {64, 64, 8};
+  TileEvaluator source(b0, plan0, topts, smem);
+  searchTileSizes(source);
+  ASSERT_EQ(source.parametricState(), TileEvaluator::ParametricState::Active);
+  std::shared_ptr<const ParametricTilePlan> family = source.sharedPlan();
+  ASSERT_NE(family, nullptr);
+  EXPECT_FALSE(source.familyAdopted());
+
+  ProgramBlock b1 = buildMeBlock(160, 96, 16);
+  auto deps1 = computeDependences(b1);
+  ParallelismPlan plan1 = findParallelism(b1, deps1);
+  TileSearchOptions topts1 = topts;
+  topts1.paramValues = {160, 96, 16};
+  SmemOptions smem1;
+  smem1.sampleParams = {160, 96, 16};
+  TileEvaluator adopted(b1, plan1, topts1, smem1);
+  adopted.adoptFamilyPlan(family);
+  TileEvaluator fresh(b1, plan1, topts1, smem1);
+
+  std::mt19937 rng(7);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<i64> tile = {i64(1) << (rng() % 8), i64(1) << (rng() % 7),
+                             i64(1) << (rng() % 5), i64(1) << (rng() % 5)};
+    const TileEvaluation& a = adopted.evaluate(tile);
+    const TileEvaluation& f = fresh.evaluate(tile);
+    EXPECT_EQ(a.feasible, f.feasible) << "tile " << i;
+    EXPECT_EQ(a.reason, f.reason);
+    EXPECT_DOUBLE_EQ(a.cost, f.cost);
+    EXPECT_EQ(a.footprint, f.footprint);
+    ASSERT_EQ(a.terms.size(), f.terms.size());
+    for (size_t t = 0; t < a.terms.size(); ++t) {
+      EXPECT_EQ(a.terms[t].name, f.terms[t].name);
+      EXPECT_EQ(a.terms[t].occurrences, f.terms[t].occurrences);
+      EXPECT_EQ(a.terms[t].volumeIn, f.terms[t].volumeIn);
+      EXPECT_EQ(a.terms[t].volumeOut, f.terms[t].volumeOut);
+      EXPECT_EQ(a.terms[t].hoistLevel, f.terms[t].hoistLevel);
+    }
+  }
+  EXPECT_TRUE(adopted.familyAdopted());
+  EXPECT_FALSE(fresh.familyAdopted());
+}
+
+TEST(FamilyTierTest, BoxPruningNeverChangesTheChosenTile) {
+  // Tight memory budgets prune large-tile boxes; the surviving search must
+  // choose exactly the tile the unpruned concrete path chooses.
+  for (i64 memBytes : {1024, 4 * 1024, 8 * 1024, 16 * 1024}) {
+    Compiler parametric = sweepCompiler("me", {128, 64, 16});
+    parametric.memoryLimitBytes(memBytes);
+    CompileResult rp = parametric.compile();
+    ASSERT_TRUE(rp.ok) << rp.firstError();
+    Compiler concrete = sweepCompiler("me", {128, 64, 16});
+    concrete.memoryLimitBytes(memBytes).opts().parametricTileAnalysis = false;
+    CompileResult rc = concrete.compile();
+    ASSERT_TRUE(rc.ok) << rc.firstError();
+    EXPECT_EQ(rp.search.subTile, rc.search.subTile) << "mem " << memBytes;
+    EXPECT_DOUBLE_EQ(rp.search.eval.cost, rc.search.eval.cost);
+    EXPECT_EQ(rp.artifact, rc.artifact);
+    EXPECT_EQ(rc.search.prunedBoxes, 0);  // concrete path never prunes
+  }
+}
+
+TEST(FamilyTierTest, TightBudgetReportsPrunedBoxes) {
+  // At 1 KB (256 floats) the large-tile tails of the i/j ladders exceed the
+  // budget even with every other loop at its minimum, so the interval
+  // oracle can discard them before the solver runs.
+  Compiler c = sweepCompiler("me", {256, 128, 16});
+  c.memoryLimitBytes(1024);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  ASSERT_TRUE(r.search.parametric);
+  EXPECT_GT(r.search.prunedBoxes, 0);
+}
+
+// ---- disk round trip ------------------------------------------------------
+
+TEST(FamilyTierTest, FamilyPlanRoundTripsThroughDisk) {
+  TempCacheDir dir;
+  {
+    PlanCache warmers;
+    DiskPlanCache disk(dir.str());
+    CompileResult r =
+        sweepCompiler("me", {64, 64, 8}).cache(&warmers).diskCache(&disk).compile();
+    ASSERT_TRUE(r.ok);
+    EXPECT_FALSE(r.familyHit);
+    EXPECT_EQ(disk.stats().familyInsertions, 1);
+    EXPECT_EQ(disk.stats().familyEntries, 1);
+  }
+  // "Second process": fresh memory cache, fresh disk handle, NEW size.
+  PlanCache cache;
+  DiskPlanCache disk(dir.str());
+  CompileResult r =
+      sweepCompiler("me", {192, 96, 16}).cache(&cache).diskCache(&disk).compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  EXPECT_TRUE(r.familyHit);           // family loaded from disk
+  EXPECT_TRUE(r.search.familyAdopted);  // no symbolic rebuild
+  EXPECT_EQ(disk.stats().familyHits, 1);
+  CompileResult cold = coldCompile("me", {192, 96, 16});
+  expectSameOutcome(r, cold, "disk family instantiation");
+  // The deserialized family was promoted into the memory tier.
+  EXPECT_EQ(cache.stats().familyEntries, 1);
+}
+
+TEST(FamilyTierTest, CorruptFamilyRecordFallsBackToColdCompile) {
+  TempCacheDir dir;
+  {
+    PlanCache warmers;
+    DiskPlanCache disk(dir.str());
+    ASSERT_TRUE(
+        sweepCompiler("me", {64, 64, 8}).cache(&warmers).diskCache(&disk).compile().ok);
+  }
+  fs::path fam;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir.path))
+    if (de.path().extension() == ".emmfam") fam = de.path();
+  ASSERT_FALSE(fam.empty());
+  {
+    // Flip a byte in the middle of the payload: checksum must reject it.
+    std::fstream f(fam, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200, std::ios::beg);
+    char c = 0x5a;
+    f.write(&c, 1);
+  }
+  PlanCache cache;
+  DiskPlanCache disk(dir.str());
+  CompileResult r =
+      sweepCompiler("me", {128, 64, 8}).cache(&cache).diskCache(&disk).compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  EXPECT_FALSE(r.familyHit);  // record rejected; clean cold compile
+  EXPECT_EQ(disk.stats().familyRejects, 1);
+  CompileResult cold = coldCompile("me", {128, 64, 8});
+  expectSameOutcome(r, cold, "after corrupt family record");
+}
+
+TEST(FamilyTierTest, SerializedFamilyPlanEvaluatesIdentically) {
+  // Direct serialize -> deserialize of a family plan; the reloaded
+  // ParametricTilePlan must evaluate bit-identically, bound at a NEW size.
+  ProgramBlock b0 = buildMatmulBlock(64, 64, 64);
+  auto deps = computeDependences(b0);
+  ParallelismPlan plan0 = findParallelism(b0, deps);
+  TileSearchOptions topts;
+  topts.paramValues = {64, 64, 64};
+  topts.memLimitElems = 4096;
+  SmemOptions smem;
+  smem.sampleParams = {64, 64, 64};
+  TileEvaluator source(b0, plan0, topts, smem);
+  searchTileSizes(source);
+  ASSERT_EQ(source.parametricState(), TileEvaluator::ParametricState::Active);
+
+  FamilyPlan fam;
+  fam.haveDeps = true;
+  fam.deps = deps;
+  fam.tilePlan = source.sharedPlan();
+  std::string bytes = serializeFamilyPlan(fam);
+  std::shared_ptr<const FamilyPlan> reloaded = deserializeFamilyPlan(bytes);
+  ASSERT_NE(reloaded->tilePlan, nullptr);
+  EXPECT_EQ(reloaded->deps.size(), deps.size());
+
+  const IntVec newSizes = {96, 128, 48};
+  ParametricTilePlan::SizeBinding ba = fam.tilePlan->bindSizes(newSizes);
+  ParametricTilePlan::SizeBinding bb = reloaded->tilePlan->bindSizes(newSizes);
+  EXPECT_EQ(ba.ext, bb.ext);
+  EXPECT_EQ(ba.loopRange, bb.loopRange);
+  for (const std::vector<i64>& tile :
+       {std::vector<i64>{8, 8, 8}, {16, 16, 4}, {32, 8, 16}, {64, 64, 48}}) {
+    TileEvaluation ea = fam.tilePlan->evaluate(ba, tile);
+    TileEvaluation eb = reloaded->tilePlan->evaluate(bb, tile);
+    EXPECT_EQ(ea.feasible, eb.feasible);
+    EXPECT_EQ(ea.reason, eb.reason);
+    EXPECT_DOUBLE_EQ(ea.cost, eb.cost);
+    EXPECT_EQ(ea.footprint, eb.footprint);
+    ASSERT_EQ(ea.terms.size(), eb.terms.size());
+    for (size_t t = 0; t < ea.terms.size(); ++t) {
+      EXPECT_EQ(ea.terms[t].name, eb.terms[t].name);
+      EXPECT_EQ(ea.terms[t].occurrences, eb.terms[t].occurrences);
+      EXPECT_EQ(ea.terms[t].volumeIn, eb.terms[t].volumeIn);
+      EXPECT_EQ(ea.terms[t].volumeOut, eb.terms[t].volumeOut);
+    }
+  }
+}
+
+// ---- collision guards -----------------------------------------------------
+
+TEST(FamilyTierTest, MemoryTierRejectsForeignDigests) {
+  PlanCache cache;
+  FamilyKey key{1, 2, 3};
+  auto plan = std::make_shared<FamilyPlan>();
+  plan->haveDeps = true;
+  cache.insertFamily(key, /*collisionDigest=*/111, plan);
+  EXPECT_EQ(cache.lookupFamily(key, 222), nullptr);  // colliding key, other family
+  EXPECT_NE(cache.lookupFamily(key, 111), nullptr);
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.familyMisses, 1);
+  EXPECT_EQ(s.familyHits, 1);
+  EXPECT_EQ(s.familyEntries, 1);
+}
+
+TEST(FamilyTierTest, DistinctKernelsAreDistinctFamilies) {
+  PlanCache cache;
+  ASSERT_TRUE(sweepCompiler("me", {64, 64, 8}).cache(&cache).compile().ok);
+  ASSERT_TRUE(sweepCompiler("matmul", {64, 64, 64}).cache(&cache).compile().ok);
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.familyMisses, 2);
+  EXPECT_EQ(s.familyHits, 0);
+  EXPECT_EQ(s.familyEntries, 2);
+}
+
+TEST(FamilyTierTest, FamilyKeyIgnoresCodegenOnlyDifferences) {
+  // A cache warmed by full compiles (codegen run, cuda backend) must serve
+  // plan-only sweeps (codegen skipped, c backend): codegen consumes
+  // products and contributes nothing to the family plan.
+  PlanCache cache;
+  ASSERT_TRUE(sweepCompiler("me", {64, 64, 8}).cache(&cache).compile().ok);
+  Compiler c = sweepCompiler("me", {128, 64, 8});
+  c.backend("c").skipPass("codegen");
+  CompileResult r = c.cache(&cache).compile();
+  ASSERT_TRUE(r.ok) << r.firstError();
+  EXPECT_TRUE(r.familyHit);
+  EXPECT_TRUE(r.search.familyAdopted);
+  EXPECT_EQ(cache.stats().familyMisses, 1);
+}
+
+TEST(FamilyTierTest, FamilyHashIgnoresSizesButNotStructure) {
+  ProgramBlock a = buildMeBlock(64, 64, 8);
+  ProgramBlock b = buildMeBlock(256, 128, 16);
+  EXPECT_NE(hashProgramBlock(a), hashProgramBlock(b));
+  EXPECT_EQ(hashProgramBlockFamily(a), hashProgramBlockFamily(b));
+  ProgramBlock c = buildMatmulBlock(64, 64, 64);
+  EXPECT_NE(hashProgramBlockFamily(a), hashProgramBlockFamily(c));
+
+  CompileOptions o1, o2;
+  o1.paramValues = {64, 64, 8};
+  o2.paramValues = {256, 128, 16};
+  EXPECT_EQ(hashCompileOptionsFamily(o1), hashCompileOptionsFamily(o2));
+  o2.memLimitBytes = 8 * 1024;
+  EXPECT_NE(hashCompileOptionsFamily(o1), hashCompileOptionsFamily(o2));
+
+  // Codegen-only knobs are neutralized; analysis-relevant knobs are not.
+  CompileOptions o3 = o1;
+  o3.backendName = "cuda";
+  o3.kernelName = "other";
+  o3.elementType = "double";
+  EXPECT_EQ(hashCompileOptionsFamily(o1), hashCompileOptionsFamily(o3));
+  o3.stageEverything = true;
+  EXPECT_NE(hashCompileOptionsFamily(o1), hashCompileOptionsFamily(o3));
+}
+
+}  // namespace
+}  // namespace emm

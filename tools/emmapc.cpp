@@ -6,7 +6,10 @@
 //
 // Usage:
 //   emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...]
-//          [--size=N[,M[,K]]]          problem sizes (defaults per kernel)
+//          [--size=N[,M[,K]]]          problem sizes (defaults per kernel);
+//                                      entries may be named: --size=Ni=1024,W=16
+//          [--warm="kernel:sizes[;..]"] precompile a kernel x size matrix into
+//                                      --cache-dir (family plan built once)
 //          [--tile=t0,t1,...]          sub-tile sizes (default: search)
 //          [--mem=BYTES]               scratchpad limit (default 16384)
 //          [--emit=c|cuda|cell|plan|stats]  artifact to print (default plan)
@@ -27,6 +30,7 @@
 // disk hit across processes (the second run skips the pipeline entirely
 // and replays the stored plan).
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,10 +46,10 @@ using namespace emm;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...] [--size=N,M,..]\n"
+    "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...] [--size=N,K=V,..]\n"
     "              [--tile=t0,t1,..] [--mem=BYTES] [--emit=c|cuda|cell|plan|stats]\n"
     "              [--no-hoist] [--machine=gpu|cell] [--jobs=N] [--cache=on|off]\n"
-    "              [--cache-dir=PATH] [--verbose] [--help]\n";
+    "              [--cache-dir=PATH] [--warm=\"kernel:sizes[;...]\"] [--verbose] [--help]\n";
 
 constexpr const char* kHelp =
     "emmapc — command-line driver for the emmap toolchain.\n"
@@ -54,7 +58,17 @@ constexpr const char* kHelp =
     "                           me, jacobi, jacobi2d, matmul, figure1. A comma-\n"
     "                           separated list compiles as one batch over --jobs\n"
     "                           workers, one summary line per kernel.\n"
-    "  --size=N[,M[,K]]         problem sizes; per-kernel defaults fill the rest\n"
+    "  --size=N[,M[,K]]         problem sizes; per-kernel defaults fill the rest.\n"
+    "                           Entries may bind parameters by name (the block's\n"
+    "                           parameter names): --size=Ni=1024,W=16 — positional\n"
+    "                           and named entries mix freely\n"
+    "  --warm=SPEC              precompile a kernel x size matrix into --cache-dir\n"
+    "                           (required). SPEC = kernel:sizes[,sizes...][;kernel:...],\n"
+    "                           each sizes = XxYxZ (e.g. me:256x128x16,512x128x16).\n"
+    "                           The kernel-family plan is built once per kernel and\n"
+    "                           every further size is a cheap family instantiation;\n"
+    "                           per-size .emmplan and per-family .emmfam records\n"
+    "                           land in the cache directory\n"
     "  --tile=t0,t1,...         explicit sub-tile sizes (default: the Section-4.3\n"
     "                           tile-size search under the --mem budget)\n"
     "  --mem=BYTES              scratchpad capacity in bytes (default 16384)\n"
@@ -69,23 +83,84 @@ constexpr const char* kHelp =
     "  --cache=on|off           process-wide in-memory plan cache (default off);\n"
     "                           hit/miss counters shown under --emit=stats\n"
     "  --cache-dir=PATH         persistent on-disk plan cache (created if absent):\n"
-    "                           memory hit -> disk hit -> cold compile; a second\n"
-    "                           run with the same flags replays the stored plan\n"
-    "                           without running the pipeline. Disk counters are\n"
-    "                           shown under --emit=stats. Format: docs/PLAN_FORMAT.md\n"
+    "                           memory hit -> disk hit -> family hit -> cold\n"
+    "                           compile; a second run with the same flags replays\n"
+    "                           the stored plan without running the pipeline, and\n"
+    "                           a run at a NEW size of a known kernel reuses the\n"
+    "                           family plan (.emmfam) instead of re-analyzing.\n"
+    "                           Disk counters are shown under --emit=stats.\n"
+    "                           Format: docs/PLAN_FORMAT.md\n"
     "  --verbose                print every pipeline diagnostic (notes included)\n"
     "  --help                   this text\n";
 
-std::vector<std::string> splitList(const std::string& s) {
+std::vector<std::string> splitOn(const std::string& s, char sep) {
   std::vector<std::string> out;
   size_t start = 0;
   while (start <= s.size()) {
-    size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
+    size_t at = s.find(sep, start);
+    if (at == std::string::npos) at = s.size();
+    if (at > start) out.push_back(s.substr(start, at - start));
+    start = at + 1;
   }
   return out;
+}
+
+std::vector<std::string> splitList(const std::string& s) { return splitOn(s, ','); }
+
+i64 parseSizeValue(const std::string& text) {
+  try {
+    size_t used = 0;
+    i64 v = std::stoll(text, &used);
+    EMM_REQUIRE(used == text.size() && v > 0, "bad size value '" + text + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    throw ApiError("bad size value '" + text + "'");
+  }
+}
+
+/// Resolves --size entries for one kernel: positional values fill parameter
+/// slots in order, NAME=V entries bind by the block's parameter names
+/// (e.g. Ni=1024 for me), and per-kernel defaults fill the rest. Surplus
+/// positional entries are ignored (historical behavior); unknown names are
+/// an error.
+std::vector<i64> resolveSizes(const std::string& kernel,
+                              const std::vector<std::string>& entries) {
+  // Parameter names and defaults are size-independent per kernel; build
+  // each kernel's shape block once per process instead of once per
+  // resolution (a --warm sweep resolves many sizes of the same kernel).
+  struct KernelShape {
+    std::vector<std::string> paramNames;
+    IntVec defaults;
+  };
+  static std::map<std::string, KernelShape> shapes;
+  auto it = shapes.find(kernel);
+  if (it == shapes.end()) {
+    KernelShape shape;
+    shape.paramNames = buildKernelByName(kernel, {}, shape.defaults).paramNames;
+    it = shapes.emplace(kernel, std::move(shape)).first;
+  }
+  const KernelShape& shape = it->second;
+  std::vector<i64> sizes(shape.defaults.begin(), shape.defaults.end());
+  size_t positional = 0;
+  for (const std::string& entry : entries) {
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      if (positional < sizes.size()) sizes[positional] = parseSizeValue(entry);
+      ++positional;
+      continue;
+    }
+    const std::string name = entry.substr(0, eq);
+    size_t idx = 0;
+    while (idx < shape.paramNames.size() && shape.paramNames[idx] != name) ++idx;
+    if (idx == shape.paramNames.size()) {
+      std::string known;
+      for (const std::string& n : shape.paramNames) known += (known.empty() ? "" : ", ") + n;
+      throw ApiError("kernel '" + kernel + "' has no size parameter '" + name +
+                     "' (parameters: " + (known.empty() ? "none" : known) + ")");
+    }
+    sizes[idx] = parseSizeValue(entry.substr(eq + 1));
+  }
+  return sizes;
 }
 
 void printPartitions(const ProgramBlock& block, const DataPlan& plan) {
@@ -151,13 +226,13 @@ void configureForKernel(Compiler& compiler, const std::string& kernel,
 }
 
 int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
-             const std::vector<i64>& sizes, const std::string& machine,
+             const std::vector<std::string>& sizeEntries, const std::string& machine,
              const std::string& emit, bool verbose, bool cacheOn) {
   std::vector<std::future<CompileResult>> futures;
   futures.reserve(kernels.size());
   for (const std::string& kernel : kernels) {
     IntVec params;
-    ProgramBlock block = buildKernelByName(kernel, sizes, params);
+    ProgramBlock block = buildKernelByName(kernel, resolveSizes(kernel, sizeEntries), params);
     configureForKernel(compiler.parameters(params), kernel, machine);
     futures.push_back(compiler.compileAsync(std::move(block)));
   }
@@ -169,18 +244,28 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
         std::fprintf(stderr, "[%s] %s\n", kernels[i].c_str(), d.str().c_str());
     std::string tile;
     for (i64 t : r.search.subTile) tile += (tile.empty() ? "" : ",") + std::to_string(t);
-    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s%s\n", kernels[i].c_str(),
+    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s%s%s\n", kernels[i].c_str(),
                 r.ok ? "ok" : "FAIL", tile.c_str(), r.artifact.size(),
-                r.cacheHit ? "  [cache hit]" : "", r.diskHit ? "  [disk hit]" : "");
+                r.cacheHit ? "  [cache hit]" : "", r.diskHit ? "  [disk hit]" : "",
+                r.familyHit ? "  [family hit]" : "");
     if (emit == "stats") {
       // Per-kernel summary stats (full interpreter counters need the
       // single-kernel path).
-      std::printf("           tile search %d evaluations (%d memo hits)%s; timings:",
+      std::printf("           tile search %d evaluations (%d memo hits)%s%s",
                   r.search.evaluations, r.search.memoHits,
-                  r.search.parametric ? ", parametric" : "");
+                  r.search.parametric ? ", parametric" : "",
+                  r.search.familyAdopted ? " (family plan)" : "");
+      if (r.search.prunedBoxes > 0)
+        std::printf(", %d boxes pruned", r.search.prunedBoxes);
+      std::printf("; timings:");
       for (const PassTiming& pt : r.timings)
         if (pt.ran) std::printf(" %s %.2fms", pt.pass.c_str(), pt.millis);
       std::printf("%s\n", r.cacheHit ? " (cached run)" : "");
+      // Size-symbolic fallback diagnostics: a family that degrades to
+      // per-size compiles must be visible per kernel.
+      if (!r.search.parametric && !r.search.parametricReason.empty())
+        std::printf("           parametric fallback: %s\n",
+                    r.search.parametricReason.c_str());
     }
     if (!r.ok) ++failures;
   }
@@ -188,13 +273,65 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
     PlanCache::Stats s = PlanCache::global().stats();
     std::printf("plan cache : %lld hits / %lld misses / %lld entries\n", s.hits, s.misses,
                 s.entries);
+    std::printf("family tier: %lld hits / %lld misses / %lld families\n", s.familyHits,
+                s.familyMisses, s.familyEntries);
   }
   if (compiler.diskPlanCache() != nullptr) {
     DiskPlanCache::Stats s = compiler.diskPlanCache()->stats();
     std::printf("disk cache : %lld hits / %lld misses / %lld rejects / %lld evictions; "
                 "%lld entries (%lld bytes)\n",
                 s.hits, s.misses, s.rejects, s.evictions, s.entries, s.bytes);
+    std::printf("disk family: %lld hits / %lld misses / %lld rejects; %lld families "
+                "(%lld bytes)\n",
+                s.familyHits, s.familyMisses, s.familyRejects, s.familyEntries,
+                s.familyBytes);
   }
+  return failures == 0 ? 0 : 1;
+}
+
+/// --warm: precompile a kernel x size matrix into the disk cache, one
+/// pipeline run per kernel family plus a cheap instantiation per size.
+int runWarm(Compiler& compiler, const std::string& spec, const std::string& machine,
+            bool verbose) {
+  if (compiler.diskPlanCache() == nullptr) {
+    std::fprintf(stderr, "--warm needs --cache-dir to populate\n%s", kUsage);
+    return 2;
+  }
+  // Family reuse inside the warming run itself needs the memory tier.
+  compiler.cache(&PlanCache::global());
+  int failures = 0;
+  i64 total = 0;
+  for (const std::string& entry : splitOn(spec, ';')) {
+    const size_t colon = entry.find(':');
+    const std::string kernel = colon == std::string::npos ? entry : entry.substr(0, colon);
+    std::vector<std::string> tuples =
+        colon == std::string::npos ? std::vector<std::string>{}
+                                   : splitList(entry.substr(colon + 1));
+    if (tuples.empty()) tuples.push_back("");  // defaults-only warm
+    for (const std::string& tuple : tuples) {
+      std::vector<i64> sizes = resolveSizes(kernel, splitOn(tuple, 'x'));
+      IntVec params;
+      ProgramBlock block = buildKernelByName(kernel, sizes, params);
+      configureForKernel(compiler.parameters(params), kernel, machine);
+      CompileResult r = compiler.compile(std::move(block));
+      for (const Diagnostic& d : r.diagnostics)
+        if (verbose || d.severity == Severity::Error)
+          std::fprintf(stderr, "[%s] %s\n", kernel.c_str(), d.str().c_str());
+      std::string label;
+      for (i64 v : sizes) label += (label.empty() ? "" : "x") + std::to_string(v);
+      std::printf("warm %-10s %-18s %-5s%s%s%s\n", kernel.c_str(), label.c_str(),
+                  r.ok ? "ok" : "FAIL", r.familyHit ? "  [family hit]" : "",
+                  r.diskHit ? "  [disk hit]" : "", r.cacheHit ? "  [cache hit]" : "");
+      if (!r.ok) ++failures;
+      ++total;
+    }
+  }
+  PlanCache::Stats ms = PlanCache::global().stats();
+  DiskPlanCache::Stats ds = compiler.diskPlanCache()->stats();
+  std::printf("warmed %lld entries: family tier %lld hits / %lld misses; disk %lld plans + "
+              "%lld families (%lld bytes)\n",
+              total, ms.familyHits, ms.familyMisses, ds.insertions + ds.hits,
+              ds.familyEntries, ds.bytes + ds.familyBytes);
   return failures == 0 ? 0 : 1;
 }
 
@@ -226,7 +363,8 @@ int run(cli::Args& args) {
     return 2;
   }
   const std::vector<i64> tile = args.intList("tile");
-  const std::vector<i64> sizes = args.intList("size");
+  const std::vector<std::string> sizeEntries = splitList(args.str("size", ""));
+  const std::string warmSpec = args.str("warm", "");
 
   Compiler compiler;
   compiler.memoryLimitBytes(args.integer("mem", 16 * 1024))
@@ -237,14 +375,21 @@ int run(cli::Args& args) {
       .jobs(static_cast<int>(jobsArg));
   if (cacheOn) compiler.cache(&PlanCache::global());
   if (!cacheDir.empty()) compiler.diskCache(cacheDir);
-  if (emit == "plan" || emit == "stats") compiler.skipPass("codegen");
   if (!args.validate(kUsage)) return 2;
 
+  // Warm runs always compile end-to-end (codegen included) so the cached
+  // per-size plans can serve later emitting runs; plan/stats runs skip
+  // codegen and rely on the family tier, whose key ignores codegen-only
+  // differences.
+  if (!warmSpec.empty()) return runWarm(compiler, warmSpec, machine, verbose);
+  if (emit == "plan" || emit == "stats") compiler.skipPass("codegen");
+
   if (kernels.size() > 1)
-    return runBatch(compiler, kernels, sizes, machine, emit, verbose, cacheOn);
+    return runBatch(compiler, kernels, sizeEntries, machine, emit, verbose, cacheOn);
 
   IntVec params;
-  ProgramBlock block = buildKernelByName(kernels[0], sizes, params);
+  ProgramBlock block = buildKernelByName(kernels[0], resolveSizes(kernels[0], sizeEntries),
+                                         params);
   configureForKernel(compiler.parameters(params), kernels[0], machine);
   CompileResult r = compiler.compile(std::move(block));
   // Warnings and errors always reach the user (e.g. an explicit --tile that
@@ -290,14 +435,27 @@ int run(cli::Args& args) {
     std::printf("tile search         : %d evaluations (%d memo hits)\n", r.search.evaluations,
                 r.search.memoHits);
     if (r.search.parametric)
-      std::printf("parametric plan     : built in %.2f ms; candidate evaluation %.2f ms total\n",
+      std::printf("parametric plan     : %s in %.2f ms; candidate evaluation %.2f ms total\n",
+                  r.search.familyAdopted ? "adopted from the family tier" : "built",
                   r.search.planBuildMillis, r.search.evalMillis);
     else if (!r.search.parametricReason.empty())
       std::printf("parametric plan     : fallback (%s)\n", r.search.parametricReason.c_str());
+    if (r.search.prunedBoxes > 0)
+      std::printf("pruned boxes        : %d candidate boxes discarded by the footprint "
+                  "interval\n",
+                  r.search.prunedBoxes);
     if (cacheOn) {
       PlanCache::Stats s = PlanCache::global().stats();
       std::printf("plan cache          : %s; %lld hits / %lld misses / %lld entries\n",
                   r.cacheHit ? "hit" : "miss", s.hits, s.misses, s.entries);
+      // r.familyHit says the compile was family-instantiated (from either
+      // tier); the counters below are the MEMORY tier's — a fresh process
+      // served from disk shows hit here with a memory-tier miss, and the
+      // disk family counters further down carry the attribution.
+      std::printf("family tier         : %s\n",
+                  r.familyHit ? "hit (bind-and-emit run)" : "miss");
+      std::printf("family cache (mem)  : %lld hits / %lld misses / %lld families\n",
+                  s.familyHits, s.familyMisses, s.familyEntries);
     }
     if (compiler.diskPlanCache() != nullptr) {
       DiskPlanCache::Stats s = compiler.diskPlanCache()->stats();
