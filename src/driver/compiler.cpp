@@ -382,11 +382,81 @@ std::future<CompileResult> Compiler::compileAsync(ProgramBlock block) {
 
 std::vector<CompileResult> Compiler::compileBatch(std::vector<ProgramBlock> blocks) {
   ensurePool();
-  std::vector<std::future<CompileResult>> futures;
-  futures.reserve(blocks.size());
-  for (ProgramBlock& block : blocks) {
-    source(std::move(block));
-    futures.push_back(compileAsync());
+  std::vector<std::future<CompileResult>> futures(blocks.size());
+  // Family-aware scheduling: group the batch by family key, compile ONE
+  // leader per family first, and fan the remaining members out as
+  // bind-and-emit followers only once the leader's family plan has landed
+  // in the cache. Without that ordering a sweep over N sizes of one kernel
+  // races N cold pipelines before any of them publishes the family plan.
+  // Without a cache there is no published plan to reuse (and replaced
+  // passes bypass the tiers), so fall back to plain fan-out.
+  const bool familyAware = (cache_ != nullptr || diskPlanCache() != nullptr) &&
+                           replacements_.empty() && blocks.size() > 1;
+  if (!familyAware) {
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      source(std::move(blocks[i]));
+      futures[i] = compileAsync();
+    }
+  } else {
+    const CompileOptions famOptions = familyCanonicalOptions(effectiveOptions());
+    const u64 famTail =
+        hashCombine(hashCompileOptions(famOptions), familyPassesDigest(skipped_));
+    // Group before any block is moved; input order is preserved within a
+    // family, so the leader is always the first-listed member.
+    std::map<u64, std::vector<size_t>> families;
+    for (size_t i = 0; i < blocks.size(); ++i)
+      families[hashCombine(hashProgramBlock(familyCanonicalBlock(blocks[i])), famTail)]
+          .push_back(i);
+    // One gate per family, released when its leader's compile returns.
+    // Submission order — every leader, then every follower — plus the
+    // pool's FIFO dispatch guarantees each leader is dequeued before any
+    // follower, so a follower blocking on its gate can never occupy the
+    // worker its own leader still needs (no deadlock at any pool width).
+    struct Follower {
+      size_t index;
+      std::shared_ptr<Compiler> snapshot;
+      std::shared_future<void> gate;
+    };
+    std::vector<Follower> followers;
+    for (auto& [key, members] : families) {
+      auto gatePromise = std::make_shared<std::promise<void>>();
+      std::shared_future<void> gate = gatePromise->get_future().share();
+      for (size_t m = 0; m < members.size(); ++m) {
+        const size_t index = members[m];
+        source(std::move(blocks[index]));
+        auto snapshot = std::make_shared<Compiler>(*this);
+        snapshot->pool_.reset();
+        snapshot->consumeSource_ = true;
+        if (m == 0) {
+          auto promise = std::make_shared<std::promise<CompileResult>>();
+          futures[index] = promise->get_future();
+          pool_->submit([snapshot, promise, gatePromise] {
+            try {
+              promise->set_value(snapshot->compile());
+            } catch (...) {
+              promise->set_exception(std::current_exception());
+            }
+            // Released on failure too: followers then compile cold rather
+            // than wait forever.
+            gatePromise->set_value();
+          });
+        } else {
+          followers.push_back({index, std::move(snapshot), gate});
+        }
+      }
+    }
+    for (Follower& f : followers) {
+      auto promise = std::make_shared<std::promise<CompileResult>>();
+      futures[f.index] = promise->get_future();
+      pool_->submit([snapshot = std::move(f.snapshot), promise, gate = f.gate] {
+        gate.wait();
+        try {
+          promise->set_value(snapshot->compile());
+        } catch (...) {
+          promise->set_exception(std::current_exception());
+        }
+      });
+    }
   }
   source_.reset();  // the batch consumed the blocks; leave the builder clean
   std::vector<CompileResult> results;

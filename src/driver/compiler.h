@@ -186,9 +186,13 @@ public:
   std::future<CompileResult> compileAsync(ProgramBlock block);
 
   /// Compiles every block with the current options over the thread pool and
-  /// returns results in input order. With a cache attached, duplicate
-  /// blocks hit once a prior compile finished (concurrent duplicates may
-  /// each run the pipeline; all end up with identical results).
+  /// returns results in input order. With a cache attached, the batch is
+  /// scheduled family-aware: blocks are grouped by family key (same kernel
+  /// modulo problem sizes), one leader per family compiles first, and the
+  /// remaining members fan out as cheap bind-and-emit followers once the
+  /// leader's family plan has landed — so a size sweep runs one cold
+  /// pipeline per kernel, not one per size. Duplicate blocks resolve via
+  /// the per-size cache tier as before.
   std::vector<CompileResult> compileBatch(std::vector<ProgramBlock> blocks);
 
 private:

@@ -1,0 +1,165 @@
+// Wire protocol for the emmapcd compile service.
+//
+// The daemon (service/server.h, tools/emmapcd.cpp) and its clients
+// (service/client.h, `emmapc --connect`) exchange length-prefixed, versioned
+// FRAMES over a unix-domain stream socket:
+//
+//   offset  field
+//   0       u32 magic      "EMMR" on the wire (little-endian, like every
+//                          multi-byte field — support/serialize encoding)
+//   4       u32 version    kWireVersion; readers reject any other value
+//   8       u8  type       MsgType
+//   9       u64 length     payload byte count, capped at kMaxFramePayloadBytes
+//   17      u64 checksum   digestBytes(payload)
+//   25      payload        `length` bytes, encoded per MsgType
+//
+// Requests: CompileRequest (a built-in kernel name + problem sizes, or a
+// serialized ProgramBlock, plus the full serialized CompileOptions and the
+// skipped-pass list) and StatsRequest (empty payload). Replies:
+// CompileReply (server-side hit attribution + the full serialized
+// CompileResult), StatsReply (daemon counters + both cache tiers), and
+// ErrorReply (diagnostic text; `shuttingDown` marks a graceful-drain
+// refusal so clients report "server shutting down" instead of a reset).
+//
+// Hostile-input discipline mirrors support/serialize: every decoder is
+// bounds-checked and throws SerializeError on truncation, bad magic, stale
+// version, an oversized length prefix (rejected BEFORE any allocation or
+// payload read), checksum mismatch, unknown message type, or trailing
+// garbage. Payload schema drift across binaries is caught by the
+// serializeSchemaFingerprint() echo every CompileRequest carries: the frame
+// version covers the envelope, the schema fingerprint covers the plan
+// payloads (version/compat policy: docs/SERVICE.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "driver/compiler.h"
+#include "driver/disk_cache.h"
+#include "driver/options.h"
+#include "driver/plan_cache.h"
+#include "ir/program.h"
+#include "support/serialize.h"
+
+namespace emm::svc {
+
+/// First four wire bytes: 'E' 'M' 'M' 'R' (little-endian u32).
+inline constexpr u32 kWireMagic = 0x524D4D45;
+/// Frame envelope version; bumped on any framing change.
+inline constexpr u32 kWireVersion = 1;
+/// Upper bound on a frame payload; a hostile length prefix above this is
+/// rejected before any allocation.
+inline constexpr u64 kMaxFramePayloadBytes = u64(64) << 20;
+/// Fixed frame header size: magic + version + type + length + checksum.
+inline constexpr size_t kFrameHeaderBytes = 4 + 4 + 1 + 8 + 8;
+
+enum class MsgType : unsigned char {
+  CompileRequest = 1,
+  StatsRequest = 2,
+  CompileReply = 3,
+  StatsReply = 4,
+  ErrorReply = 5,
+};
+
+/// Decoded frame envelope (payload read separately by socket readers).
+struct FrameHeader {
+  MsgType type = MsgType::ErrorReply;
+  u64 payloadBytes = 0;
+  u64 checksum = 0;
+};
+
+/// Renders header + payload as one contiguous frame.
+std::string encodeFrame(MsgType type, std::string_view payload);
+/// Decodes exactly kFrameHeaderBytes of header, validating magic, version,
+/// type, and the length cap. Throws SerializeError.
+FrameHeader decodeFrameHeader(std::string_view header);
+/// Validates the payload length and checksum against a decoded header.
+/// Throws SerializeError on mismatch.
+void verifyFramePayload(const FrameHeader& header, std::string_view payload);
+/// Whole-buffer convenience for tests and in-memory use: decodes one frame
+/// and rejects trailing bytes.
+std::pair<MsgType, std::string> decodeFrame(std::string_view frame);
+
+/// One compile request. Either `kernel` names a built-in (the daemon
+/// rebuilds the block from `sizes` via buildKernelByName — the cheap path
+/// `emmapc --connect` uses) or `block` ships the full program block;
+/// exactly one of the two must be set. `options` is the complete effective
+/// option set (problem binding included), so the daemon applies no policy
+/// of its own.
+struct CompileRequest {
+  /// serializeSchemaFingerprint() of the client binary; the server rejects
+  /// a mismatch instead of misparsing plan payloads.
+  u64 schemaFingerprint = 0;
+  std::string kernel;
+  std::vector<i64> sizes;
+  std::optional<ProgramBlock> block;
+  CompileOptions options;
+  std::vector<std::string> skipPasses;
+};
+
+std::string encodeCompileRequest(const CompileRequest& request);
+CompileRequest decodeCompileRequest(std::string_view payload);
+
+/// A compile reply: the full CompileResult plus the SERVER-side cache
+/// attribution. The serialized result never carries transport flags
+/// (support/serialize strips them), so the daemon's tier attribution rides
+/// next to it and clients can distinguish "warm for me" (round-trip time)
+/// from "warm on the server" (these flags).
+struct WireCompileReply {
+  bool serverCacheHit = false;
+  bool serverDiskHit = false;
+  bool serverFamilyHit = false;
+  double serverMillis = 0;  ///< wall-clock of the server-side compile
+  /// Client-side: round-trip wall-clock, filled by ServiceClient (never on
+  /// the wire).
+  double roundTripMillis = 0;
+  CompileResult result;
+};
+
+std::string encodeCompileReply(const CompileResult& result, double serverMillis);
+WireCompileReply decodeCompileReply(std::string_view payload);
+
+/// Daemon counters + both cache tiers, served for a StatsRequest.
+struct WireStats {
+  i64 connections = 0;
+  i64 requests = 0;
+  i64 compiles = 0;
+  i64 compileErrors = 0;   ///< requests whose pipeline failed
+  i64 protocolErrors = 0;  ///< malformed/mismatched frames or payloads
+  PlanCache::Stats memory;
+  bool haveDisk = false;
+  DiskPlanCache::Stats disk;
+};
+
+std::string encodeStatsReply(const WireStats& stats);
+WireStats decodeStatsReply(std::string_view payload);
+
+struct WireError {
+  bool shuttingDown = false;  ///< graceful-drain refusal, not a failure
+  std::string message;
+};
+
+std::string encodeErrorReply(const WireError& error);
+WireError decodeErrorReply(std::string_view payload);
+
+// ---- socket framing ------------------------------------------------------
+
+enum class ReadStatus {
+  Ok,
+  Eof,    ///< peer closed cleanly before any header byte
+  Error,  ///< malformed frame or I/O failure (message in `error`)
+};
+
+/// Writes one frame (send with MSG_NOSIGNAL, short writes retried).
+/// Returns false on any error — a closed peer must not kill the process.
+bool writeFrame(int fd, MsgType type, std::string_view payload);
+
+/// Reads one frame: header, validation, then exactly `length` payload
+/// bytes, checksum-verified. Never throws; malformed input and truncation
+/// mid-frame report ReadStatus::Error with a diagnostic in `error`.
+ReadStatus readFrame(int fd, MsgType& type, std::string& payload, std::string& error);
+
+}  // namespace emm::svc

@@ -1353,6 +1353,54 @@ std::string serializeCompileOptions(const CompileOptions& o) {
   return w.take();
 }
 
+ProgramBlock deserializeProgramBlock(std::string_view bytes) {
+  ByteReader r(bytes);
+  try {
+    ProgramBlock b = readBlock(r);
+    r.expectEnd();
+    b.validate();
+    return b;
+  } catch (const ApiError& e) {
+    throw SerializeError(std::string("program block decode failed: ") + e.what());
+  }
+}
+
+CompileOptions deserializeCompileOptions(std::string_view bytes) {
+  ByteReader r(bytes);
+  expectTag(r, kTagCompileOptions, "CompileOptions");
+  CompileOptions o;
+  o.paramValues = readI64Vec(r);
+  o.mode = readEnum<PipelineMode>(r, static_cast<i64>(PipelineMode::ScratchpadOnly),
+                                  "PipelineMode");
+  o.delta = r.f64();
+  o.partitionMode = readEnum<PartitionMode>(r, static_cast<i64>(PartitionMode::PerArrayUnion),
+                                            "PartitionMode");
+  o.stageEverything = r.boolean();
+  o.optimizeCopySets = r.boolean();
+  o.subTile = readI64Vec(r);
+  o.blockTile = readI64Vec(r);
+  o.threadTile = readI64Vec(r);
+  o.hoistCopies = r.boolean();
+  o.useScratchpad = r.boolean();
+  o.searchMode = readEnum<TileSearchMode>(r, static_cast<i64>(TileSearchMode::Exhaustive),
+                                          "TileSearchMode");
+  o.memLimitBytes = r.i64v();
+  o.elementBytes = r.i64v();
+  o.innerProcs = r.i64v();
+  o.syncCost = r.f64();
+  o.transferCost = r.f64();
+  expectTag(r, kTagList, "tile candidate pools");
+  u64 pools = r.count();
+  for (u64 i = 0; i < pools; ++i) o.tileCandidates.push_back(readI64Vec(r));
+  o.parametricTileAnalysis = r.boolean();
+  o.backendName = r.str();
+  o.kernelName = r.str();
+  o.elementType = r.str();
+  o.numBoundParams = r.intv();
+  r.expectEnd();
+  return o;
+}
+
 // ---- parametric family plans ---------------------------------------------
 // serializeParametricPlanBody / deserializeParametricPlanBody are friends of
 // ParametricTilePlan (parametric_plan.h): the plan's compiled formulas are

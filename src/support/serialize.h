@@ -140,6 +140,17 @@ CompileResult deserializeCompileResult(std::string_view bytes);
 std::string serializeProgramBlock(const ProgramBlock& block);
 std::string serializeCompileOptions(const CompileOptions& options);
 
+/// Decodes a payload produced by serializeProgramBlock, validating the
+/// reconstructed block (ApiErrors from validation are converted, so hostile
+/// bytes never abort). The service wire protocol (service/protocol.h) ships
+/// program blocks in this encoding. Throws SerializeError on any
+/// malformation.
+ProgramBlock deserializeProgramBlock(std::string_view bytes);
+
+/// Decodes a payload produced by serializeCompileOptions (enum fields are
+/// range-checked). Throws SerializeError on any malformation.
+CompileOptions deserializeCompileOptions(std::string_view bytes);
+
 /// Encodes a kernel-family plan (driver/family_plan.h): the family-invariant
 /// dependence/transform products plus the size-generic parametric tile plan
 /// (SymExpr formulas, overlap predicates, geometry pools). Backs the

@@ -503,6 +503,32 @@ TEST(CompileBatchTest, ConcurrentCompilesShareTheCacheSafely) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+TEST(CompileBatchTest, FamilyAwareSchedulingRunsOneLeaderPerFamily) {
+  PlanCache cache;
+  std::vector<ProgramBlock> blocks;
+  // Two families interleaved. Family-aware scheduling submits one leader
+  // per family FIRST and gates the rest, so every follower deterministically
+  // replays its leader's plan — no reliance on the single-flight race.
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(buildMeBlock(32, 32, 8));
+    blocks.push_back(buildMatmulBlock(32, 32, 8));
+  }
+  Compiler compiler;
+  compiler.parameters({32, 32, 8}).memoryLimitBytes(8 * 1024).jobs(4).cache(&cache);
+  std::vector<CompileResult> results = compiler.compileBatch(std::move(blocks));
+  ASSERT_EQ(results.size(), 8u);
+  int pipelineRuns = 0;
+  for (const CompileResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.firstError();
+    pipelineRuns += r.cacheHit ? 0 : 1;
+  }
+  EXPECT_EQ(pipelineRuns, 2);  // exactly the two leaders
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 6);
+  EXPECT_EQ(s.familyMisses, 2);  // one cold family build each, no races
+}
+
 TEST(PlanCacheTest, SingleFlightRetriesAfterALeaderFailure) {
   PlanCache cache;
   PlanKey key{1, 2, 3};

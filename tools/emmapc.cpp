@@ -39,6 +39,7 @@
 #include "driver/plan_cache.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
+#include "service/client.h"
 #include "support/cli.h"
 
 using namespace emm;
@@ -49,7 +50,8 @@ constexpr const char* kUsage =
     "usage: emmapc --kernel=me|jacobi|jacobi2d|matmul|figure1[,more...] [--size=N,K=V,..]\n"
     "              [--tile=t0,t1,..] [--mem=BYTES] [--emit=c|cuda|cell|plan|stats]\n"
     "              [--no-hoist] [--machine=gpu|cell] [--jobs=N] [--cache=on|off]\n"
-    "              [--cache-dir=PATH] [--warm=\"kernel:sizes[;...]\"] [--verbose] [--help]\n";
+    "              [--cache-dir=PATH] [--warm=\"kernel:sizes[;...]\"] [--connect=SOCK]\n"
+    "              [--verbose] [--help]\n";
 
 constexpr const char* kHelp =
     "emmapc — command-line driver for the emmap toolchain.\n"
@@ -90,6 +92,17 @@ constexpr const char* kHelp =
     "                           family plan (.emmfam) instead of re-analyzing.\n"
     "                           Disk counters are shown under --emit=stats.\n"
     "                           Format: docs/PLAN_FORMAT.md\n"
+    "  --connect=SOCK           compile through a running emmapcd daemon on the\n"
+    "                           given unix-domain socket instead of locally. The\n"
+    "                           daemon's shared plan store acts as a third,\n"
+    "                           networked cache tier: a fresh process whose kernel\n"
+    "                           family the daemon has seen is served by the cheap\n"
+    "                           bind-and-emit path. Each summary line carries the\n"
+    "                           SERVER-side tier attribution (memory/disk/family/\n"
+    "                           cold) plus server and round-trip times;\n"
+    "                           --emit=stats adds the daemon's cache counters.\n"
+    "                           Local --cache/--cache-dir tiers are not consulted;\n"
+    "                           --warm and --connect are mutually exclusive\n"
     "  --verbose                print every pipeline diagnostic (notes included)\n"
     "  --help                   this text\n";
 
@@ -289,6 +302,77 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
   return failures == 0 ? 0 : 1;
 }
 
+/// --connect: route every compile through a running emmapcd daemon. The
+/// compiler is used only as an options builder — the exact effective option
+/// set (problem binding included) ships in the request, so daemon-side
+/// results match what a local compile would have produced. Prints one
+/// summary line per kernel with the SERVER-side tier attribution next to
+/// the client-observed round trip.
+int runConnect(const std::string& sock, const std::vector<std::string>& kernels,
+               const std::vector<std::string>& sizeEntries, const std::string& machine,
+               const std::string& emit, Compiler compiler, bool verbose) {
+  svc::ServiceClient client(sock);
+  const bool single = kernels.size() == 1;
+  int failures = 0;
+  for (const std::string& kernel : kernels) {
+    std::vector<i64> sizes = resolveSizes(kernel, sizeEntries);
+    IntVec params;
+    buildKernelByName(kernel, sizes, params);  // validates; params for printing
+    configureForKernel(compiler.parameters(params), kernel, machine);
+    svc::CompileRequest req;
+    req.kernel = kernel;
+    req.sizes = sizes;
+    req.options = compiler.opts();
+    if (emit == "plan" || emit == "stats") req.skipPasses = {"codegen"};
+    svc::WireCompileReply reply = client.compile(std::move(req));
+    const CompileResult& r = reply.result;
+    for (const Diagnostic& d : r.diagnostics)
+      if (verbose || d.severity == Severity::Error)
+        std::fprintf(stderr, "[%s] %s\n", kernel.c_str(), d.str().c_str());
+    const char* tier = reply.serverCacheHit    ? "memory hit"
+                       : reply.serverDiskHit   ? "disk hit"
+                       : reply.serverFamilyHit ? "family hit"
+                                               : "cold compile";
+    std::printf("%-10s %-5s server %s %.2fms, round-trip %.2fms\n", kernel.c_str(),
+                r.ok ? "ok" : "FAIL", tier, reply.serverMillis, reply.roundTripMillis);
+    if (!r.ok) {
+      ++failures;
+      continue;
+    }
+    if (single && (emit == "c" || emit == "cuda" || emit == "cell")) {
+      std::fputs(r.artifact.c_str(), stdout);
+    } else if (single && emit == "plan") {
+      if (r.kernel)
+        printTiledPlan(r, params);
+      else if (r.dataPlan() != nullptr)
+        printPartitions(r.block(), *r.dataPlan());
+    } else if (emit == "stats") {
+      std::printf("           tile search %d evaluations (%d memo hits)%s%s\n",
+                  r.search.evaluations, r.search.memoHits,
+                  r.search.parametric ? ", parametric" : "",
+                  r.search.familyAdopted ? " (family plan)" : "");
+    }
+  }
+  if (emit == "stats") {
+    // Client-observed attribution is on the per-kernel lines above; this
+    // section is the SERVER's view of its shared store.
+    svc::WireStats s = client.stats();
+    std::printf("daemon      : %lld connections, %lld requests, %lld compiles "
+                "(%lld errors, %lld protocol errors)\n",
+                s.connections, s.requests, s.compiles, s.compileErrors, s.protocolErrors);
+    std::printf("server mem  : %lld hits / %lld misses / %lld entries; family %lld hits / "
+                "%lld misses / %lld families\n",
+                s.memory.hits, s.memory.misses, s.memory.entries, s.memory.familyHits,
+                s.memory.familyMisses, s.memory.familyEntries);
+    if (s.haveDisk)
+      std::printf("server disk : %lld hits / %lld misses; family %lld hits / %lld misses; "
+                  "%lld entries (%lld bytes)\n",
+                  s.disk.hits, s.disk.misses, s.disk.familyHits, s.disk.familyMisses,
+                  s.disk.entries, s.disk.bytes);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 /// --warm: precompile a kernel x size matrix into the disk cache, one
 /// pipeline run per kernel family plus a cheap instantiation per size.
 int runWarm(Compiler& compiler, const std::string& spec, const std::string& machine,
@@ -365,6 +449,11 @@ int run(cli::Args& args) {
   const std::vector<i64> tile = args.intList("tile");
   const std::vector<std::string> sizeEntries = splitList(args.str("size", ""));
   const std::string warmSpec = args.str("warm", "");
+  const std::string connectSock = args.str("connect", "");
+  if (!connectSock.empty() && !warmSpec.empty()) {
+    std::fprintf(stderr, "--warm and --connect are mutually exclusive\n%s", kUsage);
+    return 2;
+  }
 
   Compiler compiler;
   compiler.memoryLimitBytes(args.integer("mem", 16 * 1024))
@@ -382,6 +471,8 @@ int run(cli::Args& args) {
   // codegen and rely on the family tier, whose key ignores codegen-only
   // differences.
   if (!warmSpec.empty()) return runWarm(compiler, warmSpec, machine, verbose);
+  if (!connectSock.empty())
+    return runConnect(connectSock, kernels, sizeEntries, machine, emit, compiler, verbose);
   if (emit == "plan" || emit == "stats") compiler.skipPass("codegen");
 
   if (kernels.size() > 1)
