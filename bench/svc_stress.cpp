@@ -1,0 +1,412 @@
+// Service S4: cache-tier and daemon stress harness.
+//
+// The sharded PlanCache exists because at daemon traffic levels the cache
+// mutex, not the pipeline, was the throughput ceiling. This harness
+// measures exactly that claim, setbench-style, and guards the concurrency
+// semantics the sharding must preserve:
+//
+//  1. warm-hit scaling — threads (1 .. max(8, 2x hardware)) hammer a warm
+//     cache with uniform and Zipfian (s = 0.99) key mixes, against BOTH the
+//     sharded cache and the single-mutex baseline (`shards = 1`, the exact
+//     pre-sharding implementation). Reports throughput, p50/p99/p999
+//     latency, hit rate, entry count and peak RSS per config.
+//  2. single-flight hammer — threads race getOrCompute over a Zipfian
+//     keyspace with a deliberately slow compute; asserts exactly ONE cold
+//     compute per unique key, byte-identical artifacts on every path, and
+//     exact hit/miss counter totals.
+//  3. daemon stress — the same load shapes against a live service over its
+//     real unix socket (an in-process ServiceServer by default, or any
+//     external daemon via --connect=SOCK), mixing warm compile requests
+//     with STATS probes, which after this PR never contend with replies.
+//
+// Every measured config also emits one machine-readable JSON line
+// (`{"bench":"svc_stress",...}`) so future PRs can track the scaling curve
+// the way the fig-style benches track the paper's plots.
+//
+// Exit status covers CORRECTNESS only (single-flight, byte-identity, clean
+// daemon). Scaling is reported but only enforced under --assert-scaling
+// (needs >= 8 hardware threads to be meaningful; CI boxes vary).
+//
+// Flags: --quick (CI-sized run), --threads=a,b,... (override the sweep),
+//        --no-daemon, --connect=SOCK, --assert-scaling, --keys=N, --ops=N.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "driver/compiler.h"
+#include "driver/plan_cache.h"
+#include "kernels/blocks.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "support/cli.h"
+
+using namespace emm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- distributions ---------------------------------------------------------
+
+/// Zipfian sampler over [0, n) with exponent s (defaults to the classic
+/// 0.99), via an inverse-CDF table: rank k is drawn with probability
+/// proportional to 1 / (k+1)^s. O(log n) per sample, deterministic.
+class ZipfSampler {
+public:
+  ZipfSampler(size_t n, double s = 0.99) : cdf_(n) {
+    double sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+  size_t operator()(std::mt19937_64& rng) const {
+    const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+private:
+  std::vector<double> cdf_;
+};
+
+// ---- measurement helpers ---------------------------------------------------
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t at = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[at];
+}
+
+long maxRssKb() {
+  rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+}
+
+struct RunResult {
+  double opsPerSec = 0;
+  double p50us = 0, p99us = 0, p999us = 0;
+  i64 ops = 0;
+  double secs = 0;
+};
+
+/// Runs `threads` workers, each performing `opsPerThread` calls of `op(rng)`
+/// and recording per-op latency; returns aggregate throughput + tails.
+template <typename Op>
+RunResult runLoad(int threads, i64 opsPerThread, const Op& op) {
+  std::vector<std::vector<double>> lat(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  const auto start = Clock::now();
+  for (int t = 0; t < threads; ++t)
+    workers.emplace_back([&, t] {
+      std::mt19937_64 rng(0x5eed5eedULL + static_cast<u64>(t));
+      std::vector<double>& mine = lat[static_cast<size_t>(t)];
+      mine.reserve(static_cast<size_t>(opsPerThread));
+      for (i64 i = 0; i < opsPerThread; ++i) {
+        const auto t0 = Clock::now();
+        op(rng);
+        mine.push_back(std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+      }
+    });
+  for (std::thread& w : workers) w.join();
+  RunResult r;
+  r.secs = std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (const std::vector<double>& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  r.ops = static_cast<i64>(all.size());
+  r.opsPerSec = r.secs > 0 ? static_cast<double>(r.ops) / r.secs : 0;
+  r.p50us = percentile(all, 0.50);
+  r.p99us = percentile(all, 0.99);
+  r.p999us = percentile(all, 0.999);
+  return r;
+}
+
+void jsonLine(const char* mode, size_t shards, const char* dist, int threads,
+              const RunResult& r, double hitRate, i64 entries) {
+  std::printf("JSON {\"bench\":\"svc_stress\",\"mode\":\"%s\",\"shards\":%zu,"
+              "\"dist\":\"%s\",\"threads\":%d,\"ops\":%lld,\"secs\":%.3f,"
+              "\"ops_per_sec\":%.0f,\"p50_us\":%.2f,\"p99_us\":%.2f,"
+              "\"p999_us\":%.2f,\"hit_rate\":%.4f,\"entries\":%lld,"
+              "\"maxrss_kb\":%ld}\n",
+              mode, shards, dist, threads, static_cast<long long>(r.ops), r.secs,
+              r.opsPerSec, r.p50us, r.p99us, r.p999us, hitRate,
+              static_cast<long long>(entries), maxRssKb());
+}
+
+/// A tiny but clonable CompileResult whose artifact witnesses its key, so
+/// every replay can be checked byte-for-byte.
+CompileResult syntheticResult(size_t key) {
+  CompileResult r;
+  r.ok = true;
+  r.input = std::make_unique<ProgramBlock>();
+  r.artifact = "plan-artifact-" + std::to_string(key) + "-" +
+               std::string(128, static_cast<char>('a' + key % 26));
+  return r;
+}
+
+PlanKey keyAt(size_t i) {
+  PlanKey k;
+  k.block = 0x9e3779b97f4a7c15ULL * (static_cast<u64>(i) + 1);
+  k.options = static_cast<u64>(i);
+  return k;
+}
+
+// ---- phase 1: warm-hit scaling --------------------------------------------
+
+struct Phase1Outcome {
+  bool identical = true;
+  /// Throughput at 1 thread and at `topThreads` (8, or the sweep maximum
+  /// when the sweep stays below 8) per shard config, uniform mix.
+  double sharded1 = 0, shardedTop = 0, baseline1 = 0, baselineTop = 0;
+  int topThreads = 1;
+};
+
+void warmHitScaling(const std::vector<int>& threadSweep, size_t keys, i64 opsPerThread,
+                    size_t shardsOverride, Phase1Outcome& out) {
+  for (int t : threadSweep)
+    if (t <= 8) out.topThreads = std::max(out.topThreads, t);
+  std::printf("\n-- warm-hit scaling: sharded vs single-mutex baseline --\n");
+  std::printf("  %-9s %-8s %-8s %12s %10s %10s %10s\n", "cache", "dist", "threads",
+              "ops/sec", "p50 us", "p99 us", "p999 us");
+  for (const size_t shards : {shardsOverride, size_t(1)}) {
+    PlanCache cache(4096, shards);
+    std::vector<std::string> expected(keys);
+    for (size_t i = 0; i < keys; ++i) {
+      CompileResult r = syntheticResult(i);
+      expected[i] = r.artifact;
+      cache.insert(keyAt(i), r);
+    }
+    const char* label = shards == 1 ? "baseline" : "sharded";
+    for (const char* dist : {"uniform", "zipf"}) {
+      ZipfSampler zipf(keys);
+      const bool useZipf = std::string(dist) == "zipf";
+      for (int threads : threadSweep) {
+        const PlanCache::Stats before = cache.stats();
+        std::atomic<bool> mismatch{false};
+        RunResult r = runLoad(threads, opsPerThread, [&](std::mt19937_64& rng) {
+          const size_t i = useZipf ? zipf(rng)
+                                   : std::uniform_int_distribution<size_t>(0, keys - 1)(rng);
+          std::optional<CompileResult> hit = cache.lookup(keyAt(i));
+          if (!hit || hit->artifact != expected[i]) mismatch.store(true);
+        });
+        const PlanCache::Stats after = cache.stats();
+        const double denom = static_cast<double>((after.hits - before.hits) +
+                                                 (after.misses - before.misses));
+        const double hitRate =
+            denom > 0 ? static_cast<double>(after.hits - before.hits) / denom : 0;
+        if (mismatch.load()) out.identical = false;
+        std::printf("  %-9s %-8s %-8d %12.0f %10.2f %10.2f %10.2f\n", label, dist, threads,
+                    r.opsPerSec, r.p50us, r.p99us, r.p999us);
+        jsonLine("mem", cache.shardCount(), dist, threads, r, hitRate, after.entries);
+        if (useZipf) continue;  // scaling factors quoted on the uniform mix
+        if (threads == 1) (shards == 1 ? out.baseline1 : out.sharded1) = r.opsPerSec;
+        if (threads == out.topThreads)
+          (shards == 1 ? out.baselineTop : out.shardedTop) = r.opsPerSec;
+      }
+    }
+  }
+}
+
+// ---- phase 2: single-flight hammer ----------------------------------------
+
+bool singleFlightHammer(int threads, size_t keys, i64 opsPerThread) {
+  std::printf("\n-- single-flight hammer: %d threads, Zipfian over %zu cold keys --\n",
+              threads, keys);
+  PlanCache cache(4096, 0);
+  std::vector<std::string> expected(keys);
+  for (size_t i = 0; i < keys; ++i) expected[i] = syntheticResult(i).artifact;
+  std::vector<std::atomic<int>> computes(keys);
+  std::atomic<bool> mismatch{false};
+  ZipfSampler zipf(keys);
+  RunResult r = runLoad(threads, opsPerThread, [&](std::mt19937_64& rng) {
+    const size_t i = zipf(rng);
+    CompileResult got = cache.getOrCompute(keyAt(i), [&] {
+      computes[i].fetch_add(1);
+      // Widen the race window: a broken latch would let two leaders in.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      return syntheticResult(i);
+    });
+    if (!got.ok || got.artifact != expected[i]) mismatch.store(true);
+  });
+  i64 uniqueComputed = 0, doubleComputed = 0;
+  for (size_t i = 0; i < keys; ++i) {
+    if (computes[i].load() > 0) ++uniqueComputed;
+    if (computes[i].load() > 1) ++doubleComputed;
+  }
+  const PlanCache::Stats s = cache.stats();
+  const bool exactCounts =
+      s.misses == uniqueComputed && s.hits + s.misses == r.ops && s.entries == uniqueComputed;
+  std::printf("  %lld ops, %lld unique keys computed, %lld computed twice\n",
+              static_cast<long long>(r.ops), static_cast<long long>(uniqueComputed),
+              static_cast<long long>(doubleComputed));
+  std::printf("  exactly one cold compute per key: %s\n", doubleComputed == 0 ? "yes" : "NO");
+  std::printf("  artifacts byte-identical: %s\n", !mismatch.load() ? "yes" : "NO");
+  std::printf("  counter totals exact (hits %lld + misses %lld == ops, entries == uniques): "
+              "%s\n",
+              static_cast<long long>(s.hits), static_cast<long long>(s.misses),
+              exactCounts ? "yes" : "NO");
+  jsonLine("hammer", cache.shardCount(), "zipf", threads, r,
+           static_cast<double>(s.hits) / static_cast<double>(s.hits + s.misses), s.entries);
+  return doubleComputed == 0 && !mismatch.load() && exactCounts;
+}
+
+// ---- phase 3: daemon stress ------------------------------------------------
+
+svc::CompileRequest meRequest(const std::vector<i64>& sizes) {
+  IntVec params;
+  buildKernelByName("me", sizes, params);
+  Compiler c;
+  c.parameters(params).memoryLimitBytes(16 * 1024).backend("cuda").kernelName("me_kernel");
+  svc::CompileRequest req;
+  req.kernel = "me";
+  req.sizes = sizes;
+  req.options = c.opts();
+  return req;
+}
+
+bool daemonStress(const std::string& connectTo, const std::vector<int>& threadSweep,
+                  i64 requestsPerClient) {
+  std::printf("\n-- daemon stress: warm compiles + STATS probes over the socket --\n");
+  std::unique_ptr<svc::ServiceServer> server;
+  std::string sock = connectTo;
+  if (sock.empty()) {
+    sock = "/tmp/emm_svc_stress_" + std::to_string(::getpid()) + ".sock";
+    server = std::make_unique<svc::ServiceServer>(
+        svc::ServiceServer::Options{sock, /*jobs=*/0, /*cacheDir=*/"",
+                                    /*cacheCapacity=*/1024, /*cacheShards=*/0});
+    server->start();
+  }
+  const std::vector<std::vector<i64>> sizes = {
+      {256, 128, 16}, {512, 128, 16}, {1024, 128, 16}, {256, 256, 16}};
+  std::string warmArtifact;
+  {
+    svc::ServiceClient warmup(sock);
+    for (const std::vector<i64>& sz : sizes) {
+      svc::WireCompileReply rep = warmup.compile(meRequest(sz));
+      if (!rep.result.ok) {
+        std::printf("  WARMUP FAILED: %s\n", rep.result.firstError().c_str());
+        return false;
+      }
+      if (sz == sizes[0]) warmArtifact = rep.result.artifact;
+    }
+  }
+  std::atomic<bool> failed{false}, mismatch{false};
+  for (int threads : threadSweep) {
+    std::vector<std::vector<double>> lat(static_cast<size_t>(threads));
+    std::vector<std::thread> clients;
+    const auto start = Clock::now();
+    for (int t = 0; t < threads; ++t)
+      clients.emplace_back([&, t] {
+        svc::ServiceClient client(sock);
+        std::vector<double>& mine = lat[static_cast<size_t>(t)];
+        for (i64 i = 0; i < requestsPerClient; ++i) {
+          const auto t0 = Clock::now();
+          // One STATS probe per 8 compiles: the reply path and the counter
+          // snapshot must not contend.
+          if (i % 8 == 7) {
+            client.stats();
+          } else {
+            const std::vector<i64>& sz = sizes[static_cast<size_t>(t + i) % sizes.size()];
+            svc::WireCompileReply rep = client.compile(meRequest(sz));
+            if (!rep.result.ok) failed.store(true);
+            if (sz == sizes[0] && rep.result.artifact != warmArtifact) mismatch.store(true);
+          }
+          mine.push_back(std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+        }
+      });
+    for (std::thread& c : clients) c.join();
+    RunResult r;
+    r.secs = std::chrono::duration<double>(Clock::now() - start).count();
+    std::vector<double> all;
+    for (const std::vector<double>& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    r.ops = static_cast<i64>(all.size());
+    r.opsPerSec = r.secs > 0 ? static_cast<double>(r.ops) / r.secs : 0;
+    r.p50us = percentile(all, 0.50);
+    r.p99us = percentile(all, 0.99);
+    r.p999us = percentile(all, 0.999);
+    std::printf("  clients=%-3d %10.0f req/sec   p50 %8.0f us  p99 %8.0f us  p999 %8.0f us\n",
+                threads, r.opsPerSec, r.p50us, r.p99us, r.p999us);
+    jsonLine("daemon", 0, "rotate", threads, r, 1.0, 0);
+  }
+  bool clean = !failed.load() && !mismatch.load();
+  if (server != nullptr) {
+    svc::WireStats s = server->stats();
+    clean = clean && s.protocolErrors == 0 && s.compileErrors == 0;
+    std::printf("  daemon served %lld requests (%lld compiles, %lld protocol errors)\n",
+                static_cast<long long>(s.requests), static_cast<long long>(s.compiles),
+                static_cast<long long>(s.protocolErrors));
+    server->stop();
+  }
+  std::printf("  warm replies byte-identical, all served cleanly: %s\n", clean ? "yes" : "NO");
+  return clean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  const bool quick = args.flag("quick");
+  const bool noDaemon = args.flag("no-daemon");
+  const bool assertScaling = args.flag("assert-scaling");
+  const std::string connectTo = args.str("connect");
+  const size_t keys = static_cast<size_t>(args.integer("keys", quick ? 512 : 2048));
+  const i64 ops = args.integer("ops", quick ? 4000 : 50000);
+  // 0 = the library default (next pow2 of the hardware concurrency).
+  const size_t shards = static_cast<size_t>(args.integer("shards", 0));
+  std::vector<int> threadSweep;
+  for (i64 t : args.intList("threads")) threadSweep.push_back(static_cast<int>(t));
+  if (threadSweep.empty()) {
+    const int hw = std::max(1u, std::thread::hardware_concurrency());
+    for (int t = 1; t <= std::max(8, 2 * hw); t *= 2) threadSweep.push_back(t);
+  }
+  if (!args.validate("usage: bench_svc_stress [--quick] [--threads=a,b,...] [--keys=N] "
+                     "[--ops=N] [--shards=N] [--no-daemon] [--connect=SOCK] "
+                     "[--assert-scaling]\n"))
+    return 2;
+
+  bench::header("Service S4: sharded-cache + daemon stress",
+                "ROADMAP contention-free cache tiers; setbench-style microbench");
+  std::printf("   hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  Phase1Outcome p1;
+  warmHitScaling(threadSweep, keys, ops, shards, p1);
+  const double shardedScale = p1.sharded1 > 0 ? p1.shardedTop / p1.sharded1 : 0;
+  const double baselineScale = p1.baseline1 > 0 ? p1.baselineTop / p1.baseline1 : 0;
+  std::printf("\n  warm-hit scaling 1 -> %d threads (uniform): sharded %.2fx, baseline %.2fx\n",
+              p1.topThreads, shardedScale, baselineScale);
+
+  const int hammerThreads = std::min(threadSweep.back(), 16);
+  const bool flightOk = singleFlightHammer(std::max(hammerThreads, 4), quick ? 128 : 512,
+                                           quick ? 500 : 4000);
+
+  bool daemonOk = true;
+  if (!noDaemon) {
+    std::vector<int> daemonSweep = {1, std::min(4, threadSweep.back())};
+    daemonOk = daemonStress(connectTo, daemonSweep, quick ? 24 : 96);
+  }
+
+  bool ok = p1.identical && flightOk && daemonOk;
+  std::printf("\n  artifacts byte-identical: %s\n", p1.identical ? "yes" : "NO");
+  if (assertScaling) {
+    const bool scales = shardedScale >= 4.0 && p1.topThreads >= 8;
+    std::printf("  sharded warm-hit scaling >= 4x (1 -> 8 threads): %s\n",
+                scales ? "yes" : "NO");
+    ok = ok && scales;
+  }
+  return ok ? 0 : 1;
+}

@@ -228,7 +228,10 @@ CompileResult Compiler::compile() {
     // Single-flight: concurrent misses on the same key collapse to one
     // compute (disk lookup or pipeline run); followers receive the
     // leader's result as a cache hit. A disk hit returned by the leader is
-    // an ok result, so getOrCompute promotes it into the memory tier.
+    // an ok result, so getOrCompute promotes it into the memory tier. The
+    // cache is sharded by key fingerprint with a lock-free snapshot warm
+    // path, so concurrent compiles of DIFFERENT keys never serialize here
+    // — the single-flight latch is per key on the key's own shard.
     if (cache_ != nullptr)
       return cache_->getOrCompute(key, [this, &key] { return computeWithDiskTier(key); });
     return computeWithDiskTier(key);

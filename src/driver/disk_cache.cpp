@@ -183,8 +183,7 @@ std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const Pro
   const fs::path path = entryPath(key);
   std::string file;
   if (!readFile(path, file)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   const u64 blockDigest = digestBytes(serializeProgramBlock(block));
@@ -195,10 +194,7 @@ std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const Pro
     try {
       CompileResult result = deserializeCompileResult(payload);
       result.diskHit = true;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++hits_;
-      }
+      hits_.fetch_add(1, std::memory_order_relaxed);
       // Refresh the LRU stamp so hot entries survive eviction.
       std::error_code ec;
       fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
@@ -208,8 +204,7 @@ std::optional<CompileResult> DiskPlanCache::lookup(const PlanKey& key, const Pro
     }
   }
   if (verdict == Reject::Structural) removeQuietly(path);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++rejects_;
+  rejects_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
@@ -222,8 +217,10 @@ void DiskPlanCache::insert(const PlanKey& key, const CompileOptions& options,
                             digestBytes(serializeCompileOptions(options)),
                             serializeCompileResult(result)))
     return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++insertions_;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  // Only the eviction scan serializes; a concurrent stats() or lookup()
+  // proceeds untouched.
+  std::lock_guard<std::mutex> lock(evictMutex_);
   evictLocked(path);
 }
 
@@ -234,8 +231,7 @@ std::shared_ptr<const FamilyPlan> DiskPlanCache::lookupFamily(const FamilyKey& k
   const fs::path path = familyPath(key);
   std::string file;
   if (!readFile(path, file)) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++familyMisses_;
+    familyMisses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   // Collision guards digest the CANONICAL family forms, so every member of
@@ -250,18 +246,14 @@ std::shared_ptr<const FamilyPlan> DiskPlanCache::lookupFamily(const FamilyKey& k
   if (verdict == Reject::None) {
     try {
       std::shared_ptr<const FamilyPlan> plan = deserializeFamilyPlan(payload);
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++familyHits_;
-      }
+      familyHits_.fetch_add(1, std::memory_order_relaxed);
       return plan;
     } catch (const SerializeError&) {
       verdict = Reject::Structural;  // checksummed but unparseable: drop it
     }
   }
   if (verdict == Reject::Structural) removeQuietly(path);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++familyRejects_;
+  familyRejects_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
@@ -272,8 +264,7 @@ void DiskPlanCache::insertFamily(const FamilyKey& key, u64 blockDigest, u64 opti
                             key.block, key.options, key.passes, blockDigest, optionsDigest,
                             serializeFamilyPlan(*plan)))
     return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++familyInsertions_;
+  familyInsertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void DiskPlanCache::evictLocked(const std::filesystem::path& justWritten) {
@@ -311,13 +302,13 @@ void DiskPlanCache::evictLocked(const std::filesystem::path& justWritten) {
     std::error_code rec;
     if (fs::remove(entries[i].path, rec)) {
       total -= entries[i].size;
-      ++evictions_;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
 void DiskPlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(evictMutex_);
   std::error_code ec;
   for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
     if (de.is_regular_file(ec) &&
@@ -326,19 +317,18 @@ void DiskPlanCache::clear() {
 }
 
 DiskPlanCache::Stats DiskPlanCache::stats() const {
+  // Counters are atomics: the snapshot never blocks behind a concurrent
+  // insert's eviction scan (or any disk write at all).
   Stats s;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    s.hits = hits_;
-    s.misses = misses_;
-    s.rejects = rejects_;
-    s.evictions = evictions_;
-    s.insertions = insertions_;
-    s.familyHits = familyHits_;
-    s.familyMisses = familyMisses_;
-    s.familyRejects = familyRejects_;
-    s.familyInsertions = familyInsertions_;
-  }
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.rejects = rejects_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.familyHits = familyHits_.load(std::memory_order_relaxed);
+  s.familyMisses = familyMisses_.load(std::memory_order_relaxed);
+  s.familyRejects = familyRejects_.load(std::memory_order_relaxed);
+  s.familyInsertions = familyInsertions_.load(std::memory_order_relaxed);
   std::error_code ec;
   for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
     if (!de.is_regular_file(ec)) continue;

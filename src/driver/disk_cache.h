@@ -30,9 +30,13 @@
 //
 // Thread-safe; one instance may be shared by every Compiler in the process
 // (and the directory may be shared by many processes — rename keeps
-// concurrent writers safe, last write wins).
+// concurrent writers safe, last write wins). Counters are relaxed atomics,
+// so stats() and the lookup hot path never block behind a concurrent
+// insert's eviction scan; the only mutex serializes directory mutation
+// (eviction and clear), which file writes and reads never need.
 #pragma once
 
+#include <atomic>
 #include <filesystem>
 #include <mutex>
 #include <optional>
@@ -119,21 +123,25 @@ public:
 private:
   std::string entryPath(const PlanKey& key) const;
   std::string familyPath(const FamilyKey& key) const;
-  /// Enforces the byte cap, never evicting `justWritten`; requires mutex_.
+  /// Enforces the byte cap, never evicting `justWritten`; requires
+  /// evictMutex_.
   void evictLocked(const std::filesystem::path& justWritten);
 
   std::string dir_;
   i64 maxBytes_;
-  mutable std::mutex mutex_;  ///< guards counters and directory mutation
-  i64 hits_ = 0;
-  i64 misses_ = 0;
-  i64 rejects_ = 0;
-  i64 evictions_ = 0;
-  i64 insertions_ = 0;
-  i64 familyHits_ = 0;
-  i64 familyMisses_ = 0;
-  i64 familyRejects_ = 0;
-  i64 familyInsertions_ = 0;
+  /// Serializes eviction scans and clear() — directory mutation only.
+  /// Lookups, inserts and stats() never take it: counters are atomics and
+  /// file-level atomicity comes from write-temp-then-rename.
+  mutable std::mutex evictMutex_;
+  std::atomic<i64> hits_{0};
+  std::atomic<i64> misses_{0};
+  std::atomic<i64> rejects_{0};
+  std::atomic<i64> evictions_{0};
+  std::atomic<i64> insertions_{0};
+  std::atomic<i64> familyHits_{0};
+  std::atomic<i64> familyMisses_{0};
+  std::atomic<i64> familyRejects_{0};
+  std::atomic<i64> familyInsertions_{0};
 };
 
 }  // namespace emm

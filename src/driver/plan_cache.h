@@ -16,8 +16,36 @@
 // code cannot be fingerprinted); Compiler::compile() skips the cache for
 // them.
 //
-// Thread-safe: batch compilation shares one cache across pool workers.
-// Capacity-bounded with insertion-order eviction.
+// Sharding: at daemon traffic levels a single cache mutex, not the
+// pipeline, is the throughput ceiling — every warm hit serializes on it.
+// The cache is therefore split into N shards (N = next power of two of the
+// hardware concurrency by default, clamped so every shard owns at least one
+// entry of capacity), selected by a mixed fingerprint of the key. Each
+// shard has its own mutex, insertion-order eviction list, in-flight map and
+// counters, so requests for different shards never contend. Capacity is
+// split across the shards (shard i gets capacity/N, the remainder
+// distributed one each), and eviction is per shard. A single-shard cache
+// (`shards = 1`) reproduces the old global single-mutex behavior exactly —
+// tests that need deterministic global eviction order and benchmark
+// baselines use it.
+//
+// Lock-free warm path: every mutation republishes the shard's entry map as
+// an immutable copy-on-write snapshot behind a `std::atomic<
+// std::shared_ptr<const ...>>` (an epoch publication: writers install a new
+// epoch under the shard mutex; readers atomically load whichever epoch is
+// current). Result and family lookups probe the snapshot first and touch
+// the shard mutex only on a snapshot miss (cold key, or a key whose epoch
+// has not propagated yet) — a warm hit performs zero lock acquisitions. A
+// stale snapshot can only under-report (a just-inserted key falls through
+// to the mutex path; a just-evicted entry is served one last time, exactly
+// as if the lookup had run before the eviction), never serve a wrong plan:
+// entries are immutable once published and keyed by collision-guarded
+// fingerprints.
+//
+// Counters are per-shard relaxed atomics. Hit counts are bumped off-lock on
+// the snapshot path; miss/eviction counts flip under the shard mutex, so a
+// stats() snapshot of one shard is internally coherent (entries never
+// exceed misses) and totals across shards are exact once traffic quiesces.
 //
 // This is the first tier of a two-tier hierarchy: driver/disk_cache.h
 // persists plans across processes, and Compiler::compile() resolves
@@ -27,9 +55,12 @@
 // to ONE pipeline run. The first caller becomes the leader and computes;
 // followers block on a per-key in-flight latch and receive the leader's
 // result as a cache hit, so a batch of identical kernels performs exactly
-// one compile no matter how many workers race.
+// one compile no matter how many workers race. The latch, like everything
+// keyed, lives on the key's shard: a leader failure wakes exactly the
+// followers parked on that shard's condition variable.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <list>
@@ -56,8 +87,10 @@ struct PlanKey {
 /// Memoizes finished CompileResults by PlanKey (see file comment).
 class PlanCache {
 public:
-  /// Counter snapshot; stats() reads all fields under the cache mutex, so
-  /// a snapshot is always coherent (never a torn mix of two updates).
+  /// Counter totals aggregated over the shards. Each shard's contribution
+  /// is read coherently (entries with the misses that produced them), so
+  /// cross-field invariants like entries <= misses hold in every snapshot;
+  /// totals are exact whenever no lookup is concurrently in flight.
   struct Stats {
     i64 hits = 0;       ///< lookups served from the cache
     i64 misses = 0;     ///< lookups that fell through (or led a compute)
@@ -70,15 +103,27 @@ public:
     i64 familyEvictions = 0;  ///< family plans dropped by the capacity bound
   };
 
-  /// `capacity` = max entries before insertion-order eviction (>= 1).
-  explicit PlanCache(size_t capacity = 1024);
+  /// `capacity` = max entries before insertion-order eviction (>= 1),
+  /// split across the shards. `shards` = 0 picks the next power of two of
+  /// the hardware concurrency (clamped so each shard owns capacity);
+  /// `shards` = 1 is the exact single-mutex behavior of the pre-sharded
+  /// cache. Non-power-of-two counts are rounded up.
+  explicit PlanCache(size_t capacity = 1024, size_t shards = 0);
+
+  /// Number of shards actually in use (a power of two).
+  size_t shardCount() const { return shardCount_; }
+  /// Index of the shard serving `key` / a family key — stable for a given
+  /// shard count. Exposed for shard-boundary tests and diagnostics.
+  size_t shardOf(const PlanKey& key) const;
+  size_t shardOfFamily(const FamilyKey& key) const;
 
   /// Returns an independently owned copy of the cached result with
-  /// cacheHit set, or nullopt (counting a miss).
+  /// cacheHit set, or nullopt (counting a miss). Warm hits are served from
+  /// the shard's lock-free snapshot.
   std::optional<CompileResult> lookup(const PlanKey& key);
 
   /// Stores a snapshot of `result` under `key`, overwriting any previous
-  /// entry and evicting the oldest entry when over capacity.
+  /// entry and evicting the shard's oldest entry when over its capacity.
   void insert(const PlanKey& key, const CompileResult& result);
 
   /// Single-flight lookup-or-compute. Returns a cached result (hit), or —
@@ -94,36 +139,33 @@ public:
   // ---- family tier (size-generic kernel-family plans) ------------------
   /// Returns the stored family plan when both the key and the collision
   /// digest match, else nullptr (counting a family miss). The plan is
-  /// shared, immutable and safe to use from any thread.
+  /// shared, immutable and safe to use from any thread. Warm hits are
+  /// served from the shard's lock-free snapshot.
   std::shared_ptr<const FamilyPlan> lookupFamily(const FamilyKey& key, u64 collisionDigest);
   /// Stores a family plan (first writer wins: a family is built once and
   /// republishing an identical plan is pointless churn). Capacity-bounded
-  /// with insertion-order eviction like the result tier.
+  /// with per-shard insertion-order eviction like the result tier.
   void insertFamily(const FamilyKey& key, u64 collisionDigest,
                     std::shared_ptr<const FamilyPlan> plan);
 
   Stats stats() const;
   size_t size() const;
-  void clear();  ///< drops entries (both tiers) and resets counters
+  /// Drops entries (both tiers) and resets counters. Coherent across
+  /// shards: every shard mutex is held for the duration, so no concurrent
+  /// observer sees a half-cleared cache through the mutex path.
+  void clear();
 
   /// Process-wide cache shared by every Compiler that enables caching
   /// without supplying its own.
   static PlanCache& global();
 
 private:
-  /// Per-key latch for in-flight computations. `done` flips under the cache
-  /// mutex; `result` is null when the leader failed.
+  /// Per-key latch for in-flight computations. `done` flips under the
+  /// owning shard's mutex; `result` is null when the leader failed.
   struct InFlight {
     bool done = false;
     std::shared_ptr<const CompileResult> result;
   };
-
-  /// Inserts a pre-cloned snapshot; requires mutex_ held.
-  void insertLocked(const PlanKey& key, std::shared_ptr<const CompileResult> snapshot);
-  /// Publishes the leader's outcome, stores it when non-null, erases the
-  /// in-flight entry and wakes the followers.
-  void finishFlight(const PlanKey& key, const std::shared_ptr<InFlight>& flight,
-                    std::shared_ptr<const CompileResult> snapshot);
 
   /// Family-tier entry: the shared plan plus the digest guarding the
   /// 64-bit key against collisions.
@@ -132,20 +174,48 @@ private:
     std::shared_ptr<const FamilyPlan> plan;
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable flightDone_;
-  size_t capacity_;
-  std::map<PlanKey, std::shared_ptr<const CompileResult>> entries_;
-  std::map<PlanKey, std::shared_ptr<InFlight>> inflight_;
-  std::list<PlanKey> insertionOrder_;
-  std::map<FamilyKey, FamilyEntry> families_;
-  std::list<FamilyKey> familyOrder_;
-  i64 hits_ = 0;
-  i64 misses_ = 0;
-  i64 evictions_ = 0;
-  i64 familyHits_ = 0;
-  i64 familyMisses_ = 0;
-  i64 familyEvictions_ = 0;
+  using ResultMap = std::map<PlanKey, std::shared_ptr<const CompileResult>>;
+  using FamilyMap = std::map<FamilyKey, FamilyEntry>;
+
+  /// One independently locked slice of the cache (see file comment).
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable flightDone;
+    size_t capacity = 1;  ///< this shard's slice of the entry budget
+    // Authoritative state; every access under `mutex`.
+    ResultMap entries;
+    std::map<PlanKey, std::shared_ptr<InFlight>> inflight;
+    std::list<PlanKey> insertionOrder;
+    FamilyMap families;
+    std::list<FamilyKey> familyOrder;
+    // Epoch-published immutable copies for the lock-free warm path;
+    // republished (store-release) after every mutation under `mutex`.
+    std::atomic<std::shared_ptr<const ResultMap>> snapshot;
+    std::atomic<std::shared_ptr<const FamilyMap>> familySnapshot;
+    // Relaxed counters. Hits flip off-lock; the rest under `mutex`.
+    std::atomic<i64> hits{0};
+    std::atomic<i64> misses{0};
+    std::atomic<i64> evictions{0};
+    std::atomic<i64> familyHits{0};
+    std::atomic<i64> familyMisses{0};
+    std::atomic<i64> familyEvictions{0};
+  };
+
+  Shard& shardFor(const PlanKey& key) const;
+  Shard& shardForFamily(const FamilyKey& key) const;
+
+  /// Inserts a pre-cloned snapshot and republishes; requires shard mutex.
+  void insertLocked(Shard& shard, const PlanKey& key,
+                    std::shared_ptr<const CompileResult> snapshot);
+  /// Publishes the leader's outcome, stores it when non-null, erases the
+  /// in-flight entry and wakes the shard's followers.
+  void finishFlight(Shard& shard, const PlanKey& key, const std::shared_ptr<InFlight>& flight,
+                    std::shared_ptr<const CompileResult> snapshot);
+  /// Clones `entry` into an independently owned hit result.
+  static CompileResult cloneHit(const CompileResult& entry);
+
+  size_t shardCount_ = 1;
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace emm

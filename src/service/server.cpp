@@ -30,7 +30,7 @@ sockaddr_un socketAddress(const std::string& path) {
 }  // namespace
 
 ServiceServer::ServiceServer(Options options)
-    : options_(std::move(options)), cache_(options_.cacheCapacity) {
+    : options_(std::move(options)), cache_(options_.cacheCapacity, options_.cacheShards) {
   if (!options_.cacheDir.empty()) disk_ = std::make_unique<DiskPlanCache>(options_.cacheDir);
 }
 
@@ -112,15 +112,14 @@ void ServiceServer::stop() {
 }
 
 WireStats ServiceServer::stats() const {
+  // Counters are relaxed atomics: a STATS request snapshots them without
+  // blocking any connection's reply path (and vice versa).
   WireStats s;
-  {
-    std::lock_guard<std::mutex> lk(mutex_);
-    s.connections = connectionCount_;
-    s.requests = requests_;
-    s.compiles = compiles_;
-    s.compileErrors = compileErrors_;
-    s.protocolErrors = protocolErrors_;
-  }
+  s.connections = connectionCount_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.compiles = compiles_.load(std::memory_order_relaxed);
+  s.compileErrors = compileErrors_.load(std::memory_order_relaxed);
+  s.protocolErrors = protocolErrors_.load(std::memory_order_relaxed);
   s.memory = cache_.stats();
   if (disk_ != nullptr) {
     s.haveDisk = true;
@@ -142,7 +141,7 @@ void ServiceServer::acceptLoop() {
       ::close(fd);
       break;
     }
-    ++connectionCount_;
+    connectionCount_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
@@ -172,10 +171,7 @@ void ServiceServer::serveConnection(Connection* conn) {
                  encodeErrorReply({false, "protocol error: " + error}));
       break;
     }
-    {
-      std::lock_guard<std::mutex> lk(mutex_);
-      ++requests_;
-    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
     if (stopping_.load()) {
       writeFrame(fd, MsgType::ErrorReply, encodeErrorReply({true, "server shutting down"}));
       break;
@@ -254,11 +250,8 @@ bool ServiceServer::handleCompile(int fd, const std::string& payload) {
   try {
     result = future.get();
   } catch (const std::exception& e) {
-    {
-      std::lock_guard<std::mutex> lk(mutex_);
-      ++compiles_;
-      ++compileErrors_;
-    }
+    compiles_.fetch_add(1, std::memory_order_relaxed);
+    compileErrors_.fetch_add(1, std::memory_order_relaxed);
     writeFrame(fd, MsgType::ErrorReply,
                encodeErrorReply({false, std::string("compile failed: ") + e.what()}));
     return true;
@@ -266,17 +259,13 @@ bool ServiceServer::handleCompile(int fd, const std::string& payload) {
   const double millis =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
           .count();
-  {
-    std::lock_guard<std::mutex> lk(mutex_);
-    ++compiles_;
-    if (!result.ok) ++compileErrors_;
-  }
+  compiles_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok) compileErrors_.fetch_add(1, std::memory_order_relaxed);
   return writeFrame(fd, MsgType::CompileReply, encodeCompileReply(result, millis));
 }
 
 void ServiceServer::countProtocolError() {
-  std::lock_guard<std::mutex> lk(mutex_);
-  ++protocolErrors_;
+  protocolErrors_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServiceServer::reapFinishedLocked() {

@@ -54,6 +54,9 @@ public:
     std::string cacheDir;
     /// Result-tier capacity of the in-memory cache.
     size_t cacheCapacity = 1024;
+    /// Shards of the in-memory cache (0 = one per hardware thread, rounded
+    /// to a power of two; 1 = the single-mutex baseline).
+    size_t cacheShards = 0;
   };
 
   /// Configures the store (creating the disk cache directory when set).
@@ -104,13 +107,15 @@ private:
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::mutex stopMutex_;      ///< serializes start/stop transitions
-  mutable std::mutex mutex_;  ///< guards connections_ and the counters
+  mutable std::mutex mutex_;  ///< guards connections_ only
   std::list<std::unique_ptr<Connection>> connections_;
-  i64 connectionCount_ = 0;
-  i64 requests_ = 0;
-  i64 compiles_ = 0;
-  i64 compileErrors_ = 0;
-  i64 protocolErrors_ = 0;
+  // Relaxed atomics: per-request counting never contends with a concurrent
+  // STATS snapshot or another connection's reply hot path.
+  std::atomic<i64> connectionCount_{0};
+  std::atomic<i64> requests_{0};
+  std::atomic<i64> compiles_{0};
+  std::atomic<i64> compileErrors_{0};
+  std::atomic<i64> protocolErrors_{0};
 };
 
 }  // namespace emm::svc

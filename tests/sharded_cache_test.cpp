@@ -1,0 +1,271 @@
+// Shard-boundary tests for the sharded PlanCache: shard-count resolution
+// (power-of-two rounding, capacity clamping), per-shard capacity split and
+// eviction (a shard at its slice evicts even when the cache as a whole is
+// far under capacity), single-flight leader failure waking followers parked
+// on the failing key's shard while other shards keep serving, clear()
+// coherence across every shard, and a Zipfian multi-thread hammer whose
+// hit/miss/entry counter totals must come out exact. The deterministic
+// tests force a fixed shard count so they behave identically on any
+// machine; the hammer forces shards > 1 so the cross-shard paths run even
+// on single-core CI boxes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/plan_cache.h"
+
+namespace emm {
+namespace {
+
+/// A tiny but clonable CompileResult whose artifact witnesses its key.
+CompileResult syntheticResult(u64 key) {
+  CompileResult r;
+  r.ok = true;
+  r.input = std::make_unique<ProgramBlock>();
+  r.artifact = "artifact-" + std::to_string(key);
+  return r;
+}
+
+PlanKey keyAt(u64 i) {
+  PlanKey k;
+  k.block = 0x9e3779b97f4a7c15ULL * (i + 1);
+  k.options = i;
+  return k;
+}
+
+/// First `count` keys from the keyAt stream that land on `shard`.
+std::vector<PlanKey> keysOnShard(const PlanCache& cache, size_t shard, size_t count) {
+  std::vector<PlanKey> out;
+  for (u64 i = 0; out.size() < count; ++i)
+    if (cache.shardOf(keyAt(i)) == shard) out.push_back(keyAt(i));
+  return out;
+}
+
+std::vector<FamilyKey> familyKeysOnShard(const PlanCache& cache, size_t shard, size_t count) {
+  std::vector<FamilyKey> out;
+  for (u64 i = 0; out.size() < count; ++i) {
+    FamilyKey k;
+    k.block = 0x9e3779b97f4a7c15ULL * (i + 1);
+    k.options = i;
+    if (cache.shardOfFamily(k) == shard) out.push_back(k);
+  }
+  return out;
+}
+
+TEST(ShardedCache, ShardCountIsPow2AndClampedToCapacity) {
+  EXPECT_EQ(PlanCache(1024, 16).shardCount(), 16u);
+  EXPECT_EQ(PlanCache(1024, 1).shardCount(), 1u);
+  // Non-power-of-two requests round up.
+  EXPECT_EQ(PlanCache(1024, 9).shardCount(), 16u);
+  EXPECT_EQ(PlanCache(1024, 3).shardCount(), 4u);
+  // Every shard must own at least one entry of capacity: a tiny cache
+  // cannot have more shards than entries.
+  EXPECT_LE(PlanCache(2, 64).shardCount(), 2u);
+  EXPECT_EQ(PlanCache(1, 64).shardCount(), 1u);
+  // The auto default is some power of two >= 1.
+  const size_t n = PlanCache(1024, 0).shardCount();
+  EXPECT_GE(n, 1u);
+  EXPECT_EQ(n & (n - 1), 0u);
+}
+
+TEST(ShardedCache, EvictionIsPerShardNotGlobal) {
+  // Capacity 8 over 4 shards: each shard owns exactly 2 entries.
+  PlanCache cache(8, 4);
+  ASSERT_EQ(cache.shardCount(), 4u);
+  const std::vector<PlanKey> shard0 = keysOnShard(cache, 0, 3);
+  const std::vector<PlanKey> shard1 = keysOnShard(cache, 1, 2);
+
+  // Overfill shard 0 while the cache as a whole is far under capacity:
+  // the shard's slice, not the global budget, bounds it.
+  for (const PlanKey& k : shard0) cache.insert(k, syntheticResult(k.options));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  // Oldest of shard 0 went; the newer two survive.
+  EXPECT_FALSE(cache.lookup(shard0[0]).has_value());
+  EXPECT_TRUE(cache.lookup(shard0[1]).has_value());
+  EXPECT_TRUE(cache.lookup(shard0[2]).has_value());
+
+  // Other shards are untouched by shard 0's pressure.
+  for (const PlanKey& k : shard1) cache.insert(k, syntheticResult(k.options));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.lookup(shard1[0]).has_value());
+  EXPECT_TRUE(cache.lookup(shard1[1]).has_value());
+}
+
+TEST(ShardedCache, LeaderFailureWakesFollowersOnTheRightShard) {
+  PlanCache cache(64, 4);
+  ASSERT_EQ(cache.shardCount(), 4u);
+  const PlanKey keyA = keysOnShard(cache, 0, 1)[0];
+  const PlanKey keyB = keysOnShard(cache, 1, 1)[0];
+
+  std::atomic<bool> leaderIn{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> failComputes{0};
+  std::atomic<int> okComputes{0};
+
+  // Leader parks inside its compute (so followers provably queue behind
+  // its in-flight latch), then fails.
+  std::thread leader([&] {
+    CompileResult r = cache.getOrCompute(keyA, [&] {
+      leaderIn.store(true);
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++failComputes;
+      CompileResult fail;
+      fail.ok = false;
+      return fail;
+    });
+    EXPECT_FALSE(r.ok);
+  });
+  while (!leaderIn.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // While shard 0 has a parked leader, shard 1 keeps serving: a compute
+  // on keyB completes without waiting on keyA's flight.
+  CompileResult b = cache.getOrCompute(keyB, [&] { return syntheticResult(keyB.options); });
+  EXPECT_TRUE(b.ok);
+  EXPECT_FALSE(b.cacheHit);
+
+  // Three followers queue on keyA, then the leader is released to fail.
+  // Exactly one follower must be woken into leadership and recompute; the
+  // others get its result as hits.
+  std::vector<std::thread> followers;
+  std::atomic<int> followerHits{0};
+  for (int i = 0; i < 3; ++i)
+    followers.emplace_back([&] {
+      CompileResult r = cache.getOrCompute(keyA, [&] {
+        ++okComputes;
+        return syntheticResult(keyA.options);
+      });
+      EXPECT_TRUE(r.ok);
+      EXPECT_EQ(r.artifact, syntheticResult(keyA.options).artifact);
+      if (r.cacheHit) ++followerHits;
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);
+  leader.join();
+  for (std::thread& f : followers) f.join();
+
+  EXPECT_EQ(failComputes.load(), 1);
+  EXPECT_EQ(okComputes.load(), 1);
+  EXPECT_EQ(followerHits.load(), 2);
+  const PlanCache::Stats s = cache.stats();
+  // Misses: failed leader on A, retry leader on A, cold B. Hits: the two
+  // followers served by the retry leader.
+  EXPECT_EQ(s.misses, 3);
+  EXPECT_EQ(s.hits, 2);
+  EXPECT_EQ(s.entries, 2);
+  // The failure was never cached; the retry's result was.
+  EXPECT_TRUE(cache.lookup(keyA).has_value());
+}
+
+TEST(ShardedCache, ClearIsCoherentAcrossShards) {
+  PlanCache cache(64, 4);
+  ASSERT_EQ(cache.shardCount(), 4u);
+  for (u64 i = 0; i < 16; ++i) cache.insert(keyAt(i), syntheticResult(i));
+  const FamilyKey fam = familyKeysOnShard(cache, 2, 1)[0];
+  cache.insertFamily(fam, /*collisionDigest=*/7, std::make_shared<FamilyPlan>());
+  for (u64 i = 0; i < 16; ++i) EXPECT_TRUE(cache.lookup(keyAt(i)).has_value());
+  EXPECT_NE(cache.lookupFamily(fam, 7), nullptr);
+
+  cache.clear();
+
+  // Every shard's tiers and counters reset; nothing half-cleared.
+  EXPECT_EQ(cache.size(), 0u);
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_EQ(s.entries, 0);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(s.familyHits, 0);
+  EXPECT_EQ(s.familyMisses, 0);
+  EXPECT_EQ(s.familyEntries, 0);
+  EXPECT_EQ(s.familyEvictions, 0);
+  // The snapshot (lock-free) read path was republished too: a stale
+  // pre-clear epoch must not serve evicted entries forever.
+  EXPECT_FALSE(cache.lookup(keyAt(0)).has_value());
+  EXPECT_EQ(cache.lookupFamily(fam, 7), nullptr);
+
+  // The cache stays fully usable after clear().
+  cache.insert(keyAt(99), syntheticResult(99));
+  EXPECT_TRUE(cache.lookup(keyAt(99)).has_value());
+}
+
+TEST(ShardedCache, FamilyTierEvictsPerShardAndGuardsDigests) {
+  PlanCache cache(8, 4);
+  ASSERT_EQ(cache.shardCount(), 4u);
+  const std::vector<FamilyKey> keys = familyKeysOnShard(cache, 3, 3);
+  for (const FamilyKey& k : keys) cache.insertFamily(k, 11, std::make_shared<FamilyPlan>());
+  PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.familyEntries, 2);
+  EXPECT_EQ(s.familyEvictions, 1);
+  EXPECT_EQ(cache.lookupFamily(keys[0], 11), nullptr);  // shard 3's oldest went
+  EXPECT_NE(cache.lookupFamily(keys[1], 11), nullptr);
+  EXPECT_NE(cache.lookupFamily(keys[2], 11), nullptr);
+  // A colliding 64-bit key with the wrong digest is a miss, on the warm
+  // snapshot path too (the second probe is served lock-free).
+  EXPECT_EQ(cache.lookupFamily(keys[2], 12), nullptr);
+  EXPECT_EQ(cache.lookupFamily(keys[2], 12), nullptr);
+}
+
+TEST(ShardedCache, ZipfianHammerCountersAreExact) {
+  // Force multiple shards so the cross-shard paths run even on a
+  // single-core box. Capacity comfortably exceeds the keyspace: no
+  // eviction, so every counter total must come out exact.
+  constexpr size_t kKeys = 96;
+  constexpr int kThreads = 4;
+  constexpr i64 kOpsPerThread = 500;
+  PlanCache cache(256, 4);
+  ASSERT_EQ(cache.shardCount(), 4u);
+
+  // Zipf(s=0.99) inverse-CDF table over the keyspace.
+  std::vector<double> cdf(kKeys);
+  double sum = 0;
+  for (size_t k = 0; k < kKeys; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), 0.99);
+    cdf[k] = sum;
+  }
+  for (double& c : cdf) c /= sum;
+
+  std::vector<std::unique_ptr<std::atomic<int>>> computes;
+  for (size_t i = 0; i < kKeys; ++i) computes.push_back(std::make_unique<std::atomic<int>>(0));
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t)
+    workers.emplace_back([&, t] {
+      std::mt19937_64 rng(0xbeefULL + static_cast<u64>(t));
+      std::uniform_real_distribution<double> uni(0.0, 1.0);
+      for (i64 i = 0; i < kOpsPerThread; ++i) {
+        const size_t key = static_cast<size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), uni(rng)) - cdf.begin());
+        CompileResult r = cache.getOrCompute(keyAt(key), [&] {
+          ++*computes[key];
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+          return syntheticResult(key);
+        });
+        if (!r.ok || r.artifact != syntheticResult(key).artifact) mismatch.store(true);
+      }
+    });
+  for (std::thread& w : workers) w.join();
+
+  ASSERT_FALSE(mismatch.load());
+  i64 unique = 0;
+  for (size_t i = 0; i < kKeys; ++i) {
+    EXPECT_LE(computes[i]->load(), 1) << "key " << i << " computed twice";
+    unique += computes[i]->load();
+  }
+  const PlanCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, unique);
+  EXPECT_EQ(s.hits + s.misses, static_cast<i64>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(s.entries, unique);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(static_cast<i64>(cache.size()), unique);
+}
+
+}  // namespace
+}  // namespace emm

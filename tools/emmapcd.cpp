@@ -12,6 +12,8 @@
 //           [--jobs=N]                    compile workers (default: hardware)
 //           [--cache-dir=PATH]            persistent on-disk plan store
 //           [--cache-capacity=N]          in-memory result-tier capacity
+//           [--cache-shards=N]            cache shards (default: hardware;
+//                                         1 = single-mutex baseline)
 //           [--help]
 //
 // SIGINT/SIGTERM trigger a graceful drain: in-flight compiles finish and
@@ -36,7 +38,7 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: emmapcd --socket=PATH [--jobs=N] [--cache-dir=PATH]\n"
-    "               [--cache-capacity=N] [--help]\n";
+    "               [--cache-capacity=N] [--cache-shards=N] [--help]\n";
 
 constexpr const char* kHelp =
     "emmapcd — the emmap compile-service daemon.\n"
@@ -56,6 +58,9 @@ constexpr const char* kHelp =
     "                         offline `emmapc --cache-dir` runs (created if\n"
     "                         missing).\n"
     "  --cache-capacity=N     in-memory result-tier capacity (default 1024).\n"
+    "  --cache-shards=N       in-memory cache shards (default: one per\n"
+    "                         hardware thread, rounded up to a power of two;\n"
+    "                         1 reproduces the single-mutex baseline).\n"
     "  --help                 this text.\n"
     "\n"
     "Send SIGINT or SIGTERM to drain gracefully: in-flight compiles finish,\n"
@@ -81,6 +86,7 @@ int run(cli::Args& args) {
   opts.jobs = static_cast<int>(args.integer("jobs", 0));
   opts.cacheDir = args.str("cache-dir");
   opts.cacheCapacity = static_cast<size_t>(args.integer("cache-capacity", 1024));
+  opts.cacheShards = static_cast<size_t>(args.integer("cache-shards", 0));
   if (!args.validate(kUsage)) return 2;
   if (opts.socketPath.empty()) {
     std::fputs(kUsage, stderr);
