@@ -1,52 +1,128 @@
-// Extension E3: double-buffering headroom.
+// Extension E3: the double-buffered DMA pipeline on the Cell-like target.
 //
-// The paper's generated code copies synchronously (move-in, barrier,
-// compute, barrier, move-out); Section 4.3 notes that overlap of
-// computation with loads/stores is poor when too few inner-level processes
-// run. This driver sweeps the machine model's copy/compute overlap factor
-// to bound what software pipelining of the scratchpad copies could add on
-// top of the paper's scheme.
+// The paper's generated code copies synchronously (move-in, fence, compute,
+// fence, move-out); Section 4.3 notes the overlap this leaves on the table.
+// This driver compiles ME for the Cell backend twice — synchronous and with
+// CompileOptions::doubleBuffer — checks the emitted artifacts structurally
+// (tag-rotated prefetch pipeline vs plain fences, plus the small-budget
+// fallback), and then costs both schedules with the machine model: the
+// pipelined schedule realizes the machine's copy/compute overlap while the
+// synchronous one forfeits it. Double-buffering halves the tile budget, so
+// the pipelined variant pays slightly more halo traffic for the transfer
+// time it hides.
 #include <cstdio>
-#include <vector>
+#include <string>
 
 #include "bench_util.h"
-#include "kernels/jacobi_mapped.h"
+#include "driver/compiler.h"
 #include "kernels/me_pipeline.h"
 
 using namespace emm;
 
+namespace {
+
+constexpr i64 kNi = 2048, kNj = 1024, kW = 16;
+constexpr i64 kLocalStore = 256 * 1024;
+
+CompileResult compileCellMe(bool doubleBuffer) {
+  Compiler c(buildMeBlock(kNi, kNj, kW));
+  c.parameters({kNi, kNj, kW})
+      .backend("cell")
+      .memoryLimitBytes(kLocalStore)
+      .innerProcs(4)
+      .tileCandidates({{16, 32, 64, 128}, {16, 32, 64, 128}, {16}, {16}});
+  c.opts().doubleBuffer = doubleBuffer;
+  return c.compile();
+}
+
+/// Forces the emitter's fallback: explicit tiles sized so one copy of the
+/// buffers fits the local store but the rotated pair does not.
+CompileResult compileOversizedDb() {
+  Compiler c(buildMeBlock(kNi, kNj, kW));
+  c.parameters({kNi, kNj, kW})
+      .backend("cell")
+      .memoryLimitBytes(kLocalStore)
+      .innerProcs(4)
+      .tileSizes({128, 128, 16, 16});
+  c.opts().doubleBuffer = true;
+  return c.compile();
+}
+
+bool has(const std::string& artifact, const char* marker) {
+  return artifact.find(marker) != std::string::npos;
+}
+
+/// Machine-model time of one schedule at the given overlap factor. The
+/// synchronous schedule cannot overlap, so it is always costed at 0.
+double scheduleMs(const CompileResult& r, double overlap) {
+  Machine m = Machine::cellLike();
+  m.copyComputeOverlap = overlap;
+  MeConfig c;
+  c.ni = kNi;
+  c.nj = kNj;
+  c.w = kW;
+  c.numBlocks = m.numSMs * 2;
+  c.numThreads = 1;  // one context per SPE
+  c.subTile = r.search.subTile;
+  KernelModel km = modelMe(c);
+  SimResult sim = simulateLaunch(m, km.launch, km.perBlock);
+  return sim.feasible ? sim.milliseconds : -1.0;
+}
+
+}  // namespace
+
 int main() {
-  bench::header("Extension E3: double-buffering (copy/compute overlap) headroom",
-                "software pipelining on top of the Section-3 copies");
+  bench::header("Extension E3: double-buffered DMA pipeline (Cell target)",
+                "software pipelining of the Section-3 copies, emitted for real");
 
-  std::printf("  overlap   ME 8M (ms)   Jacobi 256k (ms)\n");
-  for (double overlap : {0.0, 0.25, 0.5, 0.75, 0.95}) {
-    Machine m = Machine::geforce8800gtx();
-    m.copyComputeOverlap = overlap;
-
-    MeConfig me;
-    me.ni = 8192;
-    me.nj = 1024;
-    me.w = 16;
-    me.subTile = {32, 16, 16, 16};
-    KernelModel kme = modelMe(me);
-    SimResult rme = simulateLaunch(m, kme.launch, kme.perBlock);
-
-    JacobiConfig jc;
-    jc.n = 256 << 10;
-    jc.timeSteps = 4096;
-    jc.timeTile = 32;
-    jc.spaceTile = 256;
-    jc.numBlocks = 128;
-    jc.numThreads = 64;
-    KernelModelJacobi kj = jacobiMachineModel(jc);
-    SimResult rj = simulateLaunch(m, kj.launch, kj.perBlock);
-
-    std::printf("  %5.2f   %10.1f   %14.1f\n", overlap,
-                rme.feasible ? rme.milliseconds : -1.0, rj.feasible ? rj.milliseconds : -1.0);
+  CompileResult sync = compileCellMe(false);
+  CompileResult db = compileCellMe(true);
+  CompileResult tight = compileOversizedDb();
+  if (!sync.ok || !db.ok || !tight.ok) {
+    std::printf("  compile failed: %s%s%s\n", sync.firstError().c_str(),
+                db.firstError().c_str(), tight.firstError().c_str());
+    return 1;
   }
-  std::printf("\n  reading: the scratchpad versions are compute/scratchpad bound, so\n"
-              "  hiding copies buys a bounded improvement -- consistent with the paper\n"
-              "  treating synchronous copies as acceptable\n");
+
+  const bool pipelined = has(db.artifact, "software-pipelined") &&
+                         has(db.artifact, "double-buffered") &&
+                         has(db.artifact, "emm_db = 1 - emm_db");
+  const bool syncPlain = !has(sync.artifact, "emm_db") &&
+                         has(sync.artifact, "mfc_read_tag_status_all");
+  const bool fellBack = has(tight.artifact, "synchronous schedule emitted") &&
+                        !has(tight.artifact, "software-pipelined");
+  std::printf("  artifact checks: pipelined[%s]  synchronous[%s]  oversized-fallback[%s]\n",
+              pipelined ? "ok" : "FAIL", syncPlain ? "ok" : "FAIL", fellBack ? "ok" : "FAIL");
+  std::printf("  tiles: sync (%lld,%lld,%lld,%lld) full budget, pipelined "
+              "(%lld,%lld,%lld,%lld) half budget\n\n",
+              sync.search.subTile[0], sync.search.subTile[1], sync.search.subTile[2],
+              sync.search.subTile[3], db.search.subTile[0], db.search.subTile[1],
+              db.search.subTile[2], db.search.subTile[3]);
+
+  // Two baselines. "sync same-tile" is the schedule comparison proper: the
+  // emitter's fallback for this exact kernel (identical tiles and traffic,
+  // fences instead of prefetch), so the delta is purely the hidden DMA time.
+  // "sync full-tile" is the end-to-end compiler comparison: without
+  // doubleBuffer the search keeps the whole store, so its bigger tiles
+  // amortize halos better and the pipeline must out-hide that head start.
+  std::printf("  overlap   sync same-tile   pipelined   speedup   | sync full-tile   speedup\n");
+  bool wins = true;
+  const double tSyncSame = scheduleMs(db, 0.0);
+  const double tSyncFull = scheduleMs(sync, 0.0);
+  for (double overlap : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    const double tDb = scheduleMs(db, overlap);
+    std::printf("  %5.2f   %11.1f ms   %6.1f ms   %6.2fx   |    %8.1f ms   %6.2fx\n", overlap,
+                tSyncSame, tDb, tSyncSame / tDb, tSyncFull, tSyncFull / tDb);
+    if (overlap > 0.0 && tDb >= tSyncSame) wins = false;
+    if (overlap == 0.0 && tDb != tSyncSame) wins = false;
+  }
+  std::printf("\n  reading: the emitted pipeline prefetches tile i+1 on the opposite DMA\n"
+              "  tag while computing tile i, so any overlap the memory system offers\n"
+              "  turns into time; against the full-store synchronous tiles the halved\n"
+              "  budget costs halo traffic first, and overlap must repay it\n");
+  if (!(pipelined && syncPlain && fellBack && wins)) {
+    std::printf("  ** CHECK FAILED **\n");
+    return 1;
+  }
   return 0;
 }

@@ -38,6 +38,15 @@ struct CellEmitOptions {
   /// row-granularity transfer is both the realistic artifact and the fast
   /// one; disable only for the element-granularity ablation.
   bool coalesceDma = true;
+  /// Double-buffer the innermost move-in stage: the buffers staged there are
+  /// declared twice, the steady state prefetches iteration i+1 on the
+  /// opposite DMA tag while computing on iteration i, and in-loop fences
+  /// become per-tag waits. Requires the doubled footprint to fit
+  /// `localStoreBudgetBytes`; otherwise the emitter falls back to the
+  /// synchronous schedule and says so in a leading comment.
+  bool doubleBuffer = false;
+  i64 localStoreBudgetBytes = 256 * 1024;
+  i64 elementBytes = 4;  ///< sizeof(elementType), for the fit check
 };
 
 /// Renders the unit as an SPE kernel plus a PPU-side launch stub.

@@ -156,10 +156,20 @@ DiskPlanCache::DiskPlanCache(std::string dir, i64 maxBytes)
   // are invisible to the byte cap (everything below filters on .emmplan).
   // Racing a live writer's temp is possible but harmless: its rename
   // fails and that one insert is lost, which insert() already tolerates.
-  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec))
-    if (de.is_regular_file(ec) &&
-        de.path().filename().string().find(".emmplan.tmp.") != std::string::npos)
+  // Zero-length entries are reaped too: a crashing filesystem can truncate
+  // a renamed file, and an empty envelope can never decode — without the
+  // sweep it would sit in the directory rejecting its key forever.
+  for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec)) continue;
+    if (de.path().filename().string().find(".emmplan.tmp.") != std::string::npos) {
       removeQuietly(de.path());
+      continue;
+    }
+    std::error_code sec;
+    if ((de.path().extension() == ".emmplan" || de.path().extension() == ".emmfam") &&
+        de.file_size(sec) == 0 && !sec)
+      removeQuietly(de.path());
+  }
 }
 
 std::string DiskPlanCache::entryFileName(const PlanKey& key) {
@@ -287,6 +297,12 @@ void DiskPlanCache::evictLocked(const std::filesystem::path& justWritten) {
     // mid-iteration; skip it rather than folding the error value (-1) into
     // the total.
     if (sec || tec) continue;
+    // Zero-length garbage (see the constructor sweep) is reaped in passing,
+    // never counted against the cap or as an eviction of a real entry.
+    if (e.size == 0) {
+      removeQuietly(e.path);
+      continue;
+    }
     total += e.size;
     entries.push_back(std::move(e));
   }
@@ -337,7 +353,8 @@ DiskPlanCache::Stats DiskPlanCache::stats() const {
     if (!plan && !fam) continue;
     std::error_code sec;
     i64 size = static_cast<i64>(de.file_size(sec));
-    if (sec) continue;  // removed by a concurrent evictor: skip, not -1
+    if (sec) continue;       // removed by a concurrent evictor: skip, not -1
+    if (size == 0) continue;  // undecodable garbage, not an entry
     if (plan) {
       ++s.entries;
       s.bytes += size;

@@ -14,7 +14,9 @@ SmemOptions CompileOptions::smemOptions() const {
 
 TileSearchOptions CompileOptions::tileSearchOptions() const {
   TileSearchOptions t;
-  t.memLimitElems = memLimitBytes / elementBytes;
+  // Double-buffering rotates the move-in buffers, so tiles are certified
+  // against half the store; the Cell emitter re-checks the doubled total.
+  t.memLimitElems = (doubleBuffer ? memLimitBytes / 2 : memLimitBytes) / elementBytes;
   t.innerProcs = innerProcs;
   t.syncCost = syncCost;
   t.transferCost = transferCost;
@@ -40,6 +42,9 @@ CellEmitOptions CompileOptions::cellEmitOptions() const {
   c.numBoundParams = numBoundParams;
   c.kernelName = kernelName;
   c.elementType = elementType;
+  c.doubleBuffer = doubleBuffer;
+  c.localStoreBudgetBytes = memLimitBytes;
+  c.elementBytes = elementBytes;
   return c;
 }
 

@@ -76,6 +76,18 @@ struct CompileOptions {
   /// not parametrically analyzable).
   bool parametricTileAnalysis = true;
 
+  // ---- scratchpad layout (bank-conflict-aware packing) ----
+  /// Pack local buffers into a banked layout: bank-aligned base offsets and
+  /// innermost-dimension padding chosen so the padded row pitch is coprime
+  /// with the bank count (unit- and tile-strided warp accesses then hit
+  /// distinct banks). Padding never changes semantics, only allocation.
+  bool packBuffers = true;
+  /// Bank descriptor of the target scratchpad (gpusim::Machine mirrors
+  /// these). banks <= 1 disables conflict padding; packing still assigns
+  /// offsets.
+  i64 smemBanks = 16;
+  i64 smemBankWidthBytes = 4;
+
   // ---- codegen ----
   std::string backendName = "c";  ///< registered Backend to render with
   std::string kernelName = "emmap_kernel";
@@ -83,6 +95,14 @@ struct CompileOptions {
   /// Leading parameters bound at emission (CUDA extent folding);
   /// -1: all of paramValues (tile origins are never part of paramValues).
   int numBoundParams = -1;
+  /// Cell backend: emit the tag-rotated double-buffered DMA pipeline
+  /// (prologue / steady-state prefetch / epilogue drain). The tile search
+  /// and layout planner then certify tiles against HALF the scratchpad
+  /// budget, so the rotated (doubled) move-in buffers fit the full store;
+  /// the emitter re-checks the doubled footprint and falls back to the
+  /// synchronous schedule (with a diagnostic comment) when it still does
+  /// not fit.
+  bool doubleBuffer = false;
 
   // ---- derived per-stage views ----
   SmemOptions smemOptions() const;

@@ -69,6 +69,7 @@ PipelineProducts PipelineProducts::clone() const {
     out.blockPlan = blockPlan;
     out.blockPlan->block = remapBlock(blockPlan->block);
   }
+  out.bufferLayout = bufferLayout;  // SymExpr nodes are immutable and shared
   out.artifact = artifact;
   return out;
 }
@@ -341,6 +342,7 @@ public:
       s.note(name(), std::to_string(buffered) + "/" +
                          std::to_string(s.kernel->analysis.plan.partitions.size()) +
                          " partitions buffered in scratchpad");
+      planLayout(s, s.kernel->unit);
       return;
     }
     SmemOptions smem = s.options.smemOptions();
@@ -349,6 +351,7 @@ public:
       CodeUnit unit = buildScratchpadUnit(s.currentBlock(), smem, plan);
       s.scratchpadUnit = std::move(unit);
       s.blockPlan = std::move(plan);
+      planLayout(s, *s.scratchpadUnit);
     } else {
       // Pipeline-parallel fallback (or tiling skipped): analysis only; the
       // concurrent-start mapped kernels in src/kernels execute these bands.
@@ -360,6 +363,33 @@ public:
     s.note(name(), std::to_string(buffered) + "/" +
                        std::to_string(s.blockPlan->partitions.size()) +
                        " partitions buffered in scratchpad");
+  }
+
+private:
+  /// Packs the unit's buffers into the banked arena layout and writes the
+  /// chosen pads back into the unit, so every emitter and the interpreter
+  /// see the padded geometry. The layout itself is published as a product.
+  void planLayout(CompileState& s, CodeUnit& unit) {
+    if (!s.options.packBuffers || unit.localBuffers.empty()) return;
+    BufferLayoutOptions lo;
+    lo.bank.banks = s.options.smemBanks;
+    lo.bank.widthBytes = s.options.smemBankWidthBytes;
+    lo.elementBytes = s.options.elementBytes;
+    // Double-buffering halves the per-instance budget (tileSearchOptions
+    // applies the same split) so the rotated buffers fit the full store.
+    lo.memLimitBytes =
+        s.options.doubleBuffer ? s.options.memLimitBytes / 2 : s.options.memLimitBytes;
+    lo.paramValues = s.options.paramValues;
+    BufferLayout layout = planBufferLayout(unit, lo);
+    applyBufferLayout(unit, layout);
+    if (!layout.note.empty()) s.warn(name(), layout.note);
+    IntVec sample = s.options.paramValues;
+    sample.resize(unit.source->paramNames.size(), 0);
+    s.note(name(), "buffer layout: " + std::to_string(layout.buffers.size()) +
+                       " buffers packed into " + std::to_string(layout.totalBytes(sample)) +
+                       " bytes (" + std::to_string(layout.paddingBytes(sample)) +
+                       " pad bytes, " + std::to_string(layout.bank.banks) + " banks)");
+    s.bufferLayout.emplace(std::move(layout));
   }
 };
 

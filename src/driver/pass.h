@@ -17,6 +17,7 @@
 #include "driver/diagnostic.h"
 #include "driver/family_plan.h"
 #include "driver/options.h"
+#include "smem/buffer_layout.h"
 #include "tiling/multilevel.h"
 
 namespace emm {
@@ -63,6 +64,12 @@ struct PipelineProducts {
   /// Section-3 analysis of the (untiled) block, filled on paths where
   /// `kernel` is absent; the tiled path exposes kernel->analysis.plan.
   std::optional<DataPlan> blockPlan;
+
+  /// Packed banked layout of the unit's local buffers (smem pass output):
+  /// conflict pads, symbolic offsets and the padded-footprint formula.
+  /// Absent when the path produced no unit or packing is disabled. Rides
+  /// through serialization so warm/family tiers serve packed layouts.
+  std::optional<BufferLayout> bufferLayout;
 
   /// Rendered target source (codegen pass output).
   std::string artifact;

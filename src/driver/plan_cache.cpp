@@ -105,9 +105,23 @@ std::optional<CompileResult> PlanCache::lookup(const PlanKey& key) {
       return std::nullopt;
     }
     entry = it->second;
+    touchLocked(shard, key);
+  } else {
+    touchLockFree(shard, key);
   }
   shard.hits.fetch_add(1, std::memory_order_relaxed);
   return cloneHit(*entry);
+}
+
+void PlanCache::touchLocked(Shard& shard, const PlanKey& key) {
+  auto it = shard.lruPos.find(key);
+  if (it != shard.lruPos.end())
+    shard.lruOrder.splice(shard.lruOrder.end(), shard.lruOrder, it->second);
+}
+
+void PlanCache::touchLockFree(Shard& shard, const PlanKey& key) {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (lock.owns_lock()) touchLocked(shard, key);
 }
 
 void PlanCache::insert(const PlanKey& key, const CompileResult& result) {
@@ -121,14 +135,17 @@ void PlanCache::insertLocked(Shard& shard, const PlanKey& key,
                              std::shared_ptr<const CompileResult> snapshot) {
   auto [it, inserted] = shard.entries.emplace(key, snapshot);
   if (inserted) {
-    shard.insertionOrder.push_back(key);
+    shard.lruPos[key] = shard.lruOrder.insert(shard.lruOrder.end(), key);
     if (shard.entries.size() > shard.capacity) {
-      shard.entries.erase(shard.insertionOrder.front());
-      shard.insertionOrder.pop_front();
+      const PlanKey victim = shard.lruOrder.front();
+      shard.lruOrder.pop_front();
+      shard.lruPos.erase(victim);
+      shard.entries.erase(victim);
       shard.evictions.fetch_add(1, std::memory_order_relaxed);
     }
   } else {
-    it->second = std::move(snapshot);  // refresh in place; order unchanged
+    it->second = std::move(snapshot);  // refresh in place
+    touchLocked(shard, key);           // an overwrite counts as a use
   }
   // Publish the new epoch for the lock-free readers.
   shard.snapshot.store(std::make_shared<const ResultMap>(shard.entries),
@@ -157,6 +174,7 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
     auto it = snap->find(key);
     if (it != snap->end()) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
+      touchLockFree(shard, key);
       return cloneHit(*it->second);
     }
   }
@@ -167,6 +185,7 @@ CompileResult PlanCache::getOrCompute(const PlanKey& key,
       auto it = shard.entries.find(key);
       if (it != shard.entries.end()) {
         shard.hits.fetch_add(1, std::memory_order_relaxed);
+        touchLocked(shard, key);
         std::shared_ptr<const CompileResult> entry = it->second;
         lock.unlock();
         return cloneHit(*entry);
@@ -287,7 +306,8 @@ void PlanCache::clear() {
   for (size_t i = 0; i < shardCount_; ++i) {
     Shard& shard = shards_[i];
     shard.entries.clear();
-    shard.insertionOrder.clear();
+    shard.lruOrder.clear();
+    shard.lruPos.clear();
     shard.families.clear();
     shard.familyOrder.clear();
     shard.snapshot.store(std::make_shared<const ResultMap>(), std::memory_order_release);

@@ -21,10 +21,15 @@
 // The cache is therefore split into N shards (N = next power of two of the
 // hardware concurrency by default, clamped so every shard owns at least one
 // entry of capacity), selected by a mixed fingerprint of the key. Each
-// shard has its own mutex, insertion-order eviction list, in-flight map and
-// counters, so requests for different shards never contend. Capacity is
-// split across the shards (shard i gets capacity/N, the remainder
-// distributed one each), and eviction is per shard. A single-shard cache
+// shard has its own mutex, LRU recency list, in-flight map and counters,
+// so requests for different shards never contend. Capacity is split across
+// the shards (shard i gets capacity/N, the remainder distributed one
+// each), and eviction is per shard: the shard's least recently USED entry
+// goes, not its oldest insert. Hits re-touch their entry — under the shard
+// mutex when the lookup already holds it, and via try_lock from the
+// lock-free snapshot path, so a warm hit never blocks on a writer (a
+// skipped touch under contention makes the recency order approximate;
+// with `shards = 1` and no concurrency it is exact). A single-shard cache
 // (`shards = 1`) reproduces the old global single-mutex behavior exactly —
 // tests that need deterministic global eviction order and benchmark
 // baselines use it.
@@ -123,7 +128,8 @@ public:
   std::optional<CompileResult> lookup(const PlanKey& key);
 
   /// Stores a snapshot of `result` under `key`, overwriting any previous
-  /// entry and evicting the shard's oldest entry when over its capacity.
+  /// entry and evicting the shard's least recently used entry when over
+  /// its capacity. Both a fresh insert and an overwrite count as a use.
   void insert(const PlanKey& key, const CompileResult& result);
 
   /// Single-flight lookup-or-compute. Returns a cached result (hit), or —
@@ -185,7 +191,12 @@ private:
     // Authoritative state; every access under `mutex`.
     ResultMap entries;
     std::map<PlanKey, std::shared_ptr<InFlight>> inflight;
-    std::list<PlanKey> insertionOrder;
+    // LRU recency order (front = coldest) with O(1) re-touch via the
+    // iterator map; hits splice their key to the back.
+    std::list<PlanKey> lruOrder;
+    std::map<PlanKey, std::list<PlanKey>::iterator> lruPos;
+    // The family tier stays insertion-ordered: a family is built once and
+    // hit from the snapshot for its whole life, so recency == liveness.
     FamilyMap families;
     std::list<FamilyKey> familyOrder;
     // Epoch-published immutable copies for the lock-free warm path;
@@ -207,6 +218,12 @@ private:
   /// Inserts a pre-cloned snapshot and republishes; requires shard mutex.
   void insertLocked(Shard& shard, const PlanKey& key,
                     std::shared_ptr<const CompileResult> snapshot);
+  /// Splices `key` to the hot end of the shard's LRU list; requires shard
+  /// mutex. No-op for a key that was evicted in the meantime.
+  static void touchLocked(Shard& shard, const PlanKey& key);
+  /// Best-effort touch from the lock-free hit path: try_lock, skip on
+  /// contention (an approximate recency order beats blocking a warm hit).
+  static void touchLockFree(Shard& shard, const PlanKey& key);
   /// Publishes the leader's outcome, stores it when non-null, erases the
   /// in-flight entry and wakes the shard's followers.
   void finishFlight(Shard& shard, const PlanKey& key, const std::shared_ptr<InFlight>& flight,

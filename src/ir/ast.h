@@ -130,6 +130,20 @@ struct LocalBuffer {
   int ndim = 0;
   std::vector<AffExpr> offset;       ///< one per dim; global index - offset = local index
   std::vector<BoundExpr> sizeExpr;   ///< one per dim; evaluates to extent
+  /// Bank-conflict padding: extra elements allocated per dimension beyond
+  /// the logical extent (src/smem/buffer_layout.h chooses them so the padded
+  /// innermost pitch is coprime with the scratchpad bank count). Empty means
+  /// no padding. Padding widens allocation strides only — logical indices
+  /// and therefore semantics are unchanged, which is why the interpreter
+  /// oracle certifies padded and unpadded units byte-identical.
+  std::vector<i64> pad;
+
+  /// Allocated extent of dimension d at `env`: logical extent plus padding.
+  i64 paddedExtent(int d, const std::vector<std::pair<std::string, i64>>& env) const {
+    i64 extent = sizeExpr[d].eval(env);
+    if (d < static_cast<int>(pad.size())) extent = addChecked(extent, pad[d]);
+    return extent;
+  }
 };
 
 /// A compilable unit: AST plus the statement table it references (possibly

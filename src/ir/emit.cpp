@@ -140,7 +140,11 @@ std::string emitC(const CodeUnit& unit) {
   std::ostringstream os;
   for (const LocalBuffer& b : unit.localBuffers) {
     os << "/* local buffer */ double " << b.name;
-    for (int d = 0; d < b.ndim; ++d) os << "[" << b.sizeExpr[d].str() << "]";
+    for (int d = 0; d < b.ndim; ++d) {
+      os << "[" << b.sizeExpr[d].str();
+      if (d < static_cast<int>(b.pad.size()) && b.pad[d] != 0) os << " + " << b.pad[d];
+      os << "]";
+    }
     os << ";  /* offset:";
     for (int d = 0; d < b.ndim; ++d) os << " " << b.offset[d].str();
     os << " */\n";

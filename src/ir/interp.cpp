@@ -20,8 +20,11 @@ namespace {
 using Env = std::vector<std::pair<std::string, i64>>;
 
 /// A local scratchpad buffer instantiated at concrete parameter values.
+/// Bounds checks use the LOGICAL extents; flattening strides by the padded
+/// (allocated) extents, exactly as the emitted array declarations do.
 struct LocalInstance {
-  std::vector<i64> extents;
+  std::vector<i64> extents;        ///< logical, for the bounds check
+  std::vector<i64> paddedExtents;  ///< allocated, the flattening strides
   std::vector<double> data;
 
   size_t flatten(const IntVec& index, const std::string& name) const {
@@ -32,7 +35,7 @@ struct LocalInstance {
                 "local buffer '" + name + "' index out of bounds in dim " + std::to_string(k) +
                     ": " + std::to_string(index[k]) + " not in [0," +
                     std::to_string(extents[k]) + ")");
-      flat = flat * static_cast<size_t>(extents[k]) + static_cast<size_t>(index[k]);
+      flat = flat * static_cast<size_t>(paddedExtents[k]) + static_cast<size_t>(index[k]);
     }
     return flat;
   }
@@ -70,9 +73,10 @@ private:
         i64 extent = b.sizeExpr[d].eval(env_);
         EMM_CHECK(extent >= 0, "negative local buffer extent for " + b.name);
         li.extents.push_back(extent);
+        li.paddedExtents.push_back(b.paddedExtent(d, env_));
       }
       i64 n = 1;
-      for (i64 e : li.extents) n = mulChecked(n, e);
+      for (i64 e : li.paddedExtents) n = mulChecked(n, e);
       li.data.assign(static_cast<size_t>(n), 0.0);
       locals_.push_back(std::move(li));
     }

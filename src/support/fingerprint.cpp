@@ -149,10 +149,14 @@ u64 hashCompileOptions(const CompileOptions& o) {
   h.mix(o.transferCost);
   h.mix(o.tileCandidates);
   h.mix(o.parametricTileAnalysis);
+  h.mix(o.packBuffers);
+  h.mix(o.smemBanks);
+  h.mix(o.smemBankWidthBytes);
   h.mix(o.backendName);
   h.mix(o.kernelName);
   h.mix(o.elementType);
   h.mix(o.numBoundParams);
+  h.mix(o.doubleBuffer);
   return h.digest();
 }
 

@@ -69,6 +69,8 @@ enum : unsigned char {
   kTagSizeBinding,
   kTagParametricPlan,
   kTagFamilyPlan,
+  kTagBufferLayoutEntry,
+  kTagBufferLayout,
   kTagList = 0xA0,
 };
 
@@ -77,7 +79,7 @@ enum : unsigned char {
 // a serializer below must be mirrored here — that edit is what retires
 // stale .emmplan files (see docs/PLAN_FORMAT.md for the policy).
 constexpr const char* kSchemaManifest =
-    "emmplan-schema v2;"
+    "emmplan-schema v3;"
     "IntMat{rows,cols,data[i64]};"
     "Polyhedron{dim,nparam,eqs:IntMat,ineqs:IntMat,empty:bool};"
     "DivExpr{coeffs[i64],den};"
@@ -92,7 +94,7 @@ constexpr const char* kSchemaManifest =
     "AstNode{kind,children[],iter,lb,ub,step,loopKind,guards[AffExpr],"
     "stmtId,callArgs[AffExpr],dstArray,srcArray,dstIndex[AffExpr],"
     "srcIndex[AffExpr],text};"
-    "LocalBuffer{name,ndim,offset[AffExpr],sizeExpr[BoundExpr]};"
+    "LocalBuffer{name,ndim,offset[AffExpr],sizeExpr[BoundExpr],pad[i64]};"
     "CodeUnit{name,statements[],localBuffers[],root?:AstNode};"
     "Dependence{srcStmt,dstStmt,srcAccess,dstAccess,kind,poly,srcDim,dstDim};"
     "LoopDepSummary{loop,sign};"
@@ -117,17 +119,22 @@ constexpr const char* kSchemaManifest =
     "spaceLoopRange[(BoundExpr,BoundExpr)]};"
     "Diagnostic{severity,stage,message};"
     "PassTiming{pass,millis:f64,ran,skipped};"
+    "BufferLayoutEntry{name,extent[SymExpr],rowPadElems,offsetElems:SymExpr,"
+    "footprintElems:SymExpr};"
+    "BufferLayout{banks,bankWidthBytes,elementBytes,padded,note,buffers[],"
+    "totalElems?:SymExpr};"
     "PipelineProducts{input?:ProgramBlock,transformed?:ProgramBlock,deps[],"
     "haveDeps,plan,havePlan,appliedSkews[(int,int,i64)],search,"
     "geometryHints[],kernel?:TiledKernel,scratchpadUnit?:(srcRef,CodeUnit),"
-    "blockPlan?:(blockRef,DataPlan),artifact};"
+    "blockPlan?:(blockRef,DataPlan),bufferLayout?:BufferLayout,artifact};"
     "CompileResult{products,ok,diagnostics[],timings[]};"
     "CompileOptions{paramValues[i64],mode,delta:f64,partitionMode,"
     "stageEverything,optimizeCopySets,subTile[i64],blockTile[i64],"
     "threadTile[i64],hoistCopies,useScratchpad,searchMode,memLimitBytes,"
     "elementBytes,innerProcs,syncCost:f64,transferCost:f64,"
-    "tileCandidates[[i64]],parametricTileAnalysis,backendName,kernelName,"
-    "elementType,numBoundParams};"
+    "tileCandidates[[i64]],parametricTileAnalysis,packBuffers,smemBanks,"
+    "smemBankWidthBytes,backendName,kernelName,elementType,numBoundParams,"
+    "doubleBuffer};"
     "SymExpr{kind,cval|paramIdx+name|lhs,rhs};"
     "PairPredicate{always,never,cond:Polyhedron};"
     "RefFormula{stmt,access,isWrite,ctxBox[(SymExpr,SymExpr)],"
@@ -543,6 +550,7 @@ void writeLocalBuffer(ByteWriter& w, const LocalBuffer& b) {
   w.intv(b.ndim);
   writeAffExprVec(w, b.offset);
   writeList(w, b.sizeExpr, [](ByteWriter& ww, const BoundExpr& e) { writeBoundExpr(ww, e); });
+  writeI64Vec(w, b.pad);
 }
 
 LocalBuffer readLocalBuffer(ByteReader& r) {
@@ -552,6 +560,7 @@ LocalBuffer readLocalBuffer(ByteReader& r) {
   b.ndim = r.intv();
   b.offset = readAffExprVec(r);
   b.sizeExpr = readList<BoundExpr>(r, [](ByteReader& rr) { return readBoundExpr(rr); });
+  b.pad = readI64Vec(r);
   return b;
 }
 
@@ -966,6 +975,58 @@ const ProgramBlock* resolveBlockRef(const PipelineProducts& p, unsigned char ref
   }
 }
 
+// SymExpr codec (defined with the parametric-plan codecs below; the buffer
+// layout reuses it for its extent/offset/footprint formulas).
+void writeSymExpr(ByteWriter& w, const SymPtr& e);
+SymPtr readSymExpr(ByteReader& r, int depth);
+
+void writeBufferLayoutEntry(ByteWriter& w, const BufferLayoutEntry& e) {
+  w.u8(kTagBufferLayoutEntry);
+  w.str(e.name);
+  writeList(w, e.extent, [](ByteWriter& ww, const SymPtr& s) { writeSymExpr(ww, s); });
+  w.i64v(e.rowPadElems);
+  writeSymExpr(w, e.offsetElems);
+  writeSymExpr(w, e.footprintElems);
+}
+
+BufferLayoutEntry readBufferLayoutEntry(ByteReader& r) {
+  expectTag(r, kTagBufferLayoutEntry, "BufferLayoutEntry");
+  BufferLayoutEntry e;
+  e.name = r.str();
+  e.extent = readList<SymPtr>(r, [](ByteReader& rr) { return readSymExpr(rr, 0); });
+  e.rowPadElems = r.i64v();
+  e.offsetElems = readSymExpr(r, 0);
+  e.footprintElems = readSymExpr(r, 0);
+  return e;
+}
+
+void writeBufferLayout(ByteWriter& w, const BufferLayout& l) {
+  w.u8(kTagBufferLayout);
+  w.i64v(l.bank.banks);
+  w.i64v(l.bank.widthBytes);
+  w.i64v(l.elementBytes);
+  w.boolean(l.padded);
+  w.str(l.note);
+  writeList(w, l.buffers,
+            [](ByteWriter& ww, const BufferLayoutEntry& e) { writeBufferLayoutEntry(ww, e); });
+  w.boolean(l.totalElems != nullptr);
+  if (l.totalElems) writeSymExpr(w, l.totalElems);
+}
+
+BufferLayout readBufferLayout(ByteReader& r) {
+  expectTag(r, kTagBufferLayout, "BufferLayout");
+  BufferLayout l;
+  l.bank.banks = r.i64v();
+  l.bank.widthBytes = r.i64v();
+  l.elementBytes = r.i64v();
+  l.padded = r.boolean();
+  l.note = r.str();
+  l.buffers =
+      readList<BufferLayoutEntry>(r, [](ByteReader& rr) { return readBufferLayoutEntry(rr); });
+  if (r.boolean()) l.totalElems = readSymExpr(r, 0);
+  return l;
+}
+
 void writeProducts(ByteWriter& w, const PipelineProducts& p) {
   w.u8(kTagPipelineProducts);
   w.boolean(p.input != nullptr);
@@ -998,6 +1059,8 @@ void writeProducts(ByteWriter& w, const PipelineProducts& p) {
     w.u8(blockRefOf(p, p.blockPlan->block));
     writeDataPlan(w, *p.blockPlan);
   }
+  w.boolean(p.bufferLayout.has_value());
+  if (p.bufferLayout) writeBufferLayout(w, *p.bufferLayout);
   w.str(p.artifact);
 }
 
@@ -1030,6 +1093,7 @@ PipelineProducts readProducts(ByteReader& r) {
     unsigned char blockRef = r.u8();
     p.blockPlan.emplace(readDataPlan(r, resolveBlockRef(p, blockRef)));
   }
+  if (r.boolean()) p.bufferLayout.emplace(readBufferLayout(r));
   p.artifact = r.str();
   return p;
 }
@@ -1346,10 +1410,14 @@ std::string serializeCompileOptions(const CompileOptions& o) {
   w.u64v(o.tileCandidates.size());
   for (const std::vector<i64>& v : o.tileCandidates) writeI64Vec(w, v);
   w.boolean(o.parametricTileAnalysis);
+  w.boolean(o.packBuffers);
+  w.i64v(o.smemBanks);
+  w.i64v(o.smemBankWidthBytes);
   w.str(o.backendName);
   w.str(o.kernelName);
   w.str(o.elementType);
   w.intv(o.numBoundParams);
+  w.boolean(o.doubleBuffer);
   return w.take();
 }
 
@@ -1393,10 +1461,14 @@ CompileOptions deserializeCompileOptions(std::string_view bytes) {
   u64 pools = r.count();
   for (u64 i = 0; i < pools; ++i) o.tileCandidates.push_back(readI64Vec(r));
   o.parametricTileAnalysis = r.boolean();
+  o.packBuffers = r.boolean();
+  o.smemBanks = r.i64v();
+  o.smemBankWidthBytes = r.i64v();
   o.backendName = r.str();
   o.kernelName = r.str();
   o.elementType = r.str();
   o.numBoundParams = r.intv();
+  o.doubleBuffer = r.boolean();
   r.expectEnd();
   return o;
 }

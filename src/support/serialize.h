@@ -53,8 +53,10 @@ public:
 /// Container format version (the .emmplan / .emmfam envelope). Bump on
 /// framing changes; readers reject any other value. v2 added the
 /// kernel-family records (.emmfam) and the family/pruning fields of the
-/// tile-search result (see docs/PLAN_FORMAT.md).
-inline constexpr u32 kPlanFormatVersion = 2;
+/// tile-search result; v3 added banked buffer layouts (LocalBuffer padding,
+/// the BufferLayout product, and the packing/banking compile options) —
+/// see docs/PLAN_FORMAT.md.
+inline constexpr u32 kPlanFormatVersion = 3;
 
 /// Digest of the serialization schema compiled into this binary (the
 /// manifest string in serialize.cpp). Two binaries agree on this value iff

@@ -317,6 +317,36 @@ TEST(DiskCache, OrphanedTempFilesAreSweptOnOpen) {
   EXPECT_EQ(disk.stats().entries, 0);
 }
 
+TEST(DiskCache, ZeroLengthEntriesAreSweptOnOpenAndIgnoredByStats) {
+  TempCacheDir dir;
+  fs::create_directories(dir.path);
+  // A crash after rename but before the data blocks hit disk leaves a
+  // zero-length entry; it can never decode, so the constructor reaps it.
+  const fs::path empty = dir.path / "00000000deadbeef.emmplan";
+  const fs::path emptyFam = dir.path / "00000000deadbeef.emmfam";
+  std::ofstream(empty).flush();
+  std::ofstream(emptyFam).flush();
+  ASSERT_TRUE(fs::exists(empty));
+  {
+    DiskPlanCache disk(dir.str());
+    EXPECT_FALSE(fs::exists(empty));
+    EXPECT_FALSE(fs::exists(emptyFam));
+    EXPECT_EQ(disk.stats().entries, 0);
+    EXPECT_EQ(disk.stats().familyEntries, 0);
+  }
+  // Planted while the cache is live (simulating a crashed sibling process):
+  // invisible to stats, and a real compile alongside it stays usable.
+  Compiler warm = meCompiler();
+  warm.diskCache(dir.str());
+  ASSERT_TRUE(warm.compile().ok);
+  std::ofstream(dir.path / "00000000feedface.emmplan").flush();
+  DiskPlanCache::Stats s = warm.diskPlanCache()->stats();
+  EXPECT_EQ(s.entries, 1);  // the planted empty file is not an entry
+  Compiler again = meCompiler();
+  again.diskCache(dir.str());
+  EXPECT_TRUE(again.compile().diskHit);
+}
+
 // ---- Eviction. ----
 
 TEST(DiskCache, LruEvictionKeepsTheCacheUnderTheByteCap) {

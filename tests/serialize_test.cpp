@@ -211,6 +211,58 @@ TEST(PlanRoundTrip, DeserializedUnitExecutesIdentically) {
   EXPECT_EQ(ArrayStore::maxAbsDiff(storeA, storeB), 0.0);
 }
 
+TEST(PlanRoundTrip, BufferLayoutSurvivesWithPadsAndFormulas) {
+  // packBuffers defaults on, so the cuda ME plan carries a BufferLayout
+  // with nonzero pads; the byte-identity oracle above already covers it,
+  // but these checks localize a layout-codec failure to the field.
+  CompileResult r = compileKernel("me", "cuda");
+  ASSERT_TRUE(r.ok) << r.firstError();
+  ASSERT_TRUE(r.bufferLayout.has_value());
+  CompileResult back = deserializeCompileResult(serializeCompileResult(r));
+  ASSERT_TRUE(back.bufferLayout.has_value());
+  const BufferLayout& a = *r.bufferLayout;
+  const BufferLayout& b = *back.bufferLayout;
+  EXPECT_EQ(b.padded, a.padded);
+  EXPECT_EQ(b.note, a.note);
+  EXPECT_EQ(b.bank.banks, a.bank.banks);
+  EXPECT_EQ(b.bank.widthBytes, a.bank.widthBytes);
+  EXPECT_EQ(b.elementBytes, a.elementBytes);
+  ASSERT_EQ(b.buffers.size(), a.buffers.size());
+  IntVec sample(r.unit()->source->paramNames.size(), 0);
+  sample[0] = 64;
+  sample[1] = 64;
+  sample[2] = 8;
+  for (size_t i = 0; i < a.buffers.size(); ++i) {
+    SCOPED_TRACE(a.buffers[i].name);
+    EXPECT_EQ(b.buffers[i].name, a.buffers[i].name);
+    EXPECT_EQ(b.buffers[i].rowPadElems, a.buffers[i].rowPadElems);
+    // The symbolic formulas evaluate identically after the round trip.
+    EXPECT_EQ(b.buffers[i].offsetElems->eval(sample), a.buffers[i].offsetElems->eval(sample));
+    EXPECT_EQ(b.buffers[i].footprintElems->eval(sample),
+              a.buffers[i].footprintElems->eval(sample));
+  }
+  EXPECT_EQ(b.totalElems->eval(sample), a.totalElems->eval(sample));
+  // The pads reach the deserialized unit's LocalBuffers too (the layout is
+  // applied, not just carried).
+  ASSERT_EQ(back.unit()->localBuffers.size(), r.unit()->localBuffers.size());
+  for (size_t i = 0; i < r.unit()->localBuffers.size(); ++i)
+    EXPECT_EQ(back.unit()->localBuffers[i].pad, r.unit()->localBuffers[i].pad);
+}
+
+TEST(PlanDecode, TruncationAnywhereInsideTheLayoutThrowsCleanly) {
+  // Dense truncation sweep over the whole payload (every 7th byte, plus
+  // the exact tail) — the BufferLayout codec sits mid-stream, so this
+  // drags the cut point through every one of its fields.
+  const std::string bytes = serializeCompileResult(compileKernel("me", "cuda"));
+  for (size_t keep = 1; keep < bytes.size(); keep += 7) {
+    EXPECT_THROW(deserializeCompileResult(std::string_view(bytes).substr(0, keep)),
+                 SerializeError)
+        << "at " << keep;
+  }
+  EXPECT_THROW(deserializeCompileResult(std::string_view(bytes).substr(0, bytes.size() - 1)),
+               SerializeError);
+}
+
 TEST(PlanRoundTrip, FailedResultsRoundTripToo) {
   // An infeasible memory budget fails in tilesearch; the diagnostics-only
   // result must survive (the disk cache never stores these, but the codec

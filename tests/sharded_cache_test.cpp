@@ -74,6 +74,41 @@ TEST(ShardedCache, ShardCountIsPow2AndClampedToCapacity) {
   EXPECT_EQ(n & (n - 1), 0u);
 }
 
+TEST(ShardedCache, EvictionIsLeastRecentlyUsedNotOldestInsert) {
+  // Single shard, capacity 3, deterministic recency order: hits re-touch,
+  // so the victim is the coldest entry, not the oldest insert.
+  PlanCache cache(3, 1);
+  const PlanKey a = keyAt(0), b = keyAt(1), c = keyAt(2), d = keyAt(3);
+  cache.insert(a, syntheticResult(0));
+  cache.insert(b, syntheticResult(1));
+  cache.insert(c, syntheticResult(2));
+  // Touch a (the oldest insert): recency order becomes b, c, a.
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  cache.insert(d, syntheticResult(3));
+  // b — the least recently used — went; a survived its age.
+  EXPECT_FALSE(cache.lookup(b).has_value());
+  EXPECT_TRUE(cache.lookup(a).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+  EXPECT_TRUE(cache.lookup(d).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  // An overwrite counts as a use too: re-inserting c makes a the victim.
+  cache.insert(c, syntheticResult(20));
+  cache.insert(a, syntheticResult(10));  // order now d, c, a
+  cache.insert(b, syntheticResult(11));
+  EXPECT_FALSE(cache.lookup(d).has_value());
+  EXPECT_TRUE(cache.lookup(c).has_value());
+
+  // getOrCompute hits re-touch as well: touch c, then push two new keys —
+  // the untouched a and b go first while c outlives both.
+  (void)cache.getOrCompute(c, [] { return syntheticResult(99); });
+  cache.insert(keyAt(4), syntheticResult(4));
+  cache.insert(keyAt(5), syntheticResult(5));
+  EXPECT_TRUE(cache.lookup(c).has_value());
+  EXPECT_FALSE(cache.lookup(a).has_value());
+  EXPECT_FALSE(cache.lookup(b).has_value());
+}
+
 TEST(ShardedCache, EvictionIsPerShardNotGlobal) {
   // Capacity 8 over 4 shards: each shard owns exactly 2 entries.
   PlanCache cache(8, 4);

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Soft throughput diff for the service stress harness.
+
+Compares the JSON lines of a fresh `bench_svc_stress --quick` run against
+the checked-in baseline (bench/baselines/svc_stress.json, same JSON-lines
+format with the leading "JSON " prefix stripped). Configs are matched on
+(mode, shards, dist, threads) and their ops_per_sec compared.
+
+This is a SOFT gate: CI machines differ wildly in speed and noise, so the
+script always exits 0 — it prints `WARN` lines for configs that fall below
+the warn ratio (default 0.5x baseline) and a summary table, and the CI step
+records both as a workflow artifact. A hard regression shows up as a wall
+of WARNs in the PR's logs, not a red build that flakes on a slow runner.
+
+Usage: diff_stress_baseline.py BASELINE CURRENT [--warn-ratio=0.5]
+CURRENT may be the raw bench output; lines not starting with "JSON {" or
+"{" are ignored.
+"""
+
+import json
+import sys
+
+
+def load_lines(path):
+    runs = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("JSON "):
+                line = line[len("JSON "):]
+            if not line.startswith("{"):
+                continue
+            rec = json.loads(line)
+            key = (rec.get("mode"), rec.get("shards"), rec.get("dist"), rec.get("threads"))
+            runs[key] = rec
+    return runs
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 0
+    warn_ratio = 0.5
+    for arg in argv[3:]:
+        if arg.startswith("--warn-ratio="):
+            warn_ratio = float(arg.split("=", 1)[1])
+    baseline = load_lines(argv[1])
+    current = load_lines(argv[2])
+
+    warns = 0
+    print(f"{'config':<34} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for key in sorted(baseline, key=str):
+        name = "mode={} shards={} dist={} thr={}".format(*key)
+        if key not in current:
+            print(f"{name:<34} {'-':>12} {'MISSING':>12}")
+            warns += 1
+            print(f"WARN {name}: config missing from current run")
+            continue
+        base = baseline[key].get("ops_per_sec", 0)
+        cur = current[key].get("ops_per_sec", 0)
+        ratio = cur / base if base else float("inf")
+        print(f"{name:<34} {base:>12.0f} {cur:>12.0f} {ratio:>6.2f}x")
+        if base and ratio < warn_ratio:
+            warns += 1
+            print(f"WARN {name}: throughput {cur:.0f} < {warn_ratio}x baseline {base:.0f}")
+    for key in sorted(set(current) - set(baseline), key=str):
+        print("note: config {} not in baseline (new?)".format(key))
+    print(f"{warns} warning(s); soft gate, exiting 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

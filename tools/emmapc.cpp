@@ -37,7 +37,9 @@
 #include "driver/compiler.h"
 #include "driver/disk_cache.h"
 #include "driver/plan_cache.h"
+#include "gpusim/bank_conflicts.h"
 #include "ir/interp.h"
+#include "smem/buffer_layout.h"
 #include "kernels/blocks.h"
 #include "service/client.h"
 #include "support/cli.h"
@@ -221,6 +223,29 @@ void printStats(const CompileResult& r, const IntVec& params) {
   std::printf("local reads/writes  : %lld / %lld\n", t.localReads, t.localWrites);
   std::printf("copies / syncs      : %lld / %lld\n", t.copyElements, t.syncs);
   std::printf("footprint per block : %lld elems\n", r.kernel->footprintPerBlock(params));
+  if (r.bufferLayout.has_value()) {
+    const BufferLayout& lo = *r.bufferLayout;
+    i64 rawBytes = 0;
+    for (const BufferLayoutEntry& e : lo.buffers) {
+      i64 elems = e.extent.empty() ? 0 : 1;
+      for (const SymPtr& s : e.extent) elems = mulChecked(elems, std::max<i64>(0, s->eval(ext)));
+      rawBytes = addChecked(rawBytes, elems);
+    }
+    rawBytes = mulChecked(rawBytes, lo.elementBytes);
+    BankConflictOptions bc;
+    bc.banks = static_cast<int>(lo.bank.banks);
+    bc.bankWidthBytes = lo.bank.widthBytes;
+    bc.elementBytes = lo.elementBytes;
+    const BankConflictStats cs = countBankConflicts(*r.unit(), ext, bc);
+    std::printf("buffer layout       : %s%s%s\n",
+                lo.padded ? "packed (conflict-padded rows)" : "unpadded",
+                lo.note.empty() ? "" : " -- ", lo.note.c_str());
+    std::printf("  padding overhead  : %lld bytes (%lld padded vs %lld raw)\n",
+                lo.paddingBytes(ext), lo.totalBytes(ext), rawBytes);
+    std::printf("  conflict estimate : %.1f%% of scratchpad access cycles serialized "
+                "(%lld banks x %lld-byte words)\n",
+                100.0 * cs.serializedFraction(), lo.bank.banks, lo.bank.widthBytes);
+  }
   std::printf("pipeline timing     :");
   for (const PassTiming& pt : r.timings)
     if (pt.ran) std::printf(" %s %.2fms", pt.pass.c_str(), pt.millis);
