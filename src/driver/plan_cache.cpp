@@ -124,6 +124,17 @@ void PlanCache::touchLockFree(Shard& shard, const PlanKey& key) {
   if (lock.owns_lock()) touchLocked(shard, key);
 }
 
+void PlanCache::touchFamilyLocked(Shard& shard, const FamilyKey& key) {
+  auto it = shard.familyPos.find(key);
+  if (it != shard.familyPos.end())
+    shard.familyOrder.splice(shard.familyOrder.end(), shard.familyOrder, it->second);
+}
+
+void PlanCache::touchFamilyLockFree(Shard& shard, const FamilyKey& key) {
+  std::unique_lock<std::mutex> lock(shard.mutex, std::try_to_lock);
+  if (lock.owns_lock()) touchFamilyLocked(shard, key);
+}
+
 void PlanCache::insert(const PlanKey& key, const CompileResult& result) {
   auto snapshot = std::make_shared<const CompileResult>(result.clone());
   Shard& shard = shardFor(key);
@@ -235,7 +246,12 @@ std::shared_ptr<const FamilyPlan> PlanCache::lookupFamily(const FamilyKey& key,
         return nullptr;
       }
       shard.familyHits.fetch_add(1, std::memory_order_relaxed);
-      return it->second.plan;
+      // Re-touch on the snapshot fast path too (best effort, try_lock):
+      // without this a hot family never moves off the cold end and can be
+      // evicted under insert pressure despite serving every lookup.
+      std::shared_ptr<const FamilyPlan> plan = it->second.plan;
+      touchFamilyLockFree(shard, key);
+      return plan;
     }
   }
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -245,6 +261,7 @@ std::shared_ptr<const FamilyPlan> PlanCache::lookupFamily(const FamilyKey& key,
     return nullptr;
   }
   shard.familyHits.fetch_add(1, std::memory_order_relaxed);
+  touchFamilyLocked(shard, key);
   return it->second.plan;
 }
 
@@ -255,10 +272,12 @@ void PlanCache::insertFamily(const FamilyKey& key, u64 collisionDigest,
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto [it, inserted] = shard.families.emplace(key, FamilyEntry{collisionDigest, std::move(plan)});
   if (!inserted) return;  // first writer wins; families are built once
-  shard.familyOrder.push_back(key);
+  shard.familyPos[key] = shard.familyOrder.insert(shard.familyOrder.end(), key);
   if (shard.families.size() > shard.capacity) {
-    shard.families.erase(shard.familyOrder.front());
+    const FamilyKey victim = shard.familyOrder.front();
     shard.familyOrder.pop_front();
+    shard.familyPos.erase(victim);
+    shard.families.erase(victim);
     shard.familyEvictions.fetch_add(1, std::memory_order_relaxed);
   }
   shard.familySnapshot.store(std::make_shared<const FamilyMap>(shard.families),
@@ -310,6 +329,7 @@ void PlanCache::clear() {
     shard.lruPos.clear();
     shard.families.clear();
     shard.familyOrder.clear();
+    shard.familyPos.clear();
     shard.snapshot.store(std::make_shared<const ResultMap>(), std::memory_order_release);
     shard.familySnapshot.store(std::make_shared<const FamilyMap>(), std::memory_order_release);
     shard.hits.store(0, std::memory_order_relaxed);

@@ -150,7 +150,8 @@ public:
   std::shared_ptr<const FamilyPlan> lookupFamily(const FamilyKey& key, u64 collisionDigest);
   /// Stores a family plan (first writer wins: a family is built once and
   /// republishing an identical plan is pointless churn). Capacity-bounded
-  /// with per-shard insertion-order eviction like the result tier.
+  /// with per-shard least-recently-used eviction like the result tier:
+  /// hits re-touch their family, so a hot family survives insert pressure.
   void insertFamily(const FamilyKey& key, u64 collisionDigest,
                     std::shared_ptr<const FamilyPlan> plan);
 
@@ -195,10 +196,12 @@ private:
     // iterator map; hits splice their key to the back.
     std::list<PlanKey> lruOrder;
     std::map<PlanKey, std::list<PlanKey>::iterator> lruPos;
-    // The family tier stays insertion-ordered: a family is built once and
-    // hit from the snapshot for its whole life, so recency == liveness.
+    // The family tier keeps the same recency discipline: a hot family is
+    // hit from the snapshot for its whole life, so without a re-touch it
+    // would age toward the cold end and be evicted under insert pressure.
     FamilyMap families;
     std::list<FamilyKey> familyOrder;
+    std::map<FamilyKey, std::list<FamilyKey>::iterator> familyPos;
     // Epoch-published immutable copies for the lock-free warm path;
     // republished (store-release) after every mutation under `mutex`.
     std::atomic<std::shared_ptr<const ResultMap>> snapshot;
@@ -224,6 +227,9 @@ private:
   /// Best-effort touch from the lock-free hit path: try_lock, skip on
   /// contention (an approximate recency order beats blocking a warm hit).
   static void touchLockFree(Shard& shard, const PlanKey& key);
+  /// Family-tier analogues of the result-tier touch pair.
+  static void touchFamilyLocked(Shard& shard, const FamilyKey& key);
+  static void touchFamilyLockFree(Shard& shard, const FamilyKey& key);
   /// Publishes the leader's outcome, stores it when non-null, erases the
   /// in-flight entry and wakes the shard's followers.
   void finishFlight(Shard& shard, const PlanKey& key, const std::shared_ptr<InFlight>& flight,

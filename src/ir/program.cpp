@@ -209,6 +209,71 @@ static void executeInstance(const Statement& st, const IntVec& iterAndParams, Ar
   store.set(w.arrayId, w.fn.apply(hom), v);
 }
 
+namespace {
+
+/// Renders one affine row over [iters(dim), params, 1] as e.g. "i0+2*i1+N0-1".
+std::string affineRowText(const IntVec& row, int dim, const std::vector<std::string>& paramNames) {
+  std::ostringstream os;
+  bool any = false;
+  auto term = [&](i64 coeff, const std::string& var) {
+    if (coeff == 0) return;
+    if (any) os << (coeff > 0 ? "+" : "-");
+    else if (coeff < 0) os << "-";
+    const i64 mag = coeff < 0 ? -coeff : coeff;
+    if (mag != 1) os << mag << "*";
+    os << var;
+    any = true;
+  };
+  for (int j = 0; j < dim; ++j) term(row[j], "i" + std::to_string(j));
+  for (size_t p = 0; p < paramNames.size(); ++p) term(row[dim + p], paramNames[p]);
+  const i64 c = row.back();
+  if (c != 0 || !any) {
+    if (any && c > 0) os << "+";
+    os << c;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string printProgramBlock(const ProgramBlock& block) {
+  std::ostringstream os;
+  os << "block '" << block.name << "'";
+  if (!block.paramNames.empty()) {
+    os << " params(";
+    for (size_t p = 0; p < block.paramNames.size(); ++p)
+      os << (p ? "," : "") << block.paramNames[p];
+    os << ")";
+  }
+  os << "\n";
+  for (const ArrayDecl& a : block.arrays) {
+    os << "  array " << a.name;
+    for (i64 e : a.extents) os << "[" << e << "]";
+    os << "\n";
+  }
+  for (const Statement& st : block.statements) {
+    os << "  stmt " << st.name << " dim=" << st.dim() << "\n";
+    os << "    domain: " << st.domain.str() << "\n";
+    std::vector<std::string> accessText;
+    for (const Access& a : st.accesses) {
+      std::string t = block.arrays[a.arrayId].name;
+      for (int r = 0; r < a.fn.rows(); ++r)
+        t += "[" + affineRowText(a.fn.row(r), st.dim(), block.paramNames) + "]";
+      accessText.push_back(std::move(t));
+    }
+    if (st.writeAccess >= 0 && st.rhs != nullptr)
+      os << "    " << accessText[st.writeAccess] << " = " << st.rhs->str(accessText) << "\n";
+    for (size_t i = 0; i < st.accesses.size(); ++i)
+      os << "    access[" << i << "] " << (st.accesses[i].isWrite ? "W " : "R ") << accessText[i]
+         << "\n";
+    os << "    schedule:";
+    for (int r = 0; r < st.schedule.rows(); ++r)
+      os << " (" << affineRowText(st.schedule.row(r), st.dim(), block.paramNames) << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
 void executeReference(const ProgramBlock& block, const IntVec& paramValues, ArrayStore& store) {
   block.validate();
   // Collect (time vector, stmt, iter) for every instance, sort, execute.

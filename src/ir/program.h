@@ -147,4 +147,10 @@ private:
 /// binding. This is the semantic oracle for all code-generation tests.
 void executeReference(const ProgramBlock& block, const IntVec& paramValues, ArrayStore& store);
 
+/// Human-readable rendering of a block: arrays with extents, every
+/// statement's domain, accesses (as `A[i0+1][i1]` subscripts), body
+/// expression and schedule matrix. Used by divergence reports from the
+/// differential tester and handy for debugging hand-built blocks.
+std::string printProgramBlock(const ProgramBlock& block);
+
 }  // namespace emm

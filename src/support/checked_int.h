@@ -15,10 +15,15 @@ namespace emm {
 using i64 = long long;  // 64-bit everywhere we build; matches the %lld printf style
 using i128 = __int128;
 
-/// Narrow an __int128 to int64, aborting on overflow.
+/// Narrow an __int128 to int64. Overflow throws ApiError rather than
+/// aborting: whether a combination overflows depends on the *input* values
+/// (a pathological program, or hostile serialized bytes mid-decode), so it
+/// is a recoverable precondition failure, not a broken internal invariant —
+/// the pipeline turns it into an error diagnostic and the plan decoders
+/// into a SerializeError.
 inline i64 narrow(i128 v) {
-  EMM_CHECK(v >= static_cast<i128>(INT64_MIN) && v <= static_cast<i128>(INT64_MAX),
-            "int64 overflow in exact arithmetic");
+  EMM_REQUIRE(v >= static_cast<i128>(INT64_MIN) && v <= static_cast<i128>(INT64_MAX),
+              "int64 overflow in exact arithmetic");
   return static_cast<i64>(v);
 }
 
@@ -49,9 +54,10 @@ inline i64 lcm64(i64 a, i64 b) {
   return mulChecked(a / g, b < 0 ? -b : b);
 }
 
-/// Floor division (rounds toward negative infinity).
+/// Floor division (rounds toward negative infinity). A zero divisor is a
+/// data-dependent precondition (see narrow), so it throws, not aborts.
 inline i64 floorDiv(i64 a, i64 b) {
-  EMM_CHECK(b != 0, "floorDiv by zero");
+  EMM_REQUIRE(b != 0, "floorDiv by zero");
   i64 q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return q;
@@ -59,7 +65,7 @@ inline i64 floorDiv(i64 a, i64 b) {
 
 /// Ceiling division (rounds toward positive infinity).
 inline i64 ceilDiv(i64 a, i64 b) {
-  EMM_CHECK(b != 0, "ceilDiv by zero");
+  EMM_REQUIRE(b != 0, "ceilDiv by zero");
   i64 q = a / b;
   if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
   return q;

@@ -1370,14 +1370,21 @@ std::string serializeCompileResult(const CompileResult& result) {
 
 CompileResult deserializeCompileResult(std::string_view bytes) {
   ByteReader r(bytes);
-  expectTag(r, kTagCompileResult, "CompileResult");
-  CompileResult out;
-  static_cast<PipelineProducts&>(out) = readProducts(r);
-  out.ok = r.boolean();
-  out.diagnostics = readList<Diagnostic>(r, [](ByteReader& rr) { return readDiagnostic(rr); });
-  out.timings = readList<PassTiming>(r, [](ByteReader& rr) { return readPassTiming(rr); });
-  r.expectEnd();
-  return out;
+  try {
+    expectTag(r, kTagCompileResult, "CompileResult");
+    CompileResult out;
+    static_cast<PipelineProducts&>(out) = readProducts(r);
+    out.ok = r.boolean();
+    out.diagnostics = readList<Diagnostic>(r, [](ByteReader& rr) { return readDiagnostic(rr); });
+    out.timings = readList<PassTiming>(r, [](ByteReader& rr) { return readPassTiming(rr); });
+    r.expectEnd();
+    return out;
+  } catch (const ApiError& e) {
+    // Reconstruction runs real IR code (polyhedra, symbolic formulas,
+    // checked arithmetic) whose preconditions hostile bytes can violate;
+    // every such failure is a decode failure, never an escape.
+    throw SerializeError(std::string("compile result decode failed: ") + e.what());
+  }
 }
 
 std::string serializeProgramBlock(const ProgramBlock& block) {

@@ -1,0 +1,211 @@
+#include "testgen/diff_runner.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "driver/backend.h"
+#include "ir/interp.h"
+#include "service/client.h"
+#include "support/serialize.h"
+#include "testgen/minimize.h"
+
+namespace emm::testgen {
+
+namespace {
+
+/// Parameter binding for interpreting a compiled unit: the tiled kernel's
+/// block appends tile-origin parameters after the source parameters; they
+/// are bound by the tile loops at run time, so their slots are zero-filled
+/// (the idiom every oracle-comparison test in tests/ uses).
+IntVec unitParams(const CompileResult& r, const IntVec& paramValues) {
+  IntVec ext = paramValues;
+  if (r.kernel.has_value() && r.kernel->analysis.tileBlock != nullptr)
+    ext.resize(r.kernel->analysis.tileBlock->paramNames.size(), 0);
+  return ext;
+}
+
+DiffResult divergence(DiffResult base, const std::string& check, const std::string& detail) {
+  base.ok = false;
+  base.failedCheck = check;
+  base.detail = detail;
+  return base;
+}
+
+std::string joinTile(const std::vector<i64>& t) {
+  std::ostringstream os;
+  for (size_t i = 0; i < t.size(); ++i) os << (i ? "," : "") << t[i];
+  return os.str();
+}
+
+}  // namespace
+
+DiffResult DiffRunner::run(const GeneratedProgram& program) const {
+  const DiffOptions& o = options_;
+  DiffResult out;
+
+  // Oracle: the original schedule, interpreted.
+  ArrayStore want(program.block.arrays);
+  want.fillAllPattern(o.fillSeed);
+  executeReference(program.block, program.paramValues, want);
+
+  auto makeCompiler = [&]() {
+    Compiler c(program.block);
+    c.options(o.baseOptions);
+    c.parameters(program.paramValues);
+    if (o.configureCompiler) o.configureCompiler(c);
+    return c;
+  };
+
+  Compiler compiler = makeCompiler();
+  CompileResult r;
+  try {
+    r = compiler.compile();
+  } catch (const std::exception& e) {
+    return divergence(out, "pipeline", std::string("compile() threw: ") + e.what());
+  }
+
+  if (!r.ok) {
+    // A rejected program must explain itself; a silent failure is a bug.
+    if (r.firstError().empty())
+      return divergence(out, "pipeline", "pipeline failed with no error diagnostic");
+    out.fellBack = true;
+    return out;
+  }
+  const CodeUnit* unit = r.unit();
+  if (unit == nullptr) {
+    // Clean fallback (e.g. inter-block sync needed): ok, but nothing to run.
+    out.fellBack = true;
+    return out;
+  }
+  out.compiled = true;
+
+  if (o.checkPipeline) {
+    ArrayStore got(program.block.arrays);
+    got.fillAllPattern(o.fillSeed);
+    try {
+      executeCodeUnit(*unit, unitParams(r, program.paramValues), got);
+    } catch (const std::exception& e) {
+      return divergence(out, "pipeline", std::string("unit execution threw: ") + e.what());
+    }
+    const double diff = ArrayStore::maxAbsDiff(got, want);
+    if (diff != 0.0)
+      return divergence(out, "pipeline",
+                        "transformed unit diverges from oracle, maxAbsDiff=" + std::to_string(diff));
+  }
+
+  if (o.checkParametric) {
+    Compiler c2 = makeCompiler();
+    c2.opts().parametricTileAnalysis = !o.baseOptions.parametricTileAnalysis;
+    CompileResult r2;
+    try {
+      r2 = c2.compile();
+    } catch (const std::exception& e) {
+      return divergence(out, "parametric", std::string("toggled compile threw: ") + e.what());
+    }
+    if (r2.ok != r.ok)
+      return divergence(out, "parametric", "parametric toggle flips the compile verdict");
+    if (r2.search.subTile != r.search.subTile)
+      return divergence(out, "parametric",
+                        "tile choice differs: concrete [" + joinTile(r2.search.subTile) +
+                            "] vs parametric [" + joinTile(r.search.subTile) + "]");
+    if (r2.artifact != r.artifact)
+      return divergence(out, "parametric", "emitted artifact differs across the toggle");
+  }
+
+  if (o.checkSerialize) {
+    const std::string bytes = serializeCompileResult(r);
+    CompileResult r3;
+    try {
+      r3 = deserializeCompileResult(bytes);
+    } catch (const std::exception& e) {
+      return divergence(out, "serialize", std::string("round trip rejected own bytes: ") + e.what());
+    }
+    if (serializeCompileResult(r3) != bytes)
+      return divergence(out, "serialize", "re-serialization is not a byte fixed point");
+    const CodeUnit* unit3 = r3.unit();
+    if (unit3 == nullptr)
+      return divergence(out, "serialize", "deserialized result lost its code unit");
+    ArrayStore got(program.block.arrays);
+    got.fillAllPattern(o.fillSeed);
+    try {
+      executeCodeUnit(*unit3, unitParams(r3, program.paramValues), got);
+    } catch (const std::exception& e) {
+      return divergence(out, "serialize", std::string("deserialized unit threw: ") + e.what());
+    }
+    if (ArrayStore::maxAbsDiff(got, want) != 0.0)
+      return divergence(out, "serialize", "deserialized unit diverges from oracle");
+    // Re-emit: the deserialized unit must render to the same target text as
+    // the original one under identical options.
+    const Backend* backend = BackendRegistry::global().lookup(o.baseOptions.backendName);
+    if (backend != nullptr) {
+      CompileOptions eo = o.baseOptions;
+      eo.paramValues = program.paramValues;
+      if (backend->emit(*unit3, eo) != backend->emit(*unit, eo))
+        return divergence(out, "serialize", "re-emitted source differs after round trip");
+    }
+  }
+
+  if (o.checkWire && !o.wireSocket.empty()) {
+    svc::CompileRequest req;
+    req.block = program.block;
+    req.options = o.baseOptions;
+    req.options.paramValues = program.paramValues;
+    svc::WireCompileReply reply;
+    try {
+      svc::ServiceClient client(o.wireSocket);
+      reply = client.compile(std::move(req));
+    } catch (const std::exception& e) {
+      return divergence(out, "wire", std::string("service compile failed: ") + e.what());
+    }
+    if (!reply.result.ok)
+      return divergence(out, "wire", "server rejected a locally compilable program: " +
+                                         reply.result.firstError());
+    if (reply.result.artifact != r.artifact)
+      return divergence(out, "wire", "served artifact differs from the local compile");
+    const CodeUnit* unitW = reply.result.unit();
+    if (unitW == nullptr) return divergence(out, "wire", "served result lost its code unit");
+    ArrayStore got(program.block.arrays);
+    got.fillAllPattern(o.fillSeed);
+    try {
+      executeCodeUnit(*unitW, unitParams(reply.result, program.paramValues), got);
+    } catch (const std::exception& e) {
+      return divergence(out, "wire", std::string("served unit threw: ") + e.what());
+    }
+    if (ArrayStore::maxAbsDiff(got, want) != 0.0)
+      return divergence(out, "wire", "served unit diverges from oracle");
+  }
+
+  return out;
+}
+
+SweepStats runDifferentialSweep(const SweepOptions& options) {
+  ProgramGenerator generator(options.gen);
+  DiffRunner runner(options.diff);
+  SweepStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (u64 i = 0; i < options.programs; ++i) {
+    if (options.timeBudgetSeconds > 0) {
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > options.timeBudgetSeconds) break;
+    }
+    GeneratedProgram program = generator.generate(i);
+    DiffResult result = runner.run(program);
+    ++stats.programs;
+    if (result.compiled) ++stats.compiled;
+    if (result.fellBack) ++stats.fallbacks;
+    if (result.ok) continue;
+    ++stats.divergences;
+    SweepFinding finding{program, program, result};
+    if (options.minimize) {
+      MinimizeResult shrunk = minimizeProgram(
+          program, [&](const GeneratedProgram& candidate) { return !runner.run(candidate).ok; });
+      finding.minimized = std::move(shrunk.program);
+      finding.result = runner.run(finding.minimized);
+      if (finding.result.ok) finding.result = result;  // shrink raced itself; keep original
+    }
+    if (options.onFinding) options.onFinding(finding);
+  }
+  return stats;
+}
+
+}  // namespace emm::testgen

@@ -1,0 +1,267 @@
+#include "testgen/generator.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace emm::testgen {
+
+namespace {
+
+/// Constraint/access row over [iters(dim), params(np), 1].
+IntVec row(int dim, int np) { return IntVec(dim + np + 1, 0); }
+
+/// Structural skeleton of one statement while the program is being built:
+/// concrete per-loop bounds are tracked so array extents can be derived.
+struct StmtShape {
+  int dim = 0;
+  IntVec lo;     ///< concrete lower bound per loop
+  IntVec hi;     ///< concrete upper bound per loop (parametric bounds evaluated)
+  IntVec upOff;  ///< parametric upper bound is i_j <= N - 1 - upOff[j]; -1 = constant
+};
+
+/// The clamp keeping generated values exactly representable: stored values
+/// stay in [-kClamp, kClamp], so even a product of two loads (the deepest
+/// multiplication the generator emits) stays far below 2^53 and every
+/// intermediate is exact — no inf/NaN can ever enter an array, which would
+/// make bitwise output comparison meaningless (NaN != NaN).
+constexpr double kClamp = 1e6;
+
+}  // namespace
+
+GeneratedProgram ProgramGenerator::generate(u64 index) const {
+  const GeneratorOptions& o = options_;
+  Rng rng(mixSeed(o.seed, index));
+
+  ProgramBlock block;
+  block.name = "gen_s" + std::to_string(o.seed) + "_p" + std::to_string(index);
+  IntVec paramValues;
+
+  const int nstmt = static_cast<int>(rng.range(o.minStatements, o.maxStatements));
+
+  // 1. Loop structure: depth and concrete/parametric rectangular bounds.
+  //
+  // Parametric is a whole-program choice with a single shared parameter N:
+  // every loop gets i_j <= N - 1 - off_j (off_j in 0..2). Mixing bound
+  // classes — one loop bounded by a parameter, another by a constant, both
+  // indexing the same array dimension — leaves the scratchpad analysis with
+  // no buffer bound valid for an unbounded symbolic N (neither "16" nor
+  // "N-1" dominates the other), so every such program would be a fallback.
+  // A single parameter keeps all symbolic bounds mutually comparable while
+  // still exercising the parametric pipeline end to end.
+  const bool parametric = rng.chance(o.parametricPercent);
+  i64 paramN = 0;
+  if (parametric) {
+    paramN = rng.range(o.minTrip + 3, std::max(o.minTrip + 3, o.maxTrip));
+    block.paramNames.push_back("N0");
+    paramValues.push_back(paramN);
+  }
+  std::vector<StmtShape> shapes(nstmt);
+  int maxStmtDim = 1;
+  int minStmtDim = o.maxDim;
+  for (StmtShape& sh : shapes) {
+    sh.dim = static_cast<int>(rng.range(1, o.maxDim));
+    maxStmtDim = std::max(maxStmtDim, sh.dim);
+    minStmtDim = std::min(minStmtDim, sh.dim);
+    for (int j = 0; j < sh.dim; ++j) {
+      const i64 lo = rng.range(0, 1);
+      if (parametric) {
+        const i64 off = rng.range(0, 2);
+        sh.lo.push_back(lo);
+        sh.hi.push_back(paramN - 1 - off);
+        sh.upOff.push_back(off);
+      } else {
+        const i64 trip = rng.range(o.minTrip, o.maxTrip);
+        sh.lo.push_back(lo);
+        sh.hi.push_back(lo + trip - 1);
+        sh.upOff.push_back(-1);
+      }
+    }
+  }
+  const int np = block.nparam();
+
+  // 2. Arrays. Dimensionality is capped at 2 (and at the shallowest
+  // statement's depth for array 0, so every statement has a write target
+  // with ndim <= dim). Extents are filled in after all accesses exist.
+  const int narr = static_cast<int>(rng.range(1, o.maxArrays));
+  for (int a = 0; a < narr; ++a) {
+    const int maxNdim = std::min(2, a == 0 ? minStmtDim : maxStmtDim);
+    const int ndim = static_cast<int>(rng.range(1, maxNdim));
+    block.arrays.push_back({"A" + std::to_string(a), IntVec(ndim, 1)});
+  }
+
+  // 3. Statements: write access, reads, body, schedule.
+  std::vector<int> writeArrayOf(nstmt, 0);
+  for (int s = 0; s < nstmt; ++s) {
+    const StmtShape& sh = shapes[s];
+    Statement st;
+    st.name = "S" + std::to_string(s);
+    st.domain = Polyhedron(sh.dim, np);
+    for (int j = 0; j < sh.dim; ++j) {
+      IntVec lower = row(sh.dim, np);
+      lower[j] = 1;
+      lower.back() = -sh.lo[j];
+      st.domain.addInequality(lower);  // i_j >= lo
+      IntVec upper = row(sh.dim, np);
+      upper[j] = -1;
+      if (sh.upOff[j] >= 0) {
+        upper[sh.dim] = 1;
+        upper.back() = -1 - sh.upOff[j];  // i_j <= N - 1 - off
+      } else {
+        upper.back() = sh.hi[j];  // i_j <= hi
+      }
+      st.domain.addInequality(upper);
+    }
+
+    // Write access: an injective map from array dims onto distinct
+    // iterators (a random choice of which, so transposed and reduction
+    // writes — ndim < dim — both occur).
+    std::vector<int> writeCandidates;
+    for (int a = 0; a < narr; ++a)
+      if (block.arrays[a].ndim() <= sh.dim) writeCandidates.push_back(a);
+    const int wArr = rng.pick(writeCandidates);
+    writeArrayOf[s] = wArr;
+    const int wNdim = block.arrays[wArr].ndim();
+    std::vector<int> iterPool(sh.dim);
+    for (int j = 0; j < sh.dim; ++j) iterPool[j] = j;
+    for (int j = sh.dim - 1; j > 0; --j)
+      std::swap(iterPool[j], iterPool[rng.range(0, j)]);  // Fisher-Yates
+    Access w;
+    w.arrayId = wArr;
+    w.isWrite = true;
+    w.fn = IntMat(0, sh.dim + np + 1);
+    for (int r = 0; r < wNdim; ++r) {
+      IntVec fr = row(sh.dim, np);
+      fr[iterPool[r]] = 1;
+      w.fn.appendRow(fr);
+    }
+    st.accesses.push_back(w);
+    st.writeAccess = 0;
+
+    // Reads: stencil-offset rows, occasional two-iterator rows (the
+    // figure1/me idiom) and constant broadcast rows, with a bias toward
+    // arrays other statements write so cross-statement dependences occur
+    // at a controlled rate.
+    const int nreads = static_cast<int>(rng.range(1, o.maxReads));
+    bool selfRead = rng.chance(o.accumulatePercent);
+    for (int k = 0; k < nreads; ++k) {
+      int target;
+      if (nstmt > 1 && rng.chance(o.crossReadPercent)) {
+        int other = static_cast<int>(rng.range(0, nstmt - 2));
+        if (other >= s) ++other;
+        // Producer statements later in the list have not picked their
+        // write array yet; fall back to a uniform array pick for them.
+        target = other < s ? writeArrayOf[other] : static_cast<int>(rng.range(0, narr - 1));
+      } else {
+        target = static_cast<int>(rng.range(0, narr - 1));
+      }
+      Access r;
+      r.arrayId = target;
+      r.isWrite = false;
+      r.fn = IntMat(0, sh.dim + np + 1);
+      for (int d = 0; d < block.arrays[target].ndim(); ++d) {
+        IntVec fr = row(sh.dim, np);
+        if (rng.chance(10)) {
+          fr.back() = rng.range(0, 2);  // constant broadcast row
+        } else if (sh.dim >= 2 && rng.chance(15)) {
+          int a = static_cast<int>(rng.range(0, sh.dim - 1));
+          int b = static_cast<int>(rng.range(0, sh.dim - 2));
+          if (b >= a) ++b;
+          fr[a] = 1;
+          fr[b] = 1;
+          fr.back() = rng.range(-1, 1);
+        } else {
+          fr[rng.range(0, sh.dim - 1)] = 1;
+          fr.back() = rng.range(-2, 2);
+        }
+        r.fn.appendRow(fr);
+      }
+      st.accesses.push_back(r);
+    }
+    if (selfRead) {
+      Access r = w;  // read-modify-write of the output location
+      r.isWrite = false;
+      st.accesses.push_back(r);
+    }
+
+    // Body: fold every read into a random operator tree. Multiplication is
+    // limited to one use and never touches the self-read (accumulating
+    // products explode past double's exact range); the final clamp bounds
+    // stored magnitudes (see kClamp).
+    ExprPtr e = Expr::load(1);
+    bool usedMul = false;
+    for (size_t k = 2; k < st.accesses.size(); ++k) {
+      ExprPtr load = Expr::load(static_cast<int>(k));
+      const bool isSelf = selfRead && k + 1 == st.accesses.size();
+      switch (rng.range(0, isSelf || usedMul ? 3 : 4)) {
+        case 0: e = Expr::add(e, load); break;
+        case 1: e = Expr::sub(e, load); break;
+        case 2: e = Expr::min(e, load); break;
+        case 3: e = Expr::max(e, load); break;
+        default: e = Expr::mul(e, load); usedMul = true; break;
+      }
+    }
+    if (rng.chance(20)) e = Expr::abs(e);
+    if (rng.chance(20)) e = Expr::div(e, Expr::constant(rng.chance(50) ? 2 : 4));
+    if (rng.chance(30)) e = Expr::add(e, Expr::constant(static_cast<double>(rng.range(-3, 3))));
+    st.rhs = Expr::min(Expr::max(std::move(e), Expr::constant(-kClamp)), Expr::constant(kClamp));
+
+    // Schedule: 2d+1 interleaving. Statement 0 sits at position 0
+    // everywhere; a later statement takes static position s at one random
+    // depth, which yields fused outer loops, fission at an inner depth, or
+    // fully sequenced statements — all the nesting shapes the kernels use.
+    std::vector<i64> positions(sh.dim + 1, 0);
+    if (s > 0) positions[rng.range(0, sh.dim)] = s;
+    st.schedule = ProgramBlock::interleavedSchedule(sh.dim, np, positions);
+
+    block.statements.push_back(std::move(st));
+  }
+
+  // 4. Extents: per array dimension, the concrete min/max over every access
+  // row (access coefficients are non-negative, so iterator lows/highs give
+  // the range directly). A uniform constant shift per array dimension lifts
+  // negative minima to zero — relative stencil offsets, and therefore
+  // dependences, are unchanged — and the extent covers the shifted max.
+  for (int a = 0; a < narr; ++a) {
+    const int ndim = block.arrays[a].ndim();
+    for (int d = 0; d < ndim; ++d) {
+      i64 minIdx = 0, maxIdx = 0;
+      bool seen = false;
+      for (int s = 0; s < nstmt; ++s) {
+        for (const Access& acc : block.statements[s].accesses) {
+          if (acc.arrayId != a) continue;
+          const IntVec fr = acc.fn.row(d);
+          i64 lo = fr.back(), hi = fr.back();
+          for (int j = 0; j < shapes[s].dim; ++j) {
+            lo += fr[j] * shapes[s].lo[j];
+            hi += fr[j] * shapes[s].hi[j];
+          }
+          minIdx = seen ? std::min(minIdx, lo) : lo;
+          maxIdx = seen ? std::max(maxIdx, hi) : hi;
+          seen = true;
+        }
+      }
+      const i64 shift = minIdx < 0 ? -minIdx : 0;
+      if (shift > 0) {
+        for (Statement& st : block.statements)
+          for (Access& acc : st.accesses)
+            if (acc.arrayId == a) acc.fn.at(d, acc.fn.cols() - 1) += shift;
+      }
+      block.arrays[a].extents[d] = std::max<i64>(maxIdx + shift + 1, 1);
+    }
+  }
+
+  block.validate();
+  return {std::move(block), std::move(paramValues), o.seed, index};
+}
+
+std::string describeProgram(const GeneratedProgram& program) {
+  std::ostringstream os;
+  os << printProgramBlock(program.block);
+  os << "  seed=" << program.seed << " index=" << program.index << " params=[";
+  for (size_t i = 0; i < program.paramValues.size(); ++i)
+    os << (i ? "," : "") << program.paramValues[i];
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace emm::testgen

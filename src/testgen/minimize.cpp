@@ -1,0 +1,301 @@
+#include "testgen/minimize.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.h"
+
+namespace emm::testgen {
+
+namespace {
+
+/// Concrete [lo, hi] of every loop of a statement at the program's
+/// parameter binding (rectangular domains; exactly what the generator and
+/// its reductions produce).
+void concreteBounds(const Statement& st, const IntVec& paramValues, IntVec& lo, IntVec& hi) {
+  lo.clear();
+  hi.clear();
+  for (int j = 0; j < st.dim(); ++j) {
+    const DimBounds b = st.domain.paramBounds(j);
+    lo.push_back(b.evalLower(paramValues));
+    hi.push_back(b.evalUpper(paramValues));
+  }
+}
+
+/// Rewrites a body expression after read access `removed` was dropped:
+/// loads of it become the constant 1, later load indices shift down.
+ExprPtr remapLoads(const ExprPtr& e, int removed) {
+  if (e == nullptr) return nullptr;
+  switch (e->kind()) {
+    case Expr::Kind::Const:
+      return e;
+    case Expr::Kind::Load: {
+      const int idx = e->accessIndex();
+      if (idx == removed) return Expr::constant(1.0);
+      return idx > removed ? Expr::load(idx - 1) : e;
+    }
+    case Expr::Kind::Abs:
+      return Expr::abs(remapLoads(e->lhs(), removed));
+    case Expr::Kind::Add:
+      return Expr::add(remapLoads(e->lhs(), removed), remapLoads(e->rhs(), removed));
+    case Expr::Kind::Sub:
+      return Expr::sub(remapLoads(e->lhs(), removed), remapLoads(e->rhs(), removed));
+    case Expr::Kind::Mul:
+      return Expr::mul(remapLoads(e->lhs(), removed), remapLoads(e->rhs(), removed));
+    case Expr::Kind::Div:
+      return Expr::div(remapLoads(e->lhs(), removed), remapLoads(e->rhs(), removed));
+    case Expr::Kind::Min:
+      return Expr::min(remapLoads(e->lhs(), removed), remapLoads(e->rhs(), removed));
+    case Expr::Kind::Max:
+      return Expr::max(remapLoads(e->lhs(), removed), remapLoads(e->rhs(), removed));
+  }
+  return e;
+}
+
+/// True when parameter `pi` appears with a nonzero coefficient anywhere.
+bool paramUsed(const ProgramBlock& b, int pi) {
+  for (const Statement& st : b.statements) {
+    const int col = st.dim() + pi;
+    const auto anyRow = [&](const IntMat& m) {
+      for (int r = 0; r < m.rows(); ++r)
+        if (m.at(r, col) != 0) return true;
+      return false;
+    };
+    if (anyRow(st.domain.equalities()) || anyRow(st.domain.inequalities())) return true;
+    if (anyRow(st.schedule)) return true;
+    for (const Access& a : st.accesses)
+      if (anyRow(a.fn)) return true;
+  }
+  return false;
+}
+
+IntMat withoutColumn(const IntMat& m, int col) {
+  IntMat out(0, m.cols() - 1);
+  for (int r = 0; r < m.rows(); ++r) {
+    IntVec row = m.row(r);
+    row.erase(row.begin() + col);
+    out.appendRow(row);
+  }
+  return out;
+}
+
+/// Drops parameter `pi` (must be unused) from every matrix and the name /
+/// value lists.
+void eraseParam(GeneratedProgram& p, int pi) {
+  ProgramBlock& b = p.block;
+  const int np = b.nparam();
+  for (Statement& st : b.statements) {
+    const int col = st.dim() + pi;
+    Polyhedron domain(st.dim(), np - 1);
+    const IntMat eqs = withoutColumn(st.domain.equalities(), col);
+    for (int r = 0; r < eqs.rows(); ++r) domain.addEquality(eqs.row(r));
+    const IntMat ineqs = withoutColumn(st.domain.inequalities(), col);
+    for (int r = 0; r < ineqs.rows(); ++r) domain.addInequality(ineqs.row(r));
+    st.domain = std::move(domain);
+    st.schedule = withoutColumn(st.schedule, col);
+    for (Access& a : st.accesses) a.fn = withoutColumn(a.fn, col);
+  }
+  b.paramNames.erase(b.paramNames.begin() + pi);
+  p.paramValues.erase(p.paramValues.begin() + pi);
+}
+
+void pruneUnusedParams(GeneratedProgram& p) {
+  for (int pi = p.block.nparam() - 1; pi >= 0; --pi)
+    if (!paramUsed(p.block, pi)) eraseParam(p, pi);
+}
+
+/// Drops statement `s`, pruning arrays and parameters nothing references
+/// anymore (array ids are remapped).
+GeneratedProgram dropStatement(const GeneratedProgram& p, size_t s) {
+  GeneratedProgram out = p;
+  out.block.statements.erase(out.block.statements.begin() + static_cast<long>(s));
+  std::vector<bool> used(out.block.arrays.size(), false);
+  for (const Statement& st : out.block.statements)
+    for (const Access& a : st.accesses) used[static_cast<size_t>(a.arrayId)] = true;
+  std::vector<int> remap(out.block.arrays.size(), -1);
+  std::vector<ArrayDecl> kept;
+  for (size_t a = 0; a < used.size(); ++a) {
+    if (!used[a]) continue;
+    remap[a] = static_cast<int>(kept.size());
+    kept.push_back(out.block.arrays[a]);
+  }
+  out.block.arrays = std::move(kept);
+  for (Statement& st : out.block.statements)
+    for (Access& a : st.accesses) a.arrayId = remap[static_cast<size_t>(a.arrayId)];
+  pruneUnusedParams(out);
+  return out;
+}
+
+/// Drops read access `k` of statement `s`, rewriting the body.
+GeneratedProgram dropRead(const GeneratedProgram& p, size_t s, size_t k) {
+  GeneratedProgram out = p;
+  Statement& st = out.block.statements[s];
+  st.accesses.erase(st.accesses.begin() + static_cast<long>(k));
+  st.rhs = remapLoads(st.rhs, static_cast<int>(k));
+  if (st.writeAccess > static_cast<int>(k)) --st.writeAccess;
+  return out;
+}
+
+}  // namespace
+
+void recomputeExtents(GeneratedProgram& p) {
+  ProgramBlock& b = p.block;
+  std::vector<IntVec> lo(b.statements.size()), hi(b.statements.size());
+  for (size_t s = 0; s < b.statements.size(); ++s)
+    concreteBounds(b.statements[s], p.paramValues, lo[s], hi[s]);
+  for (size_t a = 0; a < b.arrays.size(); ++a) {
+    const int ndim = b.arrays[a].ndim();
+    for (int d = 0; d < ndim; ++d) {
+      i64 minIdx = 0, maxIdx = 0;
+      bool seen = false;
+      for (size_t s = 0; s < b.statements.size(); ++s) {
+        for (const Access& acc : b.statements[s].accesses) {
+          if (acc.arrayId != static_cast<int>(a)) continue;
+          const IntVec fr = acc.fn.row(d);
+          const int dim = b.statements[s].dim();
+          i64 rlo = fr.back(), rhi = fr.back();
+          for (int j = 0; j < dim; ++j) {
+            if (fr[j] >= 0) {
+              rlo += fr[j] * lo[s][j];
+              rhi += fr[j] * hi[s][j];
+            } else {
+              rlo += fr[j] * hi[s][j];
+              rhi += fr[j] * lo[s][j];
+            }
+          }
+          for (int q = 0; q < b.nparam(); ++q) {
+            rlo += fr[dim + q] * p.paramValues[q];
+            rhi += fr[dim + q] * p.paramValues[q];
+          }
+          minIdx = seen ? std::min(minIdx, rlo) : rlo;
+          maxIdx = seen ? std::max(maxIdx, rhi) : rhi;
+          seen = true;
+        }
+      }
+      const i64 shift = minIdx < 0 ? -minIdx : 0;
+      if (shift > 0) {
+        for (Statement& st : b.statements)
+          for (Access& acc : st.accesses)
+            if (acc.arrayId == static_cast<int>(a)) acc.fn.at(d, acc.fn.cols() - 1) += shift;
+      }
+      b.arrays[a].extents[d] = std::max<i64>(maxIdx + shift + 1, 1);
+    }
+  }
+}
+
+MinimizeResult minimizeProgram(const GeneratedProgram& failing,
+                               const std::function<bool(const GeneratedProgram&)>& stillFails,
+                               int maxAttempts) {
+  MinimizeResult result{failing, 0, false};
+  GeneratedProgram& best = result.program;
+
+  // Accepts a candidate when it is still valid and still failing. Reductions
+  // can produce blocks the IR rejects (e.g. an empty statement list); those
+  // simply don't shrink.
+  auto accept = [&](GeneratedProgram candidate) {
+    if (result.attempts >= maxAttempts) return false;
+    ++result.attempts;
+    recomputeExtents(candidate);
+    try {
+      candidate.block.validate();
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (!stillFails(candidate)) return false;
+    best = std::move(candidate);
+    result.changed = true;
+    return true;
+  };
+
+  bool progressed = true;
+  while (progressed && result.attempts < maxAttempts) {
+    progressed = false;
+
+    // 1. Whole statements — the biggest single reduction.
+    for (size_t s = 0; s < best.block.statements.size() && best.block.statements.size() > 1;) {
+      if (accept(dropStatement(best, s)))
+        progressed = true;  // same index now names the next statement
+      else
+        ++s;
+    }
+
+    // 2. Read accesses.
+    for (size_t s = 0; s < best.block.statements.size(); ++s) {
+      for (size_t k = 0; k < best.block.statements[s].accesses.size();) {
+        const Statement& st = best.block.statements[s];
+        if (static_cast<int>(k) == st.writeAccess || st.accesses.size() <= 2) {
+          ++k;
+          continue;  // keep the write and at least one read
+        }
+        if (accept(dropRead(best, s, k)))
+          progressed = true;
+        else
+          ++k;
+      }
+    }
+
+    // 3. Body: collapse to a bare load of the first read.
+    for (size_t s = 0; s < best.block.statements.size(); ++s) {
+      const Statement& st = best.block.statements[s];
+      int firstRead = -1;
+      for (size_t k = 0; k < st.accesses.size(); ++k)
+        if (static_cast<int>(k) != st.writeAccess) {
+          firstRead = static_cast<int>(k);
+          break;
+        }
+      if (firstRead < 0 || st.rhs == nullptr) continue;
+      if (st.rhs->kind() == Expr::Kind::Load && st.rhs->accessIndex() == firstRead) continue;
+      GeneratedProgram cand = best;
+      cand.block.statements[s].rhs = Expr::load(firstRead);
+      if (accept(std::move(cand))) progressed = true;
+    }
+
+    // 4. Parameters: halve toward the smallest still-iterating sizes.
+    for (size_t q = 0; q < best.paramValues.size(); ++q) {
+      const i64 v = best.paramValues[q];
+      const i64 smaller = std::max<i64>(3, v / 2);
+      if (smaller == v) continue;
+      GeneratedProgram cand = best;
+      cand.paramValues[q] = smaller;
+      if (accept(std::move(cand))) progressed = true;
+    }
+
+    // 5. Loop ranges: halve constant-bounded loops with an extra upper row.
+    for (size_t s = 0; s < best.block.statements.size(); ++s) {
+      for (int j = 0; j < best.block.statements[s].dim(); ++j) {
+        IntVec lo, hi;
+        concreteBounds(best.block.statements[s], best.paramValues, lo, hi);
+        if (hi[j] - lo[j] < 2) continue;
+        GeneratedProgram cand = best;
+        Statement& st = cand.block.statements[s];
+        IntVec row(st.dim() + cand.block.nparam() + 1, 0);
+        row[j] = -1;
+        row.back() = lo[j] + (hi[j] - lo[j]) / 2;  // i_j <= midpoint
+        st.domain.addInequality(row);
+        if (accept(std::move(cand))) progressed = true;
+      }
+    }
+
+    // 6. Stencil offsets: zero positive read-offset constants. No reference
+    // into `best` may live across accept() — a successful accept move-assigns
+    // the whole program — so every lookup re-indexes from scratch.
+    for (size_t s = 0; s < best.block.statements.size(); ++s) {
+      for (size_t k = 0; k < best.block.statements[s].accesses.size(); ++k) {
+        if (static_cast<int>(k) == best.block.statements[s].writeAccess) continue;
+        for (int d = 0; d < best.block.statements[s].accesses[k].fn.rows(); ++d) {
+          {
+            const IntMat& fn = best.block.statements[s].accesses[k].fn;
+            if (fn.at(d, fn.cols() - 1) <= 0) continue;
+          }
+          GeneratedProgram cand = best;
+          IntMat& fn = cand.block.statements[s].accesses[k].fn;
+          fn.at(d, fn.cols() - 1) = 0;
+          if (accept(std::move(cand))) progressed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace emm::testgen

@@ -1,0 +1,39 @@
+// Delta-minimizer for failing generated programs.
+//
+// A raw fuzzer finding is rarely debuggable: three statements, a dozen
+// accesses, parametric bounds. minimizeProgram() greedily applies
+// semantics-preserving-in-shape reductions — drop a statement, drop a read,
+// collapse the body to a single load, halve a parameter, halve a loop
+// range, zero a stencil offset — re-running the caller's failure predicate
+// after each one and keeping every candidate that still fails, until a
+// fixpoint (or the attempt budget) is reached. Array extents are recomputed
+// after every mutation, so every candidate stays interpretable (no
+// out-of-bounds aborts introduced by the minimizer itself).
+#pragma once
+
+#include <functional>
+
+#include "testgen/generator.h"
+
+namespace emm::testgen {
+
+struct MinimizeResult {
+  GeneratedProgram program;
+  int attempts = 0;  ///< predicate evaluations spent
+  bool changed = false;
+};
+
+/// Shrinks `failing` while `stillFails` keeps returning true for the
+/// candidate. The predicate must be deterministic; it is typically
+/// `!runner.run(candidate).ok`.
+MinimizeResult minimizeProgram(const GeneratedProgram& failing,
+                               const std::function<bool(const GeneratedProgram&)>& stillFails,
+                               int maxAttempts = 400);
+
+/// Recomputes every array's extents (and lifts negative index minima with a
+/// uniform per-dimension shift) from the program's current domains and
+/// accesses. Exposed for the minimizer's own reductions and for tests that
+/// hand-mutate generated programs.
+void recomputeExtents(GeneratedProgram& program);
+
+}  // namespace emm::testgen

@@ -1,0 +1,45 @@
+// A deliberately broken tiling stage, for harness self-tests.
+//
+// The differential subsystem's own acceptance test is "would it catch a
+// real miscompile?". PlantedTilerBugPass re-introduces a classic tiler
+// defect into the produced unit: the first pure copy loop (a For whose
+// subtree moves data but calls no statements) gets an off-by-one upper
+// bound, so the last row of a move-in or move-out transfer is silently
+// skipped — exactly the class of bug the Section-4.2 copy generation could
+// regress into. The corruption is planted by a wrapper around the final
+// (codegen) pass, after the genuine stage has run: corrupting the unit any
+// earlier makes later passes re-analyze a broken AST and abort on internal
+// checks, which is a crash, not the silent wrong answer a real copy-loop
+// regression produces. Installed via Compiler::replacePass, which also (by
+// design) bypasses the plan caches, so planted results never pollute a
+// shared tier.
+//
+// tests/testgen_test.cpp asserts that a sweep with this pass planted finds
+// a divergence and that the minimizer shrinks it to <= 3 statements.
+#pragma once
+
+#include "driver/pass.h"
+
+namespace emm {
+class Compiler;
+}
+
+namespace emm::testgen {
+
+class PlantedTilerBugPass : public Pass {
+public:
+  PlantedTilerBugPass() : Pass("codegen") {}
+  void run(CompileState& state) override;
+
+  /// True when the last run() actually corrupted a copy loop (programs that
+  /// fall back before tiling have nothing to corrupt).
+  bool corrupted() const { return corrupted_; }
+
+private:
+  bool corrupted_ = false;
+};
+
+/// DiffOptions::configureCompiler hook installing the planted bug.
+void plantTilerBug(Compiler& compiler);
+
+}  // namespace emm::testgen

@@ -1,0 +1,83 @@
+#include "testgen/repro.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace emm::testgen {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'M', 'M', 'R', 'E', 'P', 'R', 'O'};
+
+}  // namespace
+
+std::string serializeRepro(const Repro& repro) {
+  ByteWriter payload;
+  payload.u64v(repro.program.seed);
+  payload.u64v(repro.program.index);
+  payload.u64v(static_cast<u64>(repro.program.paramValues.size()));
+  for (i64 v : repro.program.paramValues) payload.i64v(v);
+  payload.str(serializeProgramBlock(repro.program.block));
+  payload.str(repro.failedCheck);
+  payload.str(repro.detail);
+  const std::string body = payload.take();
+
+  ByteWriter w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32v(kReproFormatVersion);
+  w.u64v(serializeSchemaFingerprint());
+  w.u64v(digestBytes(body));
+  w.str(body);
+  return w.take();
+}
+
+Repro deserializeRepro(std::string_view bytes) {
+  ByteReader r(bytes);
+  for (char expected : kMagic)
+    if (static_cast<char>(r.u8()) != expected) throw SerializeError("bad .emmrepro magic");
+  const u32 version = r.u32v();
+  if (version != kReproFormatVersion)
+    throw SerializeError("unsupported .emmrepro version " + std::to_string(version));
+  const u64 schema = r.u64v();
+  if (schema != serializeSchemaFingerprint())
+    throw SerializeError(".emmrepro written by a different serialization schema");
+  const u64 digest = r.u64v();
+  const std::string body = r.str();
+  r.expectEnd();
+  if (digestBytes(body) != digest) throw SerializeError(".emmrepro payload digest mismatch");
+
+  ByteReader p(body);
+  Repro out;
+  out.program.seed = p.u64v();
+  out.program.index = p.u64v();
+  const u64 nparams = p.count(8);
+  for (u64 i = 0; i < nparams; ++i) out.program.paramValues.push_back(p.i64v());
+  out.program.block = deserializeProgramBlock(p.str());
+  out.failedCheck = p.str();
+  out.detail = p.str();
+  p.expectEnd();
+  if (out.program.paramValues.size() != static_cast<size_t>(out.program.block.nparam()))
+    throw SerializeError(".emmrepro parameter count does not match the block");
+  return out;
+}
+
+void writeReproFile(const std::string& path, const Repro& repro) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  EMM_REQUIRE(f.good(), "cannot open " + path + " for writing");
+  const std::string bytes = serializeRepro(repro);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.flush();
+  EMM_REQUIRE(f.good(), "write failed for " + path);
+}
+
+Repro readReproFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EMM_REQUIRE(f.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return deserializeRepro(buf.str());
+}
+
+}  // namespace emm::testgen

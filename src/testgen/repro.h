@@ -1,0 +1,52 @@
+// .emmrepro: self-contained reproducer files for fuzzer findings.
+//
+// A divergence found by a sweep is dumped as one file holding the
+// (minimized) program itself — not just a seed, since minimized programs
+// are not regenerable — plus the failed check and a human-readable detail
+// string. `emmfuzz --replay=FILE` loads it and re-runs the differential
+// harness, so a finding reported from a nightly run reproduces locally with
+// zero setup.
+//
+// Format (all via support/serialize's little-endian ByteWriter):
+//   magic "EMMREPRO"            8 bytes
+//   u32   kReproFormatVersion
+//   u64   serializeSchemaFingerprint()   (reject cross-schema files cleanly)
+//   u64   payload digest (digestBytes)
+//   str   payload:
+//     u64 seed, u64 index, paramValues (count + i64 each),
+//     str serializeProgramBlock(block), str failedCheck, str detail
+//
+// The reader is hostile-input safe: every malformation — bad magic, alien
+// version or schema, digest mismatch, truncation, trailing bytes, a block
+// the IR validator rejects, a parameter-count mismatch — throws
+// SerializeError, never crashes or aborts.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/serialize.h"
+#include "testgen/generator.h"
+
+namespace emm::testgen {
+
+inline constexpr u32 kReproFormatVersion = 1;
+
+/// One reproducer: the failing (usually minimized) program and what failed.
+struct Repro {
+  GeneratedProgram program;
+  std::string failedCheck;
+  std::string detail;
+};
+
+std::string serializeRepro(const Repro& repro);
+/// Throws SerializeError on any malformation.
+Repro deserializeRepro(std::string_view bytes);
+
+/// File helpers. Writing throws ApiError on I/O failure; reading throws
+/// ApiError when the file is unreadable and SerializeError when its
+/// contents are malformed.
+void writeReproFile(const std::string& path, const Repro& repro);
+Repro readReproFile(const std::string& path);
+
+}  // namespace emm::testgen

@@ -1,0 +1,60 @@
+// Deterministic PRNG for the differential test generator.
+//
+// The generator's whole value rests on replayability: `emmfuzz --seed=N`
+// must produce byte-identical programs on every host and build, so the
+// subsystem owns its own generator instead of std::mt19937 + distributions
+// (whose distribution algorithms are implementation-defined). SplitMix64 is
+// tiny, fast, passes BigCrush, and — critically — is specified entirely in
+// terms of u64 arithmetic, so two builds can never disagree on a stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/checked_int.h"
+
+namespace emm::testgen {
+
+using u64 = std::uint64_t;
+
+/// SplitMix64 stream. Every draw is a fixed function of the 64-bit state.
+class Rng {
+public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  i64 range(i64 lo, i64 hi) {
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>(next() % span);
+  }
+
+  /// True with probability `percent` / 100.
+  bool chance(int percent) { return range(0, 99) < percent; }
+
+  /// Uniform pick from a non-empty candidate list.
+  template <typename T>
+  const T& pick(const std::vector<T>& candidates) {
+    return candidates[static_cast<size_t>(range(0, static_cast<i64>(candidates.size()) - 1))];
+  }
+
+private:
+  u64 state_;
+};
+
+/// Mixes a base seed with a program index into an independent stream seed,
+/// so program k of seed s never shares a prefix with program k+1.
+inline u64 mixSeed(u64 seed, u64 index) {
+  u64 z = seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return z ^ (z >> 27);
+}
+
+}  // namespace emm::testgen

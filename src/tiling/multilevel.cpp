@@ -1,6 +1,7 @@
 #include "tiling/multilevel.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "codegen/scan.h"
 
@@ -30,6 +31,22 @@ BoundExpr boundOverParams(const std::vector<DivExpr>& parts, bool isLower, int l
   return toBoundExpr(stripped, isLower, {}, paramNames);
 }
 
+/// Order-insensitive equality of two bound-part sets. The tiler fuses every
+/// statement into one rectangular loop nest with no per-statement guards, so
+/// the statements' bounds must agree as *expressions*, not merely in count:
+/// two single-part bounds N-1 and N-2 describe different domains, and fusing
+/// them silently executes the smaller statement one iteration out of bounds.
+bool sameBoundParts(std::vector<DivExpr> a, std::vector<DivExpr> b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const DivExpr& e) { return std::make_pair(e.den, e.coeffs); };
+  auto less = [&](const DivExpr& x, const DivExpr& y) { return key(x) < key(y); };
+  std::sort(a.begin(), a.end(), less);
+  std::sort(b.begin(), b.end(), less);
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i].den != b[i].den || a[i].coeffs != b[i].coeffs) return false;
+  return true;
+}
+
 }  // namespace
 
 std::vector<DimBounds> rectangularLoopBounds(const ProgramBlock& block, int depth) {
@@ -51,7 +68,7 @@ std::vector<DimBounds> rectangularLoopBounds(const ProgramBlock& block, int dept
         out[l] = b;
         first = false;
       } else {
-        EMM_REQUIRE(b.lower.size() == out[l].lower.size() && b.upper.size() == out[l].upper.size(),
+        EMM_REQUIRE(sameBoundParts(b.lower, out[l].lower) && sameBoundParts(b.upper, out[l].upper),
                     "tiler requires identical loop bounds across statements");
       }
     }

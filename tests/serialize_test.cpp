@@ -7,11 +7,13 @@
 
 #include <cmath>
 #include <limits>
+#include <random>
 
 #include "driver/compiler.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
 #include "support/serialize.h"
+#include "testgen/generator.h"
 
 namespace emm {
 namespace {
@@ -300,6 +302,103 @@ TEST(PlanDecode, TrailingGarbageIsRejected) {
   std::string bytes = serializeCompileResult(compileKernel("matmul", "c"));
   bytes += "extra";
   EXPECT_THROW(deserializeCompileResult(bytes), SerializeError);
+}
+
+// ---- Structure-aware mutation fuzzing. ----
+//
+// The decoders' contract is total: for ANY byte string, deserialization
+// either succeeds or throws SerializeError — no other exception type, no
+// crash, no UB (the CI sanitizer jobs run this file under ASan+UBSan).
+// Mutating real encodings probes much deeper than random bytes: most
+// mutants keep a valid prefix, so the corruption lands mid-stream on
+// length fields, tags, and counts.
+
+/// Applies one seeded structural mutation: bit flip, byte overwrite,
+/// truncation, range duplication (stretches lengths), or range deletion.
+std::string mutateBytes(const std::string& base, std::mt19937_64& rng) {
+  std::string m = base;
+  const auto pos = [&](size_t n) { return static_cast<size_t>(rng() % std::max<size_t>(n, 1)); };
+  switch (rng() % 5) {
+    case 0:  // single bit flip
+      m[pos(m.size())] ^= static_cast<char>(1u << (rng() % 8));
+      break;
+    case 1:  // byte overwrite with an interesting value
+      m[pos(m.size())] = static_cast<char>(std::array<unsigned char, 6>{
+          0x00, 0xFF, 0x7F, 0x80, 0x01, 0xFE}[rng() % 6]);
+      break;
+    case 2:  // truncate
+      m.resize(pos(m.size()));
+      break;
+    case 3: {  // duplicate a short range in place
+      const size_t at = pos(m.size());
+      const size_t len = 1 + pos(16);
+      m.insert(at, m.substr(at, std::min(len, m.size() - at)));
+      break;
+    }
+    default: {  // delete a short range
+      const size_t at = pos(m.size());
+      m.erase(at, 1 + pos(8));
+      break;
+    }
+  }
+  return m;
+}
+
+/// Every mutant must decode cleanly or throw SerializeError; anything else
+/// (std::bad_alloc, std::length_error, a sanitizer abort) fails the test.
+template <typename Decode>
+void expectTotalDecoder(const std::string& base, u64 seed, int mutants, Decode decode) {
+  std::mt19937_64 rng(seed);
+  int rejected = 0, accepted = 0;
+  for (int i = 0; i < mutants; ++i) {
+    const std::string m = mutateBytes(base, rng);
+    try {
+      decode(m);
+      ++accepted;
+    } catch (const SerializeError&) {
+      ++rejected;
+    }
+  }
+  // Sanity: the corpus is actually adversarial — the vast majority of
+  // mutants must be rejections, not silent accepts of corrupt data.
+  EXPECT_GT(rejected, accepted);
+  EXPECT_GT(rejected, mutants / 2);
+}
+
+TEST(PlanDecodeFuzz, MutatedCompileResultsNeverEscapeSerializeError) {
+  // Bases from both hand-built kernels and generator-produced programs:
+  // generated blocks carry odd shapes (transposed writes, broadcast rows,
+  // parametric bounds) that the kernel corpus alone never encodes.
+  std::vector<std::string> bases;
+  bases.push_back(serializeCompileResult(compileKernel("matmul", "c")));
+  bases.push_back(serializeCompileResult(compileKernel("me", "cuda")));
+  testgen::ProgramGenerator gen;
+  for (u64 i : {u64(3), u64(9)}) {  // indices that compile to full plans
+    testgen::GeneratedProgram p = gen.generate(i);
+    Compiler c(p.block);
+    c.opts().innerProcs = 4;
+    c.parameters(p.paramValues);
+    CompileResult r = c.compile();
+    ASSERT_TRUE(r.ok) << r.firstError();
+    bases.push_back(serializeCompileResult(r));
+  }
+  u64 seed = 0xfeedULL;
+  for (const std::string& base : bases) {
+    SCOPED_TRACE(base.size());
+    expectTotalDecoder(base, seed++, 300,
+                       [](const std::string& m) { (void)deserializeCompileResult(m); });
+  }
+}
+
+TEST(PlanDecodeFuzz, MutatedProgramBlocksNeverEscapeSerializeError) {
+  testgen::ProgramGenerator gen;
+  u64 seed = 0xbeadULL;
+  for (u64 i = 0; i < 4; ++i) {
+    const std::string base = serializeProgramBlock(gen.generate(i).block);
+    SCOPED_TRACE(i);
+    expectTotalDecoder(base, seed++, 300,
+                       [](const std::string& m) { (void)deserializeProgramBlock(m); });
+  }
 }
 
 }  // namespace

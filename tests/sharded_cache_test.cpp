@@ -18,7 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include "driver/compiler.h"
 #include "driver/plan_cache.h"
+#include "testgen/generator.h"
 
 namespace emm {
 namespace {
@@ -246,6 +248,61 @@ TEST(ShardedCache, FamilyTierEvictsPerShardAndGuardsDigests) {
   // snapshot path too (the second probe is served lock-free).
   EXPECT_EQ(cache.lookupFamily(keys[2], 12), nullptr);
   EXPECT_EQ(cache.lookupFamily(keys[2], 12), nullptr);
+}
+
+TEST(ShardedCache, FamilyTierHitsRetouchOnTheSnapshotFastPath) {
+  // Regression test: family-tier lookups must refresh recency like the
+  // result tier does — including hits served lock-free from a published
+  // snapshot. Before the fix, the family order was insertion-only, so a
+  // hot family was evicted the moment two colder ones arrived.
+  PlanCache cache(2, 1);  // single shard, two family slots
+  ASSERT_EQ(cache.shardCount(), 1u);
+  const std::vector<FamilyKey> keys = familyKeysOnShard(cache, 0, 3);
+  cache.insertFamily(keys[0], 11, std::make_shared<FamilyPlan>());
+  cache.insertFamily(keys[1], 11, std::make_shared<FamilyPlan>());
+  // Both inserts republished the snapshot, so this hit is served from the
+  // lock-free path — and must still move keys[0] to most-recently-used.
+  ASSERT_NE(cache.lookupFamily(keys[0], 11), nullptr);
+  cache.insertFamily(keys[2], 11, std::make_shared<FamilyPlan>());
+  // The untouched keys[1] is the LRU victim; the hot keys[0] survives.
+  EXPECT_NE(cache.lookupFamily(keys[0], 11), nullptr);
+  EXPECT_EQ(cache.lookupFamily(keys[1], 11), nullptr);
+  EXPECT_NE(cache.lookupFamily(keys[2], 11), nullptr);
+  EXPECT_EQ(cache.stats().familyEvictions, 1);
+}
+
+TEST(ShardedCache, ConcurrentBatchMatchesSingleThreadedCompile) {
+  // Concurrency differential: one generated program, 32 copies compiled
+  // through the batch path at 8 workers over a sharded cache, must produce
+  // results byte-identical to an isolated single-threaded compile — cache
+  // sharing and single-flight collapsing must never change the artifact.
+  testgen::ProgramGenerator gen;
+  const testgen::GeneratedProgram p = gen.generate(3);  // compiles to a unit
+
+  Compiler ref(p.block);
+  ref.opts().innerProcs = 4;
+  ref.parameters(p.paramValues);
+  const CompileResult r0 = ref.compile();
+  ASSERT_TRUE(r0.ok) << r0.firstError();
+  ASSERT_NE(r0.unit(), nullptr);
+  const std::string refArtifact = r0.artifact;
+  ASSERT_FALSE(refArtifact.empty());
+
+  PlanCache cache(64, 4);
+  Compiler c(p.block);
+  c.opts().innerProcs = 4;
+  c.parameters(p.paramValues).cache(&cache).jobs(8);
+  std::vector<ProgramBlock> blocks(32, p.block);
+  const std::vector<CompileResult> results = c.compileBatch(std::move(blocks));
+  ASSERT_EQ(results.size(), 32u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(results[i].ok) << results[i].firstError();
+    EXPECT_EQ(results[i].artifact, refArtifact);
+    EXPECT_EQ(results[i].search.subTile, r0.search.subTile);
+    EXPECT_EQ(results[i].search.eval.cost, r0.search.eval.cost);  // bit-identical
+    ASSERT_NE(results[i].unit(), nullptr);
+  }
 }
 
 TEST(ShardedCache, ZipfianHammerCountersAreExact) {

@@ -1,0 +1,157 @@
+// emmfuzz: differential fuzzing driver for the compilation pipeline.
+//
+// Generates seeded random affine programs (src/testgen) and checks each one
+// end to end against the interpreter oracle: transformed+tiled execution,
+// the parametric/concrete tile-analysis toggle, plan serialization round
+// trips, and (by default) compile-over-the-wire through an in-process
+// ServiceServer on a private socket. Divergences are delta-minimized and
+// dumped as .emmrepro files for replay.
+//
+//   emmfuzz --programs=500 --seed=7            # sweep; exit 1 on divergence
+//   emmfuzz --programs=2000 --time-budget=300  # nightly budgeted run
+//   emmfuzz --replay=finding.emmrepro          # re-check one reproducer
+//   emmfuzz --plant-bug --programs=200         # self-test: must find+shrink
+//
+// Same seed => byte-identical program stream and identical verdicts, on any
+// host: the generator owns its PRNG and the pipeline is deterministic.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "service/server.h"
+#include "support/cli.h"
+#include "support/diagnostics.h"
+#include "testgen/diff_runner.h"
+#include "testgen/minimize.h"
+#include "testgen/planted_bug.h"
+#include "testgen/repro.h"
+
+namespace fs = std::filesystem;
+using namespace emm;
+using namespace emm::testgen;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: emmfuzz [--programs=N] [--seed=S] [--time-budget=SECONDS]\n"
+    "               [--out-dir=DIR] [--max-statements=N] [--no-wire]\n"
+    "               [--no-parametric] [--no-serialize] [--no-minimize]\n"
+    "               [--wire=SOCKET] [--plant-bug] [--replay=FILE] [--quiet]\n";
+
+/// Private in-process daemon for the wire check; socket removed on exit.
+struct InProcessServer {
+  std::string socketPath;
+  svc::ServiceServer server;
+
+  explicit InProcessServer(std::string path)
+      : socketPath(std::move(path)), server({socketPath, /*jobs=*/2, "", 256, 1}) {
+    ::unlink(socketPath.c_str());
+    server.start();
+  }
+  ~InProcessServer() {
+    server.stop();
+    ::unlink(socketPath.c_str());
+  }
+};
+
+int replay(const std::string& path, DiffOptions diff, bool quiet) {
+  Repro repro = readReproFile(path);
+  if (!quiet) {
+    std::printf("replaying %s (recorded check: %s)\n%s", path.c_str(),
+                repro.failedCheck.empty() ? "?" : repro.failedCheck.c_str(),
+                describeProgram(repro.program).c_str());
+    if (!repro.detail.empty()) std::printf("  recorded detail: %s\n", repro.detail.c_str());
+  }
+  DiffRunner runner(diff);
+  const DiffResult result = runner.run(repro.program);
+  if (result.ok) {
+    std::printf("emmfuzz: replay PASSES now (%s)\n",
+                result.fellBack ? "clean fallback" : "compiled and matched the oracle");
+    return 0;
+  }
+  std::printf("emmfuzz: replay still diverges [%s] %s\n", result.failedCheck.c_str(),
+              result.detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Args args(argc, argv);
+  const i64 programs = args.integer("programs", 200);
+  const u64 seed = static_cast<u64>(args.integer("seed", 1));
+  const i64 timeBudget = args.integer("time-budget", 0);
+  const std::string outDir = args.str("out-dir", ".");
+  const i64 maxStatements = args.integer("max-statements", 3);
+  const bool noWire = args.flag("no-wire");
+  const bool noParametric = args.flag("no-parametric");
+  const bool noSerialize = args.flag("no-serialize");
+  const bool noMinimize = args.flag("no-minimize");
+  const std::string wireSocket = args.str("wire", "");
+  const bool plantBug = args.flag("plant-bug");
+  const std::string replayFile = args.str("replay", "");
+  const bool quiet = args.flag("quiet");
+  if (!args.validate(kUsage)) return 2;
+
+  try {
+    SweepOptions sweep;
+    sweep.gen.seed = seed;
+    sweep.gen.maxStatements = static_cast<int>(maxStatements);
+    sweep.programs = static_cast<u64>(programs);
+    sweep.timeBudgetSeconds = static_cast<double>(timeBudget);
+    sweep.minimize = !noMinimize;
+    sweep.diff.checkParametric = !noParametric;
+    sweep.diff.checkSerialize = !noSerialize;
+    if (plantBug) {
+      // Self-test mode: the planted tiler bug exists only in the local
+      // pipeline, so the wire view (a clean server) stays out of the loop.
+      sweep.diff.configureCompiler = plantTilerBug;
+      sweep.diff.checkWire = false;
+    }
+
+    // Wire view: an external daemon when --wire=SOCK is given, otherwise a
+    // private in-process server (unless --no-wire).
+    std::unique_ptr<InProcessServer> server;
+    if (!plantBug && !wireSocket.empty()) {
+      sweep.diff.checkWire = true;
+      sweep.diff.wireSocket = wireSocket;
+    } else if (!plantBug && !noWire) {
+      const std::string path =
+          (fs::temp_directory_path() / ("emmfuzz_" + std::to_string(::getpid()) + ".sock"))
+              .string();
+      server = std::make_unique<InProcessServer>(path);
+      sweep.diff.checkWire = true;
+      sweep.diff.wireSocket = path;
+    }
+
+    if (!replayFile.empty()) return replay(replayFile, sweep.diff, quiet);
+
+    fs::create_directories(outDir);
+    i64 findings = 0;
+    sweep.onFinding = [&](const SweepFinding& finding) {
+      ++findings;
+      const std::string file =
+          (fs::path(outDir) / ("finding_s" + std::to_string(finding.program.seed) + "_p" +
+                               std::to_string(finding.program.index) + ".emmrepro"))
+              .string();
+      writeReproFile(file, {finding.minimized, finding.result.failedCheck, finding.result.detail});
+      std::printf("emmfuzz: DIVERGENCE [%s] %s\n", finding.result.failedCheck.c_str(),
+                  finding.result.detail.c_str());
+      std::printf("  reproducer written to %s (%zu -> %zu statements)\n", file.c_str(),
+                  finding.program.block.statements.size(),
+                  finding.minimized.block.statements.size());
+      if (!quiet) std::fputs(describeProgram(finding.minimized).c_str(), stdout);
+    };
+
+    const SweepStats stats = runDifferentialSweep(sweep);
+    std::printf("emmfuzz: seed=%llu programs=%lld compiled=%lld fallbacks=%lld divergences=%lld\n",
+                static_cast<unsigned long long>(seed), stats.programs, stats.compiled,
+                stats.fallbacks, stats.divergences);
+    return stats.divergences == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "emmfuzz: fatal: %s\n", e.what());
+    return 2;
+  }
+}
