@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "driver/backend.h"
 #include "driver/compiler.h"
 #include "driver/plan_cache.h"
 #include "kernels/me_pipeline.h"
@@ -92,18 +93,23 @@ int main() {
               "tile");
   PlanCache cache;
   double coldTotal = 0, warmTotal = 0;
+  std::uint64_t warmEmits = 0;
   bool first = true;
   for (i64 points : sizes) {
     const i64 nj = 1024, ni = points / nj, w = 16;
     double coldMs = 0, warmMs = 0;
     CompileResult cold = compileMe(ni, nj, w, nullptr, &coldMs);
+    const std::uint64_t emitsBefore = emitterInvocations();
     CompileResult warm = compileMe(ni, nj, w, &cache, &warmMs);
+    warmEmits += emitterInvocations() - emitsBefore;
     require(cold.ok && warm.ok, "compile failed");
     require(warm.artifact == cold.artifact, "per-size artifact mismatch");
     require(warm.search.subTile == cold.search.subTile, "chosen tile mismatch");
     require(warm.familyHit == !first, first ? "first size must build the family"
                                             : "missing family hit");
     require(warm.search.familyAdopted == !first, "family plan not adopted");
+    require(warm.artifactBound == !first, first ? "first size must emit the record"
+                                                : "warm size must bind, not re-emit");
     coldTotal += coldMs;
     warmTotal += warmMs;
     std::string tile;
@@ -115,8 +121,10 @@ int main() {
   PlanCache::Stats s = cache.stats();
   require(s.familyMisses == 1, "sweep must perform exactly one cold pipeline run");
   require(s.familyHits == static_cast<i64>(sizes.size()) - 1, "family hit per warm size");
+  require(warmEmits == 1, "warm sweep must invoke the emitter exactly once per family");
   std::printf("  sweep totals: %.1f ms cold vs %.1f ms shared-plan (%.1fx); "
-              "%lld family hits / %lld misses\n",
-              coldTotal, warmTotal, coldTotal / warmTotal, s.familyHits, s.familyMisses);
+              "%lld family hits / %lld misses; %llu artifact emitted for %zu sizes\n",
+              coldTotal, warmTotal, coldTotal / warmTotal, s.familyHits, s.familyMisses,
+              static_cast<unsigned long long>(warmEmits), sizes.size());
   return 0;
 }

@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "codegen/artifact_info.h"
 #include "ir/ast.h"
 
 namespace emm {
@@ -47,9 +48,20 @@ struct CellEmitOptions {
   bool doubleBuffer = false;
   i64 localStoreBudgetBytes = 256 * 1024;
   i64 elementBytes = 4;  ///< sizeof(elementType), for the fit check
+  /// Size-generic emission: global-array strides become runtime SPE
+  /// arguments and the launch stub forwards argument names. Local-store
+  /// arrays are static (C forbids variable extents there), so every extent
+  /// that depends on a bound size parameter is pinned by a BufExtentEq
+  /// guard — inside the guarded envelope the folded declarations, the
+  /// double-buffer fit verdict and the artifact text are all invariant.
+  bool symbolicSizes = false;
 };
 
 /// Renders the unit as an SPE kernel plus a PPU-side launch stub.
 std::string emitCell(const CodeUnit& unit, const CellEmitOptions& options);
+
+/// As above; `info` (optional) receives the artifact's bind slots and guard
+/// predicates when symbolic emission is on.
+std::string emitCell(const CodeUnit& unit, const CellEmitOptions& options, ArtifactInfo* info);
 
 }  // namespace emm

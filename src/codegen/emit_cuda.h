@@ -20,9 +20,12 @@
 
 #include <string>
 
+#include "codegen/artifact_info.h"
 #include "ir/ast.h"
 
 namespace emm {
+
+struct BufferLayout;
 
 struct CudaEmitOptions {
   /// Binding for the block's leading (non-origin) parameters, used to fold
@@ -33,9 +36,22 @@ struct CudaEmitOptions {
   int numBoundParams = -1;  ///< -1: paramValues.size()
   std::string kernelName = "emmap_kernel";
   std::string elementType = "float";
+  /// Size-generic emission: problem sizes and global-array strides stay
+  /// runtime kernel arguments, shared buffers live in a dynamic
+  /// `extern __shared__` arena addressed through the BufferLayout's
+  /// closed-form offset/pitch expressions. Requires a layout whenever the
+  /// unit has local buffers; without one the emitter falls back to folded
+  /// extents and reports the artifact as not size-generic.
+  bool symbolicSizes = false;
 };
 
 /// Renders the unit as a single CUDA kernel plus a host-side launch stub.
 std::string emitCuda(const CodeUnit& unit, const CudaEmitOptions& options);
+
+/// As above; `layout` supplies the packed-arena geometry for symbolic
+/// emission and `info` (optional) receives the artifact's bind slots and
+/// size-generic verdict.
+std::string emitCuda(const CodeUnit& unit, const CudaEmitOptions& options,
+                     const BufferLayout* layout, ArtifactInfo* info);
 
 }  // namespace emm

@@ -1,5 +1,7 @@
 #include "driver/backend.h"
 
+#include <atomic>
+
 #include "codegen/emit_cell.h"
 #include "codegen/emit_cuda.h"
 #include "ir/emit.h"
@@ -9,12 +11,40 @@ namespace emm {
 
 namespace {
 
+/// Relaxed is enough: the benches read deltas after joining all work.
+std::atomic<std::uint64_t> g_emitterInvocations{0};
+
+void countEmit() { g_emitterInvocations.fetch_add(1, std::memory_order_relaxed); }
+
 /// Plain C rendering (ir/emit.h): the inspection/verification target every
-/// example prints and the interpreter-backed tests read.
+/// example prints and the interpreter-backed tests read. The text is
+/// already size-generic — sizes appear as named parameters, local extents
+/// print their closed-form bound expressions — so the only runtime slots
+/// are the size parameters themselves.
 class CBackend : public Backend {
 public:
   CBackend() : Backend("c") {}
-  std::string emit(const CodeUnit& unit, const CompileOptions&) const override {
+  std::string emit(const CodeUnit& unit, const CompileOptions& options) const override {
+    return emit(unit, options, nullptr, nullptr);
+  }
+  std::string emit(const CodeUnit& unit, const CompileOptions& options,
+                   const BufferLayout* layout, ArtifactInfo* info) const override {
+    (void)layout;
+    countEmit();
+    if (info != nullptr) {
+      info->sizeGeneric = options.runtimeSizeArgs;
+      if (options.runtimeSizeArgs && unit.source != nullptr) {
+        int bound = options.numBoundParams < 0 ? static_cast<int>(options.paramValues.size())
+                                               : options.numBoundParams;
+        for (int j = 0; j < bound; ++j) {
+          BindSlot s;
+          s.name = unit.source->paramNames[j];
+          s.kind = BindSlot::Kind::SizeParam;
+          s.a = j;
+          info->slots.push_back(std::move(s));
+        }
+      }
+    }
     return emitC(unit);
   }
 };
@@ -25,7 +55,12 @@ class CudaBackend : public Backend {
 public:
   CudaBackend() : Backend("cuda") {}
   std::string emit(const CodeUnit& unit, const CompileOptions& options) const override {
-    return emitCuda(unit, options.cudaEmitOptions());
+    return emit(unit, options, nullptr, nullptr);
+  }
+  std::string emit(const CodeUnit& unit, const CompileOptions& options,
+                   const BufferLayout* layout, ArtifactInfo* info) const override {
+    countEmit();
+    return emitCuda(unit, options.cudaEmitOptions(), layout, info);
   }
 };
 
@@ -35,11 +70,19 @@ class CellBackend : public Backend {
 public:
   CellBackend() : Backend("cell") {}
   std::string emit(const CodeUnit& unit, const CompileOptions& options) const override {
-    return emitCell(unit, options.cellEmitOptions());
+    return emit(unit, options, nullptr, nullptr);
+  }
+  std::string emit(const CodeUnit& unit, const CompileOptions& options,
+                   const BufferLayout* layout, ArtifactInfo* info) const override {
+    (void)layout;
+    countEmit();
+    return emitCell(unit, options.cellEmitOptions(), info);
   }
 };
 
 }  // namespace
+
+std::uint64_t emitterInvocations() { return g_emitterInvocations.load(std::memory_order_relaxed); }
 
 void BackendRegistry::add(std::unique_ptr<Backend> backend) {
   EMM_REQUIRE(backend != nullptr, "null backend");

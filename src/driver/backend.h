@@ -9,14 +9,18 @@
 // touching the pipeline.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "codegen/artifact_info.h"
 #include "driver/options.h"
 #include "ir/ast.h"
 
 namespace emm {
+
+struct BufferLayout;
 
 class Backend {
 public:
@@ -26,9 +30,31 @@ public:
   /// Renders the unit as target source text.
   virtual std::string emit(const CodeUnit& unit, const CompileOptions& options) const = 0;
 
+  /// Size-generic emission entry point: `layout` carries the packed-arena
+  /// geometry formulas, `info` (optional) receives the artifact's bind
+  /// slots, guards and size-generic verdict. The default forwards to the
+  /// two-argument form and reports the artifact as size-baked, so external
+  /// backends keep working unchanged (their families simply stay on the
+  /// bind-and-emit warm path).
+  virtual std::string emit(const CodeUnit& unit, const CompileOptions& options,
+                           const BufferLayout* layout, ArtifactInfo* info) const {
+    (void)layout;
+    if (info != nullptr) {
+      info->sizeGeneric = false;
+      info->note = "backend '" + name_ + "' has no size-generic emission";
+    }
+    return emit(unit, options);
+  }
+
 private:
   std::string name_;
 };
+
+/// Process-wide count of built-in emitter invocations (c/cuda/cell). The
+/// fig4/fig5 sweeps and bench/svc_family_bind assert on deltas of this
+/// counter: a warmed family must serve every further size with ZERO new
+/// emissions.
+std::uint64_t emitterInvocations();
 
 /// Name -> Backend lookup. global() is pre-seeded with the "c" and "cuda"
 /// backends; additional targets register at startup or from user code.

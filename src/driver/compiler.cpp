@@ -6,6 +6,7 @@
 #include "driver/disk_cache.h"
 #include "driver/family_plan.h"
 #include "driver/plan_cache.h"
+#include "driver/runtime_binder.h"
 #include "support/serialize.h"
 #include "support/diagnostics.h"
 #include "support/fingerprint.h"
@@ -32,6 +33,8 @@ CompileResult CompileResult::clone() const {
   out.cacheHit = cacheHit;
   out.diskHit = diskHit;
   out.familyHit = familyHit;
+  out.artifactBound = artifactBound;
+  out.boundArgs = boundArgs;
   out.diagnostics = diagnostics;
   out.timings = timings;
   return out;
@@ -265,12 +268,30 @@ CompileResult Compiler::computeWithDiskTier(const PlanKey& key) {
     family = disk->lookupFamily(fkey, famBlockDigest, famOptionsDigest);
     if (family != nullptr && cache_ != nullptr) cache_->insertFamily(fkey, fdigest, family);
   }
+  // Binder fast path: a size-generic family record serves this size with
+  // no pipeline run and no emission. The per-size disk entry is skipped on
+  // purpose — the family record already covers every in-envelope size, so
+  // writing one .emmplan per size would just duplicate it. The family key
+  // deliberately ignores a skipped codegen pass, so an artifact-less
+  // request must not be answered with the record's artifact.
+  const bool codegenSkipped =
+      std::find(skipped_.begin(), skipped_.end(), "codegen") != skipped_.end();
+  std::vector<Diagnostic> bindDiags;
+  if (family != nullptr && family->haveRecord && source_.has_value() && !codegenSkipped) {
+    if (std::optional<CompileResult> bound =
+            bindFamilyArtifact(*family, *source_, opts, &bindDiags))
+      return std::move(*bound);
+  }
   std::shared_ptr<FamilyPlan> produced;
   CompileResult result = runPipeline(family, &produced);
+  // Surface why the binder fell back ahead of the pipeline's diagnostics.
+  if (!bindDiags.empty())
+    result.diagnostics.insert(result.diagnostics.begin(), bindDiags.begin(), bindDiags.end());
   if (result.ok) {
     // Publish the family products of a cold run before the per-size entry,
     // so a racing sweep member sees the family as soon as the plan exists.
     if (produced != nullptr) {
+      attachFamilyRecord(*produced, result, opts);
       if (cache_ != nullptr) cache_->insertFamily(fkey, fdigest, produced);
       if (disk != nullptr) disk->insertFamily(fkey, famBlockDigest, famOptionsDigest, produced);
     }
@@ -279,6 +300,24 @@ CompileResult Compiler::computeWithDiskTier(const PlanKey& key) {
     if (disk != nullptr) disk->insert(key, opts, result);
   }
   return result;
+}
+
+std::optional<CompileResult> Compiler::tryBindFamily(const ProgramBlock& block) {
+  if (cache_ == nullptr || !replacements_.empty()) return std::nullopt;
+  if (std::find(skipped_.begin(), skipped_.end(), "codegen") != skipped_.end())
+    return std::nullopt;
+  const CompileOptions opts = effectiveOptions();
+  const ProgramBlock famBlock = familyCanonicalBlock(block);
+  const CompileOptions famOptions = familyCanonicalOptions(opts);
+  FamilyKey fkey;
+  fkey.block = hashProgramBlock(famBlock);
+  fkey.options = hashCompileOptions(famOptions);
+  fkey.passes = familyPassesDigest(skipped_);
+  const u64 fdigest = hashCombine(digestBytes(serializeProgramBlock(famBlock)),
+                                  digestBytes(serializeCompileOptions(famOptions)));
+  std::shared_ptr<const FamilyPlan> family = cache_->lookupFamily(fkey, fdigest);
+  if (family == nullptr || !family->haveRecord) return std::nullopt;
+  return bindFamilyArtifact(*family, block, opts, nullptr);
 }
 
 CompileResult Compiler::runPipeline(std::shared_ptr<const FamilyPlan> familyIn,

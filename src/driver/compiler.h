@@ -68,6 +68,16 @@ struct CompileResult : PipelineProducts {
   /// transport flag: cache replays of a family-instantiated plan report
   /// their own tier instead.
   bool familyHit = false;
+  /// True when this result was BOUND from the family's size-generic record
+  /// (RuntimeBinder): no pipeline run and no emission happened — the
+  /// artifact text is the record's, verbatim, and `boundArgs` carries the
+  /// runtime kernel-argument values for the requested size. Implies
+  /// familyHit. Transport-only: never serialized, cache replays re-derive
+  /// their own tier flags.
+  bool artifactBound = false;
+  /// Runtime kernel arguments filled by the binder, in signature order
+  /// (empty unless artifactBound).
+  std::vector<std::pair<std::string, i64>> boundArgs;
   std::vector<Diagnostic> diagnostics;
   std::vector<PassTiming> timings;  ///< one entry per pipeline pass, in order
 
@@ -194,6 +204,15 @@ public:
   /// pipeline per kernel, not one per size. Duplicate blocks resolve via
   /// the per-size cache tier as before.
   std::vector<CompileResult> compileBatch(std::vector<ProgramBlock> blocks);
+
+  /// Family fast path for services: resolves the block's family in the
+  /// ATTACHED MEMORY cache only (lock-free snapshot read) and, when the
+  /// family carries a size-generic record, serves the request via
+  /// RuntimeBinder — guard check plus argument fill, no pipeline run, no
+  /// emission, no disk I/O. Returns nullopt on any miss or guard
+  /// rejection; the caller then dispatches a full compile. Cheap enough to
+  /// run on a connection thread ahead of the compile pool.
+  std::optional<CompileResult> tryBindFamily(const ProgramBlock& block);
 
 private:
   CompileOptions effectiveOptions() const;

@@ -36,12 +36,13 @@
 #include <vector>
 
 #include "deps/dependence.h"
+#include "driver/options.h"
 #include "tilesearch/parametric_plan.h"
 #include "transform/transform.h"
 
 namespace emm {
 
-struct CompileOptions;
+struct CompileResult;
 
 using u64 = std::uint64_t;
 
@@ -81,6 +82,20 @@ struct FamilyPlan {
   /// batch output so a family that degrades to per-size compiles is
   /// visible ("" when tilePlan is set or the path has no search).
   std::string parametricReason;
+
+  // ---- codegen tier (plan format v4) ----
+  /// Size-generic compiled record: the full products of the member that
+  /// built the family, stored when its artifact came out size-generic
+  /// (ArtifactInfo::sizeGeneric). Further members are then served by
+  /// RuntimeBinder::bindFamilyArtifact — guard validation plus an argument
+  /// fill against this ONE artifact, no pipeline run, no re-emission.
+  bool haveRecord = false;
+  /// Options the record was emitted under. The family key neutralizes the
+  /// codegen-only fields (backend, kernel name, element type, bound count),
+  /// so the binder re-checks them per request and falls back to
+  /// bind-and-emit on mismatch.
+  CompileOptions recordOptions;
+  std::shared_ptr<const CompileResult> record;
 };
 
 /// The block with its concrete problem sizes canonicalized away (array

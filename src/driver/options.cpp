@@ -33,6 +33,7 @@ CudaEmitOptions CompileOptions::cudaEmitOptions() const {
   c.numBoundParams = numBoundParams;
   c.kernelName = kernelName;
   c.elementType = elementType;
+  c.symbolicSizes = runtimeSizeArgs;
   return c;
 }
 
@@ -45,6 +46,7 @@ CellEmitOptions CompileOptions::cellEmitOptions() const {
   c.doubleBuffer = doubleBuffer;
   c.localStoreBudgetBytes = memLimitBytes;
   c.elementBytes = elementBytes;
+  c.symbolicSizes = runtimeSizeArgs;
   return c;
 }
 

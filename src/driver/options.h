@@ -103,6 +103,13 @@ struct CompileOptions {
   /// synchronous schedule (with a diagnostic comment) when it still does
   /// not fit.
   bool doubleBuffer = false;
+  /// Size-generic emission (runtime-size-bound codegen): problem sizes and
+  /// global-array strides stay runtime kernel arguments, buffer geometry is
+  /// folded in as guarded closed-form expressions, and a warmed family
+  /// serves every in-envelope size from ONE cached artifact via
+  /// RuntimeBinder — no re-emission. Off reproduces the historical
+  /// size-baked artifacts (and the bind-and-emit warm path).
+  bool runtimeSizeArgs = true;
 
   // ---- derived per-stage views ----
   SmemOptions smemOptions() const;

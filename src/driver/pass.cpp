@@ -70,6 +70,7 @@ PipelineProducts PipelineProducts::clone() const {
     out.blockPlan->block = remapBlock(blockPlan->block);
   }
   out.bufferLayout = bufferLayout;  // SymExpr nodes are immutable and shared
+  out.artifactInfo = artifactInfo;  // likewise: guards/slots share SymExpr nodes
   out.artifact = artifact;
   return out;
 }
@@ -412,9 +413,61 @@ public:
       s.warn(name(), "no code unit on this pipeline path; nothing to emit");
       return;
     }
-    s.artifact = backend->emit(*unit, s.options);
+    ArtifactInfo info;
+    const BufferLayout* layout = s.bufferLayout ? &*s.bufferLayout : nullptr;
+    s.artifact = backend->emit(*unit, s.options, layout, &info);
+    if (info.sizeGeneric) appendLayoutGuards(s, *unit, layout, info);
+    if (info.sizeGeneric)
+      s.note(name(), "size-generic artifact: " + std::to_string(info.slots.size()) +
+                         " bind slots, " + std::to_string(info.guards.size()) +
+                         " guard predicates");
+    else if (!info.note.empty())
+      s.note(name(), "artifact bakes sizes: " + info.note);
+    s.artifactInfo.emplace(std::move(info));
     s.note(name(), "emitted " + std::to_string(s.artifact.size()) + " bytes of " +
                        backend->name() + " source");
+  }
+
+private:
+  /// Backend-independent validity guards derived from the layout decisions
+  /// that were taken at this compile's sample sizes. A bound artifact is
+  /// byte-identical to a per-size compile exactly when those decisions
+  /// would repeat, so each one is pinned:
+  ///  - the packed-vs-flat verdict, via the arena-fits-budget inequality
+  ///    (a fallback layout is size-dependent and disables binding instead);
+  ///  - every conflict pad, by fixing the innermost extent the pad was
+  ///    chosen from wherever it depends on a problem size.
+  void appendLayoutGuards(CompileState& s, const CodeUnit& unit, const BufferLayout* layout,
+                          ArtifactInfo& info) {
+    if (layout == nullptr) return;
+    if (!layout->note.empty()) {
+      info.sizeGeneric = false;
+      info.note = "buffer layout fell back (" + layout->note +
+                  "); pad decisions are size-dependent, artifact stays per-size";
+      return;
+    }
+    std::vector<i64> sample(s.options.paramValues.begin(), s.options.paramValues.end());
+    sample.resize(unit.source == nullptr ? sample.size() : unit.source->paramNames.size(), 0);
+    const i64 limit =
+        s.options.doubleBuffer ? s.options.memLimitBytes / 2 : s.options.memLimitBytes;
+    FamilyGuard fit;
+    fit.kind = FamilyGuard::Kind::SymLe;
+    fit.lhs = SymExpr::mul(layout->totalElems, SymExpr::constant(layout->elementBytes));
+    fit.rhs = SymExpr::constant(limit);
+    fit.what = "packed arena exceeds the " + std::to_string(limit) + "-byte scratchpad budget";
+    info.guards.push_back(std::move(fit));
+    for (const BufferLayoutEntry& e : layout->buffers) {
+      if (e.extent.empty() || e.extent.back() == nullptr) continue;
+      const SymPtr& inner = e.extent.back();
+      if (inner->maxParamIndex() < 0) continue;
+      FamilyGuard g;
+      g.kind = FamilyGuard::Kind::SymEq;
+      g.lhs = inner;
+      g.rhs = SymExpr::constant(inner->eval(sample));
+      g.what = "conflict pad for " + e.name + " chosen at innermost extent " +
+               std::to_string(g.rhs->constValue());
+      info.guards.push_back(std::move(g));
+    }
   }
 };
 

@@ -71,6 +71,12 @@ struct PipelineProducts {
   /// through serialization so warm/family tiers serve packed layouts.
   std::optional<BufferLayout> bufferLayout;
 
+  /// Size-generic verdict, bind slots and guard predicates of the emitted
+  /// artifact (codegen pass output; see codegen/artifact_info.h). When
+  /// sizeGeneric, the family tier serves new sizes by RuntimeBinder lookup
+  /// instead of re-running the emitter.
+  std::optional<ArtifactInfo> artifactInfo;
+
   /// Rendered target source (codegen pass output).
   std::string artifact;
 

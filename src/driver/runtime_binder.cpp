@@ -1,0 +1,219 @@
+#include "driver/runtime_binder.h"
+
+#include <chrono>
+
+#include "driver/family_plan.h"
+#include "support/diagnostics.h"
+
+namespace emm {
+
+namespace {
+
+void explain(std::vector<Diagnostic>* diags, const std::string& message) {
+  if (diags != nullptr) diags->push_back({Severity::Note, "bind", message});
+}
+
+/// Same array table modulo extents: the record's blocks can adopt the
+/// request's arrays by plain assignment.
+bool sameArrayShape(const std::vector<ArrayDecl>& a, const std::vector<ArrayDecl>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i].name != b[i].name || a[i].extents.size() != b[i].extents.size()) return false;
+  return true;
+}
+
+}  // namespace
+
+void attachFamilyRecord(FamilyPlan& family, const CompileResult& result,
+                        const CompileOptions& options) {
+  if (!result.ok || !result.artifactInfo.has_value() || !result.artifactInfo->sizeGeneric)
+    return;
+  if (result.artifact.empty() || result.unit() == nullptr) return;
+  family.recordOptions = options;
+  family.record = std::make_shared<CompileResult>(result.clone());
+  family.haveRecord = true;
+}
+
+std::optional<CompileResult> bindFamilyArtifact(const FamilyPlan& family,
+                                                const ProgramBlock& request,
+                                                const CompileOptions& options,
+                                                std::vector<Diagnostic>* diagnostics) {
+  const auto start = std::chrono::steady_clock::now();
+  if (!family.haveRecord || family.record == nullptr) return std::nullopt;
+  const CompileResult& rec = *family.record;
+
+  // 1. Identity: the family key neutralizes the codegen-only options, so a
+  // record emitted for another target must not serve this request.
+  const CompileOptions& ro = family.recordOptions;
+  if (ro.backendName != options.backendName || ro.kernelName != options.kernelName ||
+      ro.elementType != options.elementType || ro.numBoundParams != options.numBoundParams ||
+      !options.runtimeSizeArgs) {
+    explain(diagnostics, "family record targets backend '" + ro.backendName +
+                             "' kernel '" + ro.kernelName + "'; request differs, bind-and-emit");
+    return std::nullopt;
+  }
+  const IntVec& sizes = options.paramValues;
+  if (rec.input == nullptr || rec.unit() == nullptr || !rec.artifactInfo.has_value() ||
+      !sameArrayShape(rec.input->arrays, request.arrays)) {
+    explain(diagnostics, "request array table does not match the family record");
+    return std::nullopt;
+  }
+
+  // 2. Argmin re-certification: a per-size compile re-runs the tile search
+  // at its own size, so the record may only serve sizes where its tile
+  // choice is still THE chosen one — mere feasibility is not enough, the
+  // cost-model argmin can move with the problem size. The plan-only
+  // re-search is pure expression evaluation (no analysis, no emission) and
+  // its outcome becomes the bound result's search record, so the reported
+  // cost/footprint are this size's, not the record's. Records from
+  // no-search pipelines (scratchpad-only / pipeline-parallel fallback) made
+  // no tile decision at all: nothing can move with size, and the step-3
+  // guards carry the whole envelope contract.
+  if (!options.subTile.empty()) {
+    explain(diagnostics, "explicitly tiled request; bind-and-emit");
+    return std::nullopt;
+  }
+  const bool hasTileChoice = !rec.search.subTile.empty();
+  TileSearchResult search;
+  if (hasTileChoice) {
+    if (family.tilePlan == nullptr) {
+      explain(diagnostics, "family record has no parametric tile plan to re-certify against");
+      return std::nullopt;
+    }
+    try {
+      ParametricTilePlan::SizeBinding binding = family.tilePlan->bindSizes(sizes);
+      search = searchTileSizesWithPlan(*family.tilePlan, binding, options.tileSearchOptions(),
+                                       options.searchMode == TileSearchMode::Exhaustive);
+      if (!search.eval.feasible) {
+        explain(diagnostics, "no feasible tile at this size; bind-and-emit");
+        return std::nullopt;
+      }
+      if (search.subTile != rec.search.subTile) {
+        explain(diagnostics,
+                "tile argmin moved at this size; the record's choice is no longer "
+                "optimal, bind-and-emit");
+        return std::nullopt;
+      }
+    } catch (const ApiError& e) {
+      explain(diagnostics, std::string("size binding rejected: ") + e.what());
+      return std::nullopt;
+    }
+  }
+
+  // 3. Guards: the emitted text is valid only inside the size envelope the
+  // record's layout decisions were taken in. Violations reject cleanly —
+  // never a wrong answer — and the caller re-emits for this size.
+  const ArtifactInfo& info = *rec.artifactInfo;
+  int need = static_cast<int>(sizes.size());
+  auto track = [&](const SymPtr& e) {
+    if (e != nullptr) need = std::max(need, e->maxParamIndex() + 1);
+  };
+  for (const FamilyGuard& g : info.guards) {
+    track(g.lhs);
+    track(g.rhs);
+  }
+  for (const BindSlot& s : info.slots) track(s.formula);
+  IntVec env = sizes;
+  env.resize(static_cast<size_t>(need), 0);
+  // Named env for folded local-store extents, exactly as the emitter built
+  // it: the leading (bound) parameters of the record unit's source block.
+  const CodeUnit* unit = rec.unit();
+  std::vector<std::pair<std::string, i64>> namedEnv;
+  const size_t bound = options.numBoundParams < 0
+                           ? sizes.size()
+                           : static_cast<size_t>(options.numBoundParams);
+  for (size_t j = 0; j < bound && j < sizes.size() && j < unit->source->paramNames.size(); ++j)
+    namedEnv.emplace_back(unit->source->paramNames[j], sizes[j]);
+  for (const FamilyGuard& g : info.guards) {
+    bool holds = true;
+    switch (g.kind) {
+      case FamilyGuard::Kind::SymLe:
+        holds = g.lhs != nullptr && g.rhs != nullptr && g.lhs->eval(env) <= g.rhs->eval(env);
+        break;
+      case FamilyGuard::Kind::SymEq:
+        holds = g.lhs != nullptr && g.rhs != nullptr && g.lhs->eval(env) == g.rhs->eval(env);
+        break;
+      case FamilyGuard::Kind::BufExtentEq: {
+        if (g.bufferIndex < 0 ||
+            g.bufferIndex >= static_cast<int>(unit->localBuffers.size()) || g.dim < 0 ||
+            g.dim >= unit->localBuffers[g.bufferIndex].ndim) {
+          holds = false;
+          break;
+        }
+        holds = unit->localBuffers[g.bufferIndex].paddedExtent(g.dim, namedEnv) == g.expected;
+        break;
+      }
+    }
+    if (!holds) {
+      explain(diagnostics, "size outside the family envelope: " + g.what +
+                               "; re-emitting for this size");
+      return std::nullopt;
+    }
+  }
+
+  // 4. Argument fill + product swap: the request's concrete array extents
+  // replace the record's everywhere a block rides along, so interpreters
+  // and stride consumers see this member's geometry.
+  CompileResult out = rec.clone();
+  std::vector<std::pair<std::string, i64>> args;
+  for (const BindSlot& s : info.slots) {
+    i64 v = 0;
+    switch (s.kind) {
+      case BindSlot::Kind::SizeParam:
+        if (s.a < 0 || s.a >= static_cast<int>(sizes.size())) {
+          explain(diagnostics, "bind slot '" + s.name + "' references a missing size");
+          return std::nullopt;
+        }
+        v = sizes[s.a];
+        break;
+      case BindSlot::Kind::ArrayExtent:
+        if (s.a < 0 || s.a >= static_cast<int>(request.arrays.size()) || s.b < 0 ||
+            s.b >= static_cast<int>(request.arrays[s.a].extents.size())) {
+          explain(diagnostics, "bind slot '" + s.name + "' references a missing array extent");
+          return std::nullopt;
+        }
+        v = request.arrays[s.a].extents[s.b];
+        break;
+      case BindSlot::Kind::Formula:
+        if (s.formula == nullptr) {
+          explain(diagnostics, "bind slot '" + s.name + "' carries no formula");
+          return std::nullopt;
+        }
+        v = s.formula->eval(env);
+        break;
+    }
+    args.emplace_back(s.name, v);
+  }
+  if (hasTileChoice) out.search = std::move(search);
+  if (out.input != nullptr) out.input->arrays = request.arrays;
+  if (out.transformed != nullptr) out.transformed->arrays = request.arrays;
+  if (out.kernel.has_value() && out.kernel->analysis.tileBlock != nullptr &&
+      sameArrayShape(out.kernel->analysis.tileBlock->arrays, request.arrays))
+    out.kernel->analysis.tileBlock->arrays = request.arrays;
+
+  out.ok = true;
+  out.cacheHit = false;
+  out.diskHit = false;
+  out.familyHit = true;
+  out.artifactBound = true;
+  out.boundArgs = std::move(args);
+  out.diagnostics.clear();
+  std::string sizeText;
+  for (size_t j = 0; j < sizes.size(); ++j)
+    sizeText += (j ? "," : "") + std::to_string(sizes[j]);
+  out.diagnostics.push_back(
+      {Severity::Note, "bind",
+       "family record bound at size (" + sizeText + "): " +
+           std::to_string(out.boundArgs.size()) + " runtime args filled, " +
+           std::to_string(info.guards.size()) + " guards passed, no emission"});
+  const auto end = std::chrono::steady_clock::now();
+  PassTiming t;
+  t.pass = "bind";
+  t.millis = std::chrono::duration<double, std::milli>(end - start).count();
+  t.ran = true;
+  out.timings.clear();
+  out.timings.push_back(std::move(t));
+  return out;
+}
+
+}  // namespace emm

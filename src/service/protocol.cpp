@@ -205,6 +205,7 @@ std::string encodeStatsReply(const WireStats& s) {
   w.i64v(s.compiles);
   w.i64v(s.compileErrors);
   w.i64v(s.protocolErrors);
+  w.i64v(s.familyFastPath);
   w.i64v(s.memory.hits);
   w.i64v(s.memory.misses);
   w.i64v(s.memory.entries);
@@ -239,6 +240,7 @@ WireStats decodeStatsReply(std::string_view payload) {
   s.compiles = r.i64v();
   s.compileErrors = r.i64v();
   s.protocolErrors = r.i64v();
+  s.familyFastPath = r.i64v();
   s.memory.hits = r.i64v();
   s.memory.misses = r.i64v();
   s.memory.entries = r.i64v();

@@ -48,8 +48,10 @@ namespace emm::svc {
 
 /// First four wire bytes: 'E' 'M' 'M' 'R' (little-endian u32).
 inline constexpr u32 kWireMagic = 0x524D4D45;
-/// Frame envelope version; bumped on any framing change.
-inline constexpr u32 kWireVersion = 1;
+/// Frame envelope version; bumped on any framing change. v2 added the
+/// familyFastPath counter to the StatsReply payload (the daemon's
+/// connection-thread record-bind path).
+inline constexpr u32 kWireVersion = 2;
 /// Upper bound on a frame payload; a hostile length prefix above this is
 /// rejected before any allocation.
 inline constexpr u64 kMaxFramePayloadBytes = u64(64) << 20;
@@ -129,6 +131,10 @@ struct WireStats {
   i64 compiles = 0;
   i64 compileErrors = 0;   ///< requests whose pipeline failed
   i64 protocolErrors = 0;  ///< malformed/mismatched frames or payloads
+  /// Requests answered on the connection thread by binding a size-generic
+  /// family record from the cache's lock-free snapshot — no pool dispatch,
+  /// no pipeline run, no emission.
+  i64 familyFastPath = 0;
   PlanCache::Stats memory;
   bool haveDisk = false;
   DiskPlanCache::Stats disk;

@@ -120,6 +120,7 @@ WireStats ServiceServer::stats() const {
   s.compiles = compiles_.load(std::memory_order_relaxed);
   s.compileErrors = compileErrors_.load(std::memory_order_relaxed);
   s.protocolErrors = protocolErrors_.load(std::memory_order_relaxed);
+  s.familyFastPath = familyFastPath_.load(std::memory_order_relaxed);
   s.memory = cache_.stats();
   if (disk_ != nullptr) {
     s.haveDisk = true;
@@ -222,12 +223,30 @@ bool ServiceServer::handleCompile(int fd, const std::string& payload) {
     compiler->cache(&cache_);
     if (disk_ != nullptr) compiler->diskCache(disk_.get());
     for (const std::string& pass : req.skipPasses) compiler->skipPass(pass);
+    ProgramBlock block;
     if (!req.kernel.empty()) {
       IntVec unusedParams;
-      compiler->source(buildKernelByName(req.kernel, req.sizes, unusedParams));
+      block = buildKernelByName(req.kernel, req.sizes, unusedParams);
     } else {
-      compiler->source(std::move(*req.block));
+      block = std::move(*req.block);
     }
+    // Family fast path: when the warm store holds a size-generic record for
+    // this kernel family, bind it right here on the connection thread — the
+    // family lookup reads the cache shard's epoch-published snapshot (no
+    // lock) and the bind is guard evaluation plus a plan-only argmin
+    // re-check, microseconds of work. No pool dispatch, no pipeline run, no
+    // emission; the reply carries the record's artifact with this request's
+    // runtime arguments filled in.
+    const auto bindStart = std::chrono::steady_clock::now();
+    if (std::optional<CompileResult> bound = compiler->tryBindFamily(block)) {
+      const double bindMillis = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - bindStart)
+                                    .count();
+      familyFastPath_.fetch_add(1, std::memory_order_relaxed);
+      compiles_.fetch_add(1, std::memory_order_relaxed);
+      return writeFrame(fd, MsgType::CompileReply, encodeCompileReply(*bound, bindMillis));
+    }
+    compiler->source(std::move(block));
   } catch (const ApiError& e) {
     countProtocolError();
     writeFrame(fd, MsgType::ErrorReply, encodeErrorReply({false, e.what()}));

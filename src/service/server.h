@@ -5,8 +5,11 @@
 // a unix-domain stream socket speaking service/protocol.h frames. Every
 // client process that connects shares the same warm store, which makes the
 // daemon a third, networked cache tier: a fresh `emmapc --connect` whose
-// kernel family the daemon has seen is served by the cheap bind-and-emit
-// path (CompileReply::serverFamilyHit) instead of a cold pipeline run.
+// kernel family the daemon has seen is answered on the connection thread
+// itself by binding the family's size-generic record straight out of the
+// cache's epoch-published snapshot (WireStats::familyFastPath) — no pool
+// dispatch, no pipeline run, no emission. Families without a record fall
+// back to the pooled bind-and-emit path (CompileReply::serverFamilyHit).
 //
 // Threading: one accept thread, one lightweight thread per connection
 // (clients are expected to be short-lived CLI/batch processes), and compile
@@ -116,6 +119,7 @@ private:
   std::atomic<i64> compiles_{0};
   std::atomic<i64> compileErrors_{0};
   std::atomic<i64> protocolErrors_{0};
+  std::atomic<i64> familyFastPath_{0};
 };
 
 }  // namespace emm::svc

@@ -157,6 +157,7 @@ u64 hashCompileOptions(const CompileOptions& o) {
   h.mix(o.elementType);
   h.mix(o.numBoundParams);
   h.mix(o.doubleBuffer);
+  h.mix(o.runtimeSizeArgs);
   return h.digest();
 }
 

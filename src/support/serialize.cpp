@@ -71,6 +71,9 @@ enum : unsigned char {
   kTagFamilyPlan,
   kTagBufferLayoutEntry,
   kTagBufferLayout,
+  kTagBindSlot,
+  kTagFamilyGuard,
+  kTagArtifactInfo,
   kTagList = 0xA0,
 };
 
@@ -79,7 +82,7 @@ enum : unsigned char {
 // a serializer below must be mirrored here — that edit is what retires
 // stale .emmplan files (see docs/PLAN_FORMAT.md for the policy).
 constexpr const char* kSchemaManifest =
-    "emmplan-schema v3;"
+    "emmplan-schema v4;"
     "IntMat{rows,cols,data[i64]};"
     "Polyhedron{dim,nparam,eqs:IntMat,ineqs:IntMat,empty:bool};"
     "DivExpr{coeffs[i64],den};"
@@ -123,10 +126,15 @@ constexpr const char* kSchemaManifest =
     "footprintElems:SymExpr};"
     "BufferLayout{banks,bankWidthBytes,elementBytes,padded,note,buffers[],"
     "totalElems?:SymExpr};"
+    "BindSlot{name,kind,a,b,formula?:SymExpr};"
+    "FamilyGuard{kind,lhs?:SymExpr,rhs?:SymExpr,bufferIndex,dim,expected,"
+    "what};"
+    "ArtifactInfo{sizeGeneric,note,slots[],guards[]};"
     "PipelineProducts{input?:ProgramBlock,transformed?:ProgramBlock,deps[],"
     "haveDeps,plan,havePlan,appliedSkews[(int,int,i64)],search,"
     "geometryHints[],kernel?:TiledKernel,scratchpadUnit?:(srcRef,CodeUnit),"
-    "blockPlan?:(blockRef,DataPlan),bufferLayout?:BufferLayout,artifact};"
+    "blockPlan?:(blockRef,DataPlan),bufferLayout?:BufferLayout,"
+    "artifactInfo?:ArtifactInfo,artifact};"
     "CompileResult{products,ok,diagnostics[],timings[]};"
     "CompileOptions{paramValues[i64],mode,delta:f64,partitionMode,"
     "stageEverything,optimizeCopySets,subTile[i64],blockTile[i64],"
@@ -134,10 +142,10 @@ constexpr const char* kSchemaManifest =
     "elementBytes,innerProcs,syncCost:f64,transferCost:f64,"
     "tileCandidates[[i64]],parametricTileAnalysis,packBuffers,smemBanks,"
     "smemBankWidthBytes,backendName,kernelName,elementType,numBoundParams,"
-    "doubleBuffer};"
+    "doubleBuffer,runtimeSizeArgs};"
     "SymExpr{kind,cval|paramIdx+name|lhs,rhs};"
     "PairPredicate{always,never,cond:Polyhedron};"
-    "RefFormula{stmt,access,isWrite,ctxBox[(SymExpr,SymExpr)],"
+    "RefFormula{stmt,access,isWrite,orderReuse,ctxBox[(SymExpr,SymExpr)],"
     "rawBox[(SymExpr,SymExpr)],usesOrigin[bool]};"
     "ComponentFormula{refs[],pairs[],hoistLevel,globalIdx[int]};"
     "ArrayFormula{arrayId,arrayName,comps[],numRefs,refLoc[(int,int)]};"
@@ -148,10 +156,11 @@ constexpr const char* kSchemaManifest =
     "parametric};"
     "SizeBinding{ext[i64],loopRange[i64]};"
     "ParametricTilePlan{depth,np,options,analysis,defaultBinding,arrays[],"
-    "geometry[],hoist};"
+    "geometry[],hoist,benefitDelta:f64,volumeCap,onlyBeneficial};"
     "FamilyPlan{haveDeps,deps[],haveTransform,transformedTemplate?:"
     "ProgramBlock,plan,appliedSkews[(int,int,i64)],tilePlan?:"
-    "ParametricTilePlan,parametricReason};";
+    "ParametricTilePlan,parametricReason,record?:(CompileOptions,"
+    "CompileResult)};";
 
 void expectTag(ByteReader& r, unsigned char tag, const char* what) {
   unsigned char got = r.u8();
@@ -1027,6 +1036,82 @@ BufferLayout readBufferLayout(ByteReader& r) {
   return l;
 }
 
+void writeBindSlot(ByteWriter& w, const BindSlot& s) {
+  w.u8(kTagBindSlot);
+  w.str(s.name);
+  w.i64v(static_cast<i64>(s.kind));
+  w.intv(s.a);
+  w.intv(s.b);
+  w.boolean(s.formula != nullptr);
+  if (s.formula != nullptr) writeSymExpr(w, s.formula);
+}
+
+BindSlot readBindSlot(ByteReader& r) {
+  expectTag(r, kTagBindSlot, "BindSlot");
+  BindSlot s;
+  s.name = r.str();
+  s.kind = readEnum<BindSlot::Kind>(r, static_cast<i64>(BindSlot::Kind::Formula),
+                                    "BindSlot::Kind");
+  s.a = r.intv();
+  s.b = r.intv();
+  if (r.boolean()) s.formula = readSymExpr(r, 0);
+  // A Formula slot with no formula would make the binder's argument fill
+  // reject every request; hostile bytes must surface here instead.
+  if (s.kind == BindSlot::Kind::Formula && s.formula == nullptr)
+    throw SerializeError("formula bind slot without a formula");
+  return s;
+}
+
+void writeFamilyGuard(ByteWriter& w, const FamilyGuard& g) {
+  w.u8(kTagFamilyGuard);
+  w.i64v(static_cast<i64>(g.kind));
+  w.boolean(g.lhs != nullptr);
+  if (g.lhs != nullptr) writeSymExpr(w, g.lhs);
+  w.boolean(g.rhs != nullptr);
+  if (g.rhs != nullptr) writeSymExpr(w, g.rhs);
+  w.intv(g.bufferIndex);
+  w.intv(g.dim);
+  w.i64v(g.expected);
+  w.str(g.what);
+}
+
+FamilyGuard readFamilyGuard(ByteReader& r) {
+  expectTag(r, kTagFamilyGuard, "FamilyGuard");
+  FamilyGuard g;
+  g.kind = readEnum<FamilyGuard::Kind>(r, static_cast<i64>(FamilyGuard::Kind::BufExtentEq),
+                                       "FamilyGuard::Kind");
+  if (r.boolean()) g.lhs = readSymExpr(r, 0);
+  if (r.boolean()) g.rhs = readSymExpr(r, 0);
+  g.bufferIndex = r.intv();
+  g.dim = r.intv();
+  g.expected = r.i64v();
+  g.what = r.str();
+  // Symbolic guards without both sides could never be evaluated; reject the
+  // bytes rather than admit a guard the binder must treat as violated.
+  if (g.kind != FamilyGuard::Kind::BufExtentEq && (g.lhs == nullptr || g.rhs == nullptr))
+    throw SerializeError("symbolic family guard missing an operand");
+  return g;
+}
+
+void writeArtifactInfo(ByteWriter& w, const ArtifactInfo& info) {
+  w.u8(kTagArtifactInfo);
+  w.boolean(info.sizeGeneric);
+  w.str(info.note);
+  writeList(w, info.slots, [](ByteWriter& ww, const BindSlot& s) { writeBindSlot(ww, s); });
+  writeList(w, info.guards,
+            [](ByteWriter& ww, const FamilyGuard& g) { writeFamilyGuard(ww, g); });
+}
+
+ArtifactInfo readArtifactInfo(ByteReader& r) {
+  expectTag(r, kTagArtifactInfo, "ArtifactInfo");
+  ArtifactInfo info;
+  info.sizeGeneric = r.boolean();
+  info.note = r.str();
+  info.slots = readList<BindSlot>(r, [](ByteReader& rr) { return readBindSlot(rr); });
+  info.guards = readList<FamilyGuard>(r, [](ByteReader& rr) { return readFamilyGuard(rr); });
+  return info;
+}
+
 void writeProducts(ByteWriter& w, const PipelineProducts& p) {
   w.u8(kTagPipelineProducts);
   w.boolean(p.input != nullptr);
@@ -1061,6 +1146,8 @@ void writeProducts(ByteWriter& w, const PipelineProducts& p) {
   }
   w.boolean(p.bufferLayout.has_value());
   if (p.bufferLayout) writeBufferLayout(w, *p.bufferLayout);
+  w.boolean(p.artifactInfo.has_value());
+  if (p.artifactInfo) writeArtifactInfo(w, *p.artifactInfo);
   w.str(p.artifact);
 }
 
@@ -1094,6 +1181,7 @@ PipelineProducts readProducts(ByteReader& r) {
     p.blockPlan.emplace(readDataPlan(r, resolveBlockRef(p, blockRef)));
   }
   if (r.boolean()) p.bufferLayout.emplace(readBufferLayout(r));
+  if (r.boolean()) p.artifactInfo.emplace(readArtifactInfo(r));
   p.artifact = r.str();
   return p;
 }
@@ -1357,26 +1445,39 @@ void ByteReader::expectEnd() const {
     throw SerializeError("trailing garbage: " + std::to_string(remaining()) + " bytes");
 }
 
-std::string serializeCompileResult(const CompileResult& result) {
-  ByteWriter w;
+// Body writers shared between the standalone entry points and the family
+// record (a CompileResult + its CompileOptions embedded in a .emmfam).
+// CompileResult::artifactBound/boundArgs are transport-only by contract and
+// never serialized.
+static void writeCompileResultInto(ByteWriter& w, const CompileResult& result) {
   w.u8(kTagCompileResult);
   writeProducts(w, result);
   w.boolean(result.ok);
   writeList(w, result.diagnostics,
             [](ByteWriter& ww, const Diagnostic& d) { writeDiagnostic(ww, d); });
   writeList(w, result.timings, [](ByteWriter& ww, const PassTiming& t) { writePassTiming(ww, t); });
+}
+
+static CompileResult readCompileResultFrom(ByteReader& r) {
+  expectTag(r, kTagCompileResult, "CompileResult");
+  CompileResult out;
+  static_cast<PipelineProducts&>(out) = readProducts(r);
+  out.ok = r.boolean();
+  out.diagnostics = readList<Diagnostic>(r, [](ByteReader& rr) { return readDiagnostic(rr); });
+  out.timings = readList<PassTiming>(r, [](ByteReader& rr) { return readPassTiming(rr); });
+  return out;
+}
+
+std::string serializeCompileResult(const CompileResult& result) {
+  ByteWriter w;
+  writeCompileResultInto(w, result);
   return w.take();
 }
 
 CompileResult deserializeCompileResult(std::string_view bytes) {
   ByteReader r(bytes);
   try {
-    expectTag(r, kTagCompileResult, "CompileResult");
-    CompileResult out;
-    static_cast<PipelineProducts&>(out) = readProducts(r);
-    out.ok = r.boolean();
-    out.diagnostics = readList<Diagnostic>(r, [](ByteReader& rr) { return readDiagnostic(rr); });
-    out.timings = readList<PassTiming>(r, [](ByteReader& rr) { return readPassTiming(rr); });
+    CompileResult out = readCompileResultFrom(r);
     r.expectEnd();
     return out;
   } catch (const ApiError& e) {
@@ -1393,8 +1494,7 @@ std::string serializeProgramBlock(const ProgramBlock& block) {
   return w.take();
 }
 
-std::string serializeCompileOptions(const CompileOptions& o) {
-  ByteWriter w;
+static void writeCompileOptionsInto(ByteWriter& w, const CompileOptions& o) {
   w.u8(kTagCompileOptions);
   writeI64Vec(w, o.paramValues);
   w.i64v(static_cast<i64>(o.mode));
@@ -1425,6 +1525,12 @@ std::string serializeCompileOptions(const CompileOptions& o) {
   w.str(o.elementType);
   w.intv(o.numBoundParams);
   w.boolean(o.doubleBuffer);
+  w.boolean(o.runtimeSizeArgs);
+}
+
+std::string serializeCompileOptions(const CompileOptions& o) {
+  ByteWriter w;
+  writeCompileOptionsInto(w, o);
   return w.take();
 }
 
@@ -1440,8 +1546,7 @@ ProgramBlock deserializeProgramBlock(std::string_view bytes) {
   }
 }
 
-CompileOptions deserializeCompileOptions(std::string_view bytes) {
-  ByteReader r(bytes);
+static CompileOptions readCompileOptionsFrom(ByteReader& r) {
   expectTag(r, kTagCompileOptions, "CompileOptions");
   CompileOptions o;
   o.paramValues = readI64Vec(r);
@@ -1476,6 +1581,13 @@ CompileOptions deserializeCompileOptions(std::string_view bytes) {
   o.elementType = r.str();
   o.numBoundParams = r.intv();
   o.doubleBuffer = r.boolean();
+  o.runtimeSizeArgs = r.boolean();
+  return o;
+}
+
+CompileOptions deserializeCompileOptions(std::string_view bytes) {
+  ByteReader r(bytes);
+  CompileOptions o = readCompileOptionsFrom(r);
   r.expectEnd();
   return o;
 }
@@ -1511,6 +1623,7 @@ void serializeParametricPlanBody(ByteWriter& w, const ParametricTilePlan& plan) 
         w.intv(rf.key.first);
         w.intv(rf.key.second);
         w.boolean(rf.isWrite);
+        w.boolean(rf.orderReuse);
         writeSymBox(w, rf.ctxBox);
         writeSymBox(w, rf.rawBox);
         writeBoolVec(w, rf.usesOrigin);
@@ -1544,6 +1657,9 @@ void serializeParametricPlanBody(ByteWriter& w, const ParametricTilePlan& plan) 
     writePools(w, g.upper);
   }
   w.boolean(plan.hoist_);
+  w.f64(plan.benefitDelta_);
+  w.i64v(plan.volumeCap_);
+  w.boolean(plan.onlyBeneficial_);
 }
 
 ParametricTilePlan deserializeParametricPlanBody(ByteReader& r) {
@@ -1576,6 +1692,7 @@ ParametricTilePlan deserializeParametricPlanBody(ByteReader& r) {
         rf.key.first = r.intv();
         rf.key.second = r.intv();
         rf.isWrite = r.boolean();
+        rf.orderReuse = r.boolean();
         rf.ctxBox = readSymBox(r);
         rf.rawBox = readSymBox(r);
         rf.usesOrigin = readBoolVec(r);
@@ -1652,6 +1769,9 @@ ParametricTilePlan deserializeParametricPlanBody(ByteReader& r) {
     plan.geometry_.push_back(std::move(g));
   }
   plan.hoist_ = r.boolean();
+  plan.benefitDelta_ = r.f64();
+  plan.volumeCap_ = r.i64v();
+  plan.onlyBeneficial_ = r.boolean();
   // Structural validation + symbol-table reconstruction. The checks inside
   // run as EMM_REQUIRE (ApiError); convert so hostile input stays a clean
   // SerializeError for the disk tier.
@@ -1686,6 +1806,14 @@ std::string serializeFamilyPlan(const FamilyPlan& plan) {
   w.boolean(plan.tilePlan != nullptr);
   if (plan.tilePlan != nullptr) serializeParametricPlanBody(w, *plan.tilePlan);
   w.str(plan.parametricReason);
+  // Codegen tier (plan format v4): the size-generic record that lets the
+  // binder serve further sizes from disk with no re-emission.
+  const bool haveRecord = plan.haveRecord && plan.record != nullptr;
+  w.boolean(haveRecord);
+  if (haveRecord) {
+    writeCompileOptionsInto(w, plan.recordOptions);
+    writeCompileResultInto(w, *plan.record);
+  }
   return w.take();
 }
 
@@ -1711,6 +1839,11 @@ std::shared_ptr<const FamilyPlan> deserializeFamilyPlan(std::string_view bytes) 
       plan->tilePlan =
           std::make_shared<const ParametricTilePlan>(deserializeParametricPlanBody(r));
     plan->parametricReason = r.str();
+    if (r.boolean()) {
+      plan->recordOptions = readCompileOptionsFrom(r);
+      plan->record = std::make_shared<const CompileResult>(readCompileResultFrom(r));
+      plan->haveRecord = true;
+    }
     r.expectEnd();
   } catch (const ApiError& e) {
     // Reconstructed values are validated with API preconditions (e.g. a

@@ -54,9 +54,11 @@ public:
 /// framing changes; readers reject any other value. v2 added the
 /// kernel-family records (.emmfam) and the family/pruning fields of the
 /// tile-search result; v3 added banked buffer layouts (LocalBuffer padding,
-/// the BufferLayout product, and the packing/banking compile options) —
-/// see docs/PLAN_FORMAT.md.
-inline constexpr u32 kPlanFormatVersion = 3;
+/// the BufferLayout product, and the packing/banking compile options); v4
+/// added runtime-size-bound codegen (ArtifactInfo bind slots and guards, the
+/// symbolic benefit-verdict plan fields, and the size-generic compiled
+/// record embedded in .emmfam files) — see docs/PLAN_FORMAT.md.
+inline constexpr u32 kPlanFormatVersion = 4;
 
 /// Digest of the serialization schema compiled into this binary (the
 /// manifest string in serialize.cpp). Two binaries agree on this value iff

@@ -1,0 +1,69 @@
+#include "sym/sym_to_c.h"
+
+namespace emm {
+namespace {
+
+bool render(const SymExpr& e, const std::vector<std::string>& names, std::string& out) {
+  switch (e.kind()) {
+    case SymExpr::Kind::Const:
+      out += std::to_string(e.constValue());
+      return true;
+    case SymExpr::Kind::Param: {
+      const int idx = e.paramIndex();
+      if (idx < 0 || static_cast<size_t>(idx) >= names.size()) return false;
+      out += names[idx];
+      return true;
+    }
+    case SymExpr::Kind::Add:
+      out += '(';
+      if (!render(*e.lhs(), names, out)) return false;
+      out += " + ";
+      if (!render(*e.rhs(), names, out)) return false;
+      out += ')';
+      return true;
+    case SymExpr::Kind::Mul:
+      out += '(';
+      if (!render(*e.lhs(), names, out)) return false;
+      out += " * ";
+      if (!render(*e.rhs(), names, out)) return false;
+      out += ')';
+      return true;
+    case SymExpr::Kind::FloorDiv:
+      // Truncating `/` equals floor here: divisors are positive constants
+      // and dividends are nonnegative over the guarded size envelope.
+      out += '(';
+      if (!render(*e.lhs(), names, out)) return false;
+      out += " / ";
+      if (!render(*e.rhs(), names, out)) return false;
+      out += ')';
+      return true;
+    case SymExpr::Kind::CeilDiv: {
+      std::string num, den;
+      if (!render(*e.lhs(), names, num)) return false;
+      if (!render(*e.rhs(), names, den)) return false;
+      out += "((" + num + " + " + den + " - 1) / " + den + ")";
+      return true;
+    }
+    case SymExpr::Kind::Min:
+    case SymExpr::Kind::Max: {
+      std::string a, b;
+      if (!render(*e.lhs(), names, a)) return false;
+      if (!render(*e.rhs(), names, b)) return false;
+      const char* cmp = e.kind() == SymExpr::Kind::Min ? " < " : " > ";
+      out += "((" + a + ")" + cmp + "(" + b + ") ? (" + a + ") : (" + b + "))";
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::string> symToC(const SymPtr& e, const std::vector<std::string>& paramNames) {
+  if (e == nullptr) return std::nullopt;
+  std::string out;
+  if (!render(*e, paramNames, out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace emm

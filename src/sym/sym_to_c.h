@@ -1,0 +1,32 @@
+// Rendering SymExpr formulas as C expressions for size-generic emission.
+//
+// The emitters fold BufferLayout geometry (offsets, pitches, arena size)
+// into the artifact text as closed-form integer expressions over the
+// kernel's runtime size arguments. Rendering is total for the operator set
+// the layout planner produces: affine terms, floor/ceil division by
+// positive divisors, min/max. A formula that mentions a parameter outside
+// the renderable set (e.g. a tile origin, which layout formulas never
+// contain by construction) reports failure so the caller can route the
+// value through the precomputed-at-bind fallback table instead of emitting
+// wrong text.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sym/sym_expr.h"
+
+namespace emm {
+
+/// Renders `e` as a parenthesized C integer expression. `paramNames[i]` is
+/// the C identifier substituted for parameter index i; a parameter index at
+/// or beyond `paramNames.size()` makes the formula unrenderable and yields
+/// nullopt (caller falls back to a bind-table slot). Division renders with
+/// C's truncating `/`, which matches floor division because every divisor
+/// the layout planner produces is a positive constant and every dividend is
+/// nonnegative over the guarded envelope; ceil division renders as
+/// `((a + b - 1) / b)`.
+std::optional<std::string> symToC(const SymPtr& e, const std::vector<std::string>& paramNames);
+
+}  // namespace emm

@@ -1,10 +1,13 @@
 #include "testgen/diff_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
 #include "driver/backend.h"
+#include "driver/plan_cache.h"
 #include "ir/interp.h"
+#include "poly/enumerate.h"
 #include "service/client.h"
 #include "support/serialize.h"
 #include "testgen/minimize.h"
@@ -35,6 +38,30 @@ std::string joinTile(const std::vector<i64>& t) {
   std::ostringstream os;
   for (size_t i = 0; i < t.size(); ++i) os << (i ? "," : "") << t[i];
   return os.str();
+}
+
+/// The block re-extented for a different parameter binding: every array
+/// dimension gets the exact max index + 1 over the scaled domains (the same
+/// enumeration the oracle walks), so the probe stays inside ArrayStore
+/// bounds by construction — for upscales AND downscales. The binder swaps
+/// these extents into the bound result, so stride consumers see them too.
+ProgramBlock scaleExtents(const ProgramBlock& block, const IntVec& scaled) {
+  ProgramBlock out = block;
+  for (ArrayDecl& a : out.arrays) std::fill(a.extents.begin(), a.extents.end(), i64(1));
+  for (const Statement& st : out.statements) {
+    forEachPoint(st.domain, scaled, [&](const IntVec& iter) {
+      IntVec hom = iter;
+      hom.insert(hom.end(), scaled.begin(), scaled.end());
+      hom.push_back(1);
+      for (const Access& acc : st.accesses) {
+        const IntVec idx = acc.fn.apply(hom);
+        ArrayDecl& a = out.arrays[acc.arrayId];
+        for (size_t d = 0; d < idx.size(); ++d)
+          a.extents[d] = std::max(a.extents[d], idx[d] + 1);
+      }
+    });
+  }
+  return out;
 }
 
 }  // namespace
@@ -145,6 +172,72 @@ DiffResult DiffRunner::run(const GeneratedProgram& program) const {
     }
   }
 
+  if (o.checkBind && !program.block.paramNames.empty()) {
+    // Family binding: a cached compile at the generated size builds the
+    // size-generic family record; scaled sizes (half, 2x, 3x) then request
+    // the same family. A size the binder accepts must match the oracle at
+    // ITS size element-exactly with the bound (never re-emitted) artifact;
+    // a size the guards or the argmin re-certification reject must come
+    // back as a clean full pipeline whose unit still matches the oracle —
+    // a rejection is never allowed to become a wrong answer.
+    PlanCache cache;
+    Compiler seed = makeCompiler();
+    seed.cache(&cache);
+    CompileResult rs;
+    try {
+      rs = seed.compile();
+    } catch (const std::exception& e) {
+      return divergence(out, "bind", std::string("cached seed compile threw: ") + e.what());
+    }
+    if (rs.ok && rs.unit() != nullptr) {
+      for (int probe = 0; probe < 3; ++probe) {
+        IntVec scaled = program.paramValues;
+        for (i64& p : scaled) p = probe == 0 ? std::max<i64>(1, p / 2) : p * (probe + 1);
+        if (scaled == program.paramValues) continue;
+        const ProgramBlock probeBlock = scaleExtents(program.block, scaled);
+        Compiler cb(probeBlock);
+        cb.options(o.baseOptions);
+        cb.parameters(scaled);
+        if (o.configureCompiler) o.configureCompiler(cb);
+        cb.cache(&cache);
+        CompileResult rb;
+        try {
+          rb = cb.compile();
+        } catch (const std::exception& e) {
+          return divergence(out, "bind", std::string("scaled compile threw: ") + e.what());
+        }
+        if (!rb.ok) {
+          if (rb.firstError().empty())
+            return divergence(out, "bind", "scaled compile failed with no error diagnostic");
+          continue;  // clean rejection at this size
+        }
+        const CodeUnit* unitB = rb.unit();
+        if (unitB == nullptr) continue;  // clean fallback at this size
+        if (rb.artifactBound && !rb.familyHit)
+          return divergence(out, "bind", "artifact bound without a family hit");
+        if (rb.artifactBound) ++out.boundSizes;
+        ArrayStore wantS(probeBlock.arrays);
+        wantS.fillAllPattern(o.fillSeed);
+        executeReference(probeBlock, scaled, wantS);
+        ArrayStore gotS(probeBlock.arrays);
+        gotS.fillAllPattern(o.fillSeed);
+        try {
+          executeCodeUnit(*unitB, unitParams(rb, scaled), gotS);
+        } catch (const std::exception& e) {
+          return divergence(out, "bind",
+                            std::string(rb.artifactBound ? "bound" : "re-emitted") +
+                                " unit threw at scaled size: " + e.what());
+        }
+        const double diffS = ArrayStore::maxAbsDiff(gotS, wantS);
+        if (diffS != 0.0)
+          return divergence(out, "bind",
+                            std::string(rb.artifactBound ? "bound" : "re-emitted") +
+                                " unit diverges from oracle at scaled size, maxAbsDiff=" +
+                                std::to_string(diffS));
+      }
+    }
+  }
+
   if (o.checkWire && !o.wireSocket.empty()) {
     svc::CompileRequest req;
     req.block = program.block;
@@ -193,6 +286,7 @@ SweepStats runDifferentialSweep(const SweepOptions& options) {
     ++stats.programs;
     if (result.compiled) ++stats.compiled;
     if (result.fellBack) ++stats.fallbacks;
+    stats.boundSizes += result.boundSizes;
     if (result.ok) continue;
     ++stats.divergences;
     SweepFinding finding{program, program, result};

@@ -14,6 +14,13 @@
 //   wire       — the same block compiled through a live ServiceServer
 //                socket; the served unit must execute identically and the
 //                artifact must match the local compile
+//   bind       — the program's family artifact (size-generic record built
+//                by a cached compile at the generated size) requested at
+//                scaled sizes (half, 2x, 3x, with array extents recomputed
+//                exactly for each); a size the binder accepts must match
+//                the oracle at ITS size element-exactly, and sizes the
+//                guards or the argmin re-certification reject must fall
+//                back to a clean full pipeline — never a wrong answer
 //
 // Element-exact comparison is sound here: a legal transformation preserves
 // each element's read/write operand sequence, so results are bit-identical
@@ -41,6 +48,7 @@ struct DiffOptions {
   bool checkPipeline = true;
   bool checkParametric = true;
   bool checkSerialize = true;
+  bool checkBind = true;
   bool checkWire = false;
   std::string wireSocket;  ///< required when checkWire
   unsigned fillSeed = 5;   ///< ArrayStore fill pattern seed
@@ -63,7 +71,8 @@ struct DiffResult {
   bool ok = true;         ///< no divergence (fallbacks are ok)
   bool compiled = false;  ///< pipeline produced an executable unit
   bool fellBack = false;  ///< clean rejection (error diagnostic, or no unit)
-  std::string failedCheck;  ///< "pipeline" | "parametric" | "serialize" | "wire"
+  int boundSizes = 0;     ///< bind view: scaled sizes served by a record bind
+  std::string failedCheck;  ///< "pipeline" | "parametric" | "serialize" | "bind" | "wire"
   std::string detail;       ///< human-readable description of the divergence
 };
 
@@ -86,6 +95,7 @@ struct SweepStats {
   i64 compiled = 0;
   i64 fallbacks = 0;
   i64 divergences = 0;
+  i64 boundSizes = 0;  ///< total sizes the bind view served via record binds
 };
 
 /// One divergence surfaced by a sweep, with its minimized form (equal to

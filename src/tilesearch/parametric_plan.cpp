@@ -26,6 +26,23 @@ i64 strippedRange(const DimBounds& b, int l, const IntVec& params) {
   return std::max<i64>(0, s.evalUpper(params) - s.evalLower(params) + 1);
 }
 
+/// True when every constraint involves at most one set variable: the
+/// integer hull is then the product of the per-dimension ranges, so the
+/// bounding-box point count IS the exact point count countPoints measures.
+bool isAxisAlignedBox(const Polyhedron& p) {
+  auto rowOk = [&](const IntVec& row) {
+    int nonzero = 0;
+    for (int j = 0; j < p.dim(); ++j)
+      if (row[j] != 0) ++nonzero;
+    return nonzero <= 1;
+  };
+  for (int r = 0; r < p.equalities().rows(); ++r)
+    if (!rowOk(p.equalities().row(r))) return false;
+  for (int r = 0; r < p.inequalities().rows(); ++r)
+    if (!rowOk(p.inequalities().row(r))) return false;
+  return true;
+}
+
 }  // namespace
 
 ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const ParallelismPlan& plan,
@@ -41,22 +58,32 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
   EMM_REQUIRE(static_cast<int>(options.paramValues.size()) == block.nparam(),
               "paramValues arity mismatch");
   analysis_ = analyzeTileSymbolic(block, plan, tileSample, smemBase, options.hoistCopies);
+  benefitDelta_ = smemBase.delta;
+  volumeCap_ = smemBase.volumeCap;
+  onlyBeneficial_ = smemBase.onlyBeneficial;
 
-  // The Algorithm-1 benefit verdict must not depend on the tile sizes or
-  // the problem sizes. The rank-based order-of-magnitude condition is per
-  // reference and independent of both; requiring it of EVERY reference
-  // keeps every partition refinement beneficial too. (With unconditional
-  // buffers — stageEverything — the verdict is irrelevant.)
-  if (smemBase.onlyBeneficial) {
+  // The Algorithm-1 benefit verdict: references with rank-based
+  // order-of-magnitude reuse pass outright (per reference, independent of
+  // every symbol). For the fallback constant-reuse test the verdict DOES
+  // depend on the tile and problem sizes, so evaluate() recomputes it per
+  // binding — which is exact only when the sampled point counts reduce to
+  // bounding-box products, i.e. when every such data space is an
+  // axis-aligned box. (With unconditional buffers — stageEverything — the
+  // verdict is irrelevant.)
+  if (onlyBeneficial_) {
     for (const PartitionPlan& p : analysis_.plan.partitions)
       for (const RefSummary& r : p.refs)
-        EMM_REQUIRE(r.hasOrderReuse(),
-                    "reference of array " + analysis_.tileBlock->arrays[p.arrayId].name +
-                        " lacks order-of-magnitude reuse; its benefit verdict depends on "
-                        "tile sizes");
+        EMM_REQUIRE(r.hasOrderReuse() || isAxisAlignedBox(r.dataSpace),
+                    "non-rectangular reference of array " +
+                        analysis_.tileBlock->arrays[p.arrayId].name +
+                        " lacks order-of-magnitude reuse; the benefit verdict is not "
+                        "compilable to closed form");
   }
+  // Partitions judged non-beneficial at the sample carry no buffer; every
+  // other partition must be buffered for the footprint formulas to stand.
   for (const PartitionPlan& p : analysis_.plan.partitions)
-    EMM_REQUIRE(p.hasBuffer, "parametric plan requires every partition buffered");
+    EMM_REQUIRE(p.hasBuffer || (onlyBeneficial_ && !p.beneficial),
+                "parametric plan requires every allocated partition buffered");
 
   rebuildSymbols();
 
@@ -82,6 +109,7 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
       RefFormula rf;
       rf.key = {r.stmt, r.access};
       rf.isWrite = r.isWrite;
+      rf.orderReuse = r.hasOrderReuse();
       rf.ctxBox = compileBox(spaceWithContext(r.dataSpace, ctx));
       rf.rawBox = compileBox(r.dataSpace);
       rf.usesOrigin.assign(depth_, false);
@@ -106,10 +134,12 @@ ParametricTilePlan::ParametricTilePlan(const ProgramBlock& block, const Parallel
         comp.pairs[static_cast<size_t>(i) * n + j] =
             compilePredicate(part.refs[i].dataSpace, part.refs[j].dataSpace);
     comp.hoistLevel = analysis_.hoistLevel[p];
-    if (hoist_) {
+    if (hoist_ && part.hasBuffer) {
       // The per-reference origin bits must reproduce the partition's hoist
       // level, or refined partitions could hoist differently than the
       // concrete analysis would; bail to the fallback when they cannot.
+      // (A partition unbuffered at the sample has no concrete level to
+      // check against; the evaluator's probe validation covers it.)
       int level = 0;
       for (int l = 0; l < depth_; ++l)
         for (const RefFormula& rf : comp.refs)
@@ -343,6 +373,62 @@ TileEvaluation ParametricTilePlan::evaluate(const SizeBinding& binding,
       const ComponentFormula& comp = af.comps[af.refLoc[globalMembers[0]].first];
       g.comp = &comp;
       for (int m : globalMembers) g.members.push_back(af.refLoc[m].second);
+
+      // Algorithm-1 benefit verdict, mirroring analyzeBlock: order-of-
+      // magnitude reuse passes outright; otherwise the capped constant-
+      // reuse fraction must clear the threshold. Box point counts are
+      // exact here (construction rejected non-box spaces) and capped per
+      // space exactly like countPoints.
+      bool beneficial = std::any_of(g.members.begin(), g.members.end(),
+                                    [&](int m) { return comp.refs[m].orderReuse; });
+      if (!beneficial) {
+        // min(true count, cap), exactly like countPoints. An empty
+        // dimension zeroes the count even when earlier factors passed cap.
+        auto cappedProduct = [&](const std::vector<i64>& lens) -> i64 {
+          for (i64 len : lens)
+            if (len <= 0) return 0;
+          i128 n = 1;
+          for (i64 len : lens) {
+            n *= len;
+            if (n >= volumeCap_) return volumeCap_;
+          }
+          return narrow(n);
+        };
+        auto boxCount = [&](const Box& box) -> i64 {
+          std::vector<i64> lens;
+          for (const auto& [lo, hi] : box)
+            lens.push_back(addChecked(subChecked(hi->eval(full), lo->eval(full)), 1));
+          return cappedProduct(lens);
+        };
+        auto interCount = [&](const Box& a, const Box& b) -> i64 {
+          std::vector<i64> lens;
+          for (size_t d = 0; d < a.size(); ++d) {
+            i64 lo = std::max(a[d].first->eval(full), b[d].first->eval(full));
+            i64 hi = std::min(a[d].second->eval(full), b[d].second->eval(full));
+            lens.push_back(addChecked(subChecked(hi, lo), 1));
+          }
+          return cappedProduct(lens);
+        };
+        i64 total = 0;
+        for (int m : g.members) total = addChecked(total, boxCount(comp.refs[m].rawBox));
+        double frac = 0.0;
+        if (total != 0) {
+          i64 overlap = 0;
+          for (size_t i = 0; i < g.members.size(); ++i)
+            for (size_t j = i + 1; j < g.members.size(); ++j)
+              overlap = addChecked(overlap, interCount(comp.refs[g.members[i]].rawBox,
+                                                       comp.refs[g.members[j]].rawBox));
+          frac = static_cast<double>(overlap) / static_cast<double>(total);
+        }
+        beneficial = frac > benefitDelta_;
+      }
+      if (!beneficial && onlyBeneficial_) {
+        // Not allocated: no buffer, no cost term — but the concrete
+        // partitioner still consumes a naming index for it.
+        ++partitionCounter;
+        continue;
+      }
+
       g.name = "L" + af.arrayName + std::to_string(partitionCounter++);
       g.hoistLevel = depth_;
       if (hoist_) {

@@ -148,6 +148,10 @@ private:
   struct RefFormula {
     std::pair<int, int> key;  ///< (stmt, access)
     bool isWrite = false;
+    /// Rank-based order-of-magnitude reuse (Algorithm 1's first test); per
+    /// reference and independent of every symbol, so it is captured at
+    /// construction. A group with any such member is beneficial outright.
+    bool orderReuse = false;
     Box ctxBox;  ///< bounds under the analysis context (buffer geometry)
     Box rawBox;  ///< raw bounds (Section-3.1.3 volume estimation)
     std::vector<bool> usesOrigin;  ///< per loop: Section-4.2 dependence bits
@@ -212,8 +216,31 @@ private:
   std::vector<GeometryRecord> geometry_;
   bool hoist_ = true;
 
+  /// Algorithm-1 fallback verdict, compiled: groups without order-of-
+  /// magnitude reuse are buffered only when the capped constant-reuse
+  /// fraction exceeds the threshold. Construction rejects such references
+  /// unless their data spaces are axis-aligned boxes, where the rawBox
+  /// point count is exact and the verdict reduces to expression evaluation.
+  double benefitDelta_ = 0.0;
+  i64 volumeCap_ = 0;
+  bool onlyBeneficial_ = false;
+
   friend void serializeParametricPlanBody(ByteWriter& w, const ParametricTilePlan& plan);
   friend ParametricTilePlan deserializeParametricPlanBody(ByteReader& r);
 };
+
+/// Plan-only re-run of the tile-size solver at one size binding: ladder
+/// construction, the cheap range/volume constraints, footprint-interval box
+/// pruning and the solver itself all run against the compiled formulas —
+/// no program block, no concrete Section-3 analysis, no emission. When the
+/// plan is Active at this size (probe validation would pass), the chosen
+/// tile and its evaluation are identical to what the evaluator-backed
+/// pipeline search produces, which is what lets the runtime binder certify
+/// that a family record's tile choice is still THE argmin at a new size.
+/// Throws ApiError on arity mismatches (binding or options.candidates).
+TileSearchResult searchTileSizesWithPlan(const ParametricTilePlan& plan,
+                                         const ParametricTilePlan::SizeBinding& binding,
+                                         const TileSearchOptions& options,
+                                         bool exhaustive = false);
 
 }  // namespace emm

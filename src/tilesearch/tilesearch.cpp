@@ -1,6 +1,7 @@
 #include "tilesearch/tilesearch.h"
 
 #include <algorithm>
+#include <map>
 
 #include "tilesearch/tile_evaluator.h"
 
@@ -29,22 +30,17 @@ void recordEvaluatorStats(const TileEvaluator& evaluator, TileSearchResult& resu
   result.evalMillis = evaluator.evalMillis();
 }
 
-}  // namespace
-
-TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
-  evaluator.prepareSearch();  // plan adoption/build + candidate-box pruning
-  const std::vector<std::vector<i64>>& cands = evaluator.candidates();
-  const int depth = evaluator.depth();
-  const int evalsBefore = evaluator.evaluations();
-  const int hitsBefore = evaluator.memoHits();
-
-  TileSearchResult best;
-  best.eval.feasible = false;
+/// Grid-oracle core over abstract candidate ladders. `evalTile` must return
+/// a reference that stays valid for the whole solve (both callers memoize).
+template <typename EvalFn>
+void solveExhaustive(const std::vector<std::vector<i64>>& cands, EvalFn&& evalTile,
+                     TileSearchResult& best) {
+  const int depth = static_cast<int>(cands.size());
   std::vector<size_t> idx(depth, 0);
   while (true) {
     std::vector<i64> tile(depth);
     for (int l = 0; l < depth; ++l) tile[l] = cands[l][idx[l]];
-    const TileEvaluation& ev = evaluator.evaluate(tile);
+    const TileEvaluation& ev = evalTile(tile);
     if (ev.feasible && (!best.eval.feasible || ev.cost < best.eval.cost)) {
       best.eval = ev;
       best.subTile = tile;
@@ -53,29 +49,21 @@ TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
     while (l >= 0 && ++idx[l] == cands[l].size()) idx[l--] = 0;
     if (l < 0) break;
   }
-  best.evaluations = evaluator.evaluations() - evalsBefore;
-  best.memoHits = evaluator.memoHits() - hitsBefore;
-  recordEvaluatorStats(evaluator, best);
-  return best;
 }
 
-TileSearchResult searchTileSizes(TileEvaluator& evaluator) {
-  evaluator.prepareSearch();  // plan adoption/build + candidate-box pruning
-  const std::vector<std::vector<i64>>& cands = evaluator.candidates();
-  const int depth = evaluator.depth();
-  const int evalsBefore = evaluator.evaluations();
-  const int hitsBefore = evaluator.memoHits();
+/// Fast-solver core (geometric seeding + projected coordinate descent) over
+/// abstract candidate ladders. Deterministic: with identical ladders and
+/// identical per-candidate evaluations the chosen tile is identical, which
+/// is what makes the plan-only re-run below a faithful argmin check.
+template <typename EvalFn>
+void solveDescent(const std::vector<std::vector<i64>>& cands, EvalFn&& evalTile,
+                  TileSearchResult& result) {
+  const int depth = static_cast<int>(cands.size());
 
-  TileSearchResult result;
-  result.eval.feasible = false;
-
-  // All probes go through the evaluator's value-keyed memo, so the same
-  // candidate re-probed across descent sweeps, seeds, or a later solver run
-  // (e.g. the exhaustive oracle certifying this answer) is analyzed once.
   auto evalPos = [&](const std::vector<size_t>& p) -> const TileEvaluation& {
     std::vector<i64> tile(depth);
     for (int l = 0; l < depth; ++l) tile[l] = cands[l][p[l]];
-    return evaluator.evaluate(tile);
+    return evalTile(tile);
   };
 
   // Coordinate descent over ladder positions from one seed. This plays the
@@ -137,9 +125,145 @@ TileSearchResult searchTileSizes(TileEvaluator& evaluator) {
     result.subTile.resize(depth);
     for (int l = 0; l < depth; ++l) result.subTile[l] = cands[l][bestPos[l]];
   }
+}
+
+}  // namespace
+
+TileSearchResult exhaustiveTileSearch(TileEvaluator& evaluator) {
+  evaluator.prepareSearch();  // plan adoption/build + candidate-box pruning
+  const int evalsBefore = evaluator.evaluations();
+  const int hitsBefore = evaluator.memoHits();
+
+  TileSearchResult best;
+  best.eval.feasible = false;
+  solveExhaustive(evaluator.candidates(),
+                  [&](const std::vector<i64>& tile) -> const TileEvaluation& {
+                    return evaluator.evaluate(tile);
+                  },
+                  best);
+  best.evaluations = evaluator.evaluations() - evalsBefore;
+  best.memoHits = evaluator.memoHits() - hitsBefore;
+  recordEvaluatorStats(evaluator, best);
+  return best;
+}
+
+TileSearchResult searchTileSizes(TileEvaluator& evaluator) {
+  evaluator.prepareSearch();  // plan adoption/build + candidate-box pruning
+  const int evalsBefore = evaluator.evaluations();
+  const int hitsBefore = evaluator.memoHits();
+
+  TileSearchResult result;
+  result.eval.feasible = false;
+  // All probes go through the evaluator's value-keyed memo, so the same
+  // candidate re-probed across descent sweeps, seeds, or a later solver run
+  // (e.g. the exhaustive oracle certifying this answer) is analyzed once.
+  solveDescent(evaluator.candidates(),
+               [&](const std::vector<i64>& tile) -> const TileEvaluation& {
+                 return evaluator.evaluate(tile);
+               },
+               result);
   result.evaluations = evaluator.evaluations() - evalsBefore;
   result.memoHits = evaluator.memoHits() - hitsBefore;
   recordEvaluatorStats(evaluator, result);
+  return result;
+}
+
+TileSearchResult searchTileSizesWithPlan(const ParametricTilePlan& plan,
+                                         const ParametricTilePlan::SizeBinding& binding,
+                                         const TileSearchOptions& options, bool exhaustive) {
+  const int depth = plan.depth();
+  EMM_REQUIRE(static_cast<int>(binding.loopRange.size()) == depth,
+              "size binding arity mismatch");
+
+  // Candidate ladders, exactly as the TileEvaluator constructor builds them
+  // at this problem size: the given ladders, or the geometric ladder
+  // {1, 2, 4, ...} clipped to each loop's range.
+  std::vector<std::vector<i64>> cands;
+  if (options.candidates.empty()) {
+    for (int l = 0; l < depth; ++l) {
+      std::vector<i64> ladder;
+      for (i64 t = 1; t < binding.loopRange[l]; t *= 2) ladder.push_back(t);
+      ladder.push_back(std::max<i64>(binding.loopRange[l], 1));
+      cands.push_back(std::move(ladder));
+    }
+  } else {
+    EMM_REQUIRE(static_cast<int>(options.candidates.size()) == depth,
+                "candidate arity mismatch");
+    cands = options.candidates;
+  }
+  for (const std::vector<i64>& ladder : cands)
+    EMM_REQUIRE(!ladder.empty(), "empty candidate ladder");
+
+  // Footprint-interval box pruning, mirroring the evaluator (so the solver
+  // sees the same ladders and walks the same descent paths). See
+  // TileEvaluator::pruneCandidateBoxes for the soundness argument.
+  int pruned = 0;
+  bool sorted = true;
+  for (const std::vector<i64>& ladder : cands)
+    sorted = sorted && std::is_sorted(ladder.begin(), ladder.end());
+  if (sorted) {
+    for (int l = 0; l < depth; ++l) {
+      std::vector<i64>& ladder = cands[l];
+      size_t cut = ladder.size();
+      for (size_t k = 1; k < ladder.size(); ++k) {
+        std::vector<SymInterval> box(depth);
+        std::vector<i64> minCorner(depth);
+        for (int j = 0; j < depth; ++j) {
+          const i64 blo = j == l ? ladder[k] : cands[j].front();
+          const i64 bhi = j == l ? ladder.back() : cands[j].back();
+          box[j] = {blo, bhi};
+          minCorner[j] = blo;
+        }
+        if (!plan.coarsestStructureAt(binding, minCorner)) continue;
+        if (plan.footprintInterval(binding, box).lo > options.memLimitElems) {
+          cut = k;
+          break;
+        }
+      }
+      if (cut < ladder.size()) {
+        pruned += static_cast<int>(ladder.size() - cut);
+        ladder.resize(cut);
+      }
+    }
+  }
+
+  // Memoized plan-backed evaluation with the evaluator's cheap range and
+  // minimum-volume constraints in front.
+  std::map<std::vector<i64>, TileEvaluation> memo;
+  int evaluations = 0;
+  int memoHits = 0;
+  auto evalTile = [&](const std::vector<i64>& tile) -> const TileEvaluation& {
+    auto it = memo.find(tile);
+    if (it != memo.end()) {
+      ++memoHits;
+      return it->second;
+    }
+    ++evaluations;
+    TileEvaluation ev;
+    for (int l = 0; l < depth && ev.reason.empty(); ++l)
+      if (tile[l] < 1 || tile[l] > std::max<i64>(binding.loopRange[l], 1))
+        ev.reason = "tile size out of loop range";
+    if (ev.reason.empty()) {
+      i64 tileVolume = 1;
+      for (int l = 0; l < depth; ++l) tileVolume = mulChecked(tileVolume, tile[l]);
+      if (tileVolume < options.innerProcs)
+        ev.reason = "tile smaller than inner-level process count";
+    }
+    if (ev.reason.empty()) ev = plan.evaluate(binding, tile);
+    return memo.emplace(tile, std::move(ev)).first->second;
+  };
+
+  TileSearchResult result;
+  result.eval.feasible = false;
+  if (exhaustive)
+    solveExhaustive(cands, evalTile, result);
+  else
+    solveDescent(cands, evalTile, result);
+  result.evaluations = evaluations;
+  result.memoHits = memoHits;
+  result.parametric = true;
+  result.familyAdopted = true;
+  result.prunedBoxes = pruned;
   return result;
 }
 

@@ -200,7 +200,8 @@ TEST(DiskCache, FlippedMagicByteIsRejectedAndUnlinked) {
   DiskPlanCache disk(dir.str());
   Compiler seed = meCompiler();
   seed.diskCache(&disk);
-  ASSERT_TRUE(seed.compile().ok);
+  CompileResult cold = seed.compile();
+  ASSERT_TRUE(cold.ok);
 
   fs::path entry = soleEntry(dir.path);
   corruptFile(entry, 0, 0xFF);
@@ -211,9 +212,42 @@ TEST(DiskCache, FlippedMagicByteIsRejectedAndUnlinked) {
   ASSERT_TRUE(r.ok);
   EXPECT_FALSE(r.diskHit);
   EXPECT_EQ(disk.stats().rejects, 1);
-  // The cold compile re-wrote a good entry over the unlinked bad one.
-  EXPECT_EQ(disk.stats().entries, 1);
-  EXPECT_TRUE(c.compile().diskHit);
+  // The bad per-size entry is unlinked; the request is served by binding
+  // the on-disk family record (v4 embeds the size-generic artifact), so no
+  // replacement .emmplan is written — the record already covers this size.
+  EXPECT_EQ(disk.stats().entries, 0);
+  EXPECT_TRUE(r.familyHit);
+  EXPECT_TRUE(r.artifactBound);
+  EXPECT_EQ(r.artifact, cold.artifact);
+  EXPECT_TRUE(c.compile().familyHit);
+}
+
+TEST(DiskCache, FamilyRecordServesSizesWithNoPerSizeEntry) {
+  // A fresh compiler with ONLY the .emmfam record on disk (every per-size
+  // .emmplan removed) still answers in-envelope sizes byte-identically, by
+  // deserializing the size-generic record and binding it — no pipeline run.
+  TempCacheDir dir;
+  DiskPlanCache disk(dir.str());
+  Compiler seed = meCompiler();
+  seed.diskCache(&disk);
+  CompileResult cold = seed.compile();
+  ASSERT_TRUE(cold.ok);
+  ASSERT_GE(disk.stats().familyEntries, 1);
+
+  fs::remove(soleEntry(dir.path));
+
+  Compiler c = meCompiler();
+  c.diskCache(&disk);
+  CompileResult r = c.compile();
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.familyHit);
+  EXPECT_TRUE(r.artifactBound);
+  EXPECT_FALSE(r.diskHit);
+  EXPECT_EQ(r.artifact, cold.artifact);
+  EXPECT_EQ(r.search.subTile, cold.search.subTile);
+  EXPECT_FALSE(r.boundArgs.empty());
+  // Still no per-size entry: the record covers the whole envelope.
+  EXPECT_EQ(disk.stats().entries, 0);
 }
 
 TEST(DiskCache, StaleFormatVersionIsRejected) {

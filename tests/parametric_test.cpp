@@ -361,8 +361,40 @@ ProgramBlock buildCopyBlock(i64 n) {
   return block;
 }
 
-TEST(ParametricFallback, TileDependentBenefitVerdictFallsBackWithAReason) {
+TEST(ParametricFallback, RectangularBenefitVerdictCompilesSymbolically) {
+  // Every access has rank == iteration dim, so the Algorithm-1 verdict
+  // needs the sampled constant-reuse test. The data spaces are axis-aligned
+  // boxes, so the capped point counts are exact closed forms and the plan
+  // compiles the verdict instead of falling back.
   ProgramBlock block = buildCopyBlock(32);
+  TileSearchOptions opts;
+  opts.paramValues = {32};
+  opts.memLimitElems = 4096;
+  opts.innerProcs = 1;
+  SmemOptions smem;
+  smem.sampleParams = {32};
+  TileSearchOptions concreteOpts = opts;
+  concreteOpts.parametric = false;
+  TileEvaluator parametric(block, ParallelismPlan{}, opts, smem);
+  TileEvaluator concrete(block, ParallelismPlan{}, concreteOpts, smem);
+  for (const std::vector<i64>& tile :
+       {std::vector<i64>{8, 8}, {1, 1}, {4, 16}, {32, 32}, {2, 8}})
+    expectSameEvaluation(parametric.evaluate(tile), concrete.evaluate(tile), tile);
+  EXPECT_EQ(parametric.parametricState(), TileEvaluator::ParametricState::Active)
+      << parametric.fallbackReason();
+}
+
+TEST(ParametricFallback, NonRectangularBenefitVerdictFallsBackWithAReason) {
+  // Skew the read to A[i+j][j]: its data space is a parallelogram, not an
+  // axis-aligned box, so the box point count stops being exact and the
+  // tile-dependent verdict is no longer compilable — the evaluator must
+  // fall back with a reason instead of serving wrong counts.
+  ProgramBlock block = buildCopyBlock(32);
+  block.arrays[0].extents = {64, 32};  // room for the skewed footprint
+  for (Statement& s : block.statements)
+    for (Access& a : s.accesses)
+      if (!a.isWrite) a.fn.at(0, 1) = 1;  // row 0: i + j
+  block.validate();
   TileSearchOptions opts;
   opts.paramValues = {32};
   opts.memLimitElems = 4096;

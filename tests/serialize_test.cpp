@@ -6,10 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <random>
+#include <sstream>
 
 #include "driver/compiler.h"
+#include "driver/family_plan.h"
+#include "driver/plan_cache.h"
 #include "ir/interp.h"
 #include "kernels/blocks.h"
 #include "support/serialize.h"
@@ -372,6 +377,17 @@ TEST(PlanDecodeFuzz, MutatedCompileResultsNeverEscapeSerializeError) {
   std::vector<std::string> bases;
   bases.push_back(serializeCompileResult(compileKernel("matmul", "c")));
   bases.push_back(serializeCompileResult(compileKernel("me", "cuda")));
+  {
+    // A cell artifact carries the full v4 surface: formula bind slots plus
+    // SymLe and BufExtentEq family guards — so the sweep lands mutations on
+    // guard kinds, symbolic operand trees, and slot formulas too.
+    CompileResult cell = compileKernel("figure1", "cell");
+    ASSERT_TRUE(cell.ok) << cell.firstError();
+    ASSERT_TRUE(cell.artifactInfo.has_value());
+    ASSERT_FALSE(cell.artifactInfo->guards.empty());
+    ASSERT_FALSE(cell.artifactInfo->slots.empty());
+    bases.push_back(serializeCompileResult(cell));
+  }
   testgen::ProgramGenerator gen;
   for (u64 i : {u64(3), u64(9)}) {  // indices that compile to full plans
     testgen::GeneratedProgram p = gen.generate(i);
@@ -388,6 +404,56 @@ TEST(PlanDecodeFuzz, MutatedCompileResultsNeverEscapeSerializeError) {
     expectTotalDecoder(base, seed++, 300,
                        [](const std::string& m) { (void)deserializeCompileResult(m); });
   }
+}
+
+TEST(PlanDecodeFuzz, MutatedFamilyPlansNeverEscapeSerializeError) {
+  // The .emmfam encoding embeds the family's size-generic compiled record
+  // (options + full CompileResult with its ArtifactInfo) after the
+  // parametric tile plan — the deepest v4 payload. Build a real one through
+  // the disk tier, confirm the record and its guard predicates are actually
+  // present in the base bytes, then mutate.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("emmfam_fuzz_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  {
+    Compiler c(buildMeBlock(64, 64, 8));
+    c.parameters({64, 64, 8}).memoryLimitBytes(16 * 1024);
+    PlanCache memory;
+    c.cache(&memory).diskCache(dir.string());
+    ASSERT_TRUE(c.compile().ok);
+  }
+  std::string base;
+  for (const fs::directory_entry& de : fs::directory_iterator(dir))
+    if (de.path().extension() == ".emmfam") {
+      std::ifstream f(de.path(), std::ios::binary);
+      std::ostringstream os;
+      os << f.rdbuf();
+      base = os.str();
+    }
+  fs::remove_all(dir);
+  ASSERT_FALSE(base.empty());
+
+  // Strip the disk-tier envelope (magic, version, schema fingerprint, key
+  // echo, collision digests, length-prefixed payload, checksum) down to the
+  // raw FamilyPlan payload the decoder under test consumes.
+  ASSERT_GT(base.size(), 8u);
+  {
+    ByteReader header(std::string_view(base).substr(8));
+    header.u32v();                                    // format version
+    for (int i = 0; i < 6; ++i) header.u64v();        // schema, key echo, digests
+    const u64 payloadLen = header.u64v();
+    ASSERT_LE(payloadLen + 8, header.remaining());
+    base = base.substr(8 + header.position(), payloadLen);
+  }
+
+  std::shared_ptr<const FamilyPlan> plan = deserializeFamilyPlan(base);
+  ASSERT_TRUE(plan->haveRecord && plan->record != nullptr);
+  ASSERT_TRUE(plan->record->artifactInfo.has_value());
+  EXPECT_FALSE(plan->record->artifactInfo->slots.empty());
+
+  expectTotalDecoder(base, 0xfa4ULL, 400,
+                     [](const std::string& m) { (void)deserializeFamilyPlan(m); });
 }
 
 TEST(PlanDecodeFuzz, MutatedProgramBlocksNeverEscapeSerializeError) {

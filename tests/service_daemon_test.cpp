@@ -137,11 +137,19 @@ TEST(ServiceDaemonTest, ManyThreadsManyClientsMissOncePerFamily) {
   EXPECT_EQ(coldServed.load(), 0);
 
   WireStats s = server.stats();
-  // One family miss per DISTINCT family; every other compile was served
-  // from the shared store.
-  EXPECT_EQ(s.memory.familyMisses, kFamilies);
-  EXPECT_EQ(s.memory.misses, static_cast<i64>(work.size()));  // one per distinct size
-  EXPECT_EQ(s.compiles, static_cast<i64>(work.size() * (1 + kThreads * kClientsPerThread)));
+  // Each DISTINCT family misses the family tier exactly twice, both on its
+  // one cold pass: the connection-thread fast-path probe, then the
+  // in-pipeline lookup. Every later size binds the family record on the
+  // fast path and never reaches the result tier, so the result tier sees
+  // one miss per family — not one per size.
+  EXPECT_EQ(s.memory.familyMisses, 2 * kFamilies);
+  EXPECT_EQ(s.memory.misses, kFamilies);
+  const i64 totalRequests = static_cast<i64>(work.size() * (1 + kThreads * kClientsPerThread));
+  EXPECT_EQ(s.compiles, totalRequests);
+  // Every non-cold request was served by exactly one of: a fast-path record
+  // bind (no pool dispatch, no emission) or a result-tier snapshot hit.
+  EXPECT_EQ(s.familyFastPath + s.memory.hits, totalRequests - kFamilies);
+  EXPECT_GT(s.familyFastPath, 0);
   EXPECT_EQ(s.compileErrors, 0);
   EXPECT_EQ(s.protocolErrors, 0);
   EXPECT_EQ(s.connections, 1 + kThreads * kClientsPerThread);

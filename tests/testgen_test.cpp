@@ -86,6 +86,30 @@ TEST(Differential, TwoHundredProgramSweepIsClean) {
   EXPECT_GT(stats.fallbacks, 0);
 }
 
+TEST(Differential, BindViewServesScaledSizesFromTheFamilyRecord) {
+  // A tight scratchpad budget pins the tile argmin to the budget rather
+  // than the trip counts, so scaled probes of a generated family tend to
+  // re-certify to the record's tile and bind it instead of re-emitting.
+  // The sweep must stay divergence-free AND actually exercise record binds
+  // — if the guards rejected every probe the view would be vacuous.
+  SweepOptions sweep;
+  sweep.programs = 120;
+  sweep.gen.minTrip = 12;
+  sweep.gen.maxTrip = 16;
+  sweep.gen.parametricPercent = 100;
+  sweep.diff.baseOptions.memLimitBytes = 256;
+  sweep.minimize = false;
+  sweep.onFinding = [](const SweepFinding& f) {
+    ADD_FAILURE() << "divergence at index " << f.program.index << " [" << f.result.failedCheck
+                  << "] " << f.result.detail << "\n"
+                  << describeProgram(f.minimized);
+  };
+  const SweepStats stats = runDifferentialSweep(sweep);
+  EXPECT_EQ(stats.divergences, 0);
+  EXPECT_GT(stats.compiled, 0);
+  EXPECT_GT(stats.boundSizes, 0);  // the bind view served real record binds
+}
+
 TEST(Differential, WireViewAgreesWithLocalCompile) {
   const std::string socket =
       (fs::temp_directory_path() / ("testgen_wire_" + std::to_string(::getpid()) + ".sock"))

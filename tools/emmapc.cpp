@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/backend.h"
 #include "driver/compiler.h"
 #include "driver/disk_cache.h"
 #include "driver/plan_cache.h"
@@ -266,6 +267,7 @@ void configureForKernel(Compiler& compiler, const std::string& kernel,
 int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
              const std::vector<std::string>& sizeEntries, const std::string& machine,
              const std::string& emit, bool verbose, bool cacheOn) {
+  const std::uint64_t emitsBefore = emitterInvocations();
   std::vector<std::future<CompileResult>> futures;
   futures.reserve(kernels.size());
   for (const std::string& kernel : kernels) {
@@ -282,11 +284,21 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
         std::fprintf(stderr, "[%s] %s\n", kernels[i].c_str(), d.str().c_str());
     std::string tile;
     for (i64 t : r.search.subTile) tile += (tile.empty() ? "" : ",") + std::to_string(t);
-    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s%s%s\n", kernels[i].c_str(),
+    std::printf("%-10s %-5s tile (%s)  artifact %zu bytes%s%s%s%s\n", kernels[i].c_str(),
                 r.ok ? "ok" : "FAIL", tile.c_str(), r.artifact.size(),
                 r.cacheHit ? "  [cache hit]" : "", r.diskHit ? "  [disk hit]" : "",
-                r.familyHit ? "  [family hit]" : "");
+                r.familyHit ? "  [family hit]" : "", r.artifactBound ? "  [bound]" : "");
     if (emit == "stats") {
+      // Runtime-bound results: the record's artifact served this size with
+      // no emission; show the bind cost next to the pipeline timings it
+      // replaced.
+      if (r.artifactBound) {
+        double bindMs = 0;
+        for (const PassTiming& pt : r.timings)
+          if (pt.pass == "bind") bindMs = pt.millis;
+        std::printf("           bind %.3fms: %zu runtime args filled, no emission\n", bindMs,
+                    r.boundArgs.size());
+      }
       // Per-kernel summary stats (full interpreter counters need the
       // single-kernel path).
       std::printf("           tile search %d evaluations (%d memo hits)%s%s",
@@ -307,6 +319,11 @@ int runBatch(Compiler& compiler, const std::vector<std::string>& kernels,
     }
     if (!r.ok) ++failures;
   }
+  // One artifact per kernel family is the v4 contract: sizes served beyond
+  // the emitted count came from cache replays or runtime-bound records.
+  std::printf("emission   : %llu artifacts emitted / %zu sizes served\n",
+              static_cast<unsigned long long>(emitterInvocations() - emitsBefore),
+              kernels.size());
   if (cacheOn) {
     PlanCache::Stats s = PlanCache::global().stats();
     std::printf("plan cache : %lld hits / %lld misses / %lld entries\n", s.hits, s.misses,
@@ -385,6 +402,9 @@ int runConnect(const std::string& sock, const std::vector<std::string>& kernels,
     std::printf("daemon      : %lld connections, %lld requests, %lld compiles "
                 "(%lld errors, %lld protocol errors)\n",
                 s.connections, s.requests, s.compiles, s.compileErrors, s.protocolErrors);
+    std::printf("daemon bind : %lld requests served by the family fast path (record bound "
+                "on the connection thread, no emission)\n",
+                s.familyFastPath);
     std::printf("server mem  : %lld hits / %lld misses / %lld entries; family %lld hits / "
                 "%lld misses / %lld families\n",
                 s.memory.hits, s.memory.misses, s.memory.entries, s.memory.familyHits,
@@ -408,6 +428,7 @@ int runWarm(Compiler& compiler, const std::string& spec, const std::string& mach
   }
   // Family reuse inside the warming run itself needs the memory tier.
   compiler.cache(&PlanCache::global());
+  const std::uint64_t emitsBefore = emitterInvocations();
   int failures = 0;
   i64 total = 0;
   for (const std::string& entry : splitOn(spec, ';')) {
@@ -428,9 +449,10 @@ int runWarm(Compiler& compiler, const std::string& spec, const std::string& mach
           std::fprintf(stderr, "[%s] %s\n", kernel.c_str(), d.str().c_str());
       std::string label;
       for (i64 v : sizes) label += (label.empty() ? "" : "x") + std::to_string(v);
-      std::printf("warm %-10s %-18s %-5s%s%s%s\n", kernel.c_str(), label.c_str(),
+      std::printf("warm %-10s %-18s %-5s%s%s%s%s\n", kernel.c_str(), label.c_str(),
                   r.ok ? "ok" : "FAIL", r.familyHit ? "  [family hit]" : "",
-                  r.diskHit ? "  [disk hit]" : "", r.cacheHit ? "  [cache hit]" : "");
+                  r.diskHit ? "  [disk hit]" : "", r.cacheHit ? "  [cache hit]" : "",
+                  r.artifactBound ? "  [bound]" : "");
       if (!r.ok) ++failures;
       ++total;
     }
@@ -441,6 +463,10 @@ int runWarm(Compiler& compiler, const std::string& spec, const std::string& mach
               "%lld families (%lld bytes)\n",
               total, ms.familyHits, ms.familyMisses, ds.insertions + ds.hits,
               ds.familyEntries, ds.bytes + ds.familyBytes);
+  // The headline of runtime-size-bound codegen: a kernel x size matrix is
+  // one emitted artifact per family, every further size a record bind.
+  std::printf("emission: %llu artifacts emitted / %lld sizes served\n",
+              static_cast<unsigned long long>(emitterInvocations() - emitsBefore), total);
   return failures == 0 ? 0 : 1;
 }
 
@@ -538,6 +564,13 @@ int run(cli::Args& args) {
     for (i64 t : r.search.subTile) std::printf(" %lld", t);
     std::printf("  (cost %.4g, footprint %lld elems, %d evaluations)\n", r.search.eval.cost,
                 r.search.eval.footprint, r.search.evaluations);
+  }
+  if (r.artifactBound) {
+    double bindMs = 0;
+    for (const PassTiming& pt : r.timings)
+      if (pt.pass == "bind") bindMs = pt.millis;
+    std::printf("// bound family artifact: %zu runtime args filled in %.3fms, no emission\n",
+                r.boundArgs.size(), bindMs);
   }
 
   if (emit == "c" || emit == "cuda" || emit == "cell") {

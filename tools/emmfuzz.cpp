@@ -12,6 +12,10 @@
 //   emmfuzz --replay=finding.emmrepro          # re-check one reproducer
 //   emmfuzz --plant-bug --programs=200         # self-test: must find+shrink
 //
+// The bind view (on by default) additionally compiles each parametric
+// program against a private plan cache and binds the family's size-generic
+// record at downscaled sizes, element-exact against the oracle.
+//
 // Same seed => byte-identical program stream and identical verdicts, on any
 // host: the generator owns its PRNG and the pipeline is deterministic.
 #include <unistd.h>
@@ -37,7 +41,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: emmfuzz [--programs=N] [--seed=S] [--time-budget=SECONDS]\n"
     "               [--out-dir=DIR] [--max-statements=N] [--no-wire]\n"
-    "               [--no-parametric] [--no-serialize] [--no-minimize]\n"
+    "               [--no-parametric] [--no-serialize] [--no-bind] [--no-minimize]\n"
     "               [--wire=SOCKET] [--plant-bug] [--replay=FILE] [--quiet]\n";
 
 /// Private in-process daemon for the wire check; socket removed on exit.
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   const bool noWire = args.flag("no-wire");
   const bool noParametric = args.flag("no-parametric");
   const bool noSerialize = args.flag("no-serialize");
+  const bool noBind = args.flag("no-bind");
   const bool noMinimize = args.flag("no-minimize");
   const std::string wireSocket = args.str("wire", "");
   const bool plantBug = args.flag("plant-bug");
@@ -104,6 +109,7 @@ int main(int argc, char** argv) {
     sweep.minimize = !noMinimize;
     sweep.diff.checkParametric = !noParametric;
     sweep.diff.checkSerialize = !noSerialize;
+    sweep.diff.checkBind = !noBind;
     if (plantBug) {
       // Self-test mode: the planted tiler bug exists only in the local
       // pipeline, so the wire view (a clean server) stays out of the loop.
@@ -146,9 +152,10 @@ int main(int argc, char** argv) {
     };
 
     const SweepStats stats = runDifferentialSweep(sweep);
-    std::printf("emmfuzz: seed=%llu programs=%lld compiled=%lld fallbacks=%lld divergences=%lld\n",
+    std::printf("emmfuzz: seed=%llu programs=%lld compiled=%lld fallbacks=%lld "
+                "divergences=%lld bound_sizes=%lld\n",
                 static_cast<unsigned long long>(seed), stats.programs, stats.compiled,
-                stats.fallbacks, stats.divergences);
+                stats.fallbacks, stats.divergences, stats.boundSizes);
     return stats.divergences == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "emmfuzz: fatal: %s\n", e.what());
